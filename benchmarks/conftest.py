@@ -1,0 +1,16 @@
+"""Shared helpers for the experiment benchmarks (E1-E10).
+
+Each benchmark module regenerates one experiment from DESIGN.md: it runs
+the parameter sweep, prints the result table (visible with ``pytest -s``),
+asserts the qualitative shape the paper's framework predicts, and times a
+representative scenario with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+
+def emit(table: str) -> None:
+    """Print an experiment table, framed for readability in bench output."""
+    print()
+    print(table)
+    print()

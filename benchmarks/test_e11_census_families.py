@@ -1,0 +1,90 @@
+"""E11 — Three census families under churn: directional bias.
+
+Extension experiment (no table in the position paper; derived from its
+taxonomy).  Three ways to count a dynamic population:
+
+* the **wave** counts who it reaches in one shot (undercounts under churn
+  as routes break);
+* **push-sum** conserves mass, and departures destroy the mass they hold
+  (drifts, direction depends on which mass is lost);
+* **extrema propagation** keeps minima forever (counts everyone *ever*
+  seen: overcounts a shrinking or turning-over population).
+
+The harness runs all three on the same churn schedule and reports the
+signed relative bias, validating the directional predictions.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.bench.runner import QueryConfig, run_query
+from repro.churn.models import ReplacementChurn
+from repro.protocols.extrema import ExtremaNode
+from repro.sim.latency import ConstantDelay
+from repro.sim.rng import iter_seeds
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+
+N = 24
+TRIALS = 4
+READ_AT = 60.0
+
+
+def wave_count(rate: float, seed: int) -> tuple[float, float]:
+    outcome = run_query(QueryConfig(
+        n=N, topology="er", aggregate="COUNT", seed=seed,
+        query_at=READ_AT, horizon=READ_AT + 150.0,
+        churn=(lambda f: ReplacementChurn(f, rate=rate)) if rate else None,
+    ))
+    truth = float(len(outcome.run.present_at(READ_AT)))
+    measured = float(outcome.record.result or 0)
+    return measured, truth
+
+
+def extrema_count(rate: float, seed: int) -> tuple[float, float]:
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(0.3))
+    topo = gen.make("er", N, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(ExtremaNode(k=256), neighbors).pid)
+    if rate:
+        model = ReplacementChurn(lambda: ExtremaNode(k=256), rate=rate)
+        model.immortal.add(pids[0])
+        model.install(sim)
+    sim.run(until=READ_AT)
+    reader = sim.network.process(pids[0])
+    return reader.estimate, float(len(sim.network.present()))
+
+
+def signed_bias(pairs: list[tuple[float, float]]) -> float:
+    """Mean of (measured - truth) / truth across trials."""
+    return sum((m - t) / t for m, t in pairs) / len(pairs)
+
+
+def test_e11_census_bias(benchmark):
+    rows = []
+    biases: dict[tuple[str, float], float] = {}
+    for rate in (0.0, 1.0, 3.0):
+        seeds = list(iter_seeds(2007, TRIALS))
+        for name, fn in (("wave", wave_count), ("extrema", extrema_count)):
+            pairs = [fn(rate, s) for s in seeds]
+            bias = signed_bias(pairs)
+            biases[(name, rate)] = bias
+            rows.append([name, rate, bias])
+    emit(render_table(
+        ["family", "churn_rate", "signed_bias"],
+        rows,
+        title=f"E11: census bias by protocol family, n={N}",
+    ))
+    # No churn: both are (nearly) unbiased.
+    assert abs(biases[("wave", 0.0)]) < 0.05
+    assert abs(biases[("extrema", 0.0)]) < 0.2   # estimator noise only
+    # Churn: the wave under-counts, extrema propagation over-counts.
+    assert biases[("wave", 3.0)] < -0.1
+    assert biases[("extrema", 3.0)] > 0.5
+    # The directions are opposite — the headline of this experiment.
+    assert biases[("wave", 3.0)] < 0 < biases[("extrema", 3.0)]
+
+    benchmark.pedantic(lambda: extrema_count(1.0, 0), rounds=3, iterations=1)

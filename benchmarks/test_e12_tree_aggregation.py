@@ -1,0 +1,86 @@
+"""E12 — Continuous tree aggregation: error vs churn and rebuild period.
+
+Extension experiment.  The continuous counterpart of the one-time query: a
+sink maintains a spanning tree and reads a running population count.  The
+deployment knob is the rebuild period — rebuild rarely and the estimate
+staleness grows with churn; rebuild often and repair is fast but build
+waves cost messages.  The harness sweeps both and validates the trade-off.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.churn.models import ReplacementChurn
+from repro.protocols.tree_aggregation import TreeAggregationNode
+from repro.sim.latency import ConstantDelay
+from repro.sim.rng import iter_seeds
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+
+N = 20
+TRIALS = 4
+HORIZON = 80.0
+SAMPLE_TIMES = [30.0, 45.0, 60.0, 75.0]
+
+
+def trial(rebuild: float, rate: float, seed: int) -> tuple[float, int]:
+    """Returns (mean |count error| over samples, total messages)."""
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(0.2))
+    topo = gen.make("er", N, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        proc = TreeAggregationNode(
+            1.0, is_sink=(node == 0), rebuild_period=rebuild, report_period=0.5,
+        )
+        pids.append(sim.spawn(proc, neighbors).pid)
+    if rate > 0:
+        model = ReplacementChurn(
+            lambda: TreeAggregationNode(
+                1.0, rebuild_period=rebuild, report_period=0.5
+            ),
+            rate=rate,
+        )
+        model.immortal.add(pids[0])
+        model.install(sim)
+    errors = []
+
+    def sample() -> None:
+        sink = sim.network.process(pids[0])
+        truth = len(sim.network.present())
+        errors.append(abs(sink.estimate_count - truth) / truth)
+
+    for t in SAMPLE_TIMES:
+        sim.at(t, sample)
+    sim.run(until=HORIZON)
+    return sum(errors) / len(errors), sim.trace.message_count()
+
+
+def test_e12_rebuild_tradeoff(benchmark):
+    rows = []
+    results: dict[tuple[float, float], tuple[float, float]] = {}
+    for rebuild in (4.0, 16.0):
+        for rate in (0.0, 0.5, 2.0):
+            seeds = list(iter_seeds(2007, TRIALS))
+            outcomes = [trial(rebuild, rate, s) for s in seeds]
+            error = sum(o[0] for o in outcomes) / len(outcomes)
+            messages = sum(o[1] for o in outcomes) / len(outcomes)
+            results[(rebuild, rate)] = (error, messages)
+            rows.append([rebuild, rate, error, messages])
+    emit(render_table(
+        ["rebuild_period", "churn_rate", "count_error", "messages"],
+        rows,
+        title=f"E12: continuous tree aggregation, n={N}, report period 0.5",
+    ))
+    # Static system: exact regardless of rebuild period.
+    assert results[(4.0, 0.0)][0] < 0.05
+    assert results[(16.0, 0.0)][0] < 0.05
+    # Under churn, faster rebuilds track the population more closely.
+    assert results[(4.0, 2.0)][0] <= results[(16.0, 2.0)][0] + 0.02
+    # Error grows with churn for a fixed rebuild period.
+    assert results[(16.0, 2.0)][0] > results[(16.0, 0.0)][0]
+    # And the price of fast rebuilds is messages.
+    assert results[(4.0, 0.0)][1] > results[(16.0, 0.0)][1]
+
+    benchmark.pedantic(lambda: trial(8.0, 1.0, 0), rounds=3, iterations=1)

@@ -1,0 +1,66 @@
+"""E14 — Edge churn ablation: the geography dimension made time-varying.
+
+Extension experiment.  Entity churn and edge churn stress a wave
+differently: a rewired edge can cut the echo path of an in-flight wave even
+though *nobody leaves* — every entity stays in the stable core, so
+completeness failures are pure geography.  The harness sweeps the rewiring
+rate (connectivity-preserving) and reports wave completeness; the shape
+mirrors E4 with the entity dimension held fixed.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.core.aggregates import COUNT
+from repro.core.spec import OneTimeQuerySpec
+from repro.protocols.one_time_query import WaveNode
+from repro.sim.latency import ConstantDelay
+from repro.sim.rng import iter_seeds
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+from repro.topology.dynamic import EdgeRewiringChurn
+
+N = 24
+TRIALS = 6
+
+
+def trial(rate: float, seed: int) -> tuple[bool, float]:
+    """Returns (spec ok, completeness) for one wave under edge churn."""
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(1.0))
+    topo = gen.make("ring", N, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(WaveNode(1.0), neighbors).pid)
+    if rate > 0:
+        EdgeRewiringChurn(rate=rate, preserve_connectivity=True).install(sim)
+    querier = sim.network.process(pids[0])
+    sim.at(5.0, lambda: querier.issue_query(COUNT, ttl=None))
+    sim.run(until=300.0)
+    verdict = OneTimeQuerySpec().check(sim.trace)[0]
+    return verdict.ok, verdict.completeness_ratio
+
+
+def test_e14_edge_churn(benchmark):
+    rows = []
+    curve: dict[float, float] = {}
+    for rate in (0.0, 0.5, 2.0, 8.0):
+        seeds = list(iter_seeds(2007, TRIALS))
+        outcomes = [trial(rate, s) for s in seeds]
+        ok_fraction = sum(1 for ok, _ in outcomes if ok) / len(outcomes)
+        completeness = sum(c for _, c in outcomes) / len(outcomes)
+        curve[rate] = completeness
+        rows.append([rate, ok_fraction, completeness])
+    emit(render_table(
+        ["rewire_rate", "spec_ok", "completeness"],
+        rows,
+        title=f"E14: wave vs edge churn (no entity ever leaves), ring n={N}",
+    ))
+    # No rewiring: perfect.
+    assert curve[0.0] == 1.0
+    # Heavy rewiring costs completeness even though the stable core is the
+    # entire population (pure geography failures).
+    assert curve[8.0] < curve[0.0]
+
+    benchmark.pedantic(lambda: trial(2.0, 0), rounds=3, iterations=1)

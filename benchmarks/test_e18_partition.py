@@ -1,0 +1,73 @@
+"""E18 — Queries across a network partition.
+
+Extension experiment.  A partition is the geography dimension's sharpest
+transient: for its duration each side is a legal dynamic system of its own.
+The harness splits a static population in half for a fixed window and
+issues the same query before, during, and after the partition: completeness
+should read 1.0 / ≈side-fraction / 1.0 — the failure is entirely transient
+and entirely geographic (membership never changes).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.core.aggregates import COUNT
+from repro.core.spec import OneTimeQuerySpec
+from repro.protocols.one_time_query import WaveNode
+from repro.sim.latency import ConstantDelay
+from repro.sim.rng import iter_seeds
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+from repro.topology.partition import PartitionFault, random_bisection
+
+N = 24
+SPLIT_AT, HEAL_AT = 30.0, 60.0
+QUERY_TIMES = {"before": 10.0, "during": 40.0, "after": 80.0}
+TRIALS = 5
+
+
+def trial(query_at: float, seed: int) -> tuple[bool, float, int]:
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(0.5))
+    topo = gen.make("er", N, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(WaveNode(1.0), neighbors).pid)
+    fault = PartitionFault(
+        at=SPLIT_AT, heal_at=HEAL_AT, groups=random_bisection(0.5)
+    )
+    fault.install(sim)
+    querier = sim.network.process(pids[0])
+    sim.at(query_at, lambda: querier.issue_query(COUNT))
+    sim.run(until=200.0)
+    verdict = OneTimeQuerySpec().check(sim.trace)[0]
+    counted = querier.results[0].result if querier.results else 0
+    return verdict.ok, verdict.completeness_ratio, counted
+
+
+def test_e18_partition_window(benchmark):
+    rows = []
+    results: dict[str, tuple[float, float]] = {}
+    for phase, query_at in QUERY_TIMES.items():
+        seeds = list(iter_seeds(2007, TRIALS))
+        outcomes = [trial(query_at, s) for s in seeds]
+        ok = sum(1 for o in outcomes if o[0]) / len(outcomes)
+        completeness = sum(o[1] for o in outcomes) / len(outcomes)
+        counted = sum(o[2] for o in outcomes) / len(outcomes)
+        results[phase] = (ok, completeness)
+        rows.append([phase, query_at, ok, completeness, counted])
+    emit(render_table(
+        ["phase", "query_at", "spec_ok", "completeness", "counted"],
+        rows,
+        title=(f"E18: query vs partition window [{SPLIT_AT}, {HEAL_AT}], "
+               f"n={N}, 50/50 split"),
+    ))
+    # Before and after the partition the query is spec-clean.
+    assert results["before"] == (1.0, 1.0)
+    assert results["after"] == (1.0, 1.0)
+    # During it, only the querier's side is countable (~half the core).
+    assert results["during"][0] == 0.0
+    assert 0.3 <= results["during"][1] <= 0.7
+
+    benchmark.pedantic(lambda: trial(40.0, 0), rounds=3, iterations=1)

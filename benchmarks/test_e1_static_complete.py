@@ -1,0 +1,45 @@
+"""E1 — One-time query in (M_static, G_complete).
+
+Claim: trivially solvable by request/collect.  The harness sweeps the
+population size and reports success rate, latency (one round trip,
+independent of n) and message cost (exactly 2(n-1), linear in n).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench.runner import QueryConfig, run_query
+from repro.bench.sweep import sweep, sweep_table
+from repro.sim.latency import ConstantDelay
+
+SIZES = [10, 20, 40, 80, 160, 320]
+
+
+def trial(n: int, seed: int):
+    return run_query(QueryConfig(
+        n=n, protocol="request_collect", aggregate="COUNT",
+        seed=seed, delay=ConstantDelay(1.0), horizon=100.0,
+    ))
+
+
+def test_e1_request_collect_scaling(benchmark):
+    points = sweep(SIZES, trial, trials=3)
+    emit(sweep_table(
+        points,
+        {
+            "solved": lambda p: p.fraction(lambda o: o.ok),
+            "latency": lambda p: p.metric(lambda o: o.latency).mean,
+            "messages": lambda p: p.metric(lambda o: float(o.messages)).mean,
+        },
+        parameter_name="n",
+        title="E1: request/collect in (M_static, G_complete)",
+    ))
+    # Paper shape: always solvable; latency flat; messages linear.
+    assert all(p.fraction(lambda o: o.ok) == 1.0 for p in points)
+    latencies = [p.metric(lambda o: o.latency).mean for p in points]
+    assert max(latencies) - min(latencies) < 1e-6  # one RTT regardless of n
+    messages = [p.metric(lambda o: float(o.messages)).mean for p in points]
+    for n, m in zip(SIZES, messages):
+        assert m == 2 * (n - 1)
+
+    benchmark.pedantic(lambda: trial(80, 0), rounds=3, iterations=1)

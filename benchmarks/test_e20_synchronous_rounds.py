@@ -1,0 +1,103 @@
+"""E20 — The paper's claims in their native synchronous-rounds model.
+
+Two sub-experiments on knowledge flooding in lock-step rounds:
+
+* **E20a** — static graphs: the querier is complete after ``R`` rounds iff
+  ``R >= eccentricity(querier)``; sweeping ``R`` around the eccentricity
+  shows a hard threshold — the purest form of "you must know the diameter".
+* **E20b** — the synchronous diagonalisation: an adversary adding one chain
+  process per round keeps the flood's frontier permanently behind; the
+  known fraction *decreases* as rounds pass, while everything that existed
+  ``R`` rounds ago is known — the frontier, not the past, is the problem.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.synchronous.flooding import KnowledgeFlood
+from repro.synchronous.runner import SynchronousSystem, build_from_topology
+from repro.topology import generators as gen
+
+N = 24
+
+
+def run_flood(topo, rounds: int) -> tuple[int, int]:
+    """Returns (known count at querier, messages)."""
+    system = SynchronousSystem()
+    pids = build_from_topology(
+        system, topo, lambda node: KnowledgeFlood(float(node))
+    )
+    system.run(rounds)
+    return len(system.process(pids[0]).known), system.messages_sent
+
+
+def test_e20a_round_threshold(benchmark):
+    rows = []
+    for family in ("ring", "line", "tree", "er"):
+        topo = gen.make(family, N, random.Random(7))
+        ecc = topo.eccentricity(0)
+        for offset in (-2, -1, 0, +1):
+            rounds = max(0, ecc + offset)
+            known, _ = run_flood(topo, rounds)
+            complete = known == N
+            rows.append([family, ecc, rounds, known, complete])
+            # The hard threshold at R = eccentricity.
+            if offset >= 0:
+                assert complete, (family, rounds)
+            elif rounds < ecc:
+                assert not complete, (family, rounds)
+    emit(render_table(
+        ["topology", "eccentricity", "rounds", "known", "complete"],
+        rows,
+        title=f"E20a: synchronous flooding threshold, n={N}",
+    ))
+
+    benchmark.pedantic(
+        lambda: run_flood(gen.ring(N), N // 2), rounds=3, iterations=1
+    )
+
+
+def test_e20b_synchronous_diagonalisation(benchmark):
+    system = SynchronousSystem()
+    querier_pid = system.add_process(KnowledgeFlood(0.0))
+    tail = [querier_pid]
+
+    def extend(round_no, sys_):
+        tail.append(sys_.add_process(KnowledgeFlood(1.0), [tail[-1]]))
+
+    rows = []
+    fractions = []
+    checkpoints = (10, 20, 40, 80)
+    done = 0
+    for target in checkpoints:
+        system.run(target - done, before_round=extend)
+        done = target
+        querier = system.process(querier_pid)
+        population = len(system.present())
+        fraction = len(querier.known) / population
+        fractions.append(fraction)
+        rows.append([target, population, len(querier.known), fraction])
+    emit(render_table(
+        ["rounds", "population", "querier_knows", "fraction"],
+        rows,
+        title="E20b: one-new-process-per-round adversary vs flooding",
+    ))
+    # The frontier stays ahead forever: never complete...
+    assert all(f < 1.0 for f in fractions)
+    # ...and the known fraction converges to 1/2 from below (the flood
+    # covers the older half of an ever-doubling... linearly growing chain).
+    assert fractions[-1] <= fractions[0] + 0.05
+    assert abs(fractions[-1] - 0.5) < 0.1
+
+    def one_round_batch():
+        sys_ = SynchronousSystem()
+        chain = [sys_.add_process(KnowledgeFlood(0.0))]
+        sys_.run(20, before_round=lambda r, s: chain.append(
+            s.add_process(KnowledgeFlood(1.0), [chain[-1]])
+        ))
+        return sys_.messages_sent
+
+    benchmark.pedantic(one_round_batch, rounds=3, iterations=1)

@@ -1,0 +1,55 @@
+"""E2 — One-time query in (M_static, G_known_diameter).
+
+Claim: solvable by a TTL = D wave on any connected topology.  The harness
+sweeps topology families and sizes, reporting success rate, latency
+(~ 2 * D hops) and message cost (O(edges)).
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.bench.runner import QueryConfig, run_query
+from repro.sim.latency import ConstantDelay
+from repro.sim.rng import iter_seeds
+from repro.topology import generators as gen
+
+FAMILIES = ["ring", "line", "star", "torus", "tree", "er", "regular"]
+N = 36
+
+
+def trial(family: str, seed: int):
+    topo = gen.make(family, N, random.Random(seed))
+    diameter = topo.diameter()
+    outcome = run_query(QueryConfig(
+        n=N, topology=topo, aggregate="COUNT", ttl=diameter,
+        seed=seed, delay=ConstantDelay(1.0), horizon=1000.0,
+    ))
+    return outcome, diameter
+
+
+def test_e2_wave_across_topologies(benchmark):
+    rows = []
+    for family in FAMILIES:
+        outcomes = [trial(family, seed) for seed in iter_seeds(2007, 3)]
+        solved = sum(1 for o, _ in outcomes if o.ok) / len(outcomes)
+        diameter = outcomes[0][1]
+        latency = sum(o.latency for o, _ in outcomes) / len(outcomes)
+        messages = sum(o.messages for o, _ in outcomes) / len(outcomes)
+        rows.append([family, diameter, solved, latency, messages])
+        # Paper shape: with TTL = D the wave always solves the problem,
+        # and the echo completes within ~2 * D hop delays.
+        assert solved == 1.0
+        assert latency <= 2 * diameter + 2
+    emit(render_table(
+        ["topology", "diameter", "solved", "latency", "messages"],
+        rows,
+        title=f"E2: TTL=D wave in (M_static, G_known_diameter), n={N}",
+    ))
+    # Latency tracks diameter: the flattest topology (star) beats the line.
+    by_family = {row[0]: row for row in rows}
+    assert by_family["star"][3] < by_family["line"][3]
+
+    benchmark.pedantic(lambda: trial("er", 1), rounds=3, iterations=1)

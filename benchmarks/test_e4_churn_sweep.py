@@ -1,0 +1,57 @@
+"""E4 — Completeness vs churn rate in (M_inf_bounded, G_known_diameter).
+
+Claim: conditionally solvable — the wave stays complete while churn is slow
+relative to the wave traversal, and degrades as churn accelerates.  The
+harness sweeps the replacement churn rate and reports the completeness
+curve; the paper-shape assertion is the monotone-ish decline with a clean
+regime at the slow end and a broken regime at the fast end.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.bench.runner import QueryConfig, run_query
+from repro.bench.sweep import sweep, sweep_table
+from repro.churn.models import ReplacementChurn
+
+RATES = [0.0, 0.25, 1.0, 2.0, 4.0, 8.0]
+N = 32
+
+
+def trial(rate: float, seed: int):
+    churn = (
+        (lambda f: ReplacementChurn(f, rate=rate)) if rate > 0 else None
+    )
+    return run_query(QueryConfig(
+        n=N, topology="er", aggregate="COUNT", seed=seed, horizon=250.0,
+        churn=churn,
+    ))
+
+
+def test_e4_completeness_vs_churn(benchmark):
+    points = sweep(RATES, trial, trials=6)
+    emit(sweep_table(
+        points,
+        {
+            "completeness": lambda p: p.metric(lambda o: o.completeness).mean,
+            "fully_complete": lambda p: p.fraction(lambda o: o.completeness == 1.0),
+            "reached": lambda p: p.metric(lambda o: float(o.record.result or 0)).mean,
+            "core_size": lambda p: p.metric(
+                lambda o: float(len(o.verdict.stable_core))
+            ).mean,
+        },
+        parameter_name="churn_rate",
+        title=f"E4: wave completeness vs replacement churn, n={N}",
+    ))
+    mean_completeness = [p.metric(lambda o: o.completeness).mean for p in points]
+    # Slow-churn regime: spec fully satisfied.
+    assert mean_completeness[0] == 1.0
+    assert points[1].metric(lambda o: o.completeness).mean > 0.9
+    # Fast-churn regime: the wave loses stable members.
+    assert mean_completeness[-1] < mean_completeness[0]
+    assert points[-1].fraction(lambda o: o.completeness == 1.0) < 1.0
+    # The number of values actually folded shrinks with churn.
+    reached = [p.metric(lambda o: float(o.record.result or 0)).mean for p in points]
+    assert reached[-1] < reached[0]
+
+    benchmark.pedantic(lambda: trial(2.0, 0), rounds=3, iterations=1)

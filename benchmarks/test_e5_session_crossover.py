@@ -1,0 +1,80 @@
+"""E5 — Crossover: session length vs query latency.
+
+Claim: under session churn the one-time query is solvable exactly when
+sessions outlast the query wave — a crossover in mean session length around
+the wave's traversal time.  The harness churns the *entire* population
+(initial members included) with exponential and heavy-tailed Pareto session
+lengths at matched means, holding the stationary population near constant
+(arrival rate = n / mean lifetime), and locates the crossover.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.bench.runner import QueryConfig, run_query
+from repro.churn.lifetimes import ExponentialLifetime, ParetoLifetime
+from repro.churn.models import ArrivalDepartureChurn
+from repro.sim.rng import iter_seeds
+
+MEAN_LIFETIMES = [2.0, 5.0, 15.0, 50.0, 200.0]
+N = 24
+TRIALS = 6
+
+
+def trial(lifetimes, mean: float, seed: int):
+    return run_query(QueryConfig(
+        n=N, topology="er", aggregate="COUNT", seed=seed,
+        query_at=10.0, horizon=400.0,
+        churn=lambda f: ArrivalDepartureChurn(
+            f, arrival_rate=N / mean, lifetimes=lifetimes,
+            concurrency_cap=3 * N, doom_initial=True,
+        ),
+    ))
+
+
+def run_family(name: str, make_lifetime):
+    rows = []
+    curve = {}
+    for mean in MEAN_LIFETIMES:
+        outcomes = [
+            trial(make_lifetime(mean), mean, seed)
+            for seed in iter_seeds(2007, TRIALS)
+        ]
+        completeness = sum(o.completeness for o in outcomes) / len(outcomes)
+        full = sum(1 for o in outcomes if o.completeness == 1.0) / len(outcomes)
+        terminated = [o for o in outcomes if o.terminated]
+        latency = (
+            sum(o.latency for o in terminated) / len(terminated)
+            if terminated
+            else float("nan")
+        )
+        rows.append([name, mean, completeness, full, latency])
+        curve[mean] = completeness
+    return rows, curve
+
+
+def test_e5_session_length_crossover(benchmark):
+    exp_rows, exp_curve = run_family(
+        "exponential", lambda mean: ExponentialLifetime(mean)
+    )
+    # Pareto with alpha=2 has mean 2*xm; match the mean.
+    par_rows, par_curve = run_family(
+        "pareto(a=2)", lambda mean: ParetoLifetime(alpha=2.0, xm=mean / 2.0)
+    )
+    emit(render_table(
+        ["lifetimes", "mean_session", "completeness", "always_full", "latency"],
+        exp_rows + par_rows,
+        title=f"E5: session-length crossover, n={N} (whole population churns)",
+    ))
+    # Paper shape: completeness climbs with session length; sessions much
+    # longer than the wave latency (~8 time units) are effectively static.
+    for curve in (exp_curve, par_curve):
+        assert curve[MEAN_LIFETIMES[-1]] > curve[MEAN_LIFETIMES[0]]
+        assert curve[MEAN_LIFETIMES[-1]] > 0.9
+    # Sessions comparable to the wave latency break completeness.
+    assert exp_curve[MEAN_LIFETIMES[0]] < 0.9
+
+    benchmark.pedantic(
+        lambda: trial(ExponentialLifetime(15.0), 15.0, 0), rounds=3, iterations=1
+    )

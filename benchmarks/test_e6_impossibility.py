@@ -1,0 +1,126 @@
+"""E6 — Impossibility in (M_inf_unbounded / G_local).
+
+Claim: with only neighbor knowledge no terminating protocol is complete;
+the proof shape is a diagonalisation — for every protocol parameter the
+adversary exhibits a legal run that defeats it.  The harness executes the
+diagonalisation for (a) every TTL (open-loop protocols) and (b) every
+quiescence timeout (deadline protocols), and demonstrates the
+unbounded-growth witness run.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.churn.adversary import (
+    GrowthAdversary,
+    defeat_quiescence,
+    defeat_ttl,
+    diagonalise,
+)
+from repro.core.aggregates import COUNT
+from repro.core.runs import Run
+from repro.core.spec import OneTimeQuerySpec
+from repro.protocols.one_time_query import WaveNode
+
+TTLS = [1, 2, 4, 8, 16, 32]
+TIMEOUTS = [2.0, 5.0, 10.0, 25.0, 50.0]
+
+
+def run_ttl_protocol(sim, pids) -> bool:
+    ttl = len(pids) - 2  # the TTL the adversary was built against
+    sim.network.process(pids[0]).issue_query(COUNT, ttl=ttl)
+    sim.run(until=10_000)
+    return OneTimeQuerySpec().check(sim.trace)[0].ok
+
+
+def run_deadline_protocol(timeout):
+    def runner(sim, pids) -> bool:
+        sim.network.process(pids[0]).issue_query(COUNT, ttl=None, deadline=timeout)
+        sim.run(until=timeout + 500)
+        return OneTimeQuerySpec().check(sim.trace)[0].ok
+
+    return runner
+
+
+def test_e6_ttl_diagonalisation(benchmark):
+    outcomes = diagonalise(
+        [float(t) for t in TTLS],
+        lambda ttl: defeat_ttl(int(ttl), lambda: WaveNode(1.0)),
+        run_ttl_protocol,
+    )
+    emit(render_table(
+        ["ttl", "protocol_defeated"],
+        [[int(ttl), defeated] for ttl, defeated in sorted(outcomes.items())],
+        title="E6a: every fixed TTL is defeated by a longer chain",
+    ))
+    assert all(outcomes.values())
+
+    benchmark.pedantic(
+        lambda: diagonalise(
+            [4.0], lambda ttl: defeat_ttl(int(ttl), lambda: WaveNode(1.0)),
+            run_ttl_protocol,
+        ),
+        rounds=3, iterations=1,
+    )
+
+
+def test_e6_quiescence_diagonalisation(benchmark):
+    rows = []
+    for timeout in TIMEOUTS:
+        sim, pids = defeat_quiescence(timeout, lambda: WaveNode(1.0))
+        defeated = not run_deadline_protocol(timeout)(sim, pids)
+        rows.append([timeout, defeated])
+        assert defeated
+    emit(render_table(
+        ["timeout", "protocol_defeated"],
+        rows,
+        title="E6b: every quiescence timeout is defeated by a slower link",
+    ))
+
+    def one_round():
+        sim, pids = defeat_quiescence(5.0, lambda: WaveNode(1.0))
+        return run_deadline_protocol(5.0)(sim, pids)
+
+    benchmark.pedantic(one_round, rounds=3, iterations=1)
+
+
+def test_e6_unbounded_growth_witness(benchmark):
+    """The growth adversary produces a legal M_inf_unbounded run whose
+    population and diameter outrun any wave: an adaptive protocol that sets
+    TTL to the population it has seen still loses."""
+    from repro.sim.scheduler import Simulator
+
+    sim = Simulator(seed=0)
+    querier = sim.spawn(WaveNode(1.0))
+    anchor = sim.spawn(WaveNode(1.0), [querier.pid])
+    adversary = GrowthAdversary(
+        lambda: WaveNode(1.0), initial_gap=0.5, acceleration=0.9,
+        min_gap=0.01, max_joins=2000,
+    )
+    adversary.install(sim)
+    sim.run(until=7.0)
+    run = Run.from_trace(sim.trace, horizon=7.0)
+    sample_times = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0)
+    population = [run.concurrency(t) for t in sample_times]
+    emit(render_table(
+        ["time", "population"],
+        list(zip(sample_times, population)),
+        title="E6c: unbounded-growth witness run (population over time)",
+    ))
+    # Superlinear growth: the increments themselves grow.
+    increments = [b - a for a, b in zip(population, population[1:])]
+    assert increments == sorted(increments)
+    assert increments[-1] > increments[0]
+    assert population[-1] > 100
+
+    def one_round():
+        s = Simulator(seed=0)
+        q = s.spawn(WaveNode(1.0))
+        s.spawn(WaveNode(1.0), [q.pid])
+        GrowthAdversary(lambda: WaveNode(1.0), initial_gap=0.5,
+                        acceleration=0.9, max_joins=100).install(s)
+        s.run(until=15)
+        return len(s.network.present())
+
+    benchmark.pedantic(one_round, rounds=3, iterations=1)

@@ -1,0 +1,74 @@
+"""E7 — Knowledge ablation: what does each global parameter buy?
+
+Claim: for the open-loop wave family, knowledge determines the usable TTL:
+``G_known_diameter`` gives the tight TTL = D; ``G_known_size`` only the
+loose TTL = N - 1 (correct but costlier); ``G_local`` gives no safe TTL at
+all (any guess g can be defeated by a graph of diameter > g).  The harness
+runs the same query on the same graphs under each knowledge class.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.bench.runner import QueryConfig, run_query
+from repro.sim.latency import ConstantDelay
+from repro.sim.rng import iter_seeds
+from repro.topology import generators as gen
+
+N = 32
+GUESS_TTL = 3  # what a G_local protocol might guess
+
+
+def run_with_ttl(topo, ttl, seed):
+    return run_query(QueryConfig(
+        n=N, topology=topo, aggregate="COUNT", ttl=ttl,
+        seed=seed, delay=ConstantDelay(1.0), horizon=2000.0,
+    ))
+
+
+def test_e7_knowledge_classes(benchmark):
+    rows = []
+    results = {}
+    for family in ("ring", "line", "er"):
+        for knowledge, ttl_of in (
+            ("G_known_diameter", lambda t: t.diameter()),
+            ("G_known_size", lambda t: N - 1),
+            ("G_local(guess)", lambda t: GUESS_TTL),
+        ):
+            solved = 0
+            messages = 0.0
+            trials = list(iter_seeds(2007, 3))
+            for seed in trials:
+                topo = gen.make(family, N, random.Random(seed))
+                outcome = run_with_ttl(topo, ttl_of(topo), seed)
+                solved += outcome.ok
+                messages += outcome.messages
+            solved_frac = solved / len(trials)
+            messages /= len(trials)
+            rows.append([family, knowledge, solved_frac, messages])
+            results[(family, knowledge)] = (solved_frac, messages)
+    emit(render_table(
+        ["topology", "knowledge", "solved", "messages"],
+        rows,
+        title=f"E7: TTL-wave under different knowledge classes, n={N}",
+    ))
+    for family in ("ring", "line", "er"):
+        # Both real knowledge classes solve the problem...
+        assert results[(family, "G_known_diameter")][0] == 1.0
+        assert results[(family, "G_known_size")][0] == 1.0
+        # ...and the loose size bound never beats the tight diameter bound
+        # on message cost.
+        assert (
+            results[(family, "G_known_size")][1]
+            >= results[(family, "G_known_diameter")][1]
+        )
+    # The blind guess fails wherever the diameter exceeds it.
+    assert results[("line", "G_local(guess)")][0] == 0.0
+    assert results[("ring", "G_local(guess)")][0] == 0.0
+
+    benchmark.pedantic(
+        lambda: run_with_ttl(gen.ring(N), N // 2, 0), rounds=3, iterations=1
+    )

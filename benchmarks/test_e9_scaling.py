@@ -1,0 +1,55 @@
+"""E9 — Message/time complexity scaling of the wave protocol.
+
+Claim: the wave's message cost is Theta(edges) and its latency tracks the
+topology diameter — O(1) on expanders, Theta(n) on the line.  The harness
+sweeps n per family and checks the asymptotic shape by ratio tests.
+"""
+
+from __future__ import annotations
+
+import random
+
+from benchmarks.conftest import emit
+from repro.analysis.tables import render_table
+from repro.bench.runner import QueryConfig, run_query
+from repro.sim.latency import ConstantDelay
+from repro.topology import generators as gen
+
+SIZES = [16, 32, 64, 128]
+
+
+def trial(family: str, n: int, seed: int = 0):
+    topo = gen.make(family, n, random.Random(seed))
+    return run_query(QueryConfig(
+        n=n, topology=topo, aggregate="COUNT", ttl=None,
+        seed=seed, delay=ConstantDelay(1.0), horizon=5000.0,
+    )), topo
+
+
+def test_e9_scaling(benchmark):
+    rows = []
+    data: dict[tuple[str, int], tuple[float, float, int]] = {}
+    for family in ("line", "ring", "er", "star"):
+        for n in SIZES:
+            outcome, topo = trial(family, n)
+            assert outcome.ok
+            per_edge = outcome.messages / topo.edge_count()
+            rows.append([family, n, outcome.latency, outcome.messages, per_edge])
+            data[(family, n)] = (outcome.latency, float(outcome.messages),
+                                 topo.edge_count())
+    emit(render_table(
+        ["topology", "n", "latency", "messages", "msgs_per_edge"],
+        rows,
+        title="E9: wave cost scaling (echo mode, unit hop delay)",
+    ))
+    # Message cost is Theta(edges): between 2 and 4 messages per edge.
+    for (family, n), (_, messages, edges) in data.items():
+        assert 2.0 <= messages / edges <= 4.0, (family, n)
+    # Latency on the line grows linearly: doubling n roughly doubles it.
+    line_ratio = data[("line", 128)][0] / data[("line", 16)][0]
+    assert 6.0 <= line_ratio <= 10.0  # ~8x for 8x the n
+    # Latency on the star is flat.
+    star_ratio = data[("star", 128)][0] / data[("star", 16)][0]
+    assert star_ratio < 1.5
+
+    benchmark.pedantic(lambda: trial("er", 64), rounds=3, iterations=1)

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Continuous monitoring: a sink watches a churning population live.
+
+Combines three subsystems on one simulation:
+
+* **continuous tree aggregation** — the sink maintains a spanning tree
+  (rebuilt every 6 time units) and reads a running population count;
+* **replacement churn** — the population turns over while staying the same
+  size, so the true count is constant but its membership is not;
+* **heartbeat failure detection** — a separate ring of monitor processes
+  shows how the detector's timeout interacts with the delay distribution.
+
+The script prints the sink's estimate against the true population over
+time, then the failure-detector scoreboard.
+
+Run:  python examples/continuous_monitoring.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.churn.models import ReplacementChurn
+from repro.failure.detector import HeartbeatNode, false_suspicions, mistake_recovery_count
+from repro.protocols.tree_aggregation import TreeAggregationNode
+from repro.sim.latency import ConstantDelay, ExponentialDelay
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+
+N = 24
+SEED = 11
+
+
+def monitoring_demo() -> None:
+    sim = Simulator(seed=SEED, delay_model=ConstantDelay(0.2))
+    topo = gen.make("er", N, sim.rng_for("topo"))
+
+    def make_node(value: float, sink: bool = False) -> TreeAggregationNode:
+        return TreeAggregationNode(
+            value, is_sink=sink, rebuild_period=6.0, report_period=0.5
+        )
+
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(make_node(1.0, sink=(node == 0)), neighbors).pid)
+
+    churn = ReplacementChurn(lambda: make_node(1.0), rate=0.35)
+    churn.immortal.add(pids[0])  # the sink stays
+    churn.install(sim)
+
+    rows = []
+
+    def sample(t: float) -> None:
+        sink = sim.network.process(pids[0])
+        truth = len(sim.network.present())
+        estimate = sink.estimate_count
+        rows.append([t, truth, estimate, f"{abs(estimate - truth)}"])
+
+    for t in range(10, 80, 10):
+        sim.at(float(t), lambda t=t: sample(float(t)))
+    sim.run(until=80)
+
+    print(render_table(
+        ["t", "true population", "sink estimate", "abs error"],
+        rows,
+        title=f"continuous COUNT at the sink (replacement churn, rate 0.35, n={N})",
+    ))
+    print(f"\nmembership turnover: {churn.joins} joins / {churn.leaves} leaves")
+    print(f"messages: {sim.trace.message_count()}")
+
+
+def detector_demo() -> None:
+    print("\nheartbeat failure detection (ring of 10, period 1, timeout 3):")
+    for label, delay in (
+        ("bounded delays (const 0.5)", ConstantDelay(0.5)),
+        ("unbounded delays (exp mean 1.2)", ExponentialDelay(1.2)),
+    ):
+        sim = Simulator(seed=SEED, delay_model=delay)
+        topo = gen.ring(10)
+        for node in sorted(topo.nodes()):
+            neighbors = [p for p in topo.neighbors(node) if p < node]
+            sim.spawn(HeartbeatNode(period=1.0, timeout=3.0), neighbors)
+        sim.run(until=200)
+        print(f"  {label}: {false_suspicions(sim.trace)} false suspicions, "
+              f"{mistake_recovery_count(sim.trace)} later retracted")
+
+
+def main() -> None:
+    monitoring_demo()
+    detector_demo()
+    print("\nreading: the sink tracks the churning population within the")
+    print("staleness of one rebuild period; the detector is perfect exactly")
+    print("when the delay distribution is bounded — timing knowledge is the")
+    print("synchrony analogue of the paper's geography dimension.")
+
+
+if __name__ == "__main__":
+    main()

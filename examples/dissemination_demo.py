@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Dissemination under churn: one-shot flood vs anti-entropy repair.
+
+The dual of the aggregation examples: one peer publishes a configuration
+value and every member — including peers that join later — should end up
+holding it.  The script runs both protocols on the same churn schedule and
+samples two coverage notions over time:
+
+* stable-core coverage — what a one-shot protocol can be held to;
+* current-population coverage — what a continuously repairing service
+  actually owes its users.
+
+Run:  python examples/dissemination_demo.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.churn.models import ReplacementChurn
+from repro.core.dissemination_spec import DisseminationSpec
+from repro.protocols.dissemination import AntiEntropyNode, FloodNode
+from repro.sim.latency import ConstantDelay
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+
+N = 20
+SEED = 13
+CHURN_RATE = 1.0
+PUBLISH_AT = 10.0
+SAMPLES = [15.0, 30.0, 50.0, 80.0]
+
+
+def run(node_cls) -> list[list]:
+    sim = Simulator(seed=SEED, delay_model=ConstantDelay(0.5))
+    topo = gen.make("er", N, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(node_cls(1.0), neighbors).pid)
+    churn = ReplacementChurn(lambda: node_cls(1.0), rate=CHURN_RATE)
+    churn.immortal.add(pids[0])
+    churn.install(sim)
+    origin = sim.network.process(pids[0])
+    sim.at(PUBLISH_AT, lambda: origin.broadcast_value("config-v2"))
+
+    rows = []
+    for at in SAMPLES:
+        sim.run(until=at)
+        verdict = DisseminationSpec().check(sim.trace, at=at)[0]
+        rows.append([
+            node_cls.__name__, at,
+            f"{verdict.coverage:.2f}",
+            f"{verdict.population_coverage:.2f}",
+        ])
+    return rows
+
+
+def main() -> None:
+    rows = run(FloodNode) + run(AntiEntropyNode)
+    print(render_table(
+        ["protocol", "t", "stable-core coverage", "population coverage"],
+        rows,
+        title=(f"value published at t={PUBLISH_AT}, replacement churn "
+               f"rate {CHURN_RATE}, n={N}"),
+    ))
+    print()
+    print("reading: both satisfy the one-shot (stable-core) obligation, but")
+    print("the flood's share of informed *current* members decays as the")
+    print("population turns over; anti-entropy keeps repairing, so late")
+    print("joiners learn the value too — dissemination in the eventual")
+    print("sense, the escape hatch the paper's conditional entries allow.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Deterministic wave vs epidemic gossip under rising churn.
+
+The engineering question behind the paper's taxonomy: when your system is
+dynamic, do you want a protocol with a sharp spec (the one-time query wave)
+or one that degrades gracefully (push-sum gossip)?
+
+The script sweeps the replacement-churn rate and prints, side by side, the
+wave's completeness/error and gossip's estimation error for the AVG
+aggregate, using common random seeds for a paired comparison.
+
+Run:  python examples/gossip_vs_wave.py
+"""
+
+from repro.analysis.tables import render_table
+from repro.bench import GossipConfig, QueryConfig, run_gossip, run_query
+from repro.churn import ReplacementChurn
+from repro.sim.rng import iter_seeds
+
+N = 24
+RATES = [0.0, 0.25, 1.0, 4.0]
+TRIALS = 5
+
+
+def main() -> None:
+    rows = []
+    for rate in RATES:
+        churn = (lambda f, r=rate: ReplacementChurn(f, rate=r)) if rate else None
+        wave_errors, wave_completeness, gossip_errors = [], [], []
+        for seed in iter_seeds(7, TRIALS):
+            wave = run_query(QueryConfig(
+                n=N, topology="er", aggregate="AVG", seed=seed,
+                horizon=250.0, churn=churn,
+            ))
+            wave_errors.append(wave.error)
+            wave_completeness.append(wave.completeness)
+            gossip = run_gossip(GossipConfig(
+                n=N, topology="er", mode="avg", rounds=60, seed=seed,
+                churn=churn,
+            ))
+            gossip_errors.append(gossip.error)
+        rows.append([
+            rate,
+            sum(wave_completeness) / TRIALS,
+            sum(wave_errors) / TRIALS,
+            sum(gossip_errors) / TRIALS,
+        ])
+
+    print(render_table(
+        ["churn rate", "wave completeness", "wave rel. error", "gossip rel. error"],
+        rows,
+        title=f"AVG aggregation, n={N}, {TRIALS} paired trials per rate",
+    ))
+    print()
+    print("reading: the wave is exact while the system holds still and loses")
+    print("stable members as churn rises; gossip is never exact but keeps its")
+    print("error bounded — the trade the paper's taxonomy makes precise.")
+
+
+if __name__ == "__main__":
+    main()

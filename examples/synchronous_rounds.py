@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The paper's argument in its native model: synchronous rounds.
+
+Two short demonstrations on the lock-step substrate:
+
+1. **The threshold.**  Knowledge flooding on a ring is complete exactly
+   when the round budget reaches the querier's eccentricity — one round
+   short misses exactly the antipodal process.  Knowing the diameter *is*
+   knowing when to stop.
+2. **The diagonalisation.**  An adversary that attaches one new process to
+   the chain's end every round keeps the flood's frontier one hop ahead
+   forever: the fraction of the system the querier knows converges to 1/2
+   and never reaches 1 — the impossibility for (M_inf, G_local), watched
+   live.
+
+Run:  python examples/synchronous_rounds.py
+"""
+
+from repro.analysis.ascii_plot import sparkline
+from repro.analysis.tables import render_table
+from repro.synchronous.flooding import KnowledgeFlood
+from repro.synchronous.runner import SynchronousSystem, build_from_topology
+from repro.topology.generators import ring
+
+
+def threshold_demo() -> None:
+    n = 16
+    topo = ring(n)
+    ecc = topo.eccentricity(0)  # 8 on a 16-ring
+    rows = []
+    for rounds in range(ecc - 3, ecc + 2):
+        system = SynchronousSystem()
+        pids = build_from_topology(
+            system, topo, lambda node: KnowledgeFlood(float(node))
+        )
+        system.run(rounds)
+        querier = system.process(pids[0])
+        rows.append([
+            rounds, len(querier.known), len(querier.known) == n,
+        ])
+    print(render_table(
+        ["rounds", "querier knows", "complete"],
+        rows,
+        title=f"flooding on a {n}-ring (eccentricity {ecc}): the threshold",
+    ))
+
+
+def diagonalisation_demo() -> None:
+    system = SynchronousSystem()
+    querier_pid = system.add_process(KnowledgeFlood(0.0))
+    tail = [querier_pid]
+
+    def extend(round_no, sys_):
+        tail.append(sys_.add_process(KnowledgeFlood(1.0), [tail[-1]]))
+
+    fractions = []
+    for _ in range(60):
+        system.run_round(extend)
+        querier = system.process(querier_pid)
+        fractions.append(len(querier.known) / len(system.present()))
+
+    print()
+    print("one new chain process per round; querier's known fraction:")
+    print(f"  {sparkline(fractions)}")
+    print(f"  rounds 1..60, final fraction {fractions[-1]:.3f} "
+          f"(population {len(system.present())})")
+    print()
+    print("the frontier stays one hop ahead forever: completeness never")
+    print("arrives, although every process that existed R rounds ago is")
+    print("known after R more rounds — dynamics beat any finite budget.")
+
+
+def main() -> None:
+    threshold_demo()
+    diagonalisation_demo()
+
+
+if __name__ == "__main__":
+    main()

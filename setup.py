@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e . --no-use-pep517` on
+environments without the `wheel` package (offline installs)."""
+
+from setuptools import setup
+
+setup()

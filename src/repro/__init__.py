@@ -1,0 +1,75 @@
+"""repro: an executable model of dynamic distributed systems.
+
+Reproduction of Baldoni, Bertier, Raynal & Tucci-Piergiovanni,
+*Looking for a Definition of Dynamic Distributed Systems* (PaCT 2007).
+
+The package turns the paper's two-dimensional definition space into
+runnable code:
+
+* :mod:`repro.core` — arrival classes, knowledge classes, the system-class
+  lattice, the run formalism, the one-time-query specification and the
+  solvability decision table;
+* :mod:`repro.sim` — a deterministic discrete-event simulator;
+* :mod:`repro.topology` — communication graphs and attachment rules;
+* :mod:`repro.churn` — generative churn models, synthetic session traces
+  and adversary constructions;
+* :mod:`repro.protocols` — the wave (flooding/echo) one-time-query
+  protocol, the request/collect baseline and push-sum gossip;
+* :mod:`repro.analysis` — metrics, statistics and tables;
+* :mod:`repro.bench` — the experiment runner and sweep harness.
+
+Quickstart::
+
+    from repro.bench import QueryConfig, run_query
+
+    outcome = run_query(QueryConfig(n=32, topology="er", aggregate="SUM",
+                                    ttl=None, seed=7))
+    print(outcome.verdict, outcome.latency, outcome.messages)
+"""
+
+from repro.bench import GossipConfig, QueryConfig, run_gossip, run_query
+from repro.core import (
+    FiniteArrival,
+    InfiniteArrivalBounded,
+    InfiniteArrivalFinite,
+    InfiniteArrivalUnbounded,
+    OneTimeQuerySpec,
+    Run,
+    StaticArrival,
+    SystemClass,
+    complete,
+    known_diameter,
+    known_size,
+    local,
+    one_time_query_solvability,
+    standard_lattice,
+)
+from repro.sim import Simulator
+from repro.synchronous import KnowledgeFlood, SynchronousSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FiniteArrival",
+    "GossipConfig",
+    "InfiniteArrivalBounded",
+    "InfiniteArrivalFinite",
+    "InfiniteArrivalUnbounded",
+    "OneTimeQuerySpec",
+    "QueryConfig",
+    "Run",
+    "Simulator",
+    "SynchronousSystem",
+    "KnowledgeFlood",
+    "StaticArrival",
+    "SystemClass",
+    "__version__",
+    "complete",
+    "known_diameter",
+    "known_size",
+    "local",
+    "one_time_query_solvability",
+    "run_gossip",
+    "run_query",
+    "standard_lattice",
+]

@@ -1,0 +1,102 @@
+"""Terminal plotting: sparklines and horizontal bar charts.
+
+Benchmark tables carry the numbers; these helpers make trends visible in
+plain terminal output without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+#: Eight-level block characters, lowest to highest.
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence as a one-line sparkline.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    finite = [v for v in values if not math.isnan(v) and not math.isinf(v)]
+    if not finite:
+        return "·" * len(list(values))
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in values:
+        if math.isnan(value) or math.isinf(value):
+            chars.append("·")
+            continue
+        if span == 0:
+            chars.append(_SPARK_LEVELS[0])
+            continue
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        chars.append(_SPARK_LEVELS[index])
+    return "".join(chars)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars scaled to the maximum value.
+
+    >>> print(bar_chart(["a", "b"], [1.0, 2.0], width=4))
+    a ██   1.0
+    b ████ 2.0
+    """
+    if len(labels) != len(values):
+        raise ValueError(
+            f"{len(labels)} labels but {len(values)} values"
+        )
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    finite = [v for v in values if not math.isnan(v) and not math.isinf(v)]
+    peak = max((abs(v) for v in finite), default=0.0)
+    label_width = max((len(label) for label in labels), default=0)
+    lines = []
+    for label, value in zip(labels, values):
+        if math.isnan(value) or math.isinf(value):
+            bar = "?"
+        elif peak == 0:
+            bar = ""
+        else:
+            bar = "█" * max(1, round(abs(value) / peak * width)) if value else ""
+        shown = f"{value:.4g}{unit}"
+        lines.append(f"{label.ljust(label_width)} {bar.ljust(width)} {shown}")
+    return "\n".join(lines)
+
+
+def timeline(
+    times: Sequence[float],
+    values: Sequence[float],
+    label: str = "",
+    width: int = 60,
+) -> str:
+    """A labelled sparkline with a time-axis footer.
+
+    Values are resampled (nearest neighbour) onto ``width`` columns.
+    """
+    if len(times) != len(values):
+        raise ValueError(f"{len(times)} times but {len(values)} values")
+    if not times:
+        return f"{label} (no data)"
+    if len(times) == 1:
+        return f"{label} {sparkline(values)}  t={times[0]:.4g}"
+    columns = min(width, len(values)) if width >= 1 else len(values)
+    t0, t1 = times[0], times[-1]
+    resampled = []
+    for i in range(columns):
+        target = t0 + (t1 - t0) * i / max(1, columns - 1)
+        nearest = min(range(len(times)), key=lambda j: abs(times[j] - target))
+        resampled.append(values[nearest])
+    header = f"{label} {sparkline(resampled)}"
+    footer = (
+        f"{' ' * len(label)} t∈[{t0:.4g}, {t1:.4g}] "
+        f"min={min(values):.4g} max={max(values):.4g}"
+    )
+    return header + "\n" + footer

@@ -1,0 +1,120 @@
+"""Paired protocol comparison.
+
+The sweep harness runs competing protocols on **common seeds** (same
+topology draw, same churn schedule), so their outcomes pair naturally.
+These helpers turn paired outcomes into a defensible verdict: per-pair
+differences, win counts, and an exact two-sided sign test — the
+distribution-free test appropriate for small trial counts and the skewed
+metrics simulations produce.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def sign_test_p_value(wins: int, losses: int) -> float:
+    """Exact two-sided sign test p-value (ties excluded by the caller).
+
+    Under the null (no difference) each non-tied pair is a fair coin;
+    the p-value is the probability of a split at least this extreme.
+    """
+    if wins < 0 or losses < 0:
+        raise ValueError("win/loss counts must be >= 0")
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = min(wins, losses)
+    tail = sum(math.comb(n, i) for i in range(0, k + 1)) / 2 ** n
+    return min(1.0, 2.0 * tail)
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """The result of comparing metric values over common seeds."""
+
+    name_a: str
+    name_b: str
+    diffs: tuple[float, ...]  # metric(a) - metric(b), per pair
+    wins_a: int
+    wins_b: int
+    ties: int
+    mean_diff: float
+    p_value: float
+
+    @property
+    def n(self) -> int:
+        return len(self.diffs)
+
+    @property
+    def significant(self) -> bool:
+        """Conventional alpha = 0.05 cut on the sign test."""
+        return self.p_value < 0.05
+
+    def winner(self) -> str | None:
+        """The name with more wins, or ``None`` on a tie."""
+        if self.wins_a > self.wins_b:
+            return self.name_a
+        if self.wins_b > self.wins_a:
+            return self.name_b
+        return None
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name_a} vs {self.name_b}: "
+            f"{self.wins_a}-{self.wins_b}-{self.ties} "
+            f"(mean diff {self.mean_diff:+.4g}, p={self.p_value:.3g})"
+        )
+
+
+def paired_compare(
+    outcomes_a: Sequence[T],
+    outcomes_b: Sequence[T],
+    metric: Callable[[T], float],
+    name_a: str = "A",
+    name_b: str = "B",
+    higher_is_better: bool = True,
+) -> PairedComparison:
+    """Compare two outcome sequences pairwise on ``metric``.
+
+    The sequences must come from the same seed list in the same order.
+    A "win" for A on a pair means A's metric is strictly better (higher by
+    default; set ``higher_is_better=False`` for costs/latencies).
+    """
+    if len(outcomes_a) != len(outcomes_b):
+        raise ValueError(
+            f"paired comparison needs equal-length sequences, got "
+            f"{len(outcomes_a)} and {len(outcomes_b)}"
+        )
+    if not outcomes_a:
+        raise ValueError("paired comparison needs at least one pair")
+    diffs = []
+    wins_a = wins_b = ties = 0
+    for a, b in zip(outcomes_a, outcomes_b):
+        va, vb = metric(a), metric(b)
+        diff = va - vb
+        diffs.append(diff)
+        better_a = diff > 0 if higher_is_better else diff < 0
+        better_b = diff < 0 if higher_is_better else diff > 0
+        if better_a:
+            wins_a += 1
+        elif better_b:
+            wins_b += 1
+        else:
+            ties += 1
+    finite = [d for d in diffs if not math.isnan(d) and not math.isinf(d)]
+    mean_diff = sum(finite) / len(finite) if finite else float("nan")
+    return PairedComparison(
+        name_a=name_a,
+        name_b=name_b,
+        diffs=tuple(diffs),
+        wins_a=wins_a,
+        wins_b=wins_b,
+        ties=ties,
+        mean_diff=mean_diff,
+        p_value=sign_test_p_value(wins_a, wins_b),
+    )

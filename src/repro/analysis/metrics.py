@@ -1,0 +1,110 @@
+"""Metrics computed over traces, runs and verdicts.
+
+These are the columns of every experiment table: message cost, latency,
+completeness, numeric accuracy, and population dynamics.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.runs import Run
+from repro.core.spec import Verdict
+from repro.sim import trace as tr
+from repro.sim.trace import TraceLog
+
+
+def message_cost(log: TraceLog, kind: str | None = None) -> int:
+    """Number of message sends (optionally of one protocol kind)."""
+    if kind is None:
+        return log.count(tr.SEND)
+    return sum(1 for e in log.events(tr.SEND) if e["msg_kind"] == kind)
+
+
+def message_cost_by_kind(log: TraceLog) -> dict[str, int]:
+    """Histogram of message sends by protocol kind (descending count)."""
+    counts: dict[str, int] = {}
+    for event in log.events(tr.SEND):
+        kind = event["msg_kind"]
+        counts[kind] = counts.get(kind, 0) + 1
+    return dict(sorted(counts.items(), key=lambda item: (-item[1], item[0])))
+
+
+def delivery_ratio(log: TraceLog) -> float:
+    """Delivered / sent (1.0 when nothing was sent)."""
+    sent = log.count(tr.SEND)
+    if sent == 0:
+        return 1.0
+    return log.count(tr.DELIVER) / sent
+
+
+def drop_reasons(log: TraceLog) -> dict[str, int]:
+    """Histogram of why messages were dropped."""
+    reasons: dict[str, int] = {}
+    for event in log.events(tr.DROP):
+        reason = event.get("reason", "unknown")
+        reasons[reason] = reasons.get(reason, 0) + 1
+    return reasons
+
+
+def relative_error(measured: float, truth: float) -> float:
+    """|measured - truth| / |truth| (absolute error when truth == 0)."""
+    if measured is None or (isinstance(measured, float) and math.isnan(measured)):
+        return float("inf")
+    if truth == 0:
+        return abs(measured)
+    return abs(measured - truth) / abs(truth)
+
+
+def completeness(verdict: Verdict) -> float:
+    """Stable-core coverage of a query verdict (1.0 for an empty core)."""
+    return verdict.completeness_ratio
+
+
+def population_series(run: Run, step: float = 1.0) -> list[tuple[float, int]]:
+    """Sampled population size over the run's horizon."""
+    if step <= 0:
+        raise ValueError(f"step must be > 0, got {step}")
+    series = []
+    t = 0.0
+    horizon = run.horizon
+    while t <= horizon:
+        series.append((t, run.concurrency(t)))
+        t += step
+    return series
+
+
+def turnover(run: Run, t0: float, t1: float) -> float:
+    """Fraction of the time-``t0`` population replaced by time ``t1``."""
+    before = run.present_at(t0)
+    if not before:
+        return 0.0
+    still_there = before & run.present_at(t1)
+    return 1.0 - len(still_there) / len(before)
+
+
+def wave_depth(log: TraceLog, qid: int) -> int:
+    """Largest hop depth the wave of query ``qid`` reached.
+
+    Derived from the TTL countdown carried by WAVE_QUERY sends: the depth of
+    a hop is ``initial_ttl - ttl``; for unbounded (echo-mode) waves the
+    depth is counted by delivery ordering and is not available, so this
+    returns the number of distinct receivers instead.
+    """
+    ttls = [
+        e.get("ttl")
+        for e in log.events(tr.SEND)
+        if e["msg_kind"] == "WAVE_QUERY" and e.get("qid") == qid
+    ]
+    # ttl is not carried in SEND trace data (payload is protocol-private);
+    # fall back to reach: distinct processes that received the wave.
+    receivers = {
+        e["receiver"]
+        for e in log.events(tr.DELIVER)
+        if e["msg_kind"] == "WAVE_QUERY"
+    }
+    if ttls and all(t is not None for t in ttls):
+        finite = [t for t in ttls if t >= 0]
+        if finite:
+            return max(finite) - min(finite) + 1
+    return len(receivers)

@@ -1,0 +1,119 @@
+"""One-command experiment report.
+
+:func:`build_report` runs a compact battery over the definition space — the
+solvability matrix, a churn sweep for the wave protocol, and the
+wave-vs-gossip accuracy comparison — and renders a self-contained markdown
+report.  The CLI exposes it as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import render_matrix, render_table
+from repro.bench.runner import GossipConfig, QueryConfig, run_gossip, run_query
+from repro.bench.sweep import sweep
+from repro.churn.models import ReplacementChurn
+from repro.core.classes import standard_lattice
+from repro.core.solvability import Solvable, solvability_matrix
+from repro.sim.rng import iter_seeds
+
+_SYMBOL = {Solvable.YES: "yes", Solvable.CONDITIONAL: "cond", Solvable.NO: "NO"}
+
+
+def _matrix_section() -> str:
+    matrix = solvability_matrix(standard_lattice())
+    rows: list[str] = []
+    cols: list[str] = []
+    cells = {}
+    for system, result in matrix.items():
+        row, col = str(system.arrival), str(system.knowledge)
+        if row not in rows:
+            rows.append(row)
+        if col not in cols:
+            cols.append(col)
+        cells[(row, col)] = _SYMBOL[result.answer]
+    table = render_matrix(rows, cols, cells, corner="arrival \\ knowledge")
+    return (
+        "## Solvability of the one-time query\n\n"
+        "```\n" + table + "\n```\n"
+    )
+
+
+def _churn_section(n: int, trials: int, seed: int) -> str:
+    rates = [0.0, 0.5, 2.0, 8.0]
+
+    def trial(rate: float, trial_seed: int):
+        churn = (
+            (lambda f: ReplacementChurn(f, rate=rate)) if rate > 0 else None
+        )
+        return run_query(QueryConfig(
+            n=n, topology="er", aggregate="COUNT", seed=trial_seed,
+            horizon=250.0, churn=churn,
+        ))
+
+    points = sweep(rates, trial, trials=trials, root_seed=seed)
+    rows = [
+        [
+            point.parameter,
+            point.metric(lambda o: o.completeness).mean,
+            point.fraction(lambda o: o.completeness == 1.0),
+            point.metric(lambda o: float(o.messages)).mean,
+        ]
+        for point in points
+    ]
+    table = render_table(
+        ["churn_rate", "completeness", "fully_complete", "messages"], rows
+    )
+    return (
+        f"## Wave completeness vs churn (n={n}, {trials} trials/point)\n\n"
+        "```\n" + table + "\n```\n"
+    )
+
+
+def _gossip_section(n: int, trials: int, seed: int) -> str:
+    rows = []
+    for rate in (0.0, 2.0):
+        churn = (
+            (lambda f, r=rate: ReplacementChurn(f, rate=r)) if rate > 0 else None
+        )
+        wave_errors, gossip_errors = [], []
+        for trial_seed in iter_seeds(seed, trials):
+            wave = run_query(QueryConfig(
+                n=n, topology="er", aggregate="AVG", seed=trial_seed,
+                horizon=250.0, churn=churn,
+            ))
+            wave_errors.append(wave.error if wave.terminated else float("inf"))
+            gossip = run_gossip(GossipConfig(
+                n=n, topology="er", mode="avg", rounds=50, seed=trial_seed,
+                churn=churn,
+            ))
+            gossip_errors.append(gossip.error)
+        rows.append([
+            rate,
+            sum(wave_errors) / trials,
+            sum(gossip_errors) / trials,
+        ])
+    table = render_table(
+        ["churn_rate", "wave_rel_error", "gossip_rel_error"], rows
+    )
+    return (
+        f"## Wave vs push-sum gossip, AVG aggregate (n={n})\n\n"
+        "```\n" + table + "\n```\n"
+    )
+
+
+def build_report(n: int = 24, trials: int = 3, seed: int = 2007) -> str:
+    """Run the battery and return the markdown report."""
+    sections = [
+        "# Dynamic distributed systems — experiment report\n",
+        f"Configuration: n={n}, trials={trials}, root seed={seed}. "
+        "All results are deterministic given the seed.\n",
+        _matrix_section(),
+        _churn_section(n, trials, seed),
+        _gossip_section(n, trials, seed),
+        "## Interpretation\n\n"
+        "The matrix is the paper's landscape; the churn sweep realises its "
+        "conditional entries (completeness decays as churn outruns the "
+        "wave); the gossip comparison shows the exact-vs-graceful trade "
+        "between protocol families.\n",
+    ]
+    return "\n".join(sections)

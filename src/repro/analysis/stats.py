@@ -1,0 +1,153 @@
+"""Small statistics toolkit for experiment results.
+
+Trial outcomes are floats; experiments repeat trials over independent seeds
+and report a :class:`Summary` (mean, spread, confidence interval).  Only the
+standard library and optional :mod:`math` are used so the analysis layer
+stays dependency-light.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Descriptive statistics of one metric over repeated trials."""
+
+    count: int
+    mean: float
+    stddev: float
+    minimum: float
+    maximum: float
+    ci_low: float
+    ci_high: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mean:.4g} ± {(self.ci_high - self.ci_low) / 2:.2g} "
+            f"[{self.minimum:.4g}, {self.maximum:.4g}] (n={self.count})"
+        )
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ValueError("mean of no values")
+    return sum(values) / len(values)
+
+
+def variance(values: Sequence[float]) -> float:
+    """Unbiased sample variance (0.0 for a single value)."""
+    if not values:
+        raise ValueError("variance of no values")
+    if len(values) == 1:
+        return 0.0
+    m = mean(values)
+    return sum((v - m) ** 2 for v in values) / (len(values) - 1)
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Sample standard deviation."""
+    return math.sqrt(variance(values))
+
+
+def sem(values: Sequence[float]) -> float:
+    """Standard error of the mean."""
+    if not values:
+        raise ValueError("sem of no values")
+    return stddev(values) / math.sqrt(len(values))
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated quantile, ``q`` in [0, 1]."""
+    if not values:
+        raise ValueError("quantile of no values")
+    if not 0 <= q <= 1:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = int(math.ceil(position))
+    if low == high or ordered[low] == ordered[high]:
+        # The equal-values case also dodges denormal rounding noise in the
+        # interpolation below.
+        return ordered[low]
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> Summary:
+    """Summary statistics with a normal-approximation confidence interval.
+
+    For the small trial counts used here the normal approximation slightly
+    understates the interval; the benchmark tables only need the order of
+    magnitude of the spread.
+    """
+    if not values:
+        raise ValueError("summarize of no values")
+    m = mean(values)
+    s = stddev(values)
+    # Two-sided normal critical value via inverse error function.
+    z = _z_value(confidence)
+    half = z * s / math.sqrt(len(values))
+    return Summary(
+        count=len(values),
+        mean=m,
+        stddev=s,
+        minimum=min(values),
+        maximum=max(values),
+        ci_low=m - half,
+        ci_high=m + half,
+    )
+
+
+def _z_value(confidence: float) -> float:
+    if not 0 < confidence < 1:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    # Inverse CDF of the standard normal at (1 + confidence) / 2 via
+    # bisection on erf — no scipy dependency needed.
+    target = confidence
+
+    def erf_sym(z: float) -> float:
+        return math.erf(z / math.sqrt(2))
+
+    low, high = 0.0, 10.0
+    for _ in range(80):
+        mid = (low + high) / 2
+        if erf_sym(mid) < target:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    rng: random.Random,
+    confidence: float = 0.95,
+    resamples: int = 2000,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean."""
+    if not values:
+        raise ValueError("bootstrap of no values")
+    means = []
+    n = len(values)
+    for _ in range(resamples):
+        sample = [values[rng.randrange(n)] for _ in range(n)]
+        means.append(sum(sample) / n)
+    alpha = (1 - confidence) / 2
+    return quantile(means, alpha), quantile(means, 1 - alpha)
+
+
+def proportion(flags: Iterable[bool]) -> float:
+    """Fraction of ``True`` among the flags; 0.0 for empty input."""
+    flags = list(flags)
+    if not flags:
+        return 0.0
+    return sum(1 for f in flags if f) / len(flags)

@@ -1,0 +1,71 @@
+"""ASCII table rendering for benchmark output.
+
+The benchmark harness prints the rows/series each experiment reports in the
+same shape a paper table would have; these helpers keep that output aligned
+and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == float("inf"):
+            return "inf"
+        if value == float("-inf"):
+            return "-inf"
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    cells = [[_format_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: dict[tuple[str, str], Any],
+    corner: str = "",
+    title: str | None = None,
+) -> str:
+    """Render a labelled 2-D matrix (rows x columns)."""
+    headers = [corner, *col_labels]
+    rows = [
+        [row, *[values.get((row, col), "") for col in col_labels]]
+        for row in row_labels
+    ]
+    return render_table(headers, rows, title=title)

@@ -1,0 +1,38 @@
+"""Benchmark harness: experiment runner and parameter sweeps."""
+
+from repro.bench.runner import (
+    GossipConfig,
+    GossipOutcome,
+    QueryConfig,
+    QueryOutcome,
+    build_population,
+    reachable_now,
+    run_gossip,
+    run_query,
+)
+from repro.bench.dissemination_runner import (
+    DisseminationConfig,
+    DisseminationOutcome,
+    run_dissemination,
+)
+from repro.bench.scenarios import SCENARIOS, make_scenario
+from repro.bench.sweep import SweepPoint, sweep, sweep_table
+
+__all__ = [
+    "DisseminationConfig",
+    "DisseminationOutcome",
+    "GossipConfig",
+    "GossipOutcome",
+    "QueryConfig",
+    "QueryOutcome",
+    "SCENARIOS",
+    "SweepPoint",
+    "build_population",
+    "make_scenario",
+    "reachable_now",
+    "run_dissemination",
+    "run_gossip",
+    "run_query",
+    "sweep",
+    "sweep_table",
+]

@@ -1,0 +1,102 @@
+"""Named preset scenarios.
+
+A downstream user exploring the definition space should not have to
+assemble churn builders by hand; these presets cover the regimes the
+experiments study, each returning a fresh :class:`QueryConfig` (so callers
+can tweak fields before running).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.bench.runner import QueryConfig
+from repro.churn.lifetimes import ExponentialLifetime, ParetoLifetime
+from repro.churn.models import (
+    ArrivalDepartureChurn,
+    FiniteArrivalChurn,
+    PhasedChurn,
+    ReplacementChurn,
+)
+from repro.sim.errors import ConfigurationError
+
+
+def static_small(seed: int = 2007) -> QueryConfig:
+    """A 16-process static random overlay — the trivial corner."""
+    return QueryConfig(n=16, topology="er", aggregate="COUNT", seed=seed,
+                       horizon=100.0)
+
+
+def static_deep(seed: int = 2007) -> QueryConfig:
+    """A 64-process line — the extremal topology for locality arguments."""
+    return QueryConfig(n=64, topology="line", aggregate="COUNT", seed=seed,
+                       horizon=500.0)
+
+
+def steady_churn(rate: float = 1.0, seed: int = 2007) -> QueryConfig:
+    """Constant-size replacement churn at the given rate (M_inf_bounded)."""
+    if rate <= 0:
+        raise ConfigurationError(f"rate must be > 0, got {rate}")
+    return QueryConfig(
+        n=32, topology="er", aggregate="COUNT", seed=seed, horizon=300.0,
+        churn=lambda factory: ReplacementChurn(factory, rate=rate),
+    )
+
+
+def p2p_heavy_tail(seed: int = 2007) -> QueryConfig:
+    """Pareto session lengths over Poisson arrivals — the P2P shape."""
+    return QueryConfig(
+        n=24, topology="er", aggregate="COUNT", seed=seed,
+        query_at=30.0, horizon=400.0,
+        churn=lambda factory: ArrivalDepartureChurn(
+            factory, arrival_rate=1.0,
+            lifetimes=ParetoLifetime(alpha=1.5, xm=4.0),
+            concurrency_cap=96, doom_initial=True,
+        ),
+    )
+
+
+def flash_crowd(seed: int = 2007) -> QueryConfig:
+    """A burst of arrivals that then settles (M_finite)."""
+    return QueryConfig(
+        n=8, topology="er", aggregate="COUNT", seed=seed,
+        query_at=80.0, horizon=400.0,
+        churn=lambda factory: FiniteArrivalChurn(
+            factory, total_arrivals=40, arrival_rate=2.0,
+            lifetimes=ExponentialLifetime(60.0),
+        ),
+    )
+
+
+def storm_and_calm(seed: int = 2007) -> QueryConfig:
+    """Alternating churn storms and calm windows (bursty dynamics)."""
+    return QueryConfig(
+        n=24, topology="er", aggregate="COUNT", seed=seed,
+        query_at=10.0, horizon=400.0,
+        churn=lambda factory: PhasedChurn(
+            factory, storm_rate=3.0, storm_length=40.0, calm_length=60.0,
+        ),
+    )
+
+
+#: Scenario registry: name -> factory taking an optional seed.
+SCENARIOS: dict[str, Callable[..., QueryConfig]] = {
+    "static-small": static_small,
+    "static-deep": static_deep,
+    "steady-churn": steady_churn,
+    "p2p-heavy-tail": p2p_heavy_tail,
+    "flash-crowd": flash_crowd,
+    "storm-and-calm": storm_and_calm,
+}
+
+
+def make_scenario(name: str, seed: int = 2007) -> QueryConfig:
+    """Build a preset by name; raises with the known names on typos."""
+    try:
+        factory = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; known: {known}"
+        ) from None
+    return factory(seed=seed)

@@ -1,0 +1,65 @@
+"""Parameter sweeps with repeated, independently seeded trials."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Sequence, TypeVar
+
+from repro.analysis.stats import Summary, summarize
+from repro.analysis.tables import render_table
+from repro.sim.rng import iter_seeds
+
+P = TypeVar("P")
+R = TypeVar("R")
+
+
+@dataclass
+class SweepPoint(Generic[P, R]):
+    """All trial outcomes at one parameter value."""
+
+    parameter: P
+    outcomes: list[R]
+
+    def metric(self, extract: Callable[[R], float]) -> Summary:
+        """Summarise one numeric metric across the trials."""
+        return summarize([extract(outcome) for outcome in self.outcomes])
+
+    def fraction(self, predicate: Callable[[R], bool]) -> float:
+        """Fraction of trials satisfying ``predicate``."""
+        if not self.outcomes:
+            return 0.0
+        return sum(1 for o in self.outcomes if predicate(o)) / len(self.outcomes)
+
+
+def sweep(
+    parameters: Sequence[P],
+    trial: Callable[[P, int], R],
+    trials: int = 5,
+    root_seed: int = 2007,
+) -> list[SweepPoint[P, R]]:
+    """Run ``trial(parameter, seed)`` for every parameter × trial seed.
+
+    Seeds are derived deterministically from ``root_seed`` and shared across
+    parameters, so parameter effects are measured against common randomness
+    (paired comparisons).
+    """
+    seeds = list(iter_seeds(root_seed, trials))
+    return [
+        SweepPoint(parameter, [trial(parameter, seed) for seed in seeds])
+        for parameter in parameters
+    ]
+
+
+def sweep_table(
+    points: Sequence[SweepPoint[P, R]],
+    columns: dict[str, Callable[[SweepPoint[P, R]], Any]],
+    parameter_name: str = "param",
+    title: str | None = None,
+) -> str:
+    """Render a sweep as an aligned table, one row per parameter value."""
+    headers = [parameter_name, *columns]
+    rows = [
+        [str(point.parameter), *[extract(point) for extract in columns.values()]]
+        for point in points
+    ]
+    return render_table(headers, rows, title=title)

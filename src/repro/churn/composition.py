@@ -1,0 +1,136 @@
+"""Churn-model composition.
+
+Real populations rarely follow one clean process: arrivals may be Poisson
+while an operator also removes batches, or a flash crowd precedes steady
+replacement.  These combinators build such schedules from the primitive
+models without touching their internals.
+"""
+
+from __future__ import annotations
+
+from repro.churn.models import ChurnModel
+from repro.core.arrival import ArrivalClass
+from repro.sim.errors import ConfigurationError
+from repro.sim.scheduler import Simulator
+
+
+class CompositeChurn(ChurnModel):
+    """Runs several churn models concurrently on the same system.
+
+    The composite's arrival class is the least upper bound of the parts'
+    (the most dynamic part dominates).
+    """
+
+    def __init__(self, parts: list[ChurnModel]) -> None:
+        if not parts:
+            raise ConfigurationError("composite churn needs at least one part")
+        # The composite never spawns by itself; factory/attachment are the
+        # first part's (unused, but keeps the base-class contract).
+        super().__init__(parts[0].factory, parts[0].attachment)
+        self.parts = list(parts)
+
+    def install(self, sim: Simulator, stop_at: float | None = None) -> None:
+        super().install(sim, stop_at)
+        for part in self.parts:
+            part.immortal = self.immortal  # share the protected set
+            part.install(sim, stop_at=stop_at)
+
+    def _start(self) -> None:
+        """The parts schedule themselves; nothing to do here."""
+
+    @property
+    def joins_total(self) -> int:
+        return sum(part.joins for part in self.parts)
+
+    @property
+    def leaves_total(self) -> int:
+        return sum(part.leaves for part in self.parts)
+
+    def arrival_class(self) -> ArrivalClass:
+        """A *sound* class for the concurrent composition.
+
+        A part's concurrency bound does not survive composition (another
+        part's arrivals raise the peak), so bounded parts degrade to
+        ``M_inf_finite``; only compositions of finite-arrival parts stay
+        finite, and any unbounded part makes the whole unbounded.
+        """
+        from repro.core.arrival import (
+            FiniteArrival,
+            InfiniteArrivalBounded,
+            InfiniteArrivalFinite,
+            InfiniteArrivalUnbounded,
+            StaticArrival,
+        )
+
+        classes = [part.arrival_class() for part in self.parts]
+        if any(isinstance(c, InfiniteArrivalUnbounded) for c in classes):
+            return InfiniteArrivalUnbounded()
+        if any(
+            isinstance(c, (InfiniteArrivalBounded, InfiniteArrivalFinite))
+            for c in classes
+        ):
+            return InfiniteArrivalFinite()
+        if all(isinstance(c, (StaticArrival, FiniteArrival)) for c in classes):
+            return FiniteArrival()
+        return InfiniteArrivalUnbounded()
+
+    def __repr__(self) -> str:
+        return f"CompositeChurn({self.parts!r})"
+
+
+class SequentialChurn(ChurnModel):
+    """Runs churn models one after another, each for a fixed duration.
+
+    ``phases`` is a list of ``(model, duration)`` pairs; each model is
+    installed when its phase starts and frozen (via ``stop_at``) when the
+    phase ends.  The last phase may have ``duration=None`` (runs forever).
+    """
+
+    def __init__(self, phases: list[tuple[ChurnModel, float | None]]) -> None:
+        if not phases:
+            raise ConfigurationError("sequential churn needs at least one phase")
+        for index, (_, duration) in enumerate(phases):
+            last = index == len(phases) - 1
+            if duration is None and not last:
+                raise ConfigurationError(
+                    "only the final phase may be open-ended"
+                )
+            if duration is not None and duration <= 0:
+                raise ConfigurationError(
+                    f"phase duration must be > 0, got {duration}"
+                )
+        super().__init__(phases[0][0].factory, phases[0][0].attachment)
+        self.phases = list(phases)
+        self.current_phase = -1
+
+    def _start(self) -> None:
+        self._begin_phase(0)
+
+    def _begin_phase(self, index: int) -> None:
+        if index >= len(self.phases):
+            return
+        self.current_phase = index
+        model, duration = self.phases[index]
+        model.immortal = self.immortal
+        stop = None if duration is None else self.sim.now + duration
+        if self._stop_at is not None:
+            stop = self._stop_at if stop is None else min(stop, self._stop_at)
+        model.install(self.sim, stop_at=stop)
+        if duration is not None:
+            self._schedule(duration, lambda: self._begin_phase(index + 1),
+                           f"churn:phase-{index + 1}")
+
+    def arrival_class(self) -> ArrivalClass:
+        classes = [model.arrival_class() for model, _ in self.phases]
+        top = classes[0]
+        for candidate in classes[1:]:
+            if top <= candidate:
+                top = candidate
+            elif not candidate <= top:
+                from repro.core.arrival import InfiniteArrivalUnbounded
+
+                return InfiniteArrivalUnbounded()
+        return top
+
+    def __repr__(self) -> str:
+        return f"SequentialChurn(phases={len(self.phases)})"

@@ -1,0 +1,329 @@
+"""Command-line interface.
+
+Run experiments without writing a script::
+
+    python -m repro query  --n 32 --topology er --aggregate SUM
+    python -m repro query  --n 32 --churn-rate 2.0 --trials 5
+    python -m repro gossip --n 24 --mode count --rounds 60
+    python -m repro matrix
+    python -m repro describe --arrival inf-bounded --knowledge local
+    python -m repro sweep --rates 0,0.5,2,8 --trials 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.tables import render_matrix, render_table
+from repro.bench.runner import GossipConfig, QueryConfig, run_gossip, run_query
+from repro.bench.sweep import sweep, sweep_table
+from repro.churn.models import ReplacementChurn
+from repro.core.arrival import (
+    ArrivalClass,
+    FiniteArrival,
+    InfiniteArrivalBounded,
+    InfiniteArrivalFinite,
+    InfiniteArrivalUnbounded,
+    StaticArrival,
+)
+from repro.core.classes import SystemClass, standard_lattice
+from repro.core.geography import (
+    KnowledgeClass,
+    complete,
+    known_diameter,
+    known_size,
+    local,
+)
+from repro.core.solvability import Solvable, one_time_query_solvability, solvability_matrix
+from repro.sim.rng import iter_seeds
+
+_ARRIVALS = {
+    "static": lambda n: StaticArrival(n),
+    "finite": lambda n: FiniteArrival(),
+    "inf-bounded": lambda n: InfiniteArrivalBounded(n),
+    "inf-finite": lambda n: InfiniteArrivalFinite(),
+    "inf-unbounded": lambda n: InfiniteArrivalUnbounded(),
+}
+
+_KNOWLEDGE = {
+    "complete": lambda d, s: complete(),
+    "diameter": lambda d, s: known_diameter(d),
+    "size": lambda d, s: known_size(s),
+    "local": lambda d, s: local(),
+}
+
+_MATRIX_SYMBOL = {Solvable.YES: "yes", Solvable.CONDITIONAL: "cond", Solvable.NO: "NO"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Dynamic distributed systems: the PaCT 2007 definition "
+        "space, executable.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="run a one-time query scenario")
+    query.add_argument("--n", type=int, default=32)
+    query.add_argument("--topology", default="er")
+    query.add_argument("--protocol", default="wave",
+                       choices=["wave", "request_collect"])
+    query.add_argument("--aggregate", default="COUNT")
+    query.add_argument("--ttl", type=int, default=None,
+                       help="wave hop budget; omit for echo mode")
+    query.add_argument("--deadline", type=float, default=None)
+    query.add_argument("--churn-rate", type=float, default=0.0,
+                       help="replacement churn rate (0 = static)")
+    query.add_argument("--seed", type=int, default=2007)
+    query.add_argument("--trials", type=int, default=1)
+    query.add_argument("--horizon", type=float, default=300.0)
+
+    gossip = sub.add_parser("gossip", help="run a push-sum gossip scenario")
+    gossip.add_argument("--n", type=int, default=32)
+    gossip.add_argument("--topology", default="er")
+    gossip.add_argument("--mode", default="avg", choices=["avg", "count"])
+    gossip.add_argument("--rounds", type=int, default=50)
+    gossip.add_argument("--churn-rate", type=float, default=0.0)
+    gossip.add_argument("--seed", type=int, default=2007)
+
+    sub.add_parser("matrix", help="print the solvability matrix")
+
+    describe = sub.add_parser("describe", help="describe one system class")
+    describe.add_argument("--arrival", required=True, choices=sorted(_ARRIVALS))
+    describe.add_argument("--knowledge", required=True, choices=sorted(_KNOWLEDGE))
+    describe.add_argument("--n", type=int, default=16)
+    describe.add_argument("--diameter", type=int, default=8)
+    describe.add_argument("--size-bound", type=int, default=64)
+
+    report = sub.add_parser("report", help="run the standard battery and "
+                            "emit a markdown report")
+    report.add_argument("--n", type=int, default=24)
+    report.add_argument("--trials", type=int, default=3)
+    report.add_argument("--seed", type=int, default=2007)
+    report.add_argument("--output", default=None,
+                        help="write to this file instead of stdout")
+
+    disseminate = sub.add_parser(
+        "disseminate", help="run a dissemination scenario (flood vs anti-entropy)"
+    )
+    disseminate.add_argument("--n", type=int, default=24)
+    disseminate.add_argument("--protocol", default="anti-entropy",
+                             choices=["flood", "anti-entropy"])
+    disseminate.add_argument("--churn-rate", type=float, default=1.0)
+    disseminate.add_argument("--audit-at", type=float, default=80.0)
+    disseminate.add_argument("--seed", type=int, default=2007)
+
+    scenario = sub.add_parser("scenario", help="run a named preset scenario")
+    from repro.bench.scenarios import SCENARIOS as _SCENARIOS
+
+    scenario.add_argument("name", choices=sorted(_SCENARIOS))
+    scenario.add_argument("--seed", type=int, default=2007)
+    scenario.add_argument("--trials", type=int, default=1)
+
+    sweep_cmd = sub.add_parser("sweep", help="sweep churn rates (E4 shape)")
+    sweep_cmd.add_argument("--rates", default="0,0.5,2.0,8.0",
+                           help="comma-separated replacement churn rates")
+    sweep_cmd.add_argument("--n", type=int, default=32)
+    sweep_cmd.add_argument("--topology", default="er")
+    sweep_cmd.add_argument("--trials", type=int, default=5)
+    sweep_cmd.add_argument("--seed", type=int, default=2007)
+
+    return parser
+
+
+def _churn_builder(rate: float):
+    if rate <= 0:
+        return None
+    return lambda factory: ReplacementChurn(factory, rate=rate)
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    rows = []
+    for seed in iter_seeds(args.seed, args.trials):
+        outcome = run_query(QueryConfig(
+            n=args.n, topology=args.topology, protocol=args.protocol,
+            aggregate=args.aggregate, ttl=args.ttl, deadline=args.deadline,
+            seed=seed, horizon=args.horizon,
+            churn=_churn_builder(args.churn_rate),
+        ))
+        rows.append([
+            seed % 100_000,
+            str(outcome.record.result),
+            str(outcome.truth),
+            f"{outcome.completeness:.2f}",
+            f"{outcome.latency:.2f}" if outcome.terminated else "inf",
+            outcome.messages,
+            "OK" if outcome.ok else "FAIL",
+        ])
+    print(render_table(
+        ["seed", "result", "truth", "completeness", "latency", "messages", "spec"],
+        rows,
+        title=(f"one-time query: n={args.n}, {args.topology}, "
+               f"{args.protocol}, {args.aggregate}, churn={args.churn_rate}"),
+    ))
+    return 0
+
+
+def _cmd_gossip(args: argparse.Namespace) -> int:
+    outcome = run_gossip(GossipConfig(
+        n=args.n, topology=args.topology, mode=args.mode,
+        rounds=args.rounds, seed=args.seed,
+        churn=_churn_builder(args.churn_rate),
+    ))
+    print(f"push-sum {args.mode}: estimate {outcome.estimate:.4g}, "
+          f"truth {outcome.truth:.4g}, relative error {outcome.error:.4g}, "
+          f"{outcome.messages} messages")
+    return 0
+
+
+def _cmd_matrix(args: argparse.Namespace) -> int:
+    matrix = solvability_matrix(standard_lattice())
+    rows: list[str] = []
+    cols: list[str] = []
+    cells = {}
+    for system, result in matrix.items():
+        row, col = str(system.arrival), str(system.knowledge)
+        if row not in rows:
+            rows.append(row)
+        if col not in cols:
+            cols.append(col)
+        cells[(row, col)] = _MATRIX_SYMBOL[result.answer]
+    print(render_matrix(rows, cols, cells, corner="arrival \\ knowledge",
+                        title="one-time query solvability"))
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    arrival: ArrivalClass = _ARRIVALS[args.arrival](args.n)
+    knowledge: KnowledgeClass = _KNOWLEDGE[args.knowledge](
+        args.diameter, args.size_bound
+    )
+    system = SystemClass(arrival, knowledge)
+    result = one_time_query_solvability(system)
+    print(system.name)
+    print()
+    print(system.describe())
+    print()
+    print(f"one-time query: {result.answer}")
+    if result.condition:
+        print(f"condition: {result.condition}")
+    print(f"argument: {result.argument}")
+    if result.witness_protocol:
+        print(f"witness protocol: {result.witness_protocol}")
+    print(f"validating experiment: {result.experiment}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import build_report
+
+    text = build_report(n=args.n, trials=args.trials, seed=args.seed)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_disseminate(args: argparse.Namespace) -> int:
+    from repro.core.dissemination_spec import DisseminationSpec
+    from repro.protocols.dissemination import AntiEntropyNode, FloodNode
+    from repro.sim.latency import ConstantDelay
+    from repro.sim.scheduler import Simulator
+    from repro.topology import generators as topo_gen
+
+    node_cls = FloodNode if args.protocol == "flood" else AntiEntropyNode
+    sim = Simulator(seed=args.seed, delay_model=ConstantDelay(0.5))
+    topo = topo_gen.make("er", args.n, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(node_cls(1.0), neighbors).pid)
+    if args.churn_rate > 0:
+        model = ReplacementChurn(lambda: node_cls(1.0), rate=args.churn_rate)
+        model.immortal.add(pids[0])
+        model.install(sim)
+    origin = sim.network.process(pids[0])
+    sim.at(10.0, lambda: origin.broadcast_value("payload"))
+    sim.run(until=args.audit_at)
+    verdict = DisseminationSpec().check(sim.trace, at=args.audit_at)[0]
+    print(f"{args.protocol} dissemination, n={args.n}, "
+          f"churn={args.churn_rate}, audited at t={args.audit_at}:")
+    print(f"  stable-core coverage : {verdict.coverage:.2f}")
+    print(f"  population coverage  : {verdict.population_coverage:.2f}")
+    print(f"  messages             : {sim.trace.message_count()}")
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
+    from repro.bench.scenarios import make_scenario
+
+    rows = []
+    for seed in iter_seeds(args.seed, args.trials):
+        config = replace(make_scenario(args.name), seed=seed)
+        outcome = run_query(config)
+        rows.append([
+            seed % 100_000,
+            str(outcome.record.result),
+            f"{outcome.completeness:.2f}",
+            f"{outcome.latency:.2f}" if outcome.terminated else "inf",
+            outcome.messages,
+            "OK" if outcome.ok else "partial",
+        ])
+    print(render_table(
+        ["seed", "result", "completeness", "latency", "messages", "spec"],
+        rows,
+        title=f"scenario {args.name!r}",
+    ))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+
+    def trial(rate: float, seed: int):
+        return run_query(QueryConfig(
+            n=args.n, topology=args.topology, aggregate="COUNT", seed=seed,
+            horizon=300.0, churn=_churn_builder(rate),
+        ))
+
+    points = sweep(rates, trial, trials=args.trials, root_seed=args.seed)
+    print(sweep_table(
+        points,
+        {
+            "completeness": lambda p: f"{p.metric(lambda o: o.completeness).mean:.3f}",
+            "fully_complete": lambda p: f"{p.fraction(lambda o: o.completeness == 1.0):.2f}",
+            "messages": lambda p: f"{p.metric(lambda o: float(o.messages)).mean:.0f}",
+        },
+        parameter_name="churn_rate",
+        title=f"churn sweep: n={args.n}, {args.topology}, {args.trials} trials",
+    ))
+    return 0
+
+
+_COMMANDS = {
+    "query": _cmd_query,
+    "report": _cmd_report,
+    "disseminate": _cmd_disseminate,
+    "scenario": _cmd_scenario,
+    "gossip": _cmd_gossip,
+    "matrix": _cmd_matrix,
+    "describe": _cmd_describe,
+    "sweep": _cmd_sweep,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,111 @@
+"""The paper's contribution, executable.
+
+Two orthogonal dimensions define the space of dynamic distributed systems:
+
+* the **entity dimension** (:mod:`repro.core.arrival`) — how the population
+  evolves, from static through finite arrival to infinite arrival with
+  unbounded concurrency;
+* the **geography dimension** (:mod:`repro.core.geography`) — what each
+  entity can know, from complete membership down to pure neighbor knowledge.
+
+A :class:`~repro.core.classes.SystemClass` is a point of the product space.
+:mod:`repro.core.runs` gives the run formalism the classes quantify over,
+:mod:`repro.core.spec` makes the canonical one-time query problem checkable
+against simulation traces, and :mod:`repro.core.solvability` encodes the
+paper's solvability landscape as an executable decision table.
+"""
+
+from repro.core.aggregates import AGGREGATES, AVG, COUNT, MAX, MIN, SET, SUM, Aggregate, by_name
+from repro.core.arrival import (
+    ArrivalClass,
+    FiniteArrival,
+    InfiniteArrivalBounded,
+    InfiniteArrivalFinite,
+    InfiniteArrivalUnbounded,
+    StaticArrival,
+    arrival_chain,
+    classify_run,
+)
+from repro.core.classes import SystemClass, standard_lattice
+from repro.core.dissemination_spec import (
+    BCAST_DELIVERED,
+    BCAST_ISSUED,
+    BroadcastRecord,
+    DisseminationSpec,
+    DisseminationVerdict,
+    extract_broadcasts,
+)
+from repro.core.geography import (
+    KnowledgeClass,
+    complete,
+    knowledge_chain,
+    known_diameter,
+    known_size,
+    local,
+)
+from repro.core.journeys import DynamicGraph, JourneyAudit, audit_query_misses
+from repro.core.runs import FOREVER, Interval, Run
+from repro.core.solvability import (
+    Solvable,
+    SolvabilityResult,
+    one_time_query_solvability,
+    solvability_matrix,
+)
+from repro.core.spec import (
+    OneTimeQuerySpec,
+    QUERY_ISSUED,
+    QUERY_RETURNED,
+    QueryRecord,
+    Verdict,
+    extract_queries,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "AVG",
+    "Aggregate",
+    "ArrivalClass",
+    "BCAST_DELIVERED",
+    "BCAST_ISSUED",
+    "BroadcastRecord",
+    "COUNT",
+    "DisseminationSpec",
+    "DisseminationVerdict",
+    "DynamicGraph",
+    "JourneyAudit",
+    "FOREVER",
+    "FiniteArrival",
+    "InfiniteArrivalBounded",
+    "InfiniteArrivalFinite",
+    "InfiniteArrivalUnbounded",
+    "Interval",
+    "KnowledgeClass",
+    "MAX",
+    "MIN",
+    "OneTimeQuerySpec",
+    "QUERY_ISSUED",
+    "QUERY_RETURNED",
+    "QueryRecord",
+    "Run",
+    "SET",
+    "SUM",
+    "Solvable",
+    "SolvabilityResult",
+    "StaticArrival",
+    "SystemClass",
+    "Verdict",
+    "arrival_chain",
+    "audit_query_misses",
+    "extract_broadcasts",
+    "by_name",
+    "classify_run",
+    "complete",
+    "extract_queries",
+    "knowledge_chain",
+    "known_diameter",
+    "known_size",
+    "local",
+    "one_time_query_solvability",
+    "solvability_matrix",
+    "standard_lattice",
+]

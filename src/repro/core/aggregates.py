@@ -1,0 +1,81 @@
+"""Aggregate functions for the one-time query problem.
+
+The canonical problem asks for an aggregate ``f`` over the values held by
+system members.  Aggregates are modelled as commutative monoids over
+*multisets of contributions* so protocols can combine partial results in any
+order; duplicate-sensitivity is recorded explicitly because it determines
+which protocols can compute an aggregate correctly (gossip protocols, for
+instance, can only handle duplicate-insensitive aggregates or must carry
+contributor identities).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """A named aggregate function.
+
+    Attributes:
+        name: canonical name (``COUNT``, ``SUM``, ...).
+        of: computes the aggregate of an iterable of values.
+        duplicate_sensitive: whether counting a value twice changes the
+            result (True for COUNT/SUM/AVG, False for MIN/MAX/SET).
+    """
+
+    name: str
+    of: Callable[[Iterable[Any]], Any]
+    duplicate_sensitive: bool
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def _avg(values: Iterable[Any]) -> float:
+    items = list(values)
+    if not items:
+        raise ValueError("AVG of an empty collection is undefined")
+    return sum(items) / len(items)
+
+
+def _set(values: Iterable[Any]) -> frozenset[Any]:
+    return frozenset(values)
+
+
+def _min(values: Iterable[Any]) -> Any:
+    items = list(values)
+    if not items:
+        raise ValueError("MIN of an empty collection is undefined")
+    return min(items)
+
+
+def _max(values: Iterable[Any]) -> Any:
+    items = list(values)
+    if not items:
+        raise ValueError("MAX of an empty collection is undefined")
+    return max(items)
+
+
+COUNT = Aggregate("COUNT", lambda values: sum(1 for _ in values), True)
+SUM = Aggregate("SUM", lambda values: sum(values), True)
+AVG = Aggregate("AVG", _avg, True)
+MIN = Aggregate("MIN", _min, False)
+MAX = Aggregate("MAX", _max, False)
+SET = Aggregate("SET", _set, False)
+
+#: All standard aggregates, by name.
+AGGREGATES: dict[str, Aggregate] = {
+    agg.name: agg for agg in (COUNT, SUM, AVG, MIN, MAX, SET)
+}
+
+
+def by_name(name: str) -> Aggregate:
+    """Look up a standard aggregate; raises ``KeyError`` with guidance."""
+    try:
+        return AGGREGATES[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(AGGREGATES))
+        raise KeyError(f"unknown aggregate {name!r}; known: {known}") from None

@@ -1,0 +1,209 @@
+"""The entity (arrival) dimension of dynamic distributed systems.
+
+The paper's first orthogonal dimension: *how the set of entities evolves*.
+Following the infinite-arrival taxonomy the dimension is a strict hierarchy
+of run-set classes:
+
+    M_static(n)  ⊂  M_finite  ⊂  M_inf_bounded(c)  ⊂  M_inf_finite  ⊂  M_inf_unbounded
+
+Each class here is both a *label* (used by the solvability table) and an
+*executable predicate*: :meth:`ArrivalClass.admits` checks whether an
+observed finite run is consistent with the class.  Because any simulated run
+is finite, "infinitely many arrivals" can never be observed directly;
+``admits`` therefore checks the *constraints* the class imposes (e.g. the
+concurrency bound), while consistency with a declared generative churn model
+is checked by the churn modules themselves.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.core.runs import Run
+
+
+class ArrivalClass(abc.ABC):
+    """A class of runs along the entity dimension.
+
+    Subclasses carry a ``rank`` placing them in the containment hierarchy:
+    a class with a smaller rank is contained in every class with a larger
+    rank (after parameter widening).
+    """
+
+    #: Position in the containment chain (smaller = more constrained).
+    rank: int = -1
+    #: Short name used in tables (``M_static`` etc.).
+    name: str = ""
+
+    @abc.abstractmethod
+    def admits(self, run: Run) -> bool:
+        """Is the observed ``run`` consistent with this class?"""
+
+    def __le__(self, other: "ArrivalClass") -> bool:
+        """Containment: every run of ``self`` is a run of ``other``."""
+        if not isinstance(other, ArrivalClass):
+            return NotImplemented
+        if self.rank != other.rank:
+            return self.rank < other.rank
+        return self._le_same_rank(other)
+
+    def _le_same_rank(self, other: "ArrivalClass") -> bool:
+        """Parameter-level containment within the same rank (override)."""
+        return self == other
+
+    def __lt__(self, other: "ArrivalClass") -> bool:
+        return self <= other and self != other
+
+
+@dataclass(frozen=True)
+class StaticArrival(ArrivalClass):
+    """``M_static(n)``: the same ``n`` entities, present forever.
+
+    The classical static-system assumption: membership is known, fixed, and
+    every entity is up for the whole run.
+    """
+
+    n: int
+    rank = 0
+    name = "M_static"
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"a static system needs n >= 1, got {self.n}")
+
+    def admits(self, run: Run) -> bool:
+        if len(run) != self.n:
+            return False
+        return all(
+            run.interval(e).join == 0.0 and run.interval(e).leave == float("inf")
+            for e in run.entities()
+        )
+
+    def _le_same_rank(self, other: ArrivalClass) -> bool:
+        # M_static(n) and M_static(m) are incomparable for n != m: their
+        # run sets are disjoint.
+        return isinstance(other, StaticArrival) and other.n == self.n
+
+    def __str__(self) -> str:
+        return f"M_static({self.n})"
+
+
+@dataclass(frozen=True)
+class FiniteArrival(ArrivalClass):
+    """``M_finite``: finitely many entities ever enter; churn eventually stops.
+
+    Args:
+        max_total: optional bound on the total number of entities (``None``
+            means "finite but unknown").
+    """
+
+    max_total: int | None = None
+    rank = 1
+    name = "M_finite"
+
+    def admits(self, run: Run) -> bool:
+        if self.max_total is not None and len(run) > self.max_total:
+            return False
+        # Any finite run has finitely many arrivals; the distinguishing
+        # observable constraint is that the run must become quiescent
+        # strictly before the horizon (arrivals cease).
+        return run.quiescent_from() < run.horizon
+
+    def _le_same_rank(self, other: ArrivalClass) -> bool:
+        if not isinstance(other, FiniteArrival):
+            return False
+        if other.max_total is None:
+            return True
+        return self.max_total is not None and self.max_total <= other.max_total
+
+    def __str__(self) -> str:
+        if self.max_total is None:
+            return "M_finite"
+        return f"M_finite(≤{self.max_total})"
+
+
+@dataclass(frozen=True)
+class InfiniteArrivalBounded(ArrivalClass):
+    """``M_inf_bounded(c)``: unboundedly many arrivals over time, but at any
+    instant at most ``c`` entities are concurrently present."""
+
+    c: int
+    rank = 2
+    name = "M_inf_bounded"
+
+    def __post_init__(self) -> None:
+        if self.c < 1:
+            raise ValueError(f"concurrency bound must be >= 1, got {self.c}")
+
+    def admits(self, run: Run) -> bool:
+        return run.max_concurrency() <= self.c
+
+    def _le_same_rank(self, other: ArrivalClass) -> bool:
+        return isinstance(other, InfiniteArrivalBounded) and self.c <= other.c
+
+    def __str__(self) -> str:
+        return f"M_inf_bounded({self.c})"
+
+
+@dataclass(frozen=True)
+class InfiniteArrivalFinite(ArrivalClass):
+    """``M_inf_finite``: in each run concurrency stays finite, but no bound
+    holds across runs.
+
+    Every finite observed run trivially has finite concurrency, so
+    ``admits`` is always true; the class differs from
+    :class:`InfiniteArrivalBounded` in what a *protocol may assume*: no
+    constant ``c`` is available to it.
+    """
+
+    rank = 3
+    name = "M_inf_finite"
+
+    def admits(self, run: Run) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "M_inf_finite"
+
+
+@dataclass(frozen=True)
+class InfiniteArrivalUnbounded(ArrivalClass):
+    """``M_inf_unbounded``: no constraint at all — concurrency may grow
+    without bound even within a single run."""
+
+    rank = 4
+    name = "M_inf_unbounded"
+
+    def admits(self, run: Run) -> bool:
+        return True
+
+    def __str__(self) -> str:
+        return "M_inf_unbounded"
+
+
+def arrival_chain(n: int = 16, c: int = 64) -> list[ArrivalClass]:
+    """A representative ascending chain through the hierarchy."""
+    return [
+        StaticArrival(n),
+        FiniteArrival(),
+        InfiniteArrivalBounded(c),
+        InfiniteArrivalFinite(),
+        InfiniteArrivalUnbounded(),
+    ]
+
+
+def classify_run(run: Run, n: int | None = None) -> ArrivalClass:
+    """Return the most constrained arrival class an observed run fits.
+
+    This is the *observational* classification: a finite run cannot witness
+    infinitely many arrivals, so the answer is the tightest class whose
+    constraints the run satisfies.
+    """
+    if n is not None and StaticArrival(n).admits(run):
+        return StaticArrival(n)
+    if len(run) > 0 and StaticArrival(len(run)).admits(run):
+        return StaticArrival(len(run))
+    if FiniteArrival().admits(run):
+        return FiniteArrival()
+    return InfiniteArrivalBounded(run.max_concurrency())

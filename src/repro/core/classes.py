@@ -1,0 +1,89 @@
+"""System classes: the product of the two dimensions.
+
+The paper's central proposal is that "dynamic distributed system" is not one
+model but a *space* of models indexed by (entity dimension, geography
+dimension).  A :class:`SystemClass` is one point of that space; the product
+partial order captures "at least as dynamic / at most as knowledgeable".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.arrival import (
+    ArrivalClass,
+    FiniteArrival,
+    InfiniteArrivalBounded,
+    InfiniteArrivalFinite,
+    InfiniteArrivalUnbounded,
+    StaticArrival,
+)
+from repro.core.geography import (
+    KnowledgeClass,
+    complete,
+    known_diameter,
+    known_size,
+    local,
+)
+
+
+@dataclass(frozen=True)
+class SystemClass:
+    """One point of the definition space: (arrival class, knowledge class)."""
+
+    arrival: ArrivalClass
+    knowledge: KnowledgeClass
+
+    @property
+    def name(self) -> str:
+        return f"({self.arrival}, {self.knowledge})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    def is_harder_than(self, other: "SystemClass") -> bool:
+        """``self`` is at least as hard as ``other``: its arrival class
+        contains the other's runs and it knows no more.
+
+        Any impossibility in ``other`` therefore transfers to ``self``, and
+        any algorithm for ``self`` works in ``other``.
+        """
+        return other.arrival <= self.arrival and self.knowledge <= other.knowledge
+
+    def describe(self) -> str:
+        """One-paragraph human description of the model point."""
+        arrival_text = {
+            "M_static": "a fixed, known population present for the whole run",
+            "M_finite": "finitely many entities ever; churn eventually ceases",
+            "M_inf_bounded": "unboundedly many entities over time with a "
+            "bound on how many are concurrently present",
+            "M_inf_finite": "unboundedly many entities; concurrency finite "
+            "in each run but unbounded across runs",
+            "M_inf_unbounded": "no constraint on arrivals or concurrency",
+        }[self.arrival.name]
+        knowledge_text = {
+            "G_complete": "every entity knows the complete membership",
+            "G_known_diameter": "entities know only their neighbors plus a "
+            "bound on the network diameter",
+            "G_known_size": "entities know only their neighbors plus a bound "
+            "on the concurrent population",
+            "G_local": "entities know only their neighbors — no global "
+            "parameter is ever available",
+        }[self.knowledge.name]
+        return f"Entity dimension: {arrival_text}. Geography dimension: {knowledge_text}."
+
+
+def standard_lattice(
+    n: int = 16, c: int = 64, diameter: int = 8, size_bound: int = 64
+) -> list[SystemClass]:
+    """The 5 × 4 = 20 representative points used by the solvability matrix
+    experiment (E10), ordered from easiest to hardest arrival class."""
+    arrivals: list[ArrivalClass] = [
+        StaticArrival(n),
+        FiniteArrival(),
+        InfiniteArrivalBounded(c),
+        InfiniteArrivalFinite(),
+        InfiniteArrivalUnbounded(),
+    ]
+    knowledges = [complete(), known_diameter(diameter), known_size(size_bound), local()]
+    return [SystemClass(a, k) for a in arrivals for k in knowledges]

@@ -1,0 +1,95 @@
+"""The geography (knowledge) dimension of dynamic distributed systems.
+
+The paper's second orthogonal dimension: *what each entity can know about
+the system*.  Each entity directly knows only its neighbors; the classes
+below differ in which global parameter, if any, is additionally available to
+every entity.  More knowledge makes more problems solvable, so the classes
+form a partial order by information content:
+
+    G_local  <  G_known_size   <  G_complete
+    G_local  <  G_known_diameter  <  G_complete
+
+``G_known_diameter`` and ``G_known_size`` are incomparable: a bound on the
+diameter does not give a bound on the population and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class KnowledgeClass:
+    """A point of the geography dimension.
+
+    Attributes:
+        name: canonical short name used in tables.
+        knows_members: every entity knows the full membership (complete graph).
+        diameter_bound: a bound on the network diameter known to every
+            entity, or ``None``.
+        size_bound: a bound on the number of concurrently present entities
+            known to every entity, or ``None``.
+    """
+
+    name: str
+    knows_members: bool = False
+    diameter_bound: int | None = None
+    size_bound: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.diameter_bound is not None and self.diameter_bound < 0:
+            raise ValueError(f"diameter bound must be >= 0, got {self.diameter_bound}")
+        if self.size_bound is not None and self.size_bound < 1:
+            raise ValueError(f"size bound must be >= 1, got {self.size_bound}")
+
+    # ------------------------------------------------------------------
+    # Information-content partial order
+    # ------------------------------------------------------------------
+
+    def information(self) -> frozenset[str]:
+        """The set of global facts this class grants each entity."""
+        facts = set()
+        if self.knows_members:
+            facts |= {"members", "diameter", "size"}
+        if self.diameter_bound is not None:
+            facts.add("diameter")
+        if self.size_bound is not None:
+            facts.add("size")
+        return frozenset(facts)
+
+    def __le__(self, other: "KnowledgeClass") -> bool:
+        """``self <= other`` iff ``other`` knows at least as much."""
+        if not isinstance(other, KnowledgeClass):
+            return NotImplemented
+        return self.information() <= other.information()
+
+    def __lt__(self, other: "KnowledgeClass") -> bool:
+        return self.information() < other.information()
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def complete() -> KnowledgeClass:
+    """``G_complete``: everybody knows everybody (classical assumption)."""
+    return KnowledgeClass(name="G_complete", knows_members=True)
+
+
+def known_diameter(bound: int) -> KnowledgeClass:
+    """``G_known_diameter``: neighbor knowledge plus a diameter bound."""
+    return KnowledgeClass(name="G_known_diameter", diameter_bound=bound)
+
+
+def known_size(bound: int) -> KnowledgeClass:
+    """``G_known_size``: neighbor knowledge plus a population bound."""
+    return KnowledgeClass(name="G_known_size", size_bound=bound)
+
+
+def local() -> KnowledgeClass:
+    """``G_local``: pure neighbor knowledge, no global parameter ever."""
+    return KnowledgeClass(name="G_local")
+
+
+def knowledge_chain(diameter: int = 8, size: int = 64) -> list[KnowledgeClass]:
+    """A representative list covering the dimension, weakest first."""
+    return [local(), known_diameter(diameter), known_size(size), complete()]

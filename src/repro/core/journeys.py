@@ -1,0 +1,227 @@
+"""Time-varying graphs and journeys.
+
+The formal backbone of the geography dimension when it varies over time.
+A *journey* is a time-respecting path: a sequence of hops each of which
+traverses an edge while that edge (and both its endpoints) exist.  A wave
+can only inform the querier about a process if a journey from the querier
+reaches it within the query window — so journey reachability is the exact
+*upper bound* on what any protocol can achieve in a given run, and the
+tool that turns "the query was incomplete" into "…because no journey
+existed" (or "…although one did — protocol inefficiency").
+
+The dynamic graph is reconstructed from a simulation trace: join events
+carry the newcomer's attachment edges, ``edge_up``/``edge_down`` events
+record rewiring, and a leave event ends every edge at the departed process.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.core.runs import FOREVER, Interval
+from repro.sim import trace as tr
+from repro.sim.trace import TraceLog
+from repro.topology.graph import Topology
+
+
+def _edge_key(a: int, b: int) -> tuple[int, int]:
+    return (min(a, b), max(a, b))
+
+
+class DynamicGraph:
+    """Edge-presence intervals reconstructed from a trace."""
+
+    def __init__(self, presence: dict[tuple[int, int], list[Interval]]) -> None:
+        self._presence = presence
+        self._incident: dict[int, set[tuple[int, int]]] = {}
+        for edge in presence:
+            self._incident.setdefault(edge[0], set()).add(edge)
+            self._incident.setdefault(edge[1], set()).add(edge)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, log: TraceLog) -> "DynamicGraph":
+        """Rebuild the edge timeline from membership and edge events."""
+        open_edges: dict[tuple[int, int], float] = {}
+        presence: dict[tuple[int, int], list[Interval]] = {}
+        present: set[int] = set()
+
+        def open_edge(a: int, b: int, when: float) -> None:
+            key = _edge_key(a, b)
+            if key not in open_edges:
+                open_edges[key] = when
+
+        def close_edge(key: tuple[int, int], when: float) -> None:
+            started = open_edges.pop(key, None)
+            if started is not None:
+                presence.setdefault(key, []).append(Interval(started, when))
+
+        for event in log:
+            if event.kind == tr.JOIN:
+                entity = event["entity"]
+                present.add(entity)
+                for neighbor in event.get("neighbors", ()):
+                    if neighbor in present:
+                        open_edge(entity, neighbor, event.time)
+            elif event.kind == tr.LEAVE:
+                entity = event["entity"]
+                present.discard(entity)
+                for key in [k for k in open_edges if entity in k]:
+                    close_edge(key, event.time)
+            elif event.kind == "edge_up":
+                open_edge(event["a"], event["b"], event.time)
+            elif event.kind == "edge_down":
+                close_edge(_edge_key(event["a"], event["b"]), event.time)
+        for key, started in list(open_edges.items()):
+            presence.setdefault(key, []).append(Interval(started, FOREVER))
+        return cls(presence)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def edges(self) -> list[tuple[int, int]]:
+        """Every edge that ever existed."""
+        return sorted(self._presence)
+
+    def presence(self, a: int, b: int) -> list[Interval]:
+        """Presence intervals of the edge (a, b)."""
+        return list(self._presence.get(_edge_key(a, b), ()))
+
+    def edge_present(self, a: int, b: int, t: float) -> bool:
+        return any(iv.contains(t) for iv in self.presence(a, b))
+
+    def edges_at(self, t: float) -> list[tuple[int, int]]:
+        return [
+            edge
+            for edge, intervals in self._presence.items()
+            if any(iv.contains(t) for iv in intervals)
+        ]
+
+    def snapshot(self, t: float) -> Topology:
+        """The static graph at instant ``t`` (nodes = edge endpoints)."""
+        topo = Topology()
+        for a, b in self.edges_at(t):
+            topo.add_edge(a, b)
+        return topo
+
+    def incident(self, node: int) -> Iterator[tuple[int, int]]:
+        return iter(sorted(self._incident.get(node, ())))
+
+    # ------------------------------------------------------------------
+    # Journeys
+    # ------------------------------------------------------------------
+
+    def earliest_arrivals(
+        self,
+        source: int,
+        start: float,
+        deadline: float = FOREVER,
+        hop_time: float = 0.0,
+    ) -> dict[int, float]:
+        """Earliest-arrival times of journeys from ``(source, start)``.
+
+        A hop over edge ``(u, v)`` departing at time ``d`` requires the edge
+        to be continuously present over ``[d, d + hop_time]`` and arrives at
+        ``d + hop_time``.  Departure may wait for an edge to appear.  Only
+        arrivals at or before ``deadline`` count.
+
+        Returns a map ``{node: earliest arrival time}`` (the source maps to
+        ``start``).
+        """
+        if hop_time < 0:
+            raise ValueError(f"hop time must be >= 0, got {hop_time}")
+        best: dict[int, float] = {source: start}
+        heap: list[tuple[float, int]] = [(start, source)]
+        while heap:
+            arrival, node = heapq.heappop(heap)
+            if arrival > best.get(node, FOREVER):
+                continue  # stale entry
+            for edge in self.incident(node):
+                other = edge[0] if edge[1] == node else edge[1]
+                for interval in self._presence[edge]:
+                    departure = max(arrival, interval.join)
+                    arrives = departure + hop_time
+                    if arrives > deadline:
+                        continue
+                    # The edge must survive the whole hop.  ``covers`` is
+                    # strict at the right end (half-open interval).
+                    if not interval.covers(departure, arrives):
+                        continue
+                    if arrives < best.get(other, FOREVER):
+                        best[other] = arrives
+                        heapq.heappush(heap, (arrives, other))
+                    break  # later intervals cannot improve on this one
+        return best
+
+    def journey_exists(
+        self,
+        source: int,
+        target: int,
+        start: float,
+        deadline: float,
+        hop_time: float = 0.0,
+    ) -> bool:
+        """Is there a journey from ``(source, start)`` to ``target`` by
+        ``deadline``?"""
+        arrivals = self.earliest_arrivals(source, start, deadline, hop_time)
+        return arrivals.get(target, FOREVER) <= deadline
+
+    def reachable(
+        self,
+        source: int,
+        start: float,
+        deadline: float,
+        hop_time: float = 0.0,
+    ) -> frozenset[int]:
+        """Every node journey-reachable from ``(source, start)`` by
+        ``deadline`` (the information-flow upper bound for any protocol)."""
+        arrivals = self.earliest_arrivals(source, start, deadline, hop_time)
+        return frozenset(
+            node for node, when in arrivals.items() if when <= deadline
+        )
+
+
+@dataclass
+class JourneyAudit:
+    """Cross-check of a query verdict against journey reachability.
+
+    ``unexplained_misses`` are stable-core members the protocol missed even
+    though a journey existed — protocol inefficiency rather than topological
+    impossibility.  ``impossible`` members had no journey: *no* protocol
+    could have counted them.
+    """
+
+    reachable: frozenset[int]
+    impossible: frozenset[int] = field(default_factory=frozenset)
+    unexplained_misses: frozenset[int] = field(default_factory=frozenset)
+
+
+def audit_query_misses(
+    log: TraceLog,
+    querier: int,
+    issue_time: float,
+    return_time: float,
+    missing: frozenset[int],
+    hop_time: float = 0.0,
+) -> JourneyAudit:
+    """Classify a query's missed stable-core members.
+
+    ``hop_time`` should be a lower bound on the per-hop message delay: with
+    a lower bound the reachable set over-approximates what any protocol
+    could do, so members outside it were *provably* uncountable.
+    """
+    graph = DynamicGraph.from_trace(log)
+    reachable = graph.reachable(querier, issue_time, return_time, hop_time)
+    impossible = frozenset(m for m in missing if m not in reachable)
+    unexplained = missing - impossible
+    return JourneyAudit(
+        reachable=reachable,
+        impossible=impossible,
+        unexplained_misses=unexplained,
+    )

@@ -1,0 +1,242 @@
+"""Runs: the formal object the paper's definitions quantify over.
+
+A *run* records, for every entity that ever existed, the interval during
+which it was present in the system.  All of the paper's classes (the entity
+dimension) are sets of runs, and all solvability claims are statements about
+what protocols can achieve over every run of a class.  Here a run is built
+from a simulation :class:`~repro.sim.trace.TraceLog` observed up to a finite
+horizon.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.sim import trace as tr
+from repro.sim.trace import TraceLog
+
+#: Stand-in for "still present at the end of the observation window".
+FOREVER = math.inf
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A half-open presence interval ``[join, leave)``.
+
+    ``leave`` is :data:`FOREVER` when the entity never left within the
+    observation horizon.
+    """
+
+    join: float
+    leave: float = FOREVER
+
+    def __post_init__(self) -> None:
+        if self.leave < self.join:
+            raise ValueError(f"leave {self.leave} before join {self.join}")
+
+    def contains(self, t: float) -> bool:
+        """Is the entity present at instant ``t``?"""
+        return self.join <= t < self.leave
+
+    def covers(self, t0: float, t1: float) -> bool:
+        """Is the entity present throughout ``[t0, t1]``?"""
+        return self.join <= t0 and t1 < self.leave
+
+    def overlaps(self, t0: float, t1: float) -> bool:
+        """Is the entity present at some instant of ``[t0, t1]``?"""
+        return self.join <= t1 and t0 < self.leave
+
+    @property
+    def length(self) -> float:
+        return self.leave - self.join
+
+
+class Run:
+    """Presence intervals of every entity, over a finite horizon.
+
+    Args:
+        intervals: mapping from entity id to its presence interval.
+        horizon: the end of the observation window.  Properties such as
+            "finite arrival" are judged *relative to the horizon*: a
+            simulation can only ever exhibit finitely many arrivals, so the
+            class predicates in :mod:`repro.core.arrival` test consistency
+            with the declared generative model, not the model itself.
+    """
+
+    def __init__(self, intervals: dict[int, Interval], horizon: float) -> None:
+        self._intervals = dict(intervals)
+        self.horizon = float(horizon)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, log: TraceLog, horizon: float | None = None) -> "Run":
+        """Build a run from the join/leave events of a trace.
+
+        Raises:
+            ValueError: on malformed membership sequences (leave without
+                join, double join — entity ids are never reused).
+        """
+        joins: dict[int, float] = {}
+        intervals: dict[int, Interval] = {}
+        last_time = 0.0
+        for event in log.membership_events():
+            entity = event["entity"]
+            last_time = max(last_time, event.time)
+            if event.kind == tr.JOIN:
+                if entity in joins or entity in intervals:
+                    raise ValueError(f"entity {entity} joined twice")
+                joins[entity] = event.time
+            else:  # LEAVE
+                if entity not in joins:
+                    raise ValueError(f"entity {entity} left without joining")
+                intervals[entity] = Interval(joins.pop(entity), event.time)
+        for entity, join_time in joins.items():
+            intervals[entity] = Interval(join_time, FOREVER)
+        if horizon is None:
+            horizon = last_time
+        return cls(intervals, horizon)
+
+    @classmethod
+    def static(cls, n: int, horizon: float) -> "Run":
+        """A run of ``n`` entities present from time 0 forever."""
+        return cls({pid: Interval(0.0) for pid in range(n)}, horizon)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    def entities(self) -> frozenset[int]:
+        """Every entity that was ever present."""
+        return frozenset(self._intervals)
+
+    def interval(self, entity: int) -> Interval:
+        """Presence interval of ``entity``."""
+        return self._intervals[entity]
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __contains__(self, entity: int) -> bool:
+        return entity in self._intervals
+
+    # ------------------------------------------------------------------
+    # Membership queries
+    # ------------------------------------------------------------------
+
+    def present_at(self, t: float) -> frozenset[int]:
+        """Entities present at instant ``t``."""
+        return frozenset(
+            e for e, iv in self._intervals.items() if iv.contains(t)
+        )
+
+    def stable_core(self, t0: float, t1: float) -> frozenset[int]:
+        """Entities present throughout ``[t0, t1]``.
+
+        This is the set the one-time query problem's validity clause
+        quantifies over: values of stable-core members *must* be accounted
+        for; transients may or may not be.
+        """
+        if t1 < t0:
+            raise ValueError(f"empty window [{t0}, {t1}]")
+        return frozenset(
+            e for e, iv in self._intervals.items() if iv.covers(t0, t1)
+        )
+
+    def transients(self, t0: float, t1: float) -> frozenset[int]:
+        """Entities present at some, but not every, instant of ``[t0, t1]``."""
+        return frozenset(
+            e
+            for e, iv in self._intervals.items()
+            if iv.overlaps(t0, t1) and not iv.covers(t0, t1)
+        )
+
+    # ------------------------------------------------------------------
+    # Dynamics measures
+    # ------------------------------------------------------------------
+
+    def concurrency(self, t: float) -> int:
+        """Number of entities present at instant ``t``."""
+        return len(self.present_at(t))
+
+    def max_concurrency(self) -> int:
+        """Peak number of simultaneously present entities.
+
+        Computed by sweeping the sorted join/leave instants.
+        """
+        deltas: list[tuple[float, int, int]] = []
+        for iv in self._intervals.values():
+            # Leaves sort before joins at the same instant because the
+            # interval is half-open: [join, leave).
+            deltas.append((iv.join, 1, +1))
+            if iv.leave is not FOREVER and not math.isinf(iv.leave):
+                deltas.append((iv.leave, 0, -1))
+        deltas.sort(key=lambda d: (d[0], d[1]))
+        peak = count = 0
+        for _, _, delta in deltas:
+            count += delta
+            peak = max(peak, count)
+        return peak
+
+    def arrival_count(self, up_to: float | None = None) -> int:
+        """Number of joins in ``[0, up_to]`` (default: whole horizon)."""
+        limit = self.horizon if up_to is None else up_to
+        return sum(1 for iv in self._intervals.values() if iv.join <= limit)
+
+    def last_arrival_time(self) -> float:
+        """Time of the latest join, or 0.0 if the run is empty."""
+        if not self._intervals:
+            return 0.0
+        return max(iv.join for iv in self._intervals.values())
+
+    def quiescent_from(self) -> float:
+        """Earliest time after which membership never changes again."""
+        latest = 0.0
+        for iv in self._intervals.values():
+            latest = max(latest, iv.join)
+            if not math.isinf(iv.leave):
+                latest = max(latest, iv.leave)
+        return latest
+
+    def churn_events(self, t0: float, t1: float) -> int:
+        """Joins plus leaves occurring within ``[t0, t1]``."""
+        count = 0
+        for iv in self._intervals.values():
+            if t0 <= iv.join <= t1:
+                count += 1
+            if not math.isinf(iv.leave) and t0 <= iv.leave <= t1:
+                count += 1
+        return count
+
+    def churn_rate(self, t0: float, t1: float) -> float:
+        """Membership events per time unit over ``[t0, t1]``."""
+        if t1 <= t0:
+            raise ValueError(f"empty window [{t0}, {t1}]")
+        return self.churn_events(t0, t1) / (t1 - t0)
+
+    def mean_session_length(self) -> float:
+        """Mean lifetime of entities that departed within the horizon."""
+        lengths = [
+            iv.length for iv in self._intervals.values() if not math.isinf(iv.leave)
+        ]
+        if not lengths:
+            return FOREVER
+        return sum(lengths) / len(lengths)
+
+    def __repr__(self) -> str:
+        return (
+            f"Run(entities={len(self)}, horizon={self.horizon}, "
+            f"max_concurrency={self.max_concurrency()})"
+        )
+
+
+def union_entities(runs: Iterable[Run]) -> frozenset[int]:
+    """Entities appearing in any of the given runs."""
+    result: set[int] = set()
+    for run in runs:
+        result |= run.entities()
+    return frozenset(result)

@@ -1,0 +1,271 @@
+"""Executable solvability results for the one-time query problem.
+
+This module encodes, as a decision procedure over :class:`SystemClass`, the
+claims the paper's framework yields for its canonical data-aggregation
+problem.  Each answer carries the argument sketch, so the table doubles as
+documentation; the benchmark suite (E1–E10) validates every entry
+empirically by simulation.
+
+The results, in brief:
+
+* With complete knowledge (``G_complete``) the problem is solvable whenever
+  churn leaves a non-empty stable core to talk to — in particular always in
+  static and finite-arrival systems (direct request/collect).
+* With a known diameter bound (``G_known_diameter``) a wave (flooding/echo)
+  protocol with TTL = D terminates and reaches the whole stable core, so the
+  problem is solvable in static systems, in finite-arrival systems, and —
+  *conditionally* — under infinite arrival with bounded concurrency: the
+  wave must outrun topology change (slow-enough churn / long-enough
+  sessions).  This is the quantitative crossover explored by E4/E5.
+* With only a population bound (``G_known_size``) termination can be forced
+  (stop after counting N responses or timing out against N) but
+  completeness is only conditional as well.
+* With pure local knowledge (``G_local``): solvable only if churn eventually
+  ceases (finite arrival) — any flooding protocol stabilises after
+  quiescence; under infinite arrival no protocol can pick a safe
+  termination point, and with unbounded concurrency an adversary grows the
+  system faster than any wave explores it (E6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.core.arrival import (
+    ArrivalClass,
+    FiniteArrival,
+    InfiniteArrivalBounded,
+    InfiniteArrivalFinite,
+    InfiniteArrivalUnbounded,
+    StaticArrival,
+)
+from repro.core.classes import SystemClass
+
+
+class Solvable(Enum):
+    """Three-valued solvability answer."""
+
+    YES = "solvable"
+    CONDITIONAL = "conditionally solvable"
+    NO = "not solvable"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class SolvabilityResult:
+    """A solvability answer with its justification.
+
+    Attributes:
+        answer: YES / CONDITIONAL / NO.
+        argument: one-paragraph sketch of why.
+        condition: for CONDITIONAL answers, the quantitative condition.
+        witness_protocol: the protocol (module path) that achieves the
+            positive answer, when one exists.
+        experiment: the benchmark id validating this entry.
+    """
+
+    answer: Solvable
+    argument: str
+    condition: str = ""
+    witness_protocol: str = ""
+    experiment: str = ""
+
+    @property
+    def solvable(self) -> bool:
+        return self.answer is Solvable.YES
+
+
+def _arrival_is_static(arrival: ArrivalClass) -> bool:
+    return isinstance(arrival, StaticArrival)
+
+
+def _arrival_is_finite(arrival: ArrivalClass) -> bool:
+    return isinstance(arrival, (StaticArrival, FiniteArrival))
+
+
+def one_time_query_solvability(system: SystemClass) -> SolvabilityResult:
+    """Decide solvability of the one-time query problem in ``system``.
+
+    The decision follows the product structure: fix the knowledge class and
+    walk up the arrival hierarchy until the problem stops being solvable.
+    """
+    arrival = system.arrival
+    knowledge = system.knowledge
+
+    if knowledge.knows_members:
+        return _solvability_complete(arrival)
+    if knowledge.diameter_bound is not None:
+        return _solvability_known_diameter(arrival)
+    if knowledge.size_bound is not None:
+        return _solvability_known_size(arrival)
+    return _solvability_local(arrival)
+
+
+def _solvability_complete(arrival: ArrivalClass) -> SolvabilityResult:
+    if _arrival_is_finite(arrival):
+        return SolvabilityResult(
+            Solvable.YES,
+            "The querier knows the membership: it requests every member's "
+            "value directly and collects responses; in a static or "
+            "finite-arrival system the membership eventually stops changing "
+            "so the collected set stabilises.",
+            witness_protocol="repro.protocols.request_collect",
+            experiment="E1",
+        )
+    if isinstance(arrival, InfiniteArrivalBounded):
+        return SolvabilityResult(
+            Solvable.CONDITIONAL,
+            "Membership is known at each instant but keeps changing; the "
+            "request/collect exchange succeeds for every stable-core member "
+            "provided sessions outlast one round-trip.",
+            condition="minimum session length > query round-trip time",
+            witness_protocol="repro.protocols.request_collect",
+            experiment="E10",
+        )
+    return SolvabilityResult(
+        Solvable.CONDITIONAL,
+        "Even with complete knowledge, unbounded concurrency means the "
+        "membership snapshot the querier acts on can be outdated arbitrarily "
+        "fast; completeness holds only for runs whose churn is slower than "
+        "the round-trip.",
+        condition="churn slower than one round-trip",
+        witness_protocol="repro.protocols.request_collect",
+        experiment="E10",
+    )
+
+
+def _solvability_known_diameter(arrival: ArrivalClass) -> SolvabilityResult:
+    if _arrival_is_static(arrival):
+        return SolvabilityResult(
+            Solvable.YES,
+            "A flooding/echo wave with TTL = D visits every process within D "
+            "hops and the echo aggregates all values back; the TTL gives a "
+            "deterministic termination point.",
+            witness_protocol="repro.protocols.one_time_query",
+            experiment="E2",
+        )
+    if isinstance(arrival, FiniteArrival):
+        return SolvabilityResult(
+            Solvable.YES,
+            "After arrivals cease the network is static; a wave launched (or "
+            "re-launched) after quiescence behaves as in the static case. "
+            "Before quiescence completeness over the stable core still holds "
+            "because stable members never move out of wave range.",
+            witness_protocol="repro.protocols.one_time_query",
+            experiment="E3",
+        )
+    if isinstance(arrival, InfiniteArrivalBounded):
+        return SolvabilityResult(
+            Solvable.CONDITIONAL,
+            "The wave terminates (TTL bound) but completeness requires that "
+            "the route between the querier and every stable-core member is "
+            "never severed faster than the wave traverses it: the crossover "
+            "between wave latency and session length / churn rate.",
+            condition="wave latency (≈ D hops) < time for churn to disconnect "
+            "a stable member",
+            witness_protocol="repro.protocols.one_time_query",
+            experiment="E4/E5",
+        )
+    return SolvabilityResult(
+        Solvable.NO,
+        "With unbounded concurrency the diameter bound itself is forfeit: "
+        "arrivals can stretch distances beyond any advertised D while the "
+        "query is in flight, so either the TTL truncates the wave (losing "
+        "stable members) or termination is lost.",
+        experiment="E6",
+    )
+
+
+def _solvability_known_size(arrival: ArrivalClass) -> SolvabilityResult:
+    if _arrival_is_static(arrival):
+        return SolvabilityResult(
+            Solvable.YES,
+            "A population bound N bounds the diameter by N - 1, so a wave "
+            "with TTL = N - 1 terminates and is complete (at higher message "
+            "cost than with a tight diameter bound).",
+            witness_protocol="repro.protocols.one_time_query",
+            experiment="E7",
+        )
+    if isinstance(arrival, FiniteArrival):
+        return SolvabilityResult(
+            Solvable.YES,
+            "As in the static case once churn ceases; the size bound keeps "
+            "holding because finite arrival cannot exceed it after "
+            "quiescence if it held before.",
+            witness_protocol="repro.protocols.one_time_query",
+            experiment="E7",
+        )
+    if isinstance(arrival, InfiniteArrivalBounded):
+        return SolvabilityResult(
+            Solvable.CONDITIONAL,
+            "The concurrency bound c caps the instantaneous diameter, so "
+            "TTL = c - 1 gives termination; completeness again hinges on the "
+            "wave outrunning churn.",
+            condition="wave latency < churn disconnection time",
+            witness_protocol="repro.protocols.one_time_query",
+            experiment="E7",
+        )
+    return SolvabilityResult(
+        Solvable.NO,
+        "No finite size bound exists to exploit (the class violates every "
+        "advertised bound in some run), so this knowledge class degenerates "
+        "to G_local, where the problem is unsolvable under infinite arrival.",
+        experiment="E6",
+    )
+
+
+def _solvability_local(arrival: ArrivalClass) -> SolvabilityResult:
+    if _arrival_is_static(arrival):
+        return SolvabilityResult(
+            Solvable.CONDITIONAL,
+            "Closed-loop protocols (flooding with echo acknowledgments over "
+            "reliable channels) terminate and are complete without any "
+            "global parameter. Open-loop protocols — one-shot waves that "
+            "must pick their reach up front, the paper's synchronous-rounds "
+            "framing — provably need a diameter bound: for every fixed TTL "
+            "there is a longer line on which a stable member sits just out "
+            "of reach (the E7 diagonalisation).",
+            condition="closed-loop operation: reliable channels plus "
+            "neighbor-leave notifications; open-loop protocols require a "
+            "known diameter bound",
+            witness_protocol="repro.protocols.one_time_query (echo mode)",
+            experiment="E7",
+        )
+    if isinstance(arrival, FiniteArrival):
+        return SolvabilityResult(
+            Solvable.CONDITIONAL,
+            "Eventually churn ceases and repeated flooding stabilises on the "
+            "final population: the problem is solvable in the eventual sense "
+            "(the returned result is correct from some point on) though no "
+            "process ever knows stabilisation has happened.",
+            condition="eventual (non-terminating confirmation) semantics",
+            witness_protocol="repro.protocols.one_time_query (quiescence mode)",
+            experiment="E3",
+        )
+    if isinstance(arrival, (InfiniteArrivalBounded, InfiniteArrivalFinite)):
+        return SolvabilityResult(
+            Solvable.NO,
+            "Infinitely many arrivals with only neighbor knowledge: any "
+            "stopping rule is defeated by a run that keeps the system "
+            "quiet until the rule fires and reveals a stable member just "
+            "out of explored range afterwards.",
+            experiment="E6",
+        )
+    return SolvabilityResult(
+        Solvable.NO,
+        "The hardest point of the space: unbounded concurrency and no "
+        "global knowledge. The adversary grows a path faster than any wave "
+        "explores it, so termination and stable-core completeness cannot "
+        "both hold.",
+        experiment="E6",
+    )
+
+
+def solvability_matrix(
+    classes: list[SystemClass],
+) -> dict[SystemClass, SolvabilityResult]:
+    """Decide the whole table at once (used by E10 and the docs)."""
+    return {system: one_time_query_solvability(system) for system in classes}

@@ -1,0 +1,114 @@
+"""Churn-aware querying: adaptation as a substitute for knowledge.
+
+The solvability table's conditional entries say the one-time query succeeds
+*when churn is slow enough*.  A process cannot read the global churn rate,
+but it can estimate the local one: its own neighbor set changes are a
+sample of the system's membership events.  :class:`AdaptiveWaveNode` uses
+that estimate to *defer* a query until the neighborhood looks calm — trading
+latency for completeness, which is exactly the trade the conditional
+entries permit (and the E15 bench measures under bursty churn).
+
+The estimator is honest about locality: it sees only this node's neighbor
+events, so a storm elsewhere is invisible until it reaches the
+neighborhood.  Against phase-structured (bursty) churn that is enough;
+against the E6 adversary nothing is, by design.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.aggregates import Aggregate, SET
+from repro.protocols.one_time_query import WaveNode
+from repro.sim.errors import ProtocolError
+
+#: Trace event written each time a query is deferred to a later calm check.
+QUERY_DEFERRED = "query_deferred"
+
+
+class AdaptiveWaveNode(WaveNode):
+    """A wave node that estimates local churn and can defer queries.
+
+    Args:
+        value: the local value.
+        churn_window: how far back neighbor events count toward the local
+            churn estimate.
+    """
+
+    def __init__(self, value: Any = None, churn_window: float = 20.0) -> None:
+        super().__init__(value)
+        if churn_window <= 0:
+            raise ProtocolError(f"churn window must be > 0, got {churn_window}")
+        self.churn_window = churn_window
+        self._neighbor_events: list[float] = []
+        self.deferrals = 0
+
+    # ------------------------------------------------------------------
+    # Local churn estimation
+    # ------------------------------------------------------------------
+
+    def _note_event(self) -> None:
+        if self.now == 0.0:
+            return  # time-zero events are system bootstrap, not churn
+        self._neighbor_events.append(self.now)
+        # Keep the list from growing without bound: drop everything older
+        # than one window (nothing outside it is ever counted again).
+        cutoff = self.now - self.churn_window
+        while self._neighbor_events and self._neighbor_events[0] < cutoff:
+            self._neighbor_events.pop(0)
+
+    def on_neighbor_join(self, pid: int) -> None:
+        self._note_event()
+
+    def on_neighbor_leave(self, pid: int) -> None:
+        self._note_event()
+        super().on_neighbor_leave(pid)
+
+    def local_churn_rate(self) -> float:
+        """Neighbor membership events per time unit over the window."""
+        cutoff = self.now - self.churn_window
+        recent = sum(1 for t in self._neighbor_events if t >= cutoff)
+        window = min(self.churn_window, self.now) or self.churn_window
+        return recent / window
+
+    # ------------------------------------------------------------------
+    # Deferred querying
+    # ------------------------------------------------------------------
+
+    def issue_query_when_calm(
+        self,
+        aggregate: Aggregate = SET,
+        calm_threshold: float = 0.05,
+        check_period: float = 5.0,
+        max_wait: float = 200.0,
+        ttl: int | None = None,
+        deadline: float | None = None,
+    ) -> None:
+        """Issue the query once the local churn estimate drops below
+        ``calm_threshold`` events per time unit (or after ``max_wait``).
+
+        The query itself is a normal wave; only its *timing* is adaptive.
+        """
+        if check_period <= 0:
+            raise ProtocolError(f"check period must be > 0, got {check_period}")
+        give_up_at = self.now + max_wait
+
+        def check() -> None:
+            if not self.alive:
+                return
+            rate = self.local_churn_rate()
+            if rate <= calm_threshold or self.now >= give_up_at:
+                self.issue_query(aggregate, ttl=ttl, deadline=deadline)
+                return
+            self.deferrals += 1
+            self.record(QUERY_DEFERRED, churn_rate=rate)
+            self.set_timer(check_period, "adaptive-check", None)
+
+        self._pending_check = check
+        check()
+
+    def on_timer(self, name: str, payload: Any) -> None:
+        if name == "adaptive-check":
+            self._pending_check()
+        else:
+            super().on_timer(name, payload)

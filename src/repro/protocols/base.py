@@ -1,0 +1,109 @@
+"""Common machinery for aggregation protocols.
+
+Every query protocol works with :class:`AggregatingProcess` nodes.  The base
+class owns the bookkeeping the specification checker relies on: queries are
+announced with a ``query_issued`` trace event and resolved with a
+``query_returned`` event listing exactly which entities' values were
+counted.  Protocol correctness is then judged by
+:class:`repro.core.spec.OneTimeQuerySpec` against the same trace — protocols
+cannot grade their own homework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.aggregates import Aggregate
+from repro.core.spec import QUERY_ISSUED, QUERY_RETURNED
+from repro.sim.node import Process
+
+
+@dataclass
+class QueryResult:
+    """The querier-local outcome of one query."""
+
+    qid: int
+    aggregate: Aggregate
+    contributions: dict[int, Any]
+    issued_at: float
+    returned_at: float
+    result: Any = field(default=None)
+
+    @property
+    def latency(self) -> float:
+        return self.returned_at - self.issued_at
+
+    @property
+    def contributor_count(self) -> int:
+        return len(self.contributions)
+
+
+class AggregatingProcess(Process):
+    """A process holding a value and able to act as querier or relay.
+
+    Attributes:
+        results: the :class:`QueryResult` objects of queries this process
+            issued and completed, in completion order.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.results: list[QueryResult] = []
+
+    # ------------------------------------------------------------------
+    # Query bookkeeping (used by protocol subclasses)
+    # ------------------------------------------------------------------
+
+    def announce_query(self, aggregate: Aggregate) -> int:
+        """Allocate a query id and record the issue event; returns the qid."""
+        qid = self.sim.new_qid()
+        self.record(QUERY_ISSUED, qid=qid, aggregate=aggregate.name)
+        return qid
+
+    def resolve_query(
+        self,
+        qid: int,
+        aggregate: Aggregate,
+        contributions: dict[int, Any],
+        issued_at: float,
+    ) -> QueryResult:
+        """Compute the aggregate, record the return event, store the result.
+
+        ``contributions`` maps entity id -> contributed value; the querier's
+        own value is expected to be among them, so the collection is never
+        empty and every aggregate is well-defined.
+        """
+        result_value = aggregate.of(
+            contributions[pid] for pid in sorted(contributions)
+        )
+        outcome = QueryResult(
+            qid=qid,
+            aggregate=aggregate,
+            contributions=dict(contributions),
+            issued_at=issued_at,
+            returned_at=self.now,
+            result=result_value,
+        )
+        self.results.append(outcome)
+        self.record(
+            QUERY_RETURNED,
+            qid=qid,
+            aggregate=aggregate.name,
+            result=result_value,
+            contributors=tuple(sorted(contributions)),
+        )
+        return outcome
+
+
+def merge_contributions(
+    target: dict[int, Any], incoming: dict[int, Any] | list[tuple[int, Any]]
+) -> None:
+    """Merge contribution sets in place; duplicates keep the first value.
+
+    Contributions travel in message payloads as ``(pid, value)`` pair lists
+    (payloads stay JSON-ish); this helper accepts both shapes.
+    """
+    pairs = incoming.items() if isinstance(incoming, dict) else incoming
+    for pid, value in pairs:
+        target.setdefault(pid, value)

@@ -1,0 +1,132 @@
+"""Dissemination protocols: one-shot flood vs continuous anti-entropy.
+
+Two ways to get a value to everyone, mirroring the query protocols'
+trade-off between sharp one-shot semantics and eventual semantics:
+
+* :class:`FloodNode` — a single flooding wave.  Every process forwards each
+  broadcast once.  Deterministic and cheap, but a one-shot: a process that
+  joins after the wave passed, or that was behind a broken link during it,
+  never learns the value.
+* :class:`AntiEntropyNode` — flooding *plus* periodic digest reconciliation
+  with a random neighbor: "here is the set of broadcast ids I hold" →
+  "send me the ones I am missing".  Coverage keeps improving after the
+  wave, so under churn the protocol achieves dissemination in the eventual
+  sense — the positive face of the paper's finite-arrival/local-knowledge
+  entry (E16 measures the contrast).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.dissemination_spec import BCAST_DELIVERED, BCAST_ISSUED
+from repro.protocols.base import AggregatingProcess
+from repro.sim.errors import ConfigurationError
+from repro.sim.messages import Message
+
+FLOOD = "DIS_FLOOD"
+DIGEST = "DIS_DIGEST"
+MISSING = "DIS_MISSING"
+
+
+class FloodNode(AggregatingProcess):
+    """One-shot flooding dissemination."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self._held: dict[int, Any] = {}
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+
+    def holds(self, bid: int) -> bool:
+        """Whether this process has the value of broadcast ``bid``."""
+        return bid in self._held
+
+    def held_value(self, bid: int) -> Any:
+        return self._held[bid]
+
+    def broadcast_value(self, value: Any) -> int:
+        """Originate a broadcast; returns the broadcast id."""
+        bid = self.sim.new_qid()
+        self.record(BCAST_ISSUED, bid=bid, value=value)
+        self._learn(bid, value, forward_exclude=None)
+        return bid
+
+    # ------------------------------------------------------------------
+    # Machinery
+    # ------------------------------------------------------------------
+
+    def _learn(self, bid: int, value: Any, forward_exclude: int | None) -> None:
+        if bid in self._held:
+            return
+        self._held[bid] = value
+        self.record(BCAST_DELIVERED, bid=bid)
+        self.broadcast(FLOOD, exclude=forward_exclude, bid=bid, value=value)
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == FLOOD:
+            self._learn(
+                message.payload["bid"], message.payload["value"],
+                forward_exclude=message.sender,
+            )
+
+
+class AntiEntropyNode(FloodNode):
+    """Flooding plus periodic digest reconciliation.
+
+    Args:
+        value: local value (API symmetry).
+        period: time between digest exchanges with a random neighbor.
+    """
+
+    def __init__(self, value: Any = None, period: float = 2.0) -> None:
+        super().__init__(value)
+        if period <= 0:
+            raise ConfigurationError(f"period must be > 0, got {period}")
+        self.period = period
+        self.reconciliations = 0
+
+    def on_start(self) -> None:
+        self.set_timer(self.rng.uniform(0, self.period), "ae-round", None)
+
+    def on_timer(self, name: str, payload: Any) -> None:
+        if name != "ae-round":
+            return
+        neighbors = sorted(self.neighbors())
+        if neighbors:
+            target = self.rng.choice(neighbors)
+            self.send(target, DIGEST, held=sorted(self._held))
+        self.set_timer(self.period, "ae-round", None)
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == DIGEST:
+            self._handle_digest(message)
+        elif message.kind == MISSING:
+            self._handle_missing(message)
+        else:
+            super().on_message(message)
+
+    def _handle_digest(self, message: Message) -> None:
+        """Push what the peer lacks; ask for what we lack."""
+        peer_held = set(message.payload["held"])
+        if message.sender not in self.neighbors():
+            return
+        they_lack = sorted(set(self._held) - peer_held)
+        if they_lack:
+            self.send(
+                message.sender, MISSING,
+                items=[(bid, self._held[bid]) for bid in they_lack],
+            )
+            self.reconciliations += 1
+        we_lack = peer_held - set(self._held)
+        if we_lack:
+            # Ask by advertising our digest back (the peer will push).
+            self.send(message.sender, DIGEST, held=sorted(self._held))
+
+    def _handle_missing(self, message: Message) -> None:
+        for bid, value in message.payload["items"]:
+            if bid not in self._held:
+                self._held[bid] = value
+                self.record(BCAST_DELIVERED, bid=bid)

@@ -1,0 +1,82 @@
+"""Expanding-ring search: buying back knowledge with feedback.
+
+A querier in ``G_local`` has no usable TTL — but it can *probe*: launch a
+wave with TTL 1, then 2, 4, 8, ..., and stop when two consecutive probes
+return the same contributor set.  In a static system this terminates with
+the complete answer without ever knowing the diameter: the doubling TTL
+eventually covers the graph and the stability rule detects it.
+
+The protocol is the constructive counterpoint to the E7 ablation: it trades
+messages (each probe refloods) and latency (several rounds) for the missing
+global parameter, and its stability rule is still a *heuristic* under
+churn — the growth adversary keeps the frontier moving so the probe
+sequence either never stabilises or stabilises too early, which is exactly
+the E6 impossibility reappearing one level up.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.aggregates import Aggregate, SET
+from repro.protocols.one_time_query import WaveNode
+from repro.sim.errors import ProtocolError
+
+
+class ExpandingRingNode(WaveNode):
+    """A wave node whose querier side probes with doubling TTLs."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.probe_rounds = 0
+
+    def issue_adaptive_query(
+        self,
+        aggregate: Aggregate = SET,
+        initial_ttl: int = 1,
+        stability_rounds: int = 2,
+        max_ttl: int = 1 << 20,
+    ) -> int:
+        """Launch an adaptive (expanding-ring) query; returns the query id.
+
+        Args:
+            aggregate: the aggregate to compute.
+            initial_ttl: first probe radius.
+            stability_rounds: consecutive probes with identical contributor
+                sets required to stop.
+            max_ttl: safety cap on the probe radius (a protocol with no cap
+                cannot guarantee termination against unbounded growth).
+        """
+        if initial_ttl < 1:
+            raise ProtocolError(f"initial ttl must be >= 1, got {initial_ttl}")
+        if stability_rounds < 2:
+            raise ProtocolError(
+                f"stability needs >= 2 rounds, got {stability_rounds}"
+            )
+        qid = self.announce_query(aggregate)
+        issued_at = self.now
+        history: list[frozenset[int]] = []
+
+        def probe(ttl: int) -> None:
+            self.probe_rounds += 1
+            self.record("probe", qid=qid, ttl=ttl)
+            self.start_wave(
+                self.sim.new_qid(), ttl=ttl,
+                on_complete=lambda contributions: arrived(ttl, contributions),
+            )
+
+        def arrived(ttl: int, contributions: dict[int, Any]) -> None:
+            history.append(frozenset(contributions))
+            stable = (
+                len(history) >= stability_rounds
+                and all(
+                    h == history[-1] for h in history[-stability_rounds:]
+                )
+            )
+            if stable or ttl >= max_ttl:
+                self.resolve_query(qid, aggregate, contributions, issued_at)
+                return
+            probe(min(max_ttl, ttl * 2))
+
+        probe(initial_ttl)
+        return qid

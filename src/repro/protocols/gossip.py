@@ -1,0 +1,94 @@
+"""Push-sum gossip: the epidemic baseline for aggregation under churn.
+
+Kempe–Dobra–Gehrke push-sum computes averages (and, with a one-node weight
+seed, counts) by mass-conserving random exchanges: each round every node
+sends half of its ``(sum, weight)`` mass to a random neighbor and keeps the
+other half; ``sum / weight`` converges to the global average everywhere.
+
+Against the wave protocol this baseline trades *deterministic completeness*
+for *graceful degradation*: it never identifies contributors (so it cannot
+satisfy the one-time query integrity clause and is judged on numeric
+accuracy instead), but it has no single query interval to disrupt — churn
+merely bleeds mass (departures destroy the mass they hold, in-flight mass to
+departed nodes is lost) and bends the estimate.  E8 measures that trade.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.protocols.base import AggregatingProcess
+from repro.sim.messages import Message
+
+PUSH = "PS_PUSH"
+
+#: Trace event written when an estimate is read off a node.
+GOSSIP_ESTIMATE = "gossip_estimate"
+
+
+class PushSumNode(AggregatingProcess):
+    """A node running push-sum rounds.
+
+    Args:
+        value: the numeric local value.
+        weight: initial weight mass.  For AVG every node uses 1.0 (the
+            default); for COUNT seed exactly one node with 1.0 and the rest
+            with 0.0 while every value is 1.0.
+        period: round length (time between this node's sends).
+    """
+
+    def __init__(self, value: float = 0.0, weight: float = 1.0, period: float = 1.0) -> None:
+        super().__init__(value)
+        self.sum = float(value)
+        self.weight = float(weight)
+        self.period = period
+        self.rounds_run = 0
+
+    # ------------------------------------------------------------------
+    # Estimate
+    # ------------------------------------------------------------------
+
+    @property
+    def estimate(self) -> float:
+        """Current local estimate ``sum / weight`` (``nan`` with no mass)."""
+        if self.weight == 0.0:
+            return float("nan")
+        return self.sum / self.weight
+
+    def read_estimate(self) -> float:
+        """Read and trace the current estimate (what the experiment samples)."""
+        value = self.estimate
+        self.record(GOSSIP_ESTIMATE, estimate=value, weight=self.weight,
+                    rounds=self.rounds_run)
+        return value
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        # Desynchronise rounds across nodes with a random initial phase.
+        self.set_timer(self.rng.uniform(0, self.period), "ps-round", None)
+
+    def on_timer(self, name: str, payload: Any) -> None:
+        if name != "ps-round":
+            return
+        self._run_round()
+        self.set_timer(self.period, "ps-round", None)
+
+    def _run_round(self) -> None:
+        self.rounds_run += 1
+        neighbors = sorted(self.neighbors())
+        if not neighbors:
+            return
+        target = self.rng.choice(neighbors)
+        half_sum = self.sum / 2.0
+        half_weight = self.weight / 2.0
+        self.sum -= half_sum
+        self.weight -= half_weight
+        self.send(target, PUSH, sum=half_sum, weight=half_weight)
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == PUSH:
+            self.sum += message.payload["sum"]
+            self.weight += message.payload["weight"]

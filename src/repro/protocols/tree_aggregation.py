@@ -1,0 +1,203 @@
+"""Continuous tree aggregation with epoch-based repair.
+
+The one-time query answers once; a monitoring sink usually wants the
+aggregate *continuously*.  This protocol maintains a BFS spanning tree
+rooted at the sink and convergecasts partial sums along it:
+
+* the sink periodically floods a ``BUILD(epoch, level)`` wave; each process
+  adopts the lowest-level sender of the newest epoch as its parent
+  (rebuild-by-epoch is the repair mechanism — a broken tree heals on the
+  next wave, so the repair latency is the rebuild period);
+* every report period each process sends ``REPORT(epoch, sum, count)`` for
+  its whole subtree to its parent, computed from its own value plus the
+  freshest reports of its current children;
+* the sink's running estimate is its own value plus its children's subtree
+  reports — readable at any instant, with staleness bounded by the tree
+  depth times the report period.
+
+Under churn the estimate is *approximately current*: departures are purged
+from caches via neighbor-leave notifications, newcomers are absorbed on the
+next build wave.  The E12 bench measures estimate error versus churn rate
+and rebuild period — the knob a deployment actually tunes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.protocols.base import AggregatingProcess
+from repro.sim.errors import ConfigurationError
+from repro.sim.messages import Message
+
+BUILD = "TREE_BUILD"
+REPORT = "TREE_REPORT"
+
+#: Trace event written when the sink's estimate is read.
+TREE_ESTIMATE = "tree_estimate"
+
+
+@dataclass
+class _ChildReport:
+    epoch: int
+    subtree_sum: float
+    subtree_count: int
+
+
+class TreeAggregationNode(AggregatingProcess):
+    """A process participating in continuous tree aggregation.
+
+    Exactly one process per system should be constructed with
+    ``is_sink=True``; it drives the build waves and holds the estimate.
+
+    Args:
+        value: the numeric local value being aggregated.
+        is_sink: whether this process is the aggregation root.
+        rebuild_period: time between build waves (sink only).
+        report_period: time between subtree reports (every process).
+    """
+
+    def __init__(
+        self,
+        value: float = 0.0,
+        is_sink: bool = False,
+        rebuild_period: float = 10.0,
+        report_period: float = 1.0,
+    ) -> None:
+        super().__init__(value)
+        if rebuild_period <= 0 or report_period <= 0:
+            raise ConfigurationError("periods must be > 0")
+        self.is_sink = is_sink
+        self.rebuild_period = rebuild_period
+        self.report_period = report_period
+        self.epoch = -1
+        self.parent: int | None = None
+        self.level = 0 if is_sink else -1
+        self._children: dict[int, _ChildReport] = {}
+        self.builds_started = 0
+        self.reports_sent = 0
+
+    # ------------------------------------------------------------------
+    # Estimate (sink side)
+    # ------------------------------------------------------------------
+
+    def subtree_totals(self) -> tuple[float, int]:
+        """(sum, count) over this node's subtree per its freshest caches.
+
+        Reports from the current epoch or the immediately preceding one are
+        counted: the one-epoch grace window keeps the estimate steady while
+        a new tree's report pipeline fills.  The cost is up to one epoch of
+        staleness after a reparenting — including transient *over*-counting
+        when a subtree's old parent still caches its previous-epoch report
+        while the new parent already holds the fresh one.
+        """
+        total = float(self.value)
+        count = 1
+        for report in self._children.values():
+            if report.epoch >= self.epoch - 1:
+                total += report.subtree_sum
+                count += report.subtree_count
+        return total, count
+
+    @property
+    def estimate_sum(self) -> float:
+        return self.subtree_totals()[0]
+
+    @property
+    def estimate_count(self) -> int:
+        return self.subtree_totals()[1]
+
+    @property
+    def estimate_avg(self) -> float:
+        total, count = self.subtree_totals()
+        return total / count
+
+    def read_estimate(self) -> tuple[float, int]:
+        """Read and trace the sink's current (sum, count) estimate."""
+        total, count = self.subtree_totals()
+        self.record(TREE_ESTIMATE, total=total, count=count, epoch=self.epoch)
+        return total, count
+
+    # ------------------------------------------------------------------
+    # Protocol
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        if self.is_sink:
+            self._start_build()
+        self.set_timer(
+            self.rng.uniform(0, self.report_period), "tree-report", None
+        )
+
+    def _start_build(self) -> None:
+        self.epoch += 1
+        self.builds_started += 1
+        self.level = 0
+        self.parent = None
+        self._purge_stale()
+        self.broadcast(BUILD, epoch=self.epoch, level=0)
+        self.set_timer(self.rebuild_period, "tree-build", None)
+
+    def _purge_stale(self) -> None:
+        """Drop cache entries too old to ever be counted again."""
+        cutoff = self.epoch - 1
+        for child in [c for c, r in self._children.items() if r.epoch < cutoff]:
+            del self._children[child]
+
+    def on_timer(self, name: str, payload: Any) -> None:
+        if name == "tree-build" and self.is_sink:
+            self._start_build()
+        elif name == "tree-report":
+            self._send_report()
+            self.set_timer(self.report_period, "tree-report", None)
+
+    def _send_report(self) -> None:
+        if self.is_sink or self.parent is None:
+            return
+        if self.parent not in self.neighbors():
+            self.parent = None  # orphaned until the next build wave
+            return
+        total, count = self.subtree_totals()
+        self.send(
+            self.parent, REPORT,
+            epoch=self.epoch, subtree_sum=total, subtree_count=count,
+        )
+        self.reports_sent += 1
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == BUILD:
+            self._handle_build(message)
+        elif message.kind == REPORT:
+            self._handle_report(message)
+
+    def _handle_build(self, message: Message) -> None:
+        if self.is_sink:
+            return
+        epoch = message.payload["epoch"]
+        level = message.payload["level"]
+        if epoch <= self.epoch:
+            # First arrival wins within an epoch: re-parenting mid-epoch
+            # would leave the old parent's cached report in place and
+            # double-count this subtree at the sink.
+            return
+        self.epoch = epoch
+        self._purge_stale()
+        self.parent = message.sender
+        self.level = level + 1
+        self.broadcast(BUILD, exclude=message.sender, epoch=epoch, level=self.level)
+
+    def _handle_report(self, message: Message) -> None:
+        epoch = message.payload["epoch"]
+        cached = self._children.get(message.sender)
+        if cached is not None and cached.epoch > epoch:
+            return  # never replace fresher information with staler
+        self._children[message.sender] = _ChildReport(
+            epoch=epoch,
+            subtree_sum=message.payload["subtree_sum"],
+            subtree_count=message.payload["subtree_count"],
+        )
+
+    def on_neighbor_leave(self, pid: int) -> None:
+        self._children.pop(pid, None)
+        if self.parent == pid:
+            self.parent = None  # wait for the next build wave

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the simulation substrate.
+
+Every error raised by :mod:`repro.sim` derives from :class:`SimulationError`
+so callers can catch simulator trouble without masking unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled incorrectly (e.g. in the past)."""
+
+
+class MembershipError(SimulationError):
+    """An operation referenced a process that is not (or already is) present."""
+
+
+class TopologyError(SimulationError):
+    """An operation violated the communication topology (e.g. sending to a
+    process that is not a neighbor under neighbor-only knowledge)."""
+
+
+class ProtocolError(SimulationError):
+    """A protocol implementation violated the node API contract."""
+
+
+class ConfigurationError(SimulationError):
+    """A simulation component was configured with invalid parameters."""

@@ -1,0 +1,115 @@
+"""Event queue for the discrete-event simulator.
+
+The queue is a binary heap ordered by ``(time, priority, sequence)``.  The
+sequence number makes ordering total and deterministic: two events scheduled
+for the same instant fire in scheduling order, so simulations are exactly
+reproducible for a given seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.sim.errors import SchedulingError
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for membership changes; they fire before message deliveries
+#: scheduled at the same instant so a leave at time t suppresses deliveries
+#: at time t (the adversary controls ties).
+PRIORITY_MEMBERSHIP = -1
+#: Priority for bookkeeping that must run after everything else at an instant.
+PRIORITY_LATE = 1
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: simulation time at which the event fires.
+        priority: tie-break between events at the same instant (lower first).
+        seq: global sequence number; makes ordering total.
+        action: zero-argument callable executed when the event fires.
+        label: human-readable tag used in traces and debugging.
+        cancelled: cooperatively-cancelled events are skipped when popped.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark this event so the scheduler skips it."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at ``time`` and return the event handle."""
+        if time != time:  # NaN guard
+            raise SchedulingError("event time is NaN")
+        event = Event(time, priority, next(self._counter), action, label)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest live event.
+
+        Raises:
+            SchedulingError: if the queue is empty.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        raise SchedulingError("pop from empty event queue")
+
+    def peek_time(self) -> float | None:
+        """Return the firing time of the earliest live event, or ``None``."""
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def note_cancelled(self) -> None:
+        """Account for an event cancelled through its handle.
+
+        :meth:`Event.cancel` does not know about the queue, so the scheduler
+        calls this to keep ``len()`` accurate.
+        """
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+        self._live = 0

@@ -1,0 +1,256 @@
+"""Membership and message transport.
+
+The :class:`Network` owns the two facts the paper's two dimensions talk
+about: *who is present* (the entity dimension) and *who can talk to whom*
+(the geography dimension).  Processes interact with it only through
+:class:`repro.sim.node.Process` actions, so protocol code cannot cheat and
+peek at global state.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Iterable
+
+from repro.sim import trace as tr
+from repro.sim.errors import MembershipError, TopologyError
+from repro.sim.events import PRIORITY_NORMAL
+from repro.sim.latency import DelayModel, LossModel, NoLoss, UniformDelay
+from repro.sim.messages import Message
+from repro.sim.node import Process
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.scheduler import Simulator
+
+
+class Network:
+    """Tracks present processes, their links, and in-flight messages.
+
+    Args:
+        sim: owning simulator.
+        delay_model: per-message transmission delay distribution.
+        loss_model: per-message drop decision.
+        complete: if ``True`` the communication graph is always complete
+            (the ``G_complete`` knowledge class); explicit edges are ignored.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay_model: DelayModel | None = None,
+        loss_model: LossModel | None = None,
+        complete: bool = False,
+        fifo: bool = False,
+        notify_leaves: bool = True,
+    ) -> None:
+        self._sim = sim
+        self.delay_model = delay_model or UniformDelay()
+        self.loss_model = loss_model or NoLoss()
+        self.complete = complete
+        #: When False, departures are *silent*: neighbors get no
+        #: ``on_neighbor_leave`` callback and must infer the crash from
+        #: silence (failure detection).  This removes the perfect-detector
+        #: assumption the default model makes.
+        self.notify_leaves = notify_leaves
+        #: FIFO channels: deliveries on each directed (sender, receiver)
+        #: pair never overtake earlier ones, even when the sampled delays
+        #: would reorder them.
+        self.fifo = fifo
+        self._last_delivery: dict[tuple[int, int], float] = {}
+        self._processes: dict[int, Process] = {}
+        self._adjacency: dict[int, set[int]] = {}
+        self._edge_delays: dict[tuple[int, int], DelayModel] = {}
+        # Simulation-local message ids keep traces reproducible regardless
+        # of how many messages other simulations in this Python process
+        # have created.
+        self._msg_ids = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+
+    def present(self) -> frozenset[int]:
+        """Ids of processes currently in the system (omniscient view —
+        available to the analysis layer, never to protocol code)."""
+        return frozenset(self._processes)
+
+    def process(self, pid: int) -> Process:
+        """Return the live process object for ``pid``."""
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise MembershipError(f"process {pid} is not present") from None
+
+    def is_present(self, pid: int) -> bool:
+        return pid in self._processes
+
+    def add_process(self, proc: Process, neighbors: Iterable[int] = ()) -> None:
+        """Insert ``proc`` and connect it to ``neighbors``.
+
+        The caller (simulator/churn model) must have assigned ``proc.pid``.
+        """
+        pid = proc.pid
+        if pid in self._processes:
+            raise MembershipError(f"process {pid} is already present")
+        neighbor_ids = set(neighbors)
+        missing = neighbor_ids - set(self._processes)
+        if missing:
+            raise MembershipError(
+                f"cannot attach {pid} to absent processes {sorted(missing)}"
+            )
+        self._processes[pid] = proc
+        self._adjacency[pid] = set()
+        for other in sorted(neighbor_ids):
+            self._link(pid, other)
+        self._sim.trace.record(
+            self._sim.now, tr.JOIN, entity=pid, degree=len(neighbor_ids),
+            value=getattr(proc, "value", None),
+            neighbors=tuple(sorted(neighbor_ids)),
+        )
+        proc._alive = True
+        proc.on_start()
+        # In complete mode every present process is a neighbor of the
+        # newcomer, so everyone learns of the join.
+        to_notify = (
+            set(self._processes) - {pid} if self.complete else neighbor_ids
+        )
+        for other in sorted(to_notify):
+            if other in self._processes:  # may have left during callbacks
+                self._processes[other].on_neighbor_join(pid)
+
+    def remove_process(self, pid: int) -> Process:
+        """Remove ``pid`` from the system; in-flight messages to it drop."""
+        proc = self.process(pid)
+        proc._alive = False
+        proc.on_stop()
+        if self.complete:
+            former_neighbors = sorted(set(self._processes) - {pid})
+        else:
+            former_neighbors = sorted(self._adjacency.get(pid, ()))
+        for other in former_neighbors:
+            self._adjacency[other].discard(pid)
+        del self._adjacency[pid]
+        del self._processes[pid]
+        self._sim.trace.record(self._sim.now, tr.LEAVE, entity=pid)
+        if self.notify_leaves:
+            for other in former_neighbors:
+                if other in self._processes:
+                    self._processes[other].on_neighbor_leave(pid)
+        return proc
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+
+    def neighbors(self, pid: int) -> frozenset[int]:
+        """Current neighbor set of ``pid``."""
+        if pid not in self._processes:
+            raise MembershipError(f"process {pid} is not present")
+        if self.complete:
+            return frozenset(p for p in self._processes if p != pid)
+        return frozenset(self._adjacency[pid])
+
+    def _link(self, a: int, b: int) -> None:
+        if a == b:
+            raise TopologyError(f"self-loop on process {a}")
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+
+    def add_edge(self, a: int, b: int) -> None:
+        """Create a link between two present processes (dynamic topology)."""
+        if a not in self._processes or b not in self._processes:
+            raise MembershipError(f"both endpoints of ({a}, {b}) must be present")
+        if b in self._adjacency[a]:
+            return
+        self._link(a, b)
+        self._sim.trace.record(self._sim.now, "edge_up", a=min(a, b), b=max(a, b))
+        self._processes[a].on_neighbor_join(b)
+        self._processes[b].on_neighbor_join(a)
+
+    def remove_edge(self, a: int, b: int) -> None:
+        """Drop the link between ``a`` and ``b`` (dynamic topology)."""
+        if a not in self._processes or b not in self._processes:
+            raise MembershipError(f"both endpoints of ({a}, {b}) must be present")
+        if b not in self._adjacency[a]:
+            return
+        self._adjacency[a].discard(b)
+        self._adjacency[b].discard(a)
+        self._sim.trace.record(self._sim.now, "edge_down", a=min(a, b), b=max(a, b))
+        self._processes[a].on_neighbor_leave(b)
+        self._processes[b].on_neighbor_leave(a)
+
+    def edges(self) -> set[tuple[int, int]]:
+        """All current links as sorted pairs (analysis-layer view)."""
+        return {
+            (min(a, b), max(a, b))
+            for a, nbrs in self._adjacency.items()
+            for b in nbrs
+        }
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def set_edge_delay(self, a: int, b: int, model: DelayModel) -> None:
+        """Override the delay model on one link (adversary constructions)."""
+        self._edge_delays[(min(a, b), max(a, b))] = model
+
+    def _delay_for(self, a: int, b: int) -> DelayModel:
+        return self._edge_delays.get((min(a, b), max(a, b)), self.delay_model)
+
+    def send(self, message: Message) -> None:
+        """Accept a message for delivery.
+
+        Enforces the geography constraint: the receiver must be a current
+        neighbor of the sender (unless the graph is complete).
+        """
+        sender, receiver = message.sender, message.receiver
+        if sender not in self._processes:
+            raise MembershipError(f"sender {sender} is not present")
+        if not self.complete and receiver not in self._adjacency[sender]:
+            raise TopologyError(
+                f"process {sender} cannot reach {receiver}: not a neighbor"
+            )
+        if self.complete and (receiver == sender or receiver not in self._processes):
+            raise TopologyError(f"process {sender} cannot reach {receiver}")
+        now = self._sim.now
+        msg_id = next(self._msg_ids)
+        self._sim.trace.record(
+            now, tr.SEND, msg_id=msg_id, msg_kind=message.kind,
+            sender=sender, receiver=receiver,
+        )
+        rng = self._sim.rng_for("transport")
+        if self.loss_model.is_lost(rng):
+            self._sim.trace.record(
+                now, tr.DROP, msg_id=msg_id, msg_kind=message.kind,
+                sender=sender, receiver=receiver, reason="loss",
+            )
+            return
+        delay = self._delay_for(sender, receiver).sample(rng)
+        deliver_at = now + delay
+        if self.fifo:
+            channel = (sender, receiver)
+            deliver_at = max(deliver_at, self._last_delivery.get(channel, 0.0))
+            self._last_delivery[channel] = deliver_at
+        self._sim.at(
+            deliver_at,
+            lambda: self._deliver(message, msg_id),
+            priority=PRIORITY_NORMAL,
+            label=f"deliver:{message.kind}",
+        )
+
+    def _deliver(self, message: Message, msg_id: int) -> None:
+        now = self._sim.now
+        receiver = self._processes.get(message.receiver)
+        if receiver is None or not receiver._alive:
+            self._sim.trace.record(
+                now, tr.DROP, msg_id=msg_id, msg_kind=message.kind,
+                sender=message.sender, receiver=message.receiver,
+                reason="receiver_absent",
+            )
+            return
+        self._sim.trace.record(
+            now, tr.DELIVER, msg_id=msg_id, msg_kind=message.kind,
+            sender=message.sender, receiver=message.receiver,
+        )
+        receiver.on_message(message)

@@ -1,0 +1,223 @@
+"""The discrete-event simulator core.
+
+:class:`Simulator` ties together the event queue, the virtual clock, the
+network, seeded randomness and the trace log.  A simulation is fully
+deterministic given its configuration and seed.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Any, Callable, Iterable
+
+from repro.sim.errors import SchedulingError
+from repro.sim.events import Event, EventQueue, PRIORITY_MEMBERSHIP, PRIORITY_NORMAL
+from repro.sim.latency import DelayModel, LossModel
+from repro.sim.network import Network
+from repro.sim.node import Process
+from repro.sim.rng import SeedSequence
+from repro.sim.trace import TraceLog
+
+
+class Simulator:
+    """A deterministic discrete-event simulator for dynamic systems.
+
+    Args:
+        seed: root seed; all randomness derives from it.
+        delay_model: message delay distribution (default: uniform [0.5, 1.5]).
+        loss_model: message loss model (default: reliable).
+        complete: if ``True`` the communication graph is complete
+            (the ``G_complete`` knowledge class).
+        fifo: if ``True`` channels are FIFO (no per-link reordering).
+        notify_leaves: if ``False`` departures are silent (no perfect
+            failure detection; protocols must use timeouts/heartbeats).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        delay_model: DelayModel | None = None,
+        loss_model: LossModel | None = None,
+        complete: bool = False,
+        fifo: bool = False,
+        notify_leaves: bool = True,
+    ) -> None:
+        self.seeds = SeedSequence(seed)
+        self.queue = EventQueue()
+        self.trace = TraceLog()
+        self.network = Network(
+            self, delay_model=delay_model, loss_model=loss_model,
+            complete=complete, fifo=fifo, notify_leaves=notify_leaves,
+        )
+        self._now = 0.0
+        self._pid_counter = itertools.count()
+        self._qid_counter = itertools.count()
+        self._streams: dict[str, random.Random] = {}
+        self._process_streams: dict[int, random.Random] = {}
+        self._events_executed = 0
+
+    # ------------------------------------------------------------------
+    # Clock & randomness
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_executed
+
+    def rng_for(self, name: str) -> random.Random:
+        """Return the named component's random stream (created on demand)."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = self.seeds.stream(name)
+            self._streams[name] = stream
+        return stream
+
+    def process_rng(self, pid: int) -> random.Random:
+        """Return the per-process random stream for ``pid``."""
+        stream = self._process_streams.get(pid)
+        if stream is None:
+            stream = self.seeds.spawn("process").stream(pid)
+            self._process_streams[pid] = stream
+        return stream
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay} in the past")
+        return self.queue.push(self._now + delay, action, priority=priority, label=label)
+
+    def at(
+        self,
+        time: float,
+        action: Callable[[], Any],
+        *,
+        priority: int = PRIORITY_NORMAL,
+        label: str = "",
+    ) -> Event:
+        """Schedule ``action`` at absolute simulation time ``time``."""
+        if time < self._now:
+            raise SchedulingError(f"cannot schedule at {time} < now ({self._now})")
+        return self.queue.push(time, action, priority=priority, label=label)
+
+    def call_soon(self, action: Callable[[], Any], *, label: str = "") -> Event:
+        """Schedule ``action`` at the current instant (after pending ties)."""
+        return self.queue.push(self._now, action, label=label)
+
+    # ------------------------------------------------------------------
+    # Membership actions (used by churn models and experiment drivers)
+    # ------------------------------------------------------------------
+
+    def new_pid(self) -> int:
+        """Allocate a fresh entity id.
+
+        Ids are never reused: an entity that leaves and "comes back" is, per
+        the paper's entity dimension, a *new* entity.
+        """
+        return next(self._pid_counter)
+
+    def new_qid(self) -> int:
+        """Allocate a fresh query id (unique within this simulation)."""
+        return next(self._qid_counter)
+
+    def spawn(
+        self, proc: Process, neighbors: Iterable[int] = (), pid: int | None = None
+    ) -> Process:
+        """Add ``proc`` to the system, connected to ``neighbors``."""
+        proc.pid = self.new_pid() if pid is None else pid
+        proc._sim = self
+        self.network.add_process(proc, neighbors)
+        return proc
+
+    def kill(self, pid: int) -> Process:
+        """Remove process ``pid`` from the system immediately."""
+        return self.network.remove_process(pid)
+
+    def schedule_join(
+        self,
+        delay: float,
+        make_process: Callable[[], Process],
+        choose_neighbors: Callable[[frozenset[int]], Iterable[int]],
+    ) -> Event:
+        """Schedule a join: at ``now + delay`` create a process and attach it.
+
+        ``choose_neighbors`` receives the set of processes present at join
+        time and returns the attachment points.
+        """
+
+        def _join() -> None:
+            proc = make_process()
+            self.spawn(proc, choose_neighbors(self.network.present()))
+
+        return self.schedule(
+            delay, _join, priority=PRIORITY_MEMBERSHIP, label="join"
+        )
+
+    def schedule_leave(self, delay: float, pid: int) -> Event:
+        """Schedule process ``pid`` to leave at ``now + delay`` (no-op if it
+        already left)."""
+
+        def _leave() -> None:
+            if self.network.is_present(pid):
+                self.kill(pid)
+
+        return self.schedule(
+            delay, _leave, priority=PRIORITY_MEMBERSHIP, label=f"leave:{pid}"
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> bool:
+        """Execute one event; return ``False`` if the queue was empty."""
+        if not self.queue:
+            return False
+        event = self.queue.pop()
+        if event.time < self._now:
+            raise SchedulingError(
+                f"time went backwards: {event.time} < {self._now} ({event.label})"
+            )
+        self._now = event.time
+        self._events_executed += 1
+        event.action()
+        return True
+
+    def run(self, until: float | None = None, max_events: int = 5_000_000) -> float:
+        """Run until the queue drains, ``until`` passes, or ``max_events``.
+
+        Events scheduled exactly at ``until`` are executed.  Returns the
+        simulation time when the run stopped.
+        """
+        executed = 0
+        while self.queue:
+            next_time = self.queue.peek_time()
+            if until is not None and next_time is not None and next_time > until:
+                self._now = until
+                return self._now
+            if executed >= max_events:
+                raise SchedulingError(
+                    f"exceeded max_events={max_events}; runaway simulation?"
+                )
+            self.step()
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now

@@ -1,0 +1,189 @@
+"""Structured trace recording.
+
+Every observable fact about a simulation — membership changes, message
+sends, deliveries and drops, protocol milestones — is appended to a
+:class:`TraceLog`.  The formal layer (:mod:`repro.core`) consumes traces to
+build *runs* and to check problem specifications, so the trace is the single
+source of truth connecting the simulator to the paper's definitions.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+# Canonical event kinds written by the substrate.  Protocols are free to
+# record additional kinds (e.g. "query_issued").
+JOIN = "join"
+LEAVE = "leave"
+SEND = "send"
+DELIVER = "deliver"
+DROP = "drop"
+TIMER = "timer"
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One observable fact, at one instant."""
+
+    time: float
+    kind: str
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.data[key]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self.data.get(key, default)
+
+
+class TraceLog:
+    """An append-only, time-ordered log of :class:`TraceEvent` objects."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+        self._counts: dict[str, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def record(self, time: float, kind: str, **data: Any) -> TraceEvent:
+        """Append an event and return it."""
+        event = TraceEvent(time, kind, data)
+        self._events.append(event)
+        self._counts[kind] = self._counts.get(kind, 0) + 1
+        return event
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def events(self, kind: str | None = None) -> list[TraceEvent]:
+        """Return all events, optionally filtered by kind."""
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def count(self, kind: str) -> int:
+        """Return how many events of ``kind`` were recorded."""
+        return self._counts.get(kind, 0)
+
+    def first(self, kind: str) -> TraceEvent | None:
+        """Return the earliest event of ``kind``, or ``None``."""
+        for event in self._events:
+            if event.kind == kind:
+                return event
+        return None
+
+    def last(self, kind: str) -> TraceEvent | None:
+        """Return the latest event of ``kind``, or ``None``."""
+        for event in reversed(self._events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def between(self, t0: float, t1: float, kind: str | None = None) -> list[TraceEvent]:
+        """Return events with ``t0 <= time <= t1`` (optionally of one kind)."""
+        return [
+            e
+            for e in self._events
+            if t0 <= e.time <= t1 and (kind is None or e.kind == kind)
+        ]
+
+    # ------------------------------------------------------------------
+    # Membership helpers (consumed by repro.core.runs)
+    # ------------------------------------------------------------------
+
+    def membership_events(self) -> list[TraceEvent]:
+        """Return join/leave events in time order."""
+        return [e for e in self._events if e.kind in (JOIN, LEAVE)]
+
+    def entities_ever(self) -> set[int]:
+        """Return the ids of every entity that ever joined."""
+        return {e["entity"] for e in self._events if e.kind == JOIN}
+
+    def message_count(self) -> int:
+        """Total number of message sends (the standard cost metric)."""
+        return self.count(SEND)
+
+    def summary(self) -> dict[str, int]:
+        """Return a ``{kind: count}`` summary of the whole log."""
+        return dict(self._counts)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def save_jsonl(self, path: str | Path) -> int:
+        """Write the log as JSON Lines; returns the number of events.
+
+        Tuples and frozensets in event data are encoded with type markers
+        so :meth:`load_jsonl` round-trips them exactly.
+        """
+        path = Path(path)
+        with path.open("w", encoding="utf-8") as handle:
+            for event in self._events:
+                record = {
+                    "t": event.time,
+                    "k": event.kind,
+                    "d": {key: _encode(value) for key, value in event.data.items()},
+                }
+                handle.write(json.dumps(record) + "\n")
+        return len(self._events)
+
+    @classmethod
+    def load_jsonl(cls, path: str | Path) -> "TraceLog":
+        """Read a log written by :meth:`save_jsonl`."""
+        log = cls()
+        with Path(path).open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                data = {key: _decode(value) for key, value in record["d"].items()}
+                log.record(record["t"], record["k"], **data)
+        return log
+
+
+def _encode(value: Any) -> Any:
+    """JSON-encode event data, marking tuples and frozensets."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(v) for v in value]}
+    if isinstance(value, frozenset):
+        return {"__frozenset__": sorted((_encode(v) for v in value), key=repr)}
+    if isinstance(value, (list, dict, str, int, float, bool)) or value is None:
+        return value
+    return {"__repr__": repr(value)}
+
+
+def _decode(value: Any) -> Any:
+    """Inverse of :func:`_encode` (best effort for ``__repr__`` markers)."""
+    if isinstance(value, dict):
+        if "__tuple__" in value:
+            return tuple(_decode(v) for v in value["__tuple__"])
+        if "__frozenset__" in value:
+            return frozenset(_decode(v) for v in value["__frozenset__"])
+        if "__repr__" in value:
+            return value["__repr__"]
+        return {key: _decode(v) for key, v in value.items()}
+    return value
+
+
+def merge_logs(logs: Iterable[TraceLog]) -> TraceLog:
+    """Merge several logs into one, re-sorted by time (stable).
+
+    Useful when analysing a batch of independent trials together.
+    """
+    merged = TraceLog()
+    events = sorted(
+        (e for log in logs for e in log), key=lambda e: e.time
+    )
+    for event in events:
+        merged.record(event.time, event.kind, **event.data)
+    return merged

@@ -1,0 +1,68 @@
+"""Knowledge flooding in the synchronous model.
+
+The paper's one-shot framing of the query problem, undressed: every round,
+every process tells its neighbors everything it knows; after ``R`` rounds
+the querier aggregates what it has heard.  In a static graph the querier
+knows exactly the values within ``R`` hops, so the query is complete iff
+``R >= eccentricity(querier)`` — the knowledge-of-the-diameter requirement
+in its purest form (E20a).
+
+Between-round churn restates the impossibility natively: an adversary that
+extends a chain by one process per round keeps the frontier exactly one
+hop ahead of the flood forever (E20b).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.aggregates import Aggregate
+from repro.synchronous.runner import RoundMessage, SyncProcess
+
+
+class KnowledgeFlood(SyncProcess):
+    """Floods (pid, value) knowledge to all neighbors every round.
+
+    ``send_deltas`` sends only newly learned pairs (the practical variant);
+    turning it off re-sends everything (the textbook variant).  Both learn
+    identical knowledge; only the message complexity differs.
+    """
+
+    def __init__(self, value: Any = None, send_deltas: bool = True) -> None:
+        super().__init__(value)
+        self.send_deltas = send_deltas
+        self.known: dict[int, Any] = {}
+        self._fresh: dict[int, Any] = {}
+
+    def on_init(self) -> None:
+        self.known = {self.pid: self.value}
+        self._fresh = dict(self.known)
+
+    def send(self, round_no: int) -> dict[int, Any]:
+        if self.send_deltas:
+            outgoing = sorted(self._fresh.items())
+            self._fresh = {}
+        else:
+            outgoing = sorted(self.known.items())
+        if not outgoing:
+            return {}
+        return {neighbor: outgoing for neighbor in self.neighbors}
+
+    def receive(self, round_no: int, inbox: list[RoundMessage]) -> None:
+        for message in inbox:
+            for pid, value in message.payload:
+                if pid not in self.known:
+                    self.known[pid] = value
+                    self._fresh[pid] = value
+
+    def aggregate(self, aggregate: Aggregate) -> Any:
+        """Aggregate everything this process currently knows."""
+        return aggregate.of(
+            self.known[pid] for pid in sorted(self.known)
+        )
+
+    def coverage_of(self, population: frozenset[int]) -> float:
+        """Fraction of ``population`` whose values this process knows."""
+        if not population:
+            return 1.0
+        return len(population & set(self.known)) / len(population)

@@ -1,0 +1,177 @@
+"""The synchronous-rounds execution model.
+
+The paper's native framing: computation proceeds in lock-step rounds with
+the textbook two-phase structure — every process first *sends* messages
+computed from its pre-round state, then *receives* everything its
+neighbors sent in the same round.  Information therefore travels exactly
+one hop per round.  Between rounds the adversary may change the system —
+add or remove processes, rewire edges — which is exactly the "dynamic
+network" round model the impossibility arguments live in.
+
+This runner is independent of the discrete-event simulator: no clocks, no
+delays — a round *is* the unit of time.  Use it when a claim is about
+round counts (e.g. "R rounds of flooding reach everything within R hops");
+use the DES (:mod:`repro.sim`) when it is about real time, latency or
+asynchrony.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.sim.errors import ConfigurationError, MembershipError
+from repro.topology.graph import Topology
+
+
+@dataclass(frozen=True)
+class RoundMessage:
+    """A message delivered at the start of a round."""
+
+    sender: int
+    payload: Any
+
+
+class SyncProcess(abc.ABC):
+    """A process in the synchronous model.
+
+    Each round the runner calls :meth:`send` (compute outgoing payloads
+    from the pre-round state) on every process, then :meth:`receive` with
+    everything the neighbors sent this round.  ``self.neighbors`` is
+    refreshed before the send phase, reflecting between-round topology
+    changes.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        self.pid: int = -1
+        self.value = value
+        self.neighbors: frozenset[int] = frozenset()
+
+    def on_init(self) -> None:
+        """Called once when the process enters the system."""
+
+    @abc.abstractmethod
+    def send(self, round_no: int) -> dict[int, Any]:
+        """Return ``{neighbor: payload}`` computed from pre-round state."""
+
+    @abc.abstractmethod
+    def receive(self, round_no: int, inbox: list[RoundMessage]) -> None:
+        """Update state with this round's incoming messages."""
+
+
+#: Between-round adversary hook: may mutate the system before the round.
+RoundHook = Callable[[int, "SynchronousSystem"], None]
+
+
+class SynchronousSystem:
+    """Runs :class:`SyncProcess` objects in lock-step rounds."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._processes: dict[int, SyncProcess] = {}
+        self._topology = Topology()
+        self._pid_counter = 0
+        self.round_no = 0
+        self.rng = random.Random(seed)
+        self.messages_sent = 0
+
+    # ------------------------------------------------------------------
+    # Construction / adversary actions
+    # ------------------------------------------------------------------
+
+    def add_process(self, proc: SyncProcess, neighbors: list[int] = ()) -> int:
+        """Insert a process connected to ``neighbors``; returns its pid."""
+        pid = self._pid_counter
+        self._pid_counter += 1
+        proc.pid = pid
+        self._topology.add_node(pid)
+        for neighbor in neighbors:
+            if neighbor not in self._processes:
+                raise MembershipError(f"cannot attach to absent {neighbor}")
+            self._topology.add_edge(pid, neighbor)
+        self._processes[pid] = proc
+        proc.neighbors = self._topology.neighbors(pid)
+        proc.on_init()
+        return pid
+
+    def remove_process(self, pid: int) -> None:
+        """Remove ``pid``; its queued messages vanish with it."""
+        if pid not in self._processes:
+            raise MembershipError(f"process {pid} is not present")
+        del self._processes[pid]
+        self._topology.remove_node(pid)
+
+    def add_edge(self, a: int, b: int) -> None:
+        if a not in self._processes or b not in self._processes:
+            raise MembershipError(f"both endpoints of ({a}, {b}) must exist")
+        self._topology.add_edge(a, b)
+
+    def remove_edge(self, a: int, b: int) -> None:
+        self._topology.remove_edge(a, b)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    def present(self) -> frozenset[int]:
+        return frozenset(self._processes)
+
+    def process(self, pid: int) -> SyncProcess:
+        try:
+            return self._processes[pid]
+        except KeyError:
+            raise MembershipError(f"process {pid} is not present") from None
+
+    def topology(self) -> Topology:
+        return self._topology.copy()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run_round(self, before_round: RoundHook | None = None) -> None:
+        """Execute one lock-step round (send phase, then receive phase)."""
+        self.round_no += 1
+        if before_round is not None:
+            before_round(self.round_no, self)
+        # Refresh neighbor views after any adversary mutation.
+        for pid, proc in self._processes.items():
+            proc.neighbors = self._topology.neighbors(pid)
+        # Send phase: all outboxes computed from pre-round state.
+        inboxes: dict[int, list[RoundMessage]] = {
+            pid: [] for pid in self._processes
+        }
+        for pid in sorted(self._processes):
+            proc = self._processes[pid]
+            sends = proc.send(self.round_no) or {}
+            for dest, payload in sends.items():
+                if dest not in proc.neighbors:
+                    raise ConfigurationError(
+                        f"process {pid} sent to non-neighbor {dest}"
+                    )
+                inboxes[dest].append(RoundMessage(sender=pid, payload=payload))
+                self.messages_sent += 1
+        # Receive phase: everyone consumes this round's messages.
+        for pid in sorted(self._processes):
+            self._processes[pid].receive(self.round_no, inboxes[pid])
+
+    def run(self, rounds: int, before_round: RoundHook | None = None) -> None:
+        """Execute ``rounds`` lock-step rounds."""
+        if rounds < 0:
+            raise ConfigurationError(f"rounds must be >= 0, got {rounds}")
+        for _ in range(rounds):
+            self.run_round(before_round)
+
+
+def build_from_topology(
+    system: SynchronousSystem,
+    topo: Topology,
+    make_process: Callable[[int], SyncProcess],
+) -> list[int]:
+    """Populate a system from a static topology over nodes 0..n-1."""
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(system.add_process(make_process(node), neighbors))
+    return pids

@@ -1,0 +1,89 @@
+"""Tests for terminal plotting (repro.analysis.ascii_plot)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plot import bar_chart, sparkline, timeline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+
+    def test_flat(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_extremes(self):
+        line = sparkline([0.0, 100.0])
+        assert line[0] == "▁"
+        assert line[-1] == "█"
+
+    def test_nan_marked(self):
+        assert sparkline([1.0, float("nan"), 2.0])[1] == "·"
+
+    def test_all_nan(self):
+        assert sparkline([float("nan")] * 3) == "···"
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_length_preserved(self):
+        values = [float(i % 7) for i in range(50)]
+        assert len(sparkline(values)) == 50
+
+
+class TestBarChart:
+    def test_basic(self):
+        chart = bar_chart(["a", "b"], [1.0, 2.0], width=4)
+        lines = chart.splitlines()
+        assert lines[0].startswith("a ██")
+        assert lines[1].startswith("b ████")
+        assert lines[1].rstrip().endswith("2")
+
+    def test_labels_aligned(self):
+        chart = bar_chart(["long-label", "x"], [1.0, 1.0], width=4)
+        lines = chart.splitlines()
+        assert lines[0].index("█") == lines[1].index("█")
+
+    def test_zero_values(self):
+        chart = bar_chart(["a"], [0.0])
+        assert "0" in chart
+
+    def test_infinite_marked(self):
+        assert "?" in bar_chart(["a"], [float("inf")])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_unit_appended(self):
+        assert "ms" in bar_chart(["a"], [3.0], unit="ms")
+
+
+class TestTimeline:
+    def test_basic(self):
+        text = timeline([0.0, 1.0, 2.0], [1.0, 5.0, 2.0], label="pop")
+        assert text.startswith("pop ")
+        assert "t∈[0, 2]" in text
+        assert "max=5" in text
+
+    def test_resampling_bounds_width(self):
+        times = [float(i) for i in range(200)]
+        values = [float(i % 13) for i in range(200)]
+        text = timeline(times, values, label="x", width=30)
+        assert len(text.splitlines()[0]) <= 2 + 30
+
+    def test_empty(self):
+        assert "no data" in timeline([], [], label="x")
+
+    def test_single_point(self):
+        assert "t=3" in timeline([3.0], [1.0], label="x")
+
+    def test_mismatched_rejected(self):
+        with pytest.raises(ValueError):
+            timeline([1.0], [1.0, 2.0])

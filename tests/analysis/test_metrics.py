@@ -1,0 +1,84 @@
+"""Tests for trace metrics (repro.analysis.metrics)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.metrics import (
+    delivery_ratio,
+    drop_reasons,
+    message_cost,
+    population_series,
+    relative_error,
+    turnover,
+)
+from repro.core.runs import Interval, Run
+from repro.sim.trace import TraceLog
+
+
+def message_log() -> TraceLog:
+    log = TraceLog()
+    log.record(0.0, "send", msg_id=0, msg_kind="A", sender=0, receiver=1)
+    log.record(0.0, "send", msg_id=1, msg_kind="B", sender=1, receiver=0)
+    log.record(1.0, "deliver", msg_id=0, msg_kind="A", sender=0, receiver=1)
+    log.record(1.0, "drop", msg_id=1, msg_kind="B", sender=1, receiver=0, reason="loss")
+    return log
+
+
+class TestMessageMetrics:
+    def test_message_cost(self):
+        assert message_cost(message_log()) == 2
+        assert message_cost(message_log(), "A") == 1
+        assert message_cost(message_log(), "C") == 0
+
+    def test_delivery_ratio(self):
+        assert delivery_ratio(message_log()) == 0.5
+        assert delivery_ratio(TraceLog()) == 1.0
+
+    def test_drop_reasons(self):
+        assert drop_reasons(message_log()) == {"loss": 1}
+        assert drop_reasons(TraceLog()) == {}
+
+
+class TestRelativeError:
+    def test_exact(self):
+        assert relative_error(10.0, 10.0) == 0.0
+
+    def test_relative(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_truth_absolute(self):
+        assert relative_error(0.5, 0.0) == 0.5
+
+    def test_nan_measured(self):
+        assert math.isinf(relative_error(float("nan"), 10.0))
+
+    def test_none_measured(self):
+        assert math.isinf(relative_error(None, 10.0))
+
+
+class TestPopulationMetrics:
+    def run(self) -> Run:
+        return Run(
+            {0: Interval(0.0), 1: Interval(0.0, 2.0), 2: Interval(3.0)},
+            horizon=4.0,
+        )
+
+    def test_population_series(self):
+        series = population_series(self.run(), step=1.0)
+        assert series == [(0.0, 2), (1.0, 2), (2.0, 1), (3.0, 2), (4.0, 2)]
+
+    def test_population_series_invalid_step(self):
+        with pytest.raises(ValueError):
+            population_series(self.run(), step=0.0)
+
+    def test_turnover(self):
+        run = self.run()
+        assert turnover(run, 0.0, 1.0) == 0.0
+        assert turnover(run, 0.0, 2.5) == 0.5  # entity 1 of {0, 1} replaced
+
+    def test_turnover_empty_start(self):
+        run = Run({0: Interval(5.0)}, horizon=10.0)
+        assert turnover(run, 0.0, 6.0) == 0.0

@@ -1,0 +1,45 @@
+"""Tests for the report generator (repro.analysis.report) and CLI hook."""
+
+from __future__ import annotations
+
+from repro.analysis.report import build_report
+from repro.cli import main
+
+
+class TestBuildReport:
+    def test_contains_all_sections(self):
+        report = build_report(n=10, trials=2, seed=5)
+        assert "# Dynamic distributed systems — experiment report" in report
+        assert "## Solvability of the one-time query" in report
+        assert "## Wave completeness vs churn" in report
+        assert "## Wave vs push-sum gossip" in report
+        assert "## Interpretation" in report
+
+    def test_matrix_embedded(self):
+        report = build_report(n=10, trials=2, seed=5)
+        assert "M_inf_unbounded" in report
+        assert "G_local" in report
+
+    def test_deterministic(self):
+        assert build_report(n=10, trials=2, seed=5) == build_report(
+            n=10, trials=2, seed=5
+        )
+
+    def test_seed_changes_numbers(self):
+        assert build_report(n=10, trials=2, seed=5) != build_report(
+            n=10, trials=2, seed=6
+        )
+
+
+class TestReportCommand:
+    def test_stdout(self, capsys):
+        assert main(["report", "--n", "10", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "experiment report" in out
+
+    def test_file_output(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--n", "10", "--trials", "2",
+                     "--output", str(target)]) == 0
+        assert "written to" in capsys.readouterr().out
+        assert "## Interpretation" in target.read_text()

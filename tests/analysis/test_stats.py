@@ -1,0 +1,127 @@
+"""Tests for the statistics toolkit (repro.analysis.stats)."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    mean,
+    proportion,
+    quantile,
+    sem,
+    stddev,
+    summarize,
+    variance,
+)
+
+
+class TestBasicMoments:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_variance(self):
+        assert variance([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(4.571, abs=0.01)
+
+    def test_variance_single_value(self):
+        assert variance([3.0]) == 0.0
+
+    def test_stddev(self):
+        assert stddev([1.0, 1.0]) == 0.0
+        assert stddev([0.0, 2.0]) == pytest.approx(math.sqrt(2.0))
+
+    def test_sem_shrinks_with_n(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert sem(values * 4) < sem(values)
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        values = [5.0, 1.0, 3.0]
+        assert quantile(values, 0.0) == 1.0
+        assert quantile(values, 1.0) == 5.0
+
+    def test_interpolation(self):
+        assert quantile([0.0, 10.0], 0.25) == 2.5
+
+    def test_single_value(self):
+        assert quantile([7.0], 0.9) == 7.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1.0], 1.5)
+
+
+class TestSummarize:
+    def test_fields(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary.count == 3
+        assert summary.mean == 2.0
+        assert summary.minimum == 1.0
+        assert summary.maximum == 3.0
+        assert summary.ci_low <= summary.mean <= summary.ci_high
+
+    def test_zero_spread(self):
+        summary = summarize([5.0, 5.0, 5.0])
+        assert summary.ci_low == summary.ci_high == 5.0
+
+    def test_ci_width_shrinks_with_n(self):
+        r = random.Random(0)
+        small = summarize([r.gauss(0, 1) for _ in range(10)])
+        large = summarize([r.gauss(0, 1) for _ in range(1000)])
+        assert (large.ci_high - large.ci_low) < (small.ci_high - small.ci_low)
+
+    def test_confidence_95_z_value(self):
+        # With one known case: z(0.95) ~= 1.96
+        summary = summarize([0.0, 2.0], confidence=0.95)
+        half = (summary.ci_high - summary.ci_low) / 2
+        expected = 1.959964 * stddev([0.0, 2.0]) / math.sqrt(2)
+        assert half == pytest.approx(expected, rel=1e-4)
+
+    def test_invalid_confidence(self):
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)
+
+    def test_str(self):
+        assert "n=3" in str(summarize([1.0, 2.0, 3.0]))
+
+
+class TestBootstrap:
+    def test_contains_mean_for_tight_data(self):
+        values = [10.0, 10.1, 9.9, 10.0, 10.05]
+        low, high = bootstrap_ci(values, random.Random(0))
+        assert low <= 10.0 <= high
+        assert high - low < 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([], random.Random(0))
+
+    def test_deterministic_given_rng(self):
+        values = [1.0, 5.0, 3.0]
+        a = bootstrap_ci(values, random.Random(4))
+        b = bootstrap_ci(values, random.Random(4))
+        assert a == b
+
+
+class TestProportion:
+    def test_basic(self):
+        assert proportion([True, False, True, True]) == 0.75
+
+    def test_empty(self):
+        assert proportion([]) == 0.0
+
+    def test_accepts_generator(self):
+        assert proportion(x > 1 for x in [0, 1, 2, 3]) == 0.5

@@ -1,0 +1,66 @@
+"""Tests for table rendering (repro.analysis.tables)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import render_matrix, render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        text = render_table(["name", "value"], [["alpha", 1], ["b", 22]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "--" in lines[1]
+        assert len(lines) == 4
+
+    def test_columns_aligned(self):
+        text = render_table(["a", "b"], [["xxxx", 1], ["y", 2]])
+        lines = text.splitlines()
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_integral_float(self):
+        text = render_table(["x"], [[2.0]])
+        assert "2.0" in text
+
+    def test_nan(self):
+        assert "nan" in render_table(["x"], [[float("nan")]])
+
+    def test_infinity(self):
+        assert "inf" in render_table(["x"], [[float("inf")]])
+        assert "-inf" in render_table(["x"], [[float("-inf")]])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert len(text.splitlines()) == 2
+
+
+class TestRenderMatrix:
+    def test_layout(self):
+        text = render_matrix(
+            ["r1", "r2"],
+            ["c1", "c2"],
+            {("r1", "c1"): "x", ("r2", "c2"): "y"},
+            corner="class",
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("class")
+        assert "x" in text and "y" in text
+
+    def test_missing_cells_blank(self):
+        text = render_matrix(["r"], ["c"], {})
+        assert "r" in text

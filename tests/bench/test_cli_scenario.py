@@ -1,0 +1,40 @@
+"""Tests for the scenario and report CLI commands."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestScenarioCommand:
+    def test_static_scenario(self, capsys):
+        assert main(["scenario", "static-small", "--trials", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario" in out
+        assert out.count("OK") >= 2
+
+    def test_churn_scenario(self, capsys):
+        assert main(["scenario", "steady-churn"]) == 0
+        assert "completeness" in capsys.readouterr().out
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "lunar-base"])
+
+
+class TestDisseminateCommand:
+    def test_flood(self, capsys):
+        from repro.cli import main
+
+        assert main(["disseminate", "--protocol", "flood", "--n", "12",
+                     "--churn-rate", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "population coverage  : 1.00" in out
+
+    def test_anti_entropy_under_churn(self, capsys):
+        from repro.cli import main
+
+        assert main(["disseminate", "--protocol", "anti-entropy", "--n", "12",
+                     "--churn-rate", "1.0"]) == 0
+        assert "messages" in capsys.readouterr().out

@@ -1,0 +1,60 @@
+"""Extended gossip-runner tests: churn interactions and reader protection."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.bench.runner import GossipConfig, run_gossip
+from repro.churn.models import ArrivalDepartureChurn, ReplacementChurn
+from repro.churn.lifetimes import ExponentialLifetime
+
+
+class TestGossipUnderChurn:
+    def test_avg_error_grows_with_churn(self):
+        def error(rate: float) -> float:
+            outcomes = [
+                run_gossip(GossipConfig(
+                    n=20, topology="er", mode="avg", rounds=50, seed=seed,
+                    churn=(lambda f, r=rate: ReplacementChurn(f, rate=r))
+                    if rate else None,
+                ))
+                for seed in (1, 2, 3, 4)
+            ]
+            finite = [o.error for o in outcomes if not math.isinf(o.error)]
+            return sum(finite) / len(finite)
+
+        assert error(0.0) < 0.01
+        assert error(2.0) > error(0.0)
+
+    def test_reader_protected(self):
+        outcome = run_gossip(GossipConfig(
+            n=12, topology="er", mode="avg", rounds=40, seed=5,
+            churn=lambda f: ReplacementChurn(f, rate=4.0),
+        ))
+        # The reader survived to read (estimate is a number, not nan from
+        # a missing node).
+        assert not math.isnan(outcome.truth)
+
+    def test_count_mode_with_arrivals(self):
+        """Arrivals inject sum mass (value 1, weight 0): the count estimate
+        tracks the growing population, approximately."""
+        outcome = run_gossip(GossipConfig(
+            n=12, topology="er", mode="count", rounds=80, seed=5,
+            churn=lambda f: ArrivalDepartureChurn(
+                f, arrival_rate=0.2, lifetimes=ExponentialLifetime(1000.0),
+            ),
+        ))
+        assert outcome.truth > 12
+        assert outcome.error < 0.6
+
+    def test_messages_scale_with_rounds(self):
+        short = run_gossip(GossipConfig(n=10, rounds=10, seed=1))
+        long = run_gossip(GossipConfig(n=10, rounds=40, seed=1))
+        assert long.messages > 3 * short.messages
+
+    def test_read_time_recorded(self):
+        outcome = run_gossip(GossipConfig(n=8, rounds=12, period=0.5, seed=2))
+        assert outcome.read_time == pytest.approx(6.0)
+        assert outcome.trace.count("gossip_estimate") == 1

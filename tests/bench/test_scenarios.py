@@ -1,0 +1,54 @@
+"""Tests for preset scenarios (repro.bench.scenarios)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import run_query
+from repro.bench.scenarios import SCENARIOS, make_scenario, steady_churn
+from repro.sim.errors import ConfigurationError
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(SCENARIOS) == {
+            "static-small", "static-deep", "steady-churn",
+            "p2p-heavy-tail", "flash-crowd", "storm-and-calm",
+        }
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ConfigurationError, match="lunar-base"):
+            make_scenario("lunar-base")
+
+    def test_fresh_config_each_call(self):
+        a = make_scenario("static-small")
+        b = make_scenario("static-small")
+        assert a is not b
+
+    def test_seed_threaded(self):
+        assert make_scenario("static-small", seed=1).seed == 1
+
+    def test_invalid_steady_rate(self):
+        with pytest.raises(ConfigurationError):
+            steady_churn(rate=0.0)
+
+
+class TestScenariosRun:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_every_scenario_executes(self, name):
+        outcome = run_query(make_scenario(name, seed=9))
+        assert outcome.terminated
+        assert outcome.messages > 0
+        assert 0.0 <= outcome.completeness <= 1.0
+
+    def test_static_scenarios_fully_complete(self):
+        for name in ("static-small", "static-deep"):
+            assert run_query(make_scenario(name, seed=9)).ok
+
+    def test_flash_crowd_query_after_settle(self):
+        outcome = run_query(make_scenario("flash-crowd", seed=9))
+        # The query is issued after arrivals cease; the overlay may still
+        # have session departures, but termination must hold.
+        assert outcome.terminated
+        # Population grew well past the seed of 8.
+        assert len(outcome.run.entities()) > 20

@@ -1,0 +1,62 @@
+"""Tests for the sweep harness (repro.bench.sweep)."""
+
+from __future__ import annotations
+
+from repro.bench.sweep import SweepPoint, sweep, sweep_table
+
+
+class TestSweep:
+    def test_shape(self):
+        points = sweep([1, 2, 3], lambda p, s: p * 10, trials=4)
+        assert len(points) == 3
+        assert all(len(pt.outcomes) == 4 for pt in points)
+        assert [pt.parameter for pt in points] == [1, 2, 3]
+
+    def test_seeds_shared_across_parameters(self):
+        captured: dict[int, list[int]] = {}
+
+        def trial(param, seed):
+            captured.setdefault(param, []).append(seed)
+            return 0
+
+        sweep([1, 2], trial, trials=3, root_seed=5)
+        assert captured[1] == captured[2]
+
+    def test_seeds_distinct_within_parameter(self):
+        seeds = []
+        sweep([1], lambda p, s: seeds.append(s), trials=5)
+        assert len(set(seeds)) == 5
+
+    def test_deterministic(self):
+        a = sweep([1], lambda p, s: s, trials=3, root_seed=9)
+        b = sweep([1], lambda p, s: s, trials=3, root_seed=9)
+        assert a[0].outcomes == b[0].outcomes
+
+
+class TestSweepPoint:
+    def test_metric_summary(self):
+        point = SweepPoint(1, [1.0, 2.0, 3.0])
+        summary = point.metric(lambda x: x)
+        assert summary.mean == 2.0
+        assert summary.count == 3
+
+    def test_fraction(self):
+        point = SweepPoint(1, [1, 2, 3, 4])
+        assert point.fraction(lambda x: x > 2) == 0.5
+
+    def test_fraction_empty(self):
+        assert SweepPoint(1, []).fraction(lambda x: True) == 0.0
+
+
+class TestSweepTable:
+    def test_render(self):
+        points = sweep([1, 2], lambda p, s: float(p), trials=2)
+        text = sweep_table(
+            points,
+            {"mean": lambda pt: pt.metric(lambda x: x).mean},
+            parameter_name="n",
+            title="demo",
+        )
+        assert "demo" in text
+        assert "n" in text.splitlines()[1]
+        assert "1.0" in text and "2.0" in text

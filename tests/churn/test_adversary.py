@@ -1,0 +1,161 @@
+"""Tests for adversary constructions (repro.churn.adversary)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn.adversary import (
+    GrowthAdversary,
+    build_chain,
+    defeat_quiescence,
+    defeat_ttl,
+    diagonalise,
+)
+from repro.core.aggregates import COUNT
+from repro.core.runs import Run
+from repro.core.spec import OneTimeQuerySpec
+from repro.protocols.one_time_query import WaveNode
+from repro.sim.errors import ConfigurationError
+from repro.sim.node import Process
+from repro.sim.scheduler import Simulator
+
+
+def wave_factory() -> WaveNode:
+    return WaveNode(1.0)
+
+
+class TestBuildChain:
+    def test_chain_shape(self):
+        sim = Simulator(seed=0)
+        pids = build_chain(sim, wave_factory, 5)
+        assert len(pids) == 5
+        assert len(sim.network.neighbors(pids[0])) == 1
+        assert len(sim.network.neighbors(pids[2])) == 2
+        assert len(sim.network.neighbors(pids[4])) == 1
+
+    def test_singleton_chain(self):
+        sim = Simulator(seed=0)
+        pids = build_chain(sim, wave_factory, 1)
+        assert len(sim.network.neighbors(pids[0])) == 0
+
+    def test_invalid_length(self):
+        sim = Simulator(seed=0)
+        with pytest.raises(ConfigurationError):
+            build_chain(sim, wave_factory, 0)
+
+
+class TestDefeatTtl:
+    @pytest.mark.parametrize("ttl", [0, 1, 3, 7])
+    def test_every_ttl_defeated(self, ttl):
+        sim, pids = defeat_ttl(ttl, wave_factory)
+        querier = sim.network.process(pids[0])
+        querier.issue_query(COUNT, ttl=ttl)
+        sim.run(until=1000)
+        verdict = OneTimeQuerySpec().check(sim.trace)[0]
+        assert verdict.terminated  # the TTL guarantees termination...
+        assert not verdict.complete  # ...but the far member is missed
+        assert len(verdict.missing_core) >= 1
+
+    def test_chain_is_one_hop_too_long(self):
+        sim, pids = defeat_ttl(4, wave_factory)
+        assert len(pids) == 6
+
+    def test_invalid_ttl(self):
+        with pytest.raises(ConfigurationError):
+            defeat_ttl(-1, wave_factory)
+
+    def test_sufficient_ttl_would_succeed(self):
+        """Sanity check: the construction is tight — TTL+1 wins."""
+        sim, pids = defeat_ttl(3, wave_factory)
+        querier = sim.network.process(pids[0])
+        querier.issue_query(COUNT, ttl=4)  # one more hop than the adversary planned
+        sim.run(until=1000)
+        assert OneTimeQuerySpec().check(sim.trace)[0].ok
+
+
+class TestDefeatQuiescence:
+    @pytest.mark.parametrize("timeout", [2.0, 10.0, 50.0])
+    def test_every_timeout_defeated(self, timeout):
+        sim, pids = defeat_quiescence(timeout, wave_factory)
+        querier = sim.network.process(pids[0])
+        querier.issue_query(COUNT, ttl=None, deadline=timeout)
+        sim.run(until=timeout + 200)
+        verdict = OneTimeQuerySpec().check(sim.trace)[0]
+        assert verdict.terminated
+        assert not verdict.complete
+
+    def test_without_deadline_would_succeed(self):
+        """The same run is fine for a patient (closed-loop) querier."""
+        sim, pids = defeat_quiescence(5.0, wave_factory)
+        querier = sim.network.process(pids[0])
+        querier.issue_query(COUNT, ttl=None, deadline=None)
+        sim.run(until=1000)
+        assert OneTimeQuerySpec().check(sim.trace)[0].ok
+
+    def test_invalid_timeout(self):
+        with pytest.raises(ConfigurationError):
+            defeat_quiescence(0.0, wave_factory)
+
+
+class TestGrowthAdversary:
+    def test_population_grows_superlinearly(self):
+        sim = Simulator(seed=0)
+        sim.spawn(Process(value=1.0))
+        adversary = GrowthAdversary(lambda: Process(value=1.0), initial_gap=1.0,
+                                    acceleration=0.8)
+        adversary.install(sim)
+        sim.run(until=20)
+        run = Run.from_trace(sim.trace, horizon=20)
+        # Constant gaps would give ~20 joins; acceleration gives far more.
+        assert adversary.joins > 40
+
+    def test_diameter_stretches(self):
+        sim = Simulator(seed=0)
+        sim.spawn(Process(value=1.0))
+        adversary = GrowthAdversary(lambda: Process(value=1.0))
+        adversary.install(sim)
+        sim.run(until=10)
+        # Chain attachment: the overlay is a path, so diameter = n - 1.
+        n = len(sim.network.present())
+        degrees = sorted(
+            len(sim.network.neighbors(p)) for p in sim.network.present()
+        )
+        assert degrees.count(1) == 2 and max(degrees) <= 2
+        assert n >= 10
+
+    def test_max_joins_cap(self):
+        sim = Simulator(seed=0)
+        sim.spawn(Process(value=1.0))
+        adversary = GrowthAdversary(
+            lambda: Process(value=1.0), initial_gap=0.01, min_gap=0.01, max_joins=25
+        )
+        adversary.install(sim)
+        sim.run(until=100)
+        assert adversary.joins == 25
+
+    def test_declared_class(self):
+        from repro.core.arrival import InfiniteArrivalUnbounded
+
+        adversary = GrowthAdversary(lambda: Process())
+        assert adversary.arrival_class() == InfiniteArrivalUnbounded()
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            GrowthAdversary(lambda: Process(), initial_gap=0.0)
+        with pytest.raises(ConfigurationError):
+            GrowthAdversary(lambda: Process(), acceleration=1.5)
+
+
+class TestDiagonalise:
+    def test_all_parameters_defeated(self):
+        def construct(ttl):
+            return defeat_ttl(int(ttl), wave_factory)
+
+        def run_protocol(sim, pids):
+            querier = sim.network.process(pids[0])
+            querier.issue_query(COUNT, ttl=len(pids) - 2)
+            sim.run(until=1000)
+            return OneTimeQuerySpec().check(sim.trace)[0].ok
+
+        outcomes = diagonalise([1.0, 2.0, 3.0], construct, run_protocol)
+        assert all(outcomes.values())

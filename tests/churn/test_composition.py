@@ -1,0 +1,153 @@
+"""Tests for churn composition (repro.churn.composition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn.composition import CompositeChurn, SequentialChurn
+from repro.churn.lifetimes import ExponentialLifetime
+from repro.churn.models import (
+    ArrivalDepartureChurn,
+    FiniteArrivalChurn,
+    NoChurn,
+    ReplacementChurn,
+)
+from repro.core.arrival import (
+    FiniteArrival,
+    InfiniteArrivalBounded,
+    InfiniteArrivalFinite,
+    InfiniteArrivalUnbounded,
+)
+from repro.core.runs import Run
+from repro.sim.errors import ConfigurationError
+from repro.sim.node import Process
+from repro.sim.scheduler import Simulator
+
+
+def seeded_sim(n: int = 6) -> Simulator:
+    sim = Simulator(seed=8)
+    prev = None
+    for _ in range(n):
+        prev = sim.spawn(Process(value=1.0), neighbors=[prev.pid] if prev else [])
+    return sim
+
+
+def factory() -> Process:
+    return Process(value=1.0)
+
+
+class TestCompositeChurn:
+    def test_both_parts_run(self):
+        sim = seeded_sim()
+        replacement = ReplacementChurn(factory, rate=1.0)
+        arrivals = ArrivalDepartureChurn(
+            factory, arrival_rate=0.5, lifetimes=ExponentialLifetime(10.0)
+        )
+        composite = CompositeChurn([replacement, arrivals])
+        composite.install(sim)
+        sim.run(until=60)
+        assert replacement.joins > 10
+        assert arrivals.joins > 10
+        assert composite.joins_total == replacement.joins + arrivals.joins
+
+    def test_immortal_shared(self):
+        sim = seeded_sim()
+        protected = min(sim.network.present())
+        composite = CompositeChurn([
+            ReplacementChurn(factory, rate=3.0),
+            ReplacementChurn(factory, rate=3.0),
+        ])
+        composite.immortal.add(protected)
+        composite.install(sim)
+        sim.run(until=60)
+        assert sim.network.is_present(protected)
+
+    def test_arrival_class_lub(self):
+        composite = CompositeChurn([
+            FiniteArrivalChurn(factory, total_arrivals=3, arrival_rate=1.0),
+            ArrivalDepartureChurn(
+                factory, arrival_rate=1.0, lifetimes=ExponentialLifetime(5.0)
+            ),
+        ])
+        assert composite.arrival_class() == InfiniteArrivalFinite()
+
+    def test_static_parts_compose_to_finite(self):
+        composite = CompositeChurn([NoChurn(n=3), NoChurn(n=5)])
+        assert composite.arrival_class() == FiniteArrival()
+
+    def test_bounded_part_degrades_to_finite(self):
+        # A part's concurrency bound is not sound under composition.
+        composite = CompositeChurn([
+            ReplacementChurn(factory, rate=1.0),
+            NoChurn(n=3),
+        ])
+        assert composite.arrival_class() == InfiniteArrivalFinite()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CompositeChurn([])
+
+    def test_declared_class_admits_run(self):
+        sim = seeded_sim()
+        composite = CompositeChurn([
+            ReplacementChurn(factory, rate=1.0),
+            FiniteArrivalChurn(factory, total_arrivals=4, arrival_rate=1.0),
+        ])
+        composite.install(sim)
+        sim.run(until=40)
+        run = Run.from_trace(sim.trace, horizon=40)
+        assert composite.arrival_class().admits(run)
+
+
+class TestSequentialChurn:
+    def test_phases_in_order(self):
+        sim = seeded_sim()
+        storm = ReplacementChurn(factory, rate=4.0)
+        calm = NoChurn()
+        sequential = SequentialChurn([(storm, 20.0), (calm, None)])
+        sequential.install(sim)
+        sim.run(until=100)
+        assert storm.joins > 10
+        run = Run.from_trace(sim.trace, horizon=100)
+        # After the storm phase nothing changes: quiescence before t≈20+.
+        assert run.quiescent_from() <= 20.0 + 1e-9
+        assert sequential.current_phase == 1
+
+    def test_flash_crowd_then_steady(self):
+        sim = seeded_sim(4)
+        crowd = FiniteArrivalChurn(factory, total_arrivals=10, arrival_rate=2.0)
+        steady = ReplacementChurn(factory, rate=0.5)
+        sequential = SequentialChurn([(crowd, 15.0), (steady, None)])
+        sequential.install(sim)
+        sim.run(until=100)
+        assert crowd.joins > 0
+        assert steady.joins > 0
+
+    def test_open_ended_middle_phase_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SequentialChurn([(NoChurn(), None), (NoChurn(), 5.0)])
+
+    def test_nonpositive_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SequentialChurn([(NoChurn(), 0.0)])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SequentialChurn([])
+
+    def test_global_stop_at_respected(self):
+        sim = seeded_sim()
+        storm = ReplacementChurn(factory, rate=4.0)
+        sequential = SequentialChurn([(storm, 50.0)])
+        sequential.install(sim, stop_at=10.0)
+        sim.run(until=100)
+        run = Run.from_trace(sim.trace, horizon=100)
+        assert run.quiescent_from() <= 10.0 + 1e-9
+
+    def test_arrival_class_lub(self):
+        sequential = SequentialChurn([
+            (FiniteArrivalChurn(factory, total_arrivals=3, arrival_rate=1.0), 5.0),
+            (ReplacementChurn(factory, rate=1.0), None),
+        ])
+        # ReplacementChurn is InfiniteArrivalBounded; finite <= bounded.
+        assert isinstance(sequential.arrival_class(), InfiniteArrivalBounded)

@@ -1,0 +1,91 @@
+"""Tests for lifetime distributions (repro.churn.lifetimes)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.churn.lifetimes import (
+    ConstantLifetime,
+    ExponentialLifetime,
+    ParetoLifetime,
+    UniformLifetime,
+)
+from repro.sim.errors import ConfigurationError
+
+
+class TestConstantLifetime:
+    def test_sample(self, rng):
+        model = ConstantLifetime(3.0)
+        assert model.sample(rng) == 3.0
+        assert model.mean() == 3.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ConstantLifetime(0.0)
+
+
+class TestExponentialLifetime:
+    def test_positive_samples(self, rng):
+        model = ExponentialLifetime(2.0)
+        assert all(model.sample(rng) > 0 for _ in range(100))
+
+    def test_mean_matches(self, rng):
+        model = ExponentialLifetime(2.0)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)
+        assert model.mean() == 2.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialLifetime(-1.0)
+
+
+class TestUniformLifetime:
+    def test_range(self, rng):
+        model = UniformLifetime(1.0, 3.0)
+        assert all(1.0 <= model.sample(rng) <= 3.0 for _ in range(100))
+        assert model.mean() == 2.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            UniformLifetime(3.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            UniformLifetime(0.0, 1.0)
+
+
+class TestParetoLifetime:
+    def test_samples_at_least_xm(self, rng):
+        model = ParetoLifetime(alpha=1.5, xm=2.0)
+        assert all(model.sample(rng) >= 2.0 for _ in range(200))
+
+    def test_finite_mean(self):
+        model = ParetoLifetime(alpha=2.0, xm=1.0)
+        assert model.mean() == pytest.approx(2.0)
+
+    def test_infinite_mean_for_small_alpha(self):
+        assert math.isinf(ParetoLifetime(alpha=1.0, xm=1.0).mean())
+        assert math.isinf(ParetoLifetime(alpha=0.5, xm=1.0).mean())
+
+    def test_empirical_mean_close(self, rng):
+        model = ParetoLifetime(alpha=3.0, xm=1.0)
+        samples = [model.sample(rng) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(1.5, rel=0.1)
+
+    def test_heavy_tail_heavier_than_exponential(self, rng):
+        """The Pareto(1.5) tail produces far more extreme sessions."""
+        pareto = ParetoLifetime(alpha=1.5, xm=1.0)
+        exponential = ExponentialLifetime(3.0)  # same scale ballpark
+        p_samples = sorted(pareto.sample(rng) for _ in range(5000))
+        e_samples = sorted(exponential.sample(rng) for _ in range(5000))
+        assert p_samples[-1] > e_samples[-1]
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            ParetoLifetime(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            ParetoLifetime(alpha=1.0, xm=-1.0)
+
+    def test_repr(self):
+        assert "1.5" in repr(ParetoLifetime(alpha=1.5))

@@ -1,0 +1,46 @@
+"""Tests for session-trace persistence (repro.churn.traces)."""
+
+from __future__ import annotations
+
+import random
+
+from repro.churn.traces import (
+    Session,
+    load_sessions,
+    save_sessions,
+    synthetic_sessions,
+)
+
+
+class TestSessionPersistence:
+    def test_roundtrip(self, tmp_path):
+        sessions = [Session(1.0, 2.5), Session(3.0, 0.5)]
+        path = tmp_path / "trace.jsonl"
+        assert save_sessions(sessions, path) == 2
+        assert load_sessions(path) == sessions
+
+    def test_empty(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert save_sessions([], path) == 0
+        assert load_sessions(path) == []
+
+    def test_synthetic_roundtrip(self, tmp_path):
+        sessions = synthetic_sessions(random.Random(3), 50.0, 1.0)
+        path = tmp_path / "synthetic.jsonl"
+        save_sessions(sessions, path)
+        assert load_sessions(path) == sessions
+
+    def test_replayable_after_load(self, tmp_path):
+        from repro.churn.traces import TraceReplayChurn
+        from repro.sim.node import Process
+        from repro.sim.scheduler import Simulator
+
+        sessions = synthetic_sessions(random.Random(3), 30.0, 0.5)
+        path = tmp_path / "trace.jsonl"
+        save_sessions(sessions, path)
+        sim = Simulator(seed=1)
+        sim.spawn(Process(value=0.0))
+        model = TraceReplayChurn(lambda: Process(value=1.0), load_sessions(path))
+        model.install(sim)
+        sim.run(until=100)
+        assert model.joins == len(sessions)

@@ -1,0 +1,129 @@
+"""Tests for synthetic session traces (repro.churn.traces)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn.lifetimes import ConstantLifetime
+from repro.churn.traces import (
+    Session,
+    TraceReplayChurn,
+    synthetic_sessions,
+    trace_statistics,
+)
+from repro.sim.errors import ConfigurationError
+from repro.sim.node import Process
+from repro.sim.scheduler import Simulator
+
+
+class TestSession:
+    def test_departure(self):
+        assert Session(2.0, 3.0).departure == 5.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            Session(-1.0, 2.0)
+        with pytest.raises(ValueError):
+            Session(1.0, 0.0)
+
+
+class TestSyntheticSessions:
+    def test_arrivals_within_horizon(self, rng):
+        sessions = synthetic_sessions(rng, horizon=100.0, arrival_rate=0.5)
+        assert sessions
+        assert all(0 <= s.arrival <= 100 for s in sessions)
+
+    def test_rate_roughly_matches(self, rng):
+        sessions = synthetic_sessions(rng, horizon=2000.0, arrival_rate=0.5)
+        assert len(sessions) == pytest.approx(1000, rel=0.15)
+
+    def test_custom_lifetimes(self, rng):
+        sessions = synthetic_sessions(
+            rng, horizon=50.0, arrival_rate=1.0, lifetimes=ConstantLifetime(2.0)
+        )
+        assert all(s.duration == 2.0 for s in sessions)
+
+    def test_diurnal_thinning_reduces_count(self, rng):
+        import random
+
+        flat = synthetic_sessions(random.Random(1), 1000.0, 1.0)
+        wavy = synthetic_sessions(
+            random.Random(1), 1000.0, 1.0, diurnal_amplitude=0.9, diurnal_period=100.0
+        )
+        # Thinning against the peak rate keeps the average near the base
+        # rate; counts should be in the same ballpark, and the generator
+        # must not crash or hang.
+        assert 0.5 < len(wavy) / len(flat) < 1.5
+
+    def test_deterministic(self):
+        import random
+
+        a = synthetic_sessions(random.Random(3), 100.0, 1.0)
+        b = synthetic_sessions(random.Random(3), 100.0, 1.0)
+        assert a == b
+
+    def test_invalid_parameters(self, rng):
+        with pytest.raises(ConfigurationError):
+            synthetic_sessions(rng, horizon=0.0, arrival_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            synthetic_sessions(rng, horizon=10.0, arrival_rate=0.0)
+        with pytest.raises(ConfigurationError):
+            synthetic_sessions(rng, 10.0, 1.0, diurnal_amplitude=2.0)
+
+
+class TestTraceStatistics:
+    def test_empty(self):
+        stats = trace_statistics([])
+        assert stats["count"] == 0.0
+
+    def test_basic_stats(self):
+        sessions = [Session(0.0, 2.0), Session(1.0, 4.0), Session(10.0, 6.0)]
+        stats = trace_statistics(sessions)
+        assert stats["count"] == 3.0
+        assert stats["mean_duration"] == pytest.approx(4.0)
+        assert stats["median_duration"] == pytest.approx(4.0)
+        assert stats["max_concurrency"] == 2.0
+
+    def test_median_even_count(self):
+        sessions = [Session(0.0, 1.0), Session(0.0, 3.0)]
+        assert trace_statistics(sessions)["median_duration"] == pytest.approx(2.0)
+
+
+class TestTraceReplayChurn:
+    def test_replay_matches_sessions(self):
+        sim = Simulator(seed=2)
+        anchor = sim.spawn(Process(value=0.0))
+        sessions = [Session(1.0, 2.0), Session(2.0, 5.0), Session(3.0, 1.0)]
+        model = TraceReplayChurn(lambda: Process(value=1.0), sessions)
+        model.install(sim)
+        sim.run(until=20)
+        assert model.joins == 3
+        # Everyone except the anchor has departed by t=20.
+        assert sim.network.present() == {anchor.pid}
+        from repro.core.runs import Run
+
+        run = Run.from_trace(sim.trace, horizon=20)
+        assert run.arrival_count() == 4  # anchor + 3 replayed
+
+    def test_durations_respected(self):
+        sim = Simulator(seed=2)
+        sim.spawn(Process(value=0.0))
+        model = TraceReplayChurn(lambda: Process(value=1.0), [Session(1.0, 4.0)])
+        model.install(sim)
+        sim.run(until=20)
+        from repro.core.runs import Run
+
+        run = Run.from_trace(sim.trace, horizon=20)
+        replayed = max(run.entities())
+        interval = run.interval(replayed)
+        assert interval.join == pytest.approx(1.0)
+        assert interval.leave == pytest.approx(5.0)
+
+    def test_stop_at_suppresses_late_joins(self):
+        sim = Simulator(seed=2)
+        sim.spawn(Process(value=0.0))
+        sessions = [Session(1.0, 2.0), Session(50.0, 2.0)]
+        model = TraceReplayChurn(lambda: Process(value=1.0), sessions)
+        model.install(sim, stop_at=10.0)
+        sim.run(until=100)
+        assert model.joins == 1

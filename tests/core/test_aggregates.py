@@ -1,0 +1,78 @@
+"""Tests for aggregate functions (repro.core.aggregates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import AGGREGATES, AVG, COUNT, MAX, MIN, SET, SUM, by_name
+
+
+class TestAggregateValues:
+    def test_count(self):
+        assert COUNT.of([10, 20, 30]) == 3
+        assert COUNT.of([]) == 0
+
+    def test_sum(self):
+        assert SUM.of([1, 2, 3]) == 6
+        assert SUM.of([]) == 0
+
+    def test_avg(self):
+        assert AVG.of([2, 4]) == 3.0
+
+    def test_avg_empty_rejected(self):
+        with pytest.raises(ValueError):
+            AVG.of([])
+
+    def test_min_max(self):
+        assert MIN.of([3, 1, 2]) == 1
+        assert MAX.of([3, 1, 2]) == 3
+
+    def test_min_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MIN.of([])
+
+    def test_max_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MAX.of([])
+
+    def test_set(self):
+        assert SET.of([1, 2, 2, 3]) == frozenset({1, 2, 3})
+        assert SET.of([]) == frozenset()
+
+    def test_aggregates_accept_generators(self):
+        assert SUM.of(x for x in range(4)) == 6
+        assert COUNT.of(x for x in range(4)) == 4
+
+
+class TestDuplicateSensitivity:
+    def test_sensitive(self):
+        assert COUNT.duplicate_sensitive
+        assert SUM.duplicate_sensitive
+        assert AVG.duplicate_sensitive
+
+    def test_insensitive(self):
+        assert not MIN.duplicate_sensitive
+        assert not MAX.duplicate_sensitive
+        assert not SET.duplicate_sensitive
+
+    def test_insensitive_aggregates_really_are(self):
+        values = [5, 1, 9]
+        doubled = values + values
+        for agg in (MIN, MAX, SET):
+            assert agg.of(values) == agg.of(doubled)
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(AGGREGATES) == {"COUNT", "SUM", "AVG", "MIN", "MAX", "SET"}
+
+    def test_by_name(self):
+        assert by_name("sum") is SUM
+        assert by_name("COUNT") is COUNT
+
+    def test_by_name_unknown(self):
+        with pytest.raises(KeyError, match="median"):
+            by_name("median")
+
+    def test_str(self):
+        assert str(SUM) == "SUM"

@@ -1,0 +1,138 @@
+"""Tests for the entity dimension (repro.core.arrival)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.arrival import (
+    FiniteArrival,
+    InfiniteArrivalBounded,
+    InfiniteArrivalFinite,
+    InfiniteArrivalUnbounded,
+    StaticArrival,
+    arrival_chain,
+    classify_run,
+)
+from repro.core.runs import Interval, Run
+
+
+def static_run(n: int = 3) -> Run:
+    return Run.static(n, horizon=10.0)
+
+
+def churny_run() -> Run:
+    return Run(
+        {
+            0: Interval(0.0),
+            1: Interval(0.0, 3.0),
+            2: Interval(2.0, 6.0),
+            3: Interval(5.0),
+        },
+        horizon=10.0,
+    )
+
+
+class TestStaticArrival:
+    def test_admits_static_run(self):
+        assert StaticArrival(3).admits(static_run(3))
+
+    def test_rejects_wrong_size(self):
+        assert not StaticArrival(4).admits(static_run(3))
+
+    def test_rejects_churny_run(self):
+        assert not StaticArrival(4).admits(churny_run())
+
+    def test_rejects_late_join(self):
+        run = Run({0: Interval(0.0), 1: Interval(1.0)}, horizon=10.0)
+        assert not StaticArrival(2).admits(run)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            StaticArrival(0)
+
+    def test_str(self):
+        assert str(StaticArrival(5)) == "M_static(5)"
+
+
+class TestFiniteArrival:
+    def test_admits_quiescent_run(self):
+        assert FiniteArrival().admits(churny_run())
+
+    def test_max_total_enforced(self):
+        assert not FiniteArrival(max_total=3).admits(churny_run())
+        assert FiniteArrival(max_total=4).admits(churny_run())
+
+    def test_rejects_run_churning_at_horizon(self):
+        run = Run({0: Interval(0.0), 1: Interval(10.0)}, horizon=10.0)
+        assert not FiniteArrival().admits(run)
+
+    def test_str(self):
+        assert str(FiniteArrival()) == "M_finite"
+        assert "3" in str(FiniteArrival(max_total=3))
+
+
+class TestInfiniteArrival:
+    def test_bounded_concurrency_enforced(self):
+        assert InfiniteArrivalBounded(3).admits(churny_run())
+        assert not InfiniteArrivalBounded(2).admits(churny_run())
+
+    def test_bounded_invalid_c(self):
+        with pytest.raises(ValueError):
+            InfiniteArrivalBounded(0)
+
+    def test_finite_admits_everything(self):
+        assert InfiniteArrivalFinite().admits(churny_run())
+        assert InfiniteArrivalFinite().admits(static_run())
+
+    def test_unbounded_admits_everything(self):
+        assert InfiniteArrivalUnbounded().admits(churny_run())
+
+
+class TestHierarchy:
+    def test_chain_is_ascending(self):
+        chain = arrival_chain(n=4, c=8)
+        for smaller, larger in zip(chain, chain[1:]):
+            assert smaller <= larger
+            assert smaller < larger
+
+    def test_static_incomparable_across_n(self):
+        assert not StaticArrival(3) <= StaticArrival(4)
+        assert not StaticArrival(4) <= StaticArrival(3)
+
+    def test_static_reflexive(self):
+        assert StaticArrival(3) <= StaticArrival(3)
+        assert not StaticArrival(3) < StaticArrival(3)
+
+    def test_finite_total_ordering(self):
+        assert FiniteArrival(max_total=3) <= FiniteArrival(max_total=5)
+        assert not FiniteArrival(max_total=5) <= FiniteArrival(max_total=3)
+        assert FiniteArrival(max_total=5) <= FiniteArrival()
+        assert not FiniteArrival() <= FiniteArrival(max_total=5)
+
+    def test_bounded_concurrency_ordering(self):
+        assert InfiniteArrivalBounded(3) <= InfiniteArrivalBounded(5)
+        assert not InfiniteArrivalBounded(5) <= InfiniteArrivalBounded(3)
+
+    def test_cross_rank_ordering(self):
+        assert StaticArrival(3) <= InfiniteArrivalUnbounded()
+        assert FiniteArrival() <= InfiniteArrivalBounded(2)
+        assert not InfiniteArrivalUnbounded() <= StaticArrival(3)
+
+    def test_le_against_other_types(self):
+        result = StaticArrival(3).__le__(42)
+        assert result is NotImplemented
+
+
+class TestClassifyRun:
+    def test_static_detected(self):
+        assert classify_run(static_run(3)) == StaticArrival(3)
+
+    def test_static_with_expected_n(self):
+        assert classify_run(static_run(3), n=3) == StaticArrival(3)
+
+    def test_quiescent_is_finite(self):
+        assert classify_run(churny_run()) == FiniteArrival()
+
+    def test_active_run_is_bounded(self):
+        run = Run({0: Interval(0.0), 1: Interval(10.0)}, horizon=10.0)
+        assert classify_run(run) == InfiniteArrivalBounded(2)

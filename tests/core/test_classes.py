@@ -1,0 +1,66 @@
+"""Tests for system classes (repro.core.classes)."""
+
+from __future__ import annotations
+
+from repro.core.arrival import InfiniteArrivalUnbounded, StaticArrival
+from repro.core.classes import SystemClass, standard_lattice
+from repro.core.geography import complete, local
+
+
+class TestSystemClass:
+    def test_name_combines_dimensions(self):
+        system = SystemClass(StaticArrival(8), local())
+        assert "M_static(8)" in system.name
+        assert "G_local" in system.name
+
+    def test_hardness_order(self):
+        easy = SystemClass(StaticArrival(8), complete())
+        hard = SystemClass(InfiniteArrivalUnbounded(), local())
+        assert hard.is_harder_than(easy)
+        assert not easy.is_harder_than(hard)
+
+    def test_hardness_reflexive(self):
+        system = SystemClass(StaticArrival(8), local())
+        assert system.is_harder_than(system)
+
+    def test_incomparable_points(self):
+        # More dynamic but more knowledgeable vs less dynamic less informed.
+        a = SystemClass(InfiniteArrivalUnbounded(), complete())
+        b = SystemClass(StaticArrival(8), local())
+        assert not a.is_harder_than(b)
+        assert not b.is_harder_than(a)
+
+    def test_describe_mentions_both_dimensions(self):
+        text = SystemClass(StaticArrival(8), local()).describe()
+        assert "Entity dimension" in text
+        assert "Geography dimension" in text
+
+    def test_describe_all_lattice_points(self):
+        for system in standard_lattice():
+            assert len(system.describe()) > 20
+
+    def test_hashable(self):
+        a = SystemClass(StaticArrival(8), local())
+        b = SystemClass(StaticArrival(8), local())
+        assert a == b
+        assert len({a, b}) == 1
+
+
+class TestStandardLattice:
+    def test_size(self):
+        assert len(standard_lattice()) == 20
+
+    def test_all_distinct(self):
+        lattice = standard_lattice()
+        assert len(set(lattice)) == 20
+
+    def test_covers_extremes(self):
+        lattice = standard_lattice(n=16)
+        names = {s.name for s in lattice}
+        assert "(M_static(16), G_complete)" in names
+        assert "(M_inf_unbounded, G_local)" in names
+
+    def test_hardest_point_dominates(self):
+        lattice = standard_lattice()
+        hardest = SystemClass(InfiniteArrivalUnbounded(), local())
+        assert all(hardest.is_harder_than(s) for s in lattice)

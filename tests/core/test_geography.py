@@ -1,0 +1,91 @@
+"""Tests for the knowledge dimension (repro.core.geography)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.geography import (
+    KnowledgeClass,
+    complete,
+    knowledge_chain,
+    known_diameter,
+    known_size,
+    local,
+)
+
+
+class TestConstructors:
+    def test_complete_knows_everything(self):
+        g = complete()
+        assert g.knows_members
+        assert g.information() == {"members", "diameter", "size"}
+
+    def test_known_diameter(self):
+        g = known_diameter(8)
+        assert g.diameter_bound == 8
+        assert g.information() == {"diameter"}
+
+    def test_known_size(self):
+        g = known_size(64)
+        assert g.size_bound == 64
+        assert g.information() == {"size"}
+
+    def test_local_knows_nothing(self):
+        assert local().information() == frozenset()
+
+    def test_invalid_diameter(self):
+        with pytest.raises(ValueError):
+            KnowledgeClass(name="bad", diameter_bound=-1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            KnowledgeClass(name="bad", size_bound=0)
+
+    def test_zero_diameter_allowed(self):
+        # A single-process system has diameter 0.
+        assert known_diameter(0).diameter_bound == 0
+
+    def test_str(self):
+        assert str(local()) == "G_local"
+        assert str(complete()) == "G_complete"
+
+
+class TestInformationOrder:
+    def test_local_below_everything(self):
+        g = local()
+        assert g <= known_diameter(8)
+        assert g <= known_size(64)
+        assert g <= complete()
+
+    def test_complete_above_everything(self):
+        g = complete()
+        assert known_diameter(8) <= g
+        assert known_size(64) <= g
+        assert local() <= g
+
+    def test_diameter_and_size_incomparable(self):
+        assert not known_diameter(8) <= known_size(64)
+        assert not known_size(64) <= known_diameter(8)
+
+    def test_strict_order(self):
+        assert local() < complete()
+        assert not local() < local()
+
+    def test_reflexive(self):
+        assert known_diameter(8) <= known_diameter(8)
+
+    def test_order_ignores_bound_values(self):
+        # The order is about which *facts* are known, not their magnitude.
+        assert known_diameter(4) <= known_diameter(100)
+        assert known_diameter(100) <= known_diameter(4)
+
+
+class TestChain:
+    def test_chain_weakest_first(self):
+        chain = knowledge_chain()
+        assert chain[0] == local()
+        assert chain[-1] == complete()
+        assert all(chain[0] <= g for g in chain)
+
+    def test_chain_length(self):
+        assert len(knowledge_chain()) == 4

@@ -1,0 +1,127 @@
+"""Tests for the solvability decision table (repro.core.solvability)."""
+
+from __future__ import annotations
+
+from repro.core.arrival import (
+    FiniteArrival,
+    InfiniteArrivalBounded,
+    InfiniteArrivalFinite,
+    InfiniteArrivalUnbounded,
+    StaticArrival,
+)
+from repro.core.classes import SystemClass, standard_lattice
+from repro.core.geography import complete, known_diameter, known_size, local
+from repro.core.solvability import (
+    Solvable,
+    one_time_query_solvability,
+    solvability_matrix,
+)
+
+
+def solve(arrival, knowledge) -> Solvable:
+    return one_time_query_solvability(SystemClass(arrival, knowledge)).answer
+
+
+class TestPositiveResults:
+    def test_static_complete_solvable(self):
+        assert solve(StaticArrival(8), complete()) is Solvable.YES
+
+    def test_static_known_diameter_solvable(self):
+        assert solve(StaticArrival(8), known_diameter(4)) is Solvable.YES
+
+    def test_static_known_size_solvable(self):
+        assert solve(StaticArrival(8), known_size(8)) is Solvable.YES
+
+    def test_finite_arrival_solvable_with_knowledge(self):
+        assert solve(FiniteArrival(), complete()) is Solvable.YES
+        assert solve(FiniteArrival(), known_diameter(4)) is Solvable.YES
+        assert solve(FiniteArrival(), known_size(8)) is Solvable.YES
+
+
+class TestConditionalResults:
+    def test_bounded_churn_conditional(self):
+        result = one_time_query_solvability(
+            SystemClass(InfiniteArrivalBounded(16), known_diameter(4))
+        )
+        assert result.answer is Solvable.CONDITIONAL
+        assert result.condition  # a quantitative condition is stated
+
+    def test_static_local_conditional(self):
+        result = one_time_query_solvability(
+            SystemClass(StaticArrival(8), local())
+        )
+        assert result.answer is Solvable.CONDITIONAL
+        assert "echo" in result.witness_protocol
+
+    def test_finite_local_conditional(self):
+        assert solve(FiniteArrival(), local()) is Solvable.CONDITIONAL
+
+
+class TestNegativeResults:
+    def test_unbounded_local_unsolvable(self):
+        assert solve(InfiniteArrivalUnbounded(), local()) is Solvable.NO
+
+    def test_infinite_local_unsolvable(self):
+        assert solve(InfiniteArrivalBounded(16), local()) is Solvable.NO
+        assert solve(InfiniteArrivalFinite(), local()) is Solvable.NO
+
+    def test_unbounded_diameter_unsolvable(self):
+        assert solve(InfiniteArrivalUnbounded(), known_diameter(4)) is Solvable.NO
+
+    def test_unbounded_size_unsolvable(self):
+        assert solve(InfiniteArrivalUnbounded(), known_size(8)) is Solvable.NO
+
+
+class TestStructuralConsistency:
+    def test_every_lattice_point_decided(self):
+        matrix = solvability_matrix(standard_lattice())
+        assert len(matrix) == 20
+        assert all(r.answer in Solvable for r in matrix.values())
+
+    def test_every_entry_has_argument(self):
+        for result in solvability_matrix(standard_lattice()).values():
+            assert len(result.argument) > 30
+
+    def test_positive_entries_name_a_witness(self):
+        for result in solvability_matrix(standard_lattice()).values():
+            if result.answer is Solvable.YES:
+                assert result.witness_protocol.startswith("repro.protocols")
+
+    def test_every_entry_maps_to_experiment(self):
+        for result in solvability_matrix(standard_lattice()).values():
+            assert result.experiment.startswith("E")
+
+    def test_monotone_in_knowledge(self):
+        """More knowledge never makes the problem less solvable."""
+        order = {Solvable.NO: 0, Solvable.CONDITIONAL: 1, Solvable.YES: 2}
+        arrivals = [
+            StaticArrival(16),
+            FiniteArrival(),
+            InfiniteArrivalBounded(64),
+            InfiniteArrivalFinite(),
+            InfiniteArrivalUnbounded(),
+        ]
+        for arrival in arrivals:
+            weak = order[solve(arrival, local())]
+            strong = order[solve(arrival, complete())]
+            assert weak <= strong
+
+    def test_antitone_in_arrival(self):
+        """More dynamism never makes the problem more solvable."""
+        order = {Solvable.NO: 0, Solvable.CONDITIONAL: 1, Solvable.YES: 2}
+        for knowledge in (complete(), known_diameter(8), known_size(64), local()):
+            chain = [
+                StaticArrival(16),
+                FiniteArrival(),
+                InfiniteArrivalBounded(64),
+                InfiniteArrivalFinite(),
+                InfiniteArrivalUnbounded(),
+            ]
+            answers = [order[solve(a, knowledge)] for a in chain]
+            assert answers == sorted(answers, reverse=True)
+
+    def test_solvable_property(self):
+        result = one_time_query_solvability(
+            SystemClass(StaticArrival(8), complete())
+        )
+        assert result.solvable

@@ -1,0 +1,170 @@
+"""Tests for the one-time query specification checker (repro.core.spec)."""
+
+from __future__ import annotations
+
+from repro.core.spec import (
+    OneTimeQuerySpec,
+    QUERY_ISSUED,
+    QUERY_RETURNED,
+    QueryRecord,
+    extract_queries,
+)
+from repro.sim.trace import TraceLog
+
+
+def base_log() -> TraceLog:
+    """Three entities present from 0; entity 2 leaves at t=6."""
+    log = TraceLog()
+    log.record(0.0, "join", entity=0, value=10)
+    log.record(0.0, "join", entity=1, value=20)
+    log.record(0.0, "join", entity=2, value=30)
+    log.record(6.0, "leave", entity=2)
+    return log
+
+
+def add_query(
+    log: TraceLog,
+    issue: float = 1.0,
+    ret: float | None = 4.0,
+    contributors=(0, 1, 2),
+    result=60,
+    aggregate="SUM",
+) -> TraceLog:
+    log.record(issue, QUERY_ISSUED, entity=0, qid=0, aggregate=aggregate)
+    if ret is not None:
+        log.record(
+            ret,
+            QUERY_RETURNED,
+            entity=0,
+            qid=0,
+            aggregate=aggregate,
+            result=result,
+            contributors=tuple(contributors),
+        )
+    return log
+
+
+class TestExtractQueries:
+    def test_roundtrip(self):
+        log = add_query(base_log())
+        records = extract_queries(log)
+        assert len(records) == 1
+        record = records[0]
+        assert record.qid == 0
+        assert record.querier == 0
+        assert record.issue_time == 1.0
+        assert record.return_time == 4.0
+        assert record.contributors == (0, 1, 2)
+        assert record.terminated
+
+    def test_unreturned_query(self):
+        log = add_query(base_log(), ret=None)
+        record = extract_queries(log)[0]
+        assert not record.terminated
+        assert record.return_time is None
+
+    def test_multiple_queries_sorted_by_qid(self):
+        log = base_log()
+        log.record(1.0, QUERY_ISSUED, entity=0, qid=5, aggregate="SUM")
+        log.record(0.5, QUERY_ISSUED, entity=1, qid=2, aggregate="SUM")
+        records = extract_queries(log)
+        assert [r.qid for r in records] == [2, 5]
+
+    def test_duplicate_return_uses_first(self):
+        log = add_query(base_log())
+        log.record(9.0, QUERY_RETURNED, entity=0, qid=0, result=999, contributors=(0,))
+        record = extract_queries(log)[0]
+        assert record.return_time == 4.0
+        assert record.result == 60
+
+
+class TestVerdicts:
+    def test_perfect_query_ok(self):
+        log = add_query(base_log())
+        verdict = OneTimeQuerySpec().check(log, horizon=10.0)[0]
+        assert verdict.ok
+        assert verdict.terminated and verdict.complete and verdict.integral
+        assert verdict.stable_core == {0, 1, 2}
+        assert verdict.completeness_ratio == 1.0
+
+    def test_non_termination(self):
+        log = add_query(base_log(), ret=None)
+        verdict = OneTimeQuerySpec().check(log, horizon=10.0)[0]
+        assert not verdict.terminated
+        assert not verdict.ok
+        assert "never returned" in verdict.notes[0]
+
+    def test_missing_core_member(self):
+        log = add_query(base_log(), contributors=(0, 1), result=30)
+        verdict = OneTimeQuerySpec().check(log, horizon=10.0)[0]
+        assert verdict.terminated
+        assert not verdict.complete
+        assert verdict.missing_core == {2}
+        assert verdict.completeness_ratio == 2 / 3
+
+    def test_transient_not_required(self):
+        # Entity 2 leaves at 6; a query over [1, 8] does not require it.
+        log = add_query(base_log(), issue=1.0, ret=8.0, contributors=(0, 1), result=30)
+        verdict = OneTimeQuerySpec().check(log, horizon=10.0)[0]
+        assert verdict.complete
+        assert verdict.stable_core == {0, 1}
+
+    def test_transient_may_be_counted(self):
+        # Counting the transient is allowed by the validity clause.
+        log = add_query(base_log(), issue=1.0, ret=8.0, contributors=(0, 1, 2), result=60)
+        verdict = OneTimeQuerySpec().check(log, horizon=10.0)[0]
+        assert verdict.ok
+
+    def test_phantom_contributor(self):
+        log = add_query(base_log(), contributors=(0, 1, 2, 99), result=60)
+        verdict = OneTimeQuerySpec().check(log, horizon=10.0)[0]
+        assert not verdict.integral
+        assert verdict.phantom == {99}
+
+    def test_duplicate_contributor(self):
+        log = add_query(base_log(), contributors=(0, 0, 1, 2), result=70)
+        verdict = OneTimeQuerySpec().check(log, horizon=10.0)[0]
+        assert not verdict.integral
+        assert verdict.duplicates == {0}
+
+    def test_wrong_result_value(self):
+        log = add_query(base_log(), contributors=(0, 1, 2), result=61)
+        verdict = OneTimeQuerySpec().check(log, horizon=10.0)[0]
+        assert not verdict.integral
+        assert any("result" in note for note in verdict.notes)
+
+    def test_result_check_can_be_disabled(self):
+        log = add_query(base_log(), contributors=(0, 1, 2), result=61)
+        spec = OneTimeQuerySpec(check_result=False)
+        assert spec.check(log, horizon=10.0)[0].integral
+
+    def test_restrict_core(self):
+        # With the obligation restricted to {0, 1}, missing 2 is fine.
+        log = add_query(base_log(), contributors=(0, 1), result=30)
+        spec = OneTimeQuerySpec(restrict_core_to=frozenset({0, 1}))
+        assert spec.check(log, horizon=10.0)[0].complete
+
+    def test_unknown_aggregate_result_unchecked(self):
+        log = add_query(base_log(), aggregate="WEIRD", result=None)
+        verdict = OneTimeQuerySpec().check(log, horizon=10.0)[0]
+        assert verdict.integral
+        assert any("unchecked" in note for note in verdict.notes)
+
+    def test_empty_core_ratio_is_one(self):
+        log = TraceLog()
+        log.record(0.0, "join", entity=0, value=1)
+        log.record(2.0, "leave", entity=0)
+        # Query window [3, 4]: nothing is present throughout.
+        log.record(3.0, QUERY_ISSUED, entity=0, qid=0, aggregate="SET")
+        log.record(
+            4.0, QUERY_RETURNED, entity=0, qid=0, aggregate="SET",
+            result=frozenset(), contributors=(),
+        )
+        verdict = OneTimeQuerySpec().check(log, horizon=10.0)[0]
+        assert verdict.completeness_ratio == 1.0
+        assert verdict.complete
+
+    def test_str(self):
+        log = add_query(base_log())
+        verdict = OneTimeQuerySpec().check(log, horizon=10.0)[0]
+        assert "OK" in str(verdict)

@@ -1,0 +1,171 @@
+"""Integration tests: whole-system scenarios crossing every layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import QueryConfig, run_query
+from repro.churn.lifetimes import ExponentialLifetime, ParetoLifetime
+from repro.churn.models import (
+    ArrivalDepartureChurn,
+    FiniteArrivalChurn,
+    ReplacementChurn,
+)
+from repro.churn.traces import TraceReplayChurn, synthetic_sessions
+from repro.core.arrival import classify_run
+from repro.core.runs import Run
+from repro.core.spec import OneTimeQuerySpec
+from repro.protocols.one_time_query import WaveNode
+from repro.sim.rng import SeedSequence
+from repro.sim.scheduler import Simulator
+from repro.topology.attachment import UniformAttachment
+
+
+class TestStaticScenario:
+    """The (M_static, *) corner: everything must simply work."""
+
+    @pytest.mark.parametrize("protocol", ["wave", "request_collect"])
+    def test_protocols_agree_on_truth(self, protocol):
+        outcome = run_query(QueryConfig(
+            n=20, topology="er", protocol=protocol, aggregate="SUM",
+            seed=31, horizon=200,
+        ))
+        assert outcome.ok
+        assert outcome.record.result == outcome.truth == sum(range(20))
+
+    def test_repeated_queries_same_system(self):
+        sim = Simulator(seed=2)
+        pids = []
+        for i in range(10):
+            pids.append(sim.spawn(WaveNode(float(i)), pids[-1:]).pid)
+        node = sim.network.process(pids[0])
+        node.issue_query()
+        sim.run(until=100)
+        node.issue_query()
+        sim.run(until=200)
+        verdicts = OneTimeQuerySpec(check_result=False).check(sim.trace)
+        assert len(verdicts) == 2
+        assert all(v.terminated and v.complete for v in verdicts)
+
+
+class TestFiniteArrivalScenario:
+    """(M_finite, G_known_diameter): solvable after quiescence (E3 shape)."""
+
+    def test_query_after_quiescence_is_clean(self):
+        outcome = run_query(QueryConfig(
+            n=10, topology="er", aggregate="COUNT", seed=13,
+            query_at=120.0, horizon=400.0,
+            churn=lambda f: FiniteArrivalChurn(
+                f, total_arrivals=15, arrival_rate=0.5,
+                lifetimes=ExponentialLifetime(20.0),
+                attachment=UniformAttachment(2),
+            ),
+        ))
+        assert outcome.terminated
+        # After churn settles, the query should cover the whole core.
+        assert outcome.completeness == 1.0
+
+    def test_run_classified_as_finite(self):
+        sim = Simulator(seed=5)
+        anchor = sim.spawn(WaveNode(0.0))
+        model = FiniteArrivalChurn(
+            lambda: WaveNode(1.0), total_arrivals=8, arrival_rate=1.0
+        )
+        model.install(sim)
+        sim.run(until=300)
+        run = Run.from_trace(sim.trace, horizon=300)
+        assert model.arrival_class().admits(run)
+        from repro.core.arrival import FiniteArrival
+
+        assert classify_run(run) == FiniteArrival()
+
+
+class TestHeavyTailScenario:
+    """Synthetic P2P trace replay: the documented substitution."""
+
+    def test_wave_over_pareto_sessions(self):
+        seeds = SeedSequence(99)
+        sessions = synthetic_sessions(
+            seeds.stream("trace"), horizon=150.0, arrival_rate=0.8,
+            lifetimes=ParetoLifetime(alpha=1.5, xm=5.0),
+        )
+        assert sessions
+
+        outcome = run_query(QueryConfig(
+            n=12, topology="er", aggregate="COUNT", seed=99,
+            query_at=60.0, horizon=400.0,
+            churn=lambda f: TraceReplayChurn(f, sessions),
+        ))
+        assert outcome.terminated
+        assert outcome.verdict.integral
+
+    def test_trace_shapes_population(self):
+        seeds = SeedSequence(7)
+        sessions = synthetic_sessions(
+            seeds.stream("trace"), horizon=100.0, arrival_rate=1.0,
+            lifetimes=ParetoLifetime(alpha=1.2, xm=2.0),
+        )
+        sim = Simulator(seed=7)
+        sim.spawn(WaveNode(0.0))
+        model = TraceReplayChurn(lambda: WaveNode(1.0), sessions)
+        model.install(sim)
+        sim.run(until=150)
+        run = Run.from_trace(sim.trace, horizon=150)
+        assert run.arrival_count() == len(sessions) + 1
+        assert run.max_concurrency() >= 2
+
+
+class TestCrossLayerConsistency:
+    def test_trace_run_network_agree(self):
+        """The omniscient network view and the trace-derived run agree at
+        every membership event."""
+        sim = Simulator(seed=17)
+        pids = [sim.spawn(WaveNode(1.0), pids_slice).pid
+                for pids_slice in ([],)]
+        model = ArrivalDepartureChurn(
+            lambda: WaveNode(1.0), arrival_rate=1.0,
+            lifetimes=ExponentialLifetime(5.0),
+        )
+        model.install(sim)
+        checkpoints = []
+
+        def snapshot():
+            checkpoints.append((sim.now, set(sim.network.present())))
+
+        for t in range(5, 100, 10):
+            sim.at(float(t), snapshot)
+        sim.run(until=120)
+        run = Run.from_trace(sim.trace, horizon=120)
+        for t, present in checkpoints:
+            assert run.present_at(t) == present
+
+    def test_message_conservation(self):
+        """sends == delivers + drops, always."""
+        outcome = run_query(QueryConfig(
+            n=20, topology="er", seed=3, horizon=200, loss_rate=0.2,
+            deadline=50.0,
+            churn=lambda f: ReplacementChurn(f, rate=1.0),
+        ))
+        trace = outcome.trace
+        assert trace.count("send") == trace.count("deliver") + trace.count("drop")
+
+    def test_declared_class_always_admits_generated_run(self):
+        """Every churn model's declared arrival class admits its own runs."""
+        cases = [
+            ReplacementChurn(lambda: WaveNode(1.0), rate=2.0),
+            ArrivalDepartureChurn(
+                lambda: WaveNode(1.0), arrival_rate=1.0,
+                lifetimes=ExponentialLifetime(4.0), concurrency_cap=30,
+            ),
+            FiniteArrivalChurn(lambda: WaveNode(1.0), total_arrivals=10,
+                               arrival_rate=1.0),
+        ]
+        for model in cases:
+            sim = Simulator(seed=23)
+            prev = None
+            for _ in range(6):
+                prev = sim.spawn(WaveNode(1.0), [prev.pid] if prev else [])
+            model.install(sim)
+            sim.run(until=200)
+            run = Run.from_trace(sim.trace, horizon=250)
+            assert model.arrival_class().admits(run), model

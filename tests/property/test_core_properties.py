@@ -1,0 +1,108 @@
+"""Property-based tests for arrival classes, aggregates and the spec."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.aggregates import AVG, COUNT, MAX, MIN, SET, SUM
+from repro.core.arrival import (
+    FiniteArrival,
+    InfiniteArrivalBounded,
+    InfiniteArrivalFinite,
+    InfiniteArrivalUnbounded,
+    StaticArrival,
+)
+from repro.core.runs import FOREVER, Interval, Run
+from repro.core.solvability import Solvable, one_time_query_solvability
+from repro.core.classes import SystemClass
+from repro.core.geography import complete, known_diameter, known_size, local
+
+intervals = st.builds(
+    lambda join, extra, forever: Interval(join, FOREVER if forever else join + extra),
+    join=st.floats(min_value=0.0, max_value=90.0, allow_nan=False),
+    extra=st.floats(min_value=0.001, max_value=50.0, allow_nan=False),
+    forever=st.booleans(),
+)
+
+runs = st.builds(
+    lambda ivs: Run(dict(enumerate(ivs)), horizon=200.0),
+    st.lists(intervals, min_size=0, max_size=25),
+)
+
+
+@given(runs)
+def test_arrival_hierarchy_containment(run: Run):
+    """If a run is admitted by a class, every larger class admits it too."""
+    chain = [
+        FiniteArrival(),
+        InfiniteArrivalBounded(max(1, run.max_concurrency())),
+        InfiniteArrivalFinite(),
+        InfiniteArrivalUnbounded(),
+    ]
+    admitted = [cls.admits(run) for cls in chain]
+    # Once admitted, stays admitted up the chain.
+    for earlier, later in zip(admitted, admitted[1:]):
+        assert later or not earlier
+
+
+@given(st.integers(min_value=1, max_value=100))
+def test_static_run_admitted_by_whole_chain(n: int):
+    run = Run.static(n, horizon=50.0)
+    assert StaticArrival(n).admits(run)
+    assert FiniteArrival().admits(run)
+    assert InfiniteArrivalBounded(n).admits(run)
+    assert InfiniteArrivalFinite().admits(run)
+    assert InfiniteArrivalUnbounded().admits(run)
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000), min_size=1, max_size=50))
+def test_aggregate_sanity(values):
+    floats = [float(v) for v in values]
+    assert MIN.of(floats) <= AVG.of(floats) <= MAX.of(floats)
+    assert COUNT.of(floats) == len(floats)
+    assert SUM.of(floats) == sum(floats)
+    assert SET.of(floats) == frozenset(floats)
+
+
+@given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=30))
+def test_duplicate_insensitive_aggregates(values):
+    floats = [float(v) for v in values]
+    doubled = floats * 2
+    for agg in (MIN, MAX, SET):
+        assert agg.of(floats) == agg.of(doubled)
+
+
+@given(
+    st.sampled_from([
+        StaticArrival(16), FiniteArrival(), InfiniteArrivalBounded(32),
+        InfiniteArrivalFinite(), InfiniteArrivalUnbounded(),
+    ]),
+    st.sampled_from([complete(), known_diameter(8), known_size(32), local()]),
+)
+def test_solvability_total_and_justified(arrival, knowledge):
+    result = one_time_query_solvability(SystemClass(arrival, knowledge))
+    assert result.answer in Solvable
+    assert result.argument
+    if result.answer is Solvable.CONDITIONAL:
+        assert result.condition
+    if result.answer is not Solvable.NO:
+        assert result.witness_protocol
+
+
+@given(
+    st.sampled_from([
+        (StaticArrival(16), FiniteArrival()),
+        (FiniteArrival(), InfiniteArrivalBounded(32)),
+        (InfiniteArrivalBounded(32), InfiniteArrivalFinite()),
+        (InfiniteArrivalFinite(), InfiniteArrivalUnbounded()),
+    ]),
+    st.sampled_from([complete(), known_diameter(8), known_size(32), local()]),
+)
+def test_solvability_antitone_along_chain(pair, knowledge):
+    """Moving up the arrival hierarchy never improves solvability."""
+    easier, harder = pair
+    order = {Solvable.NO: 0, Solvable.CONDITIONAL: 1, Solvable.YES: 2}
+    easy = one_time_query_solvability(SystemClass(easier, knowledge))
+    hard = one_time_query_solvability(SystemClass(harder, knowledge))
+    assert order[hard.answer] <= order[easy.answer]

@@ -1,0 +1,89 @@
+"""Property-based end-to-end tests: the wave protocol against the spec.
+
+These are the strongest guarantees in the suite: for *arbitrary* connected
+topologies, seeds and delay regimes, the echo-mode wave satisfies the
+one-time query specification in static systems, and never violates
+integrity even under churn.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.runner import QueryConfig, run_query
+from repro.churn.models import ReplacementChurn
+from repro.core.spec import OneTimeQuerySpec
+from repro.protocols.one_time_query import WaveNode
+from repro.sim.latency import ConstantDelay, ExponentialDelay, UniformDelay
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+
+families = st.sampled_from(sorted(gen.FAMILIES))
+sizes = st.integers(min_value=2, max_value=24)
+seeds = st.integers(min_value=0, max_value=10_000)
+delays = st.sampled_from([
+    ConstantDelay(1.0),
+    UniformDelay(0.2, 2.0),
+    ExponentialDelay(1.0),
+])
+aggregates = st.sampled_from(["COUNT", "SUM", "AVG", "MIN", "MAX", "SET"])
+
+
+@given(families, sizes, seeds, delays, aggregates)
+@settings(max_examples=40, deadline=None)
+def test_static_echo_wave_always_satisfies_spec(family, n, seed, delay, aggregate):
+    outcome = run_query(QueryConfig(
+        n=n, topology=family, aggregate=aggregate, ttl=None,
+        seed=seed, delay=delay, horizon=2000.0,
+    ))
+    assert outcome.ok, outcome.verdict
+
+
+@given(families, sizes, seeds)
+@settings(max_examples=30, deadline=None)
+def test_static_ttl_wave_with_diameter_knowledge(family, n, seed):
+    rng = random.Random(seed)
+    topo = gen.make(family, n, rng)
+    outcome = run_query(QueryConfig(
+        n=n, topology=topo, aggregate="COUNT", ttl=topo.diameter(),
+        seed=seed, delay=ConstantDelay(1.0), horizon=2000.0,
+    ))
+    assert outcome.ok, outcome.verdict
+    assert outcome.record.result == n
+
+
+@given(families, sizes, seeds, st.floats(min_value=0.1, max_value=6.0))
+@settings(max_examples=30, deadline=None)
+def test_churn_never_breaks_integrity(family, n, seed, rate):
+    """Churn may cost completeness but must never fabricate or duplicate."""
+    outcome = run_query(QueryConfig(
+        n=n, topology=family, aggregate="COUNT", ttl=None,
+        seed=seed, horizon=300.0,
+        churn=lambda f: ReplacementChurn(f, rate=rate),
+    ))
+    if outcome.terminated:
+        assert outcome.verdict.integral, outcome.verdict
+        assert not outcome.verdict.phantom
+        assert not outcome.verdict.duplicates
+
+
+@given(sizes, seeds)
+@settings(max_examples=25, deadline=None)
+def test_undersized_ttl_never_overcounts(n, seed):
+    """A truncated wave reaches at most the population, never more."""
+    if n < 3:
+        return
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(1.0))
+    pids = []
+    for i in range(n):
+        pids.append(sim.spawn(WaveNode(1.0), [pids[-1]] if pids else []).pid)
+    node = sim.network.process(pids[0])
+    ttl = n // 2
+    node.issue_query(ttl=ttl)
+    sim.run(until=5000)
+    verdict = OneTimeQuerySpec(check_result=False).check(sim.trace)[0]
+    assert verdict.terminated
+    assert len(verdict.contributors) == min(n, ttl + 1)

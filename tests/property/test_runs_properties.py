@@ -1,0 +1,96 @@
+"""Property-based tests for the run formalism."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.runs import FOREVER, Interval, Run
+
+# Strategy: a presence interval within a horizon of 100.
+intervals = st.builds(
+    lambda join, extra, forever: Interval(join, FOREVER if forever else join + extra),
+    join=st.floats(min_value=0.0, max_value=90.0, allow_nan=False),
+    extra=st.floats(min_value=0.001, max_value=50.0, allow_nan=False),
+    forever=st.booleans(),
+)
+
+runs = st.builds(
+    lambda ivs: Run(dict(enumerate(ivs)), horizon=100.0),
+    st.lists(intervals, min_size=0, max_size=30),
+)
+
+windows = st.tuples(
+    st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+    st.floats(min_value=0.0, max_value=49.0, allow_nan=False),
+).map(lambda pair: (pair[0], pair[0] + pair[1]))
+
+
+@given(runs, windows)
+def test_stable_core_subset_of_endpoints(run: Run, window):
+    t0, t1 = window
+    core = run.stable_core(t0, t1)
+    assert core <= run.present_at(t0)
+    # Presence is half-open, so a core member present at t1- may leave
+    # exactly at t1 + eps; covers() demands t1 < leave, hence present at t1.
+    assert core <= run.present_at(t1)
+
+
+@given(runs, windows)
+def test_core_and_transients_partition_window_population(run: Run, window):
+    t0, t1 = window
+    core = run.stable_core(t0, t1)
+    transients = run.transients(t0, t1)
+    assert not core & transients
+
+
+@given(runs, st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+def test_max_concurrency_dominates_pointwise(run: Run, t: float):
+    assert run.concurrency(t) <= run.max_concurrency()
+
+
+@given(runs)
+def test_max_concurrency_at_most_population(run: Run):
+    assert 0 <= run.max_concurrency() <= len(run)
+
+
+@given(runs, windows)
+def test_churn_events_additive(run: Run, window):
+    t0, t1 = window
+    mid = (t0 + t1) / 2
+    whole = run.churn_events(t0, t1)
+    left = run.churn_events(t0, mid)
+    right = run.churn_events(mid, t1)
+    # Events exactly at `mid` are counted in both halves, so the parts can
+    # only overcount.
+    assert left + right >= whole
+
+
+@given(runs)
+def test_quiescent_from_really_quiescent(run: Run):
+    q = run.quiescent_from()
+    probe_times = [q + 0.5, q + 10.0]
+    baseline = run.present_at(q + 1e-9)
+    for t in probe_times:
+        assert run.present_at(t) == baseline
+
+
+@given(runs)
+def test_arrival_count_monotone(run: Run):
+    counts = [run.arrival_count(up_to=t) for t in (0.0, 25.0, 50.0, 100.0)]
+    assert counts == sorted(counts)
+    assert counts[-1] == len(run)
+
+
+@given(runs, windows)
+def test_wider_window_shrinks_core(run: Run, window):
+    t0, t1 = window
+    assert run.stable_core(t0, t1 + 5.0) <= run.stable_core(t0, t1)
+
+
+@given(runs)
+def test_mean_session_length_positive(run: Run):
+    mean_len = run.mean_session_length()
+    assert mean_len > 0 or math.isinf(mean_len)

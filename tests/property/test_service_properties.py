@@ -1,0 +1,108 @@
+"""Property-based tests for continuous services (dissemination, trees)."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dissemination_spec import DisseminationSpec, extract_broadcasts
+from repro.protocols.dissemination import AntiEntropyNode, FloodNode
+from repro.protocols.tree_aggregation import TreeAggregationNode
+from repro.sim.latency import ConstantDelay
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+
+families = st.sampled_from(sorted(gen.FAMILIES))
+sizes = st.integers(min_value=2, max_value=16)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def build(node_factory, family, n, seed):
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(0.4))
+    topo = gen.make(family, n, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(node_factory(node), neighbors).pid)
+    return sim, pids
+
+
+class TestDisseminationProperties:
+    @given(families, sizes, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_flood_covers_static_system(self, family, n, seed):
+        sim, pids = build(lambda node: FloodNode(1.0), family, n, seed)
+        origin = sim.network.process(pids[0])
+        sim.at(1.0, lambda: origin.broadcast_value("x"))
+        sim.run(until=200)
+        verdict = DisseminationSpec().check(sim.trace, at=200.0)[0]
+        assert verdict.ok
+
+    @given(families, sizes, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_coverage_monotone_in_audit_time(self, family, n, seed):
+        sim, pids = build(lambda node: FloodNode(1.0), family, n, seed)
+        origin = sim.network.process(pids[0])
+        sim.at(1.0, lambda: origin.broadcast_value("x"))
+        sim.run(until=100)
+        spec = DisseminationSpec()
+        record = extract_broadcasts(sim.trace)[0]
+        coverages = [
+            len(record.delivered_by(t)) for t in (1.0, 2.0, 4.0, 8.0, 100.0)
+        ]
+        assert coverages == sorted(coverages)
+
+    @given(families, sizes, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_anti_entropy_reaches_late_joiner(self, family, n, seed):
+        sim, pids = build(
+            lambda node: AntiEntropyNode(1.0, period=1.5), family, n, seed
+        )
+        origin = sim.network.process(pids[0])
+        sim.at(1.0, lambda: origin.broadcast_value("x"))
+        holder = {}
+        sim.at(10.0, lambda: holder.setdefault(
+            "pid",
+            sim.spawn(AntiEntropyNode(1.0, period=1.5), [pids[0]]).pid,
+        ))
+        sim.run(until=60)
+        assert sim.network.process(holder["pid"]).holds(0)
+
+
+class TestTreeAggregationProperties:
+    @given(families, sizes, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_count_bounded_by_population(self, family, n, seed):
+        sim, pids = build(
+            lambda node: TreeAggregationNode(
+                1.0, is_sink=(node == 0), rebuild_period=5.0,
+                report_period=0.5,
+            ),
+            family, n, seed,
+        )
+        counts = []
+        for t in (6.0, 11.0, 16.0, 21.0):
+            sim.at(t, lambda: counts.append(
+                sim.network.process(pids[0]).estimate_count
+            ))
+        sim.run(until=25.0)
+        assert all(1 <= c <= n for c in counts)
+        assert counts[-1] == n  # converged by the fourth rebuild
+
+    @given(families, sizes, seeds)
+    @settings(max_examples=15, deadline=None)
+    def test_sum_matches_count_after_convergence(self, family, n, seed):
+        sim, pids = build(
+            lambda node: TreeAggregationNode(
+                2.5, is_sink=(node == 0), rebuild_period=5.0,
+                report_period=0.5,
+            ),
+            family, n, seed,
+        )
+        sim.run(until=22.0)
+        sink = sim.network.process(pids[0])
+        total, count = sink.subtree_totals()
+        assert count == n
+        assert total == 2.5 * n

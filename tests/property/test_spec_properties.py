@@ -1,0 +1,83 @@
+"""Property-based tests for the specification checkers."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spec import OneTimeQuerySpec, QUERY_ISSUED, QUERY_RETURNED
+from repro.sim.trace import TraceLog
+
+entities = st.integers(min_value=0, max_value=9)
+
+
+@st.composite
+def random_query_traces(draw):
+    """A membership schedule plus one query with arbitrary contributors."""
+    log = TraceLog()
+    n = draw(st.integers(min_value=1, max_value=8))
+    leaves = {}
+    for entity in range(n):
+        join = draw(st.floats(min_value=0.0, max_value=5.0))
+        log.record(join, "join", entity=entity, value=float(entity))
+        if draw(st.booleans()):
+            leaves[entity] = join + draw(
+                st.floats(min_value=0.1, max_value=20.0)
+            )
+    for entity, leave in sorted(leaves.items(), key=lambda kv: kv[1]):
+        log.record(leave, "leave", entity=entity)
+    issue = draw(st.floats(min_value=6.0, max_value=10.0))
+    ret = issue + draw(st.floats(min_value=0.1, max_value=10.0))
+    contributors = tuple(sorted(draw(
+        st.sets(st.integers(min_value=0, max_value=n - 1), max_size=n)
+    )))
+    log.record(issue, QUERY_ISSUED, entity=0, qid=0, aggregate="SUM")
+    log.record(
+        ret, QUERY_RETURNED, entity=0, qid=0, aggregate="SUM",
+        result=sum(float(c) for c in contributors),
+        contributors=contributors,
+    )
+    # The log must be time-ordered for Run.from_trace; rebuild sorted.
+    ordered = TraceLog()
+    for event in sorted(log, key=lambda e: e.time):
+        ordered.record(event.time, event.kind, **event.data)
+    return ordered
+
+
+@given(random_query_traces())
+@settings(max_examples=80, deadline=None)
+def test_verdict_internal_consistency(log):
+    verdict = OneTimeQuerySpec().check(log, horizon=40.0)[0]
+    # ok definition
+    assert verdict.ok == (
+        verdict.terminated and verdict.complete and verdict.integral
+    )
+    # ratio bounds
+    assert 0.0 <= verdict.completeness_ratio <= 1.0
+    # complete iff no missing core
+    assert verdict.complete == (not verdict.missing_core)
+    # missing core is inside the stable core and outside the contributors
+    assert verdict.missing_core <= verdict.stable_core
+    assert not (verdict.missing_core & verdict.contributors)
+    # phantoms are contributors
+    assert verdict.phantom <= verdict.contributors
+
+
+@given(random_query_traces())
+@settings(max_examples=40, deadline=None)
+def test_restricting_core_never_hurts_completeness(log):
+    unrestricted = OneTimeQuerySpec().check(log, horizon=40.0)[0]
+    restricted = OneTimeQuerySpec(
+        restrict_core_to=unrestricted.contributors or frozenset({0})
+    ).check(log, horizon=40.0)[0]
+    assert restricted.completeness_ratio >= unrestricted.completeness_ratio - 1e-9
+
+
+@given(random_query_traces())
+@settings(max_examples=40, deadline=None)
+def test_disabling_result_check_weakens_monotonically(log):
+    """check_result=False can only make integral True where it was False."""
+    strict = OneTimeQuerySpec(check_result=True).check(log, horizon=40.0)[0]
+    lax = OneTimeQuerySpec(check_result=False).check(log, horizon=40.0)[0]
+    if strict.integral:
+        assert lax.integral

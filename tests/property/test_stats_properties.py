@@ -1,0 +1,60 @@
+"""Property-based tests for the statistics toolkit."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import mean, quantile, stddev, summarize
+
+values = st.lists(
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=100,
+)
+
+
+@given(values)
+def test_mean_within_range(vs):
+    assert min(vs) - 1e-6 <= mean(vs) <= max(vs) + 1e-6
+
+
+@given(values)
+def test_stddev_nonnegative(vs):
+    assert stddev(vs) >= 0.0
+
+
+@given(values)
+def test_shift_invariance_of_stddev(vs):
+    shifted = [v + 10.0 for v in vs]
+    assert abs(stddev(vs) - stddev(shifted)) < 1e-6 * (1 + stddev(vs))
+
+
+@given(values, st.floats(min_value=0.0, max_value=1.0))
+def test_quantile_within_range(vs, q):
+    result = quantile(vs, q)
+    assert min(vs) <= result <= max(vs)
+
+
+@given(values)
+def test_quantile_monotone_in_q(vs):
+    qs = [0.0, 0.25, 0.5, 0.75, 1.0]
+    results = [quantile(vs, q) for q in qs]
+    assert results == sorted(results)
+
+
+@given(values)
+def test_summary_invariants(vs):
+    summary = summarize(vs)
+    assert summary.count == len(vs)
+    # Tolerate one ulp of rounding in the mean at any magnitude.
+    slack = 1e-12 * max(1.0, abs(summary.minimum), abs(summary.maximum))
+    assert summary.minimum - slack <= summary.mean <= summary.maximum + slack
+    assert summary.ci_low - slack <= summary.mean <= summary.ci_high + slack
+
+
+@given(values)
+def test_summary_duplication_narrows_ci(vs):
+    narrow = summarize(vs * 4)
+    wide = summarize(vs)
+    assert (narrow.ci_high - narrow.ci_low) <= (wide.ci_high - wide.ci_low) + 1e-9

@@ -1,0 +1,120 @@
+"""Property-based tests for journeys, connectivity and synchronous flooding."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.journeys import DynamicGraph
+from repro.sim.trace import TraceLog
+from repro.synchronous.flooding import KnowledgeFlood
+from repro.synchronous.runner import SynchronousSystem, build_from_topology
+from repro.topology import generators as gen
+
+families = st.sampled_from(sorted(gen.FAMILIES))
+sizes = st.integers(min_value=2, max_value=16)
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def random_membership_trace(seed: int, n: int) -> TraceLog:
+    """A random join/leave trace over a chain-ish overlay."""
+    rng = random.Random(seed)
+    log = TraceLog()
+    alive: list[int] = []
+    t = 0.0
+    for entity in range(n):
+        t += rng.uniform(0.1, 2.0)
+        neighbors = tuple(rng.sample(alive, min(len(alive), 2))) if alive else ()
+        log.record(t, "join", entity=entity, value=1.0, neighbors=neighbors)
+        alive.append(entity)
+        if len(alive) > 3 and rng.random() < 0.3:
+            victim = rng.choice(alive)
+            alive.remove(victim)
+            t += rng.uniform(0.0, 1.0)
+            log.record(t, "leave", entity=victim)
+    return log
+
+
+class TestJourneyProperties:
+    @given(seeds, st.integers(min_value=3, max_value=14))
+    @settings(max_examples=30, deadline=None)
+    def test_reachable_monotone_in_deadline(self, seed, n):
+        log = random_membership_trace(seed, n)
+        graph = DynamicGraph.from_trace(log)
+        source = 0
+        early = graph.reachable(source, 0.0, deadline=5.0, hop_time=0.5)
+        late = graph.reachable(source, 0.0, deadline=50.0, hop_time=0.5)
+        assert early <= late
+
+    @given(seeds, st.integers(min_value=3, max_value=14))
+    @settings(max_examples=30, deadline=None)
+    def test_reachable_antitone_in_hop_time(self, seed, n):
+        log = random_membership_trace(seed, n)
+        graph = DynamicGraph.from_trace(log)
+        fast = graph.reachable(0, 0.0, deadline=20.0, hop_time=0.1)
+        slow = graph.reachable(0, 0.0, deadline=20.0, hop_time=2.0)
+        assert slow <= fast
+
+    @given(seeds, st.integers(min_value=3, max_value=14))
+    @settings(max_examples=30, deadline=None)
+    def test_arrivals_never_before_start(self, seed, n):
+        log = random_membership_trace(seed, n)
+        graph = DynamicGraph.from_trace(log)
+        arrivals = graph.earliest_arrivals(0, start=1.0, hop_time=0.5)
+        assert all(when >= 1.0 for when in arrivals.values())
+        assert arrivals.get(0) == 1.0
+
+    @given(seeds, st.integers(min_value=3, max_value=14))
+    @settings(max_examples=20, deadline=None)
+    def test_source_always_reachable(self, seed, n):
+        log = random_membership_trace(seed, n)
+        graph = DynamicGraph.from_trace(log)
+        assert 0 in graph.reachable(0, 0.0, deadline=100.0)
+
+
+class TestSynchronousFloodingProperties:
+    @given(families, sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_knowledge_monotone_over_rounds(self, family, n, seed):
+        topo = gen.make(family, n, random.Random(seed))
+        system = SynchronousSystem()
+        pids = build_from_topology(
+            system, topo, lambda node: KnowledgeFlood(float(node))
+        )
+        previous = {pid: set() for pid in pids}
+        for _ in range(n):
+            system.run(1)
+            for pid in pids:
+                known = set(system.process(pid).known)
+                assert previous[pid] <= known
+                previous[pid] = known
+
+    @given(families, sizes, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_knowledge_equals_hop_ball(self, family, n, seed):
+        """After R rounds the querier knows exactly the R-hop ball."""
+        topo = gen.make(family, n, random.Random(seed))
+        system = SynchronousSystem()
+        pids = build_from_topology(
+            system, topo, lambda node: KnowledgeFlood(float(node))
+        )
+        rounds = max(1, n // 2)
+        system.run(rounds)
+        querier = system.process(pids[0])
+        distances = topo.bfs_distances(0)
+        ball = {node for node, d in distances.items() if d <= rounds}
+        assert set(querier.known) == ball
+
+    @given(families, sizes, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_n_rounds_always_complete(self, family, n, seed):
+        topo = gen.make(family, n, random.Random(seed))
+        system = SynchronousSystem()
+        pids = build_from_topology(
+            system, topo, lambda node: KnowledgeFlood(float(node))
+        )
+        system.run(n)  # n - 1 >= diameter always
+        for pid in pids:
+            assert len(system.process(pid).known) == n

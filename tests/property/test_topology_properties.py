@@ -1,0 +1,92 @@
+"""Property-based tests for topology generators and graph queries."""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology import generators as gen
+from repro.topology.graph import Topology
+
+families = st.sampled_from(sorted(gen.FAMILIES))
+sizes = st.integers(min_value=2, max_value=40)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(families, sizes, seeds)
+@settings(max_examples=60, deadline=None)
+def test_family_invariants(family, n, seed):
+    topo = gen.make(family, n, random.Random(seed))
+    assert len(topo) == n
+    assert sorted(topo.nodes()) == list(range(n))
+    assert topo.is_connected()
+    # No self-loops, symmetric adjacency.
+    for node in topo:
+        assert node not in topo.neighbors(node)
+        for nbr in topo.neighbors(node):
+            assert node in topo.neighbors(nbr)
+
+
+@given(families, sizes, seeds)
+@settings(max_examples=30, deadline=None)
+def test_bfs_distance_symmetric(family, n, seed):
+    topo = gen.make(family, n, random.Random(seed))
+    nodes = topo.nodes()
+    u, v = nodes[0], nodes[-1]
+    assert topo.bfs_distances(u).get(v) == topo.bfs_distances(v).get(u)
+
+
+@given(families, sizes, seeds)
+@settings(max_examples=30, deadline=None)
+def test_diameter_bounds(family, n, seed):
+    topo = gen.make(family, n, random.Random(seed))
+    d = topo.diameter()
+    assert 0 <= d <= n - 1
+    # Diameter is the max BFS eccentricity from any single node's view.
+    assert d >= max(topo.bfs_distances(topo.nodes()[0]).values())
+
+
+@given(sizes, seeds)
+@settings(max_examples=30, deadline=None)
+def test_generators_deterministic_in_seed(n, seed):
+    a = gen.erdos_renyi(n, 0.3, random.Random(seed))
+    b = gen.erdos_renyi(n, 0.3, random.Random(seed))
+    assert a.edges() == b.edges()
+
+
+@given(st.lists(st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=40))
+def test_components_partition_nodes(edge_list):
+    topo = Topology(nodes=range(21))
+    for a, b in edge_list:
+        if a != b:
+            topo.add_edge(a, b)
+    comps = topo.components()
+    seen: set[int] = set()
+    for comp in comps:
+        assert not comp & seen  # disjoint
+        seen |= comp
+    assert seen == set(topo.nodes())
+
+
+@given(st.integers(min_value=2, max_value=30))
+def test_ring_diameter_formula(n):
+    assert gen.ring(n).diameter() == n // 2
+
+
+@given(st.integers(min_value=2, max_value=30))
+def test_line_diameter_formula(n):
+    assert gen.line(n).diameter() == n - 1
+
+
+@given(st.integers(min_value=2, max_value=20), st.integers(min_value=2, max_value=20))
+def test_torus_regular_degree(rows, cols):
+    topo = gen.torus(rows, cols)
+    expected = (2 if rows > 2 else (1 if rows == 2 else 0)) + (
+        2 if cols > 2 else (1 if cols == 2 else 0)
+    )
+    degrees = {topo.degree(node) for node in topo}
+    assert degrees == {max(expected, 2 if rows * cols > 2 else 1)} or all(
+        d >= 2 for d in degrees
+    )

@@ -1,0 +1,167 @@
+"""Tests for churn-aware querying (repro.protocols.adaptive)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn.models import PhasedChurn
+from repro.core.aggregates import COUNT
+from repro.core.spec import OneTimeQuerySpec, extract_queries
+from repro.protocols.adaptive import AdaptiveWaveNode, QUERY_DEFERRED
+from repro.sim.errors import ConfigurationError, ProtocolError
+from repro.sim.latency import ConstantDelay
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+
+
+def build(n: int = 16, seed: int = 0):
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(0.5))
+    topo = gen.make("er", n, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(AdaptiveWaveNode(1.0), neighbors).pid)
+    return sim, pids
+
+
+class TestChurnEstimator:
+    def test_zero_in_static_system(self):
+        sim, pids = build()
+        sim.run(until=30)
+        node = sim.network.process(pids[0])
+        assert node.local_churn_rate() == 0.0
+
+    def test_counts_neighbor_events(self):
+        sim, pids = build()
+        node = sim.network.process(pids[0])
+        sim.run(until=10)
+        # Give the node three fresh neighbors.
+        for _ in range(3):
+            sim.spawn(AdaptiveWaveNode(1.0), [pids[0]])
+        sim.run(until=11)
+        assert node.local_churn_rate() > 0.0
+
+    def test_window_forgets_old_events(self):
+        sim, pids = build()
+        node = sim.network.process(pids[0])
+        sim.at(5.0, lambda: sim.spawn(AdaptiveWaveNode(1.0), [pids[0]]))
+        sim.run(until=100)  # far beyond the 20-unit window
+        assert node.local_churn_rate() == 0.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ProtocolError):
+            AdaptiveWaveNode(churn_window=0.0)
+
+
+class TestDeferredQuery:
+    def test_calm_system_queries_immediately(self):
+        sim, pids = build()
+        node = sim.network.process(pids[0])
+        sim.at(5.0, lambda: node.issue_query_when_calm(COUNT))
+        sim.run(until=100)
+        assert node.deferrals == 0
+        record = extract_queries(sim.trace)[0]
+        assert record.issue_time == pytest.approx(5.0)
+        assert OneTimeQuerySpec().check(sim.trace)[0].ok
+
+    def test_storm_defers_query(self):
+        sim, pids = build(seed=3)
+        churn = PhasedChurn(
+            lambda: AdaptiveWaveNode(1.0),
+            storm_rate=3.0, storm_length=40.0, calm_length=60.0,
+        )
+        churn.immortal.add(pids[0])
+        churn.install(sim)
+        node = sim.network.process(pids[0])
+        sim.at(10.0, lambda: node.issue_query_when_calm(
+            COUNT, calm_threshold=0.05, check_period=5.0, max_wait=300.0,
+        ))
+        sim.run(until=400)
+        assert node.deferrals > 0
+        assert sim.trace.count(QUERY_DEFERRED) == node.deferrals
+        record = extract_queries(sim.trace)[0]
+        # The query landed after the storm phase ended (t=40).
+        assert record.issue_time > 40.0
+
+    def test_max_wait_forces_query(self):
+        sim, pids = build(seed=3)
+        churn = PhasedChurn(
+            lambda: AdaptiveWaveNode(1.0),
+            storm_rate=5.0, storm_length=1000.0, calm_length=10.0,
+        )
+        churn.immortal.add(pids[0])
+        churn.install(sim)
+        node = sim.network.process(pids[0])
+        sim.at(5.0, lambda: node.issue_query_when_calm(
+            COUNT, calm_threshold=0.01, check_period=5.0, max_wait=50.0,
+        ))
+        sim.run(until=300)
+        records = extract_queries(sim.trace)
+        assert len(records) == 1
+        assert records[0].issue_time <= 5.0 + 50.0 + 5.0 + 1e-9
+
+    def test_invalid_check_period(self):
+        sim, pids = build()
+        node = sim.network.process(pids[0])
+        with pytest.raises(ProtocolError):
+            node.issue_query_when_calm(check_period=0.0)
+
+
+class TestPhasedChurn:
+    def test_phases_alternate(self):
+        sim, pids = build(seed=1)
+        churn = PhasedChurn(
+            lambda: AdaptiveWaveNode(1.0),
+            storm_rate=4.0, storm_length=20.0, calm_length=20.0,
+        )
+        churn.install(sim)
+        states = []
+        for t in (10.0, 30.0, 50.0, 70.0):
+            sim.at(t, lambda: states.append(churn.in_storm()))
+        sim.run(until=80)
+        assert states == [True, False, True, False]
+
+    def test_churn_only_during_storms(self):
+        sim, pids = build(seed=1)
+        churn = PhasedChurn(
+            lambda: AdaptiveWaveNode(1.0),
+            storm_rate=4.0, storm_length=20.0, calm_length=30.0,
+        )
+        churn.install(sim)
+        sim.run(until=100)
+        membership_times = [e.time for e in sim.trace.membership_events()
+                            if e.time > 0]
+        # No membership event inside calm windows (20,50) and (70,100).
+        for t in membership_times:
+            in_calm = (20.0 < t < 50.0) or (70.0 < t < 100.0)
+            assert not in_calm, t
+
+    def test_population_constant(self):
+        sim, pids = build(seed=1)
+        churn = PhasedChurn(
+            lambda: AdaptiveWaveNode(1.0),
+            storm_rate=4.0, storm_length=15.0, calm_length=15.0,
+        )
+        churn.install(sim)
+        sim.run(until=100)
+        assert len(sim.network.present()) == 16
+
+    def test_start_calm(self):
+        sim, pids = build(seed=1)
+        churn = PhasedChurn(
+            lambda: AdaptiveWaveNode(1.0),
+            storm_rate=4.0, storm_length=10.0, calm_length=10.0,
+            start_calm=True,
+        )
+        churn.install(sim)
+        sim.run(until=5)
+        assert not churn.in_storm()
+        assert churn.joins == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PhasedChurn(lambda: AdaptiveWaveNode(), storm_rate=0.0,
+                        storm_length=1.0, calm_length=1.0)
+        with pytest.raises(ConfigurationError):
+            PhasedChurn(lambda: AdaptiveWaveNode(), storm_rate=1.0,
+                        storm_length=0.0, calm_length=1.0)

@@ -1,0 +1,62 @@
+"""Tests for protocol plumbing (repro.protocols.base)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import SUM
+from repro.core.spec import QUERY_ISSUED, QUERY_RETURNED
+from repro.protocols.base import AggregatingProcess, merge_contributions
+from repro.sim.scheduler import Simulator
+
+
+class TestAnnounceResolve:
+    def test_announce_allocates_distinct_qids(self):
+        sim = Simulator(seed=0)
+        node = sim.spawn(AggregatingProcess(1.0))
+        qids = [node.announce_query(SUM) for _ in range(3)]
+        assert len(set(qids)) == 3
+        assert sim.trace.count(QUERY_ISSUED) == 3
+
+    def test_resolve_records_and_stores(self):
+        sim = Simulator(seed=0)
+        node = sim.spawn(AggregatingProcess(1.0))
+        qid = node.announce_query(SUM)
+        outcome = node.resolve_query(qid, SUM, {node.pid: 1.0, 77: 2.0}, issued_at=0.0)
+        assert outcome.result == 3.0
+        assert outcome.contributor_count == 2
+        assert node.results == [outcome]
+        returned = sim.trace.events(QUERY_RETURNED)[0]
+        assert returned["qid"] == qid
+        assert returned["result"] == 3.0
+        assert returned["contributors"] == (node.pid, 77)
+
+    def test_latency(self):
+        sim = Simulator(seed=0)
+        node = sim.spawn(AggregatingProcess(1.0))
+        qid = node.announce_query(SUM)
+        sim.schedule(5.0, lambda: node.resolve_query(qid, SUM, {node.pid: 1.0}, 0.0))
+        sim.run()
+        assert node.results[0].latency == 5.0
+
+
+class TestMergeContributions:
+    def test_merge_dict(self):
+        target = {1: "a"}
+        merge_contributions(target, {2: "b"})
+        assert target == {1: "a", 2: "b"}
+
+    def test_merge_pairs(self):
+        target = {}
+        merge_contributions(target, [(1, "a"), (2, "b")])
+        assert target == {1: "a", 2: "b"}
+
+    def test_first_value_wins(self):
+        target = {1: "original"}
+        merge_contributions(target, {1: "override"})
+        assert target[1] == "original"
+
+    def test_merge_empty(self):
+        target = {1: "a"}
+        merge_contributions(target, {})
+        assert target == {1: "a"}

@@ -1,0 +1,222 @@
+"""Tests for dissemination protocols and their specification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn.models import ReplacementChurn
+from repro.core.dissemination_spec import (
+    DisseminationSpec,
+    extract_broadcasts,
+)
+from repro.protocols.dissemination import AntiEntropyNode, FloodNode
+from repro.sim.errors import ConfigurationError
+from repro.sim.latency import ConstantDelay
+from repro.sim.scheduler import Simulator
+from repro.sim.trace import TraceLog
+from repro.topology import generators as gen
+
+
+def build(node_cls, n: int = 16, seed: int = 0, family: str = "er", **kwargs):
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(0.5))
+    topo = gen.make(family, n, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(node_cls(1.0, **kwargs), neighbors).pid)
+    return sim, pids
+
+
+class TestFloodStatic:
+    @pytest.mark.parametrize("family", ["line", "ring", "er", "star", "tree"])
+    def test_full_coverage(self, family):
+        sim, pids = build(FloodNode, family=family)
+        origin = sim.network.process(pids[0])
+        sim.at(1.0, lambda: origin.broadcast_value("hello"))
+        sim.run(until=100)
+        verdict = DisseminationSpec().check(sim.trace, at=100.0)[0]
+        assert verdict.ok, verdict
+        assert verdict.coverage == 1.0
+
+    def test_everyone_holds_the_value(self):
+        sim, pids = build(FloodNode)
+        origin = sim.network.process(pids[0])
+        bid_holder = {}
+        sim.at(1.0, lambda: bid_holder.setdefault("bid", origin.broadcast_value(42)))
+        sim.run(until=100)
+        bid = bid_holder["bid"]
+        for pid in pids:
+            node = sim.network.process(pid)
+            assert node.holds(bid)
+            assert node.held_value(bid) == 42
+
+    def test_each_process_delivers_once(self):
+        sim, pids = build(FloodNode, family="ring")
+        origin = sim.network.process(pids[0])
+        sim.at(1.0, lambda: origin.broadcast_value("x"))
+        sim.run(until=100)
+        record = extract_broadcasts(sim.trace)[0]
+        deliverers = [pid for pid, _ in record.deliveries]
+        assert len(deliverers) == len(set(deliverers)) == 16
+
+    def test_multiple_broadcasts_independent(self):
+        sim, pids = build(FloodNode)
+        a = sim.network.process(pids[0])
+        b = sim.network.process(pids[5])
+        sim.at(1.0, lambda: a.broadcast_value("from-a"))
+        sim.at(1.0, lambda: b.broadcast_value("from-b"))
+        sim.run(until=100)
+        verdicts = DisseminationSpec().check(sim.trace, at=100.0)
+        assert len(verdicts) == 2
+        assert all(v.ok for v in verdicts)
+
+
+class TestFloodChurn:
+    def test_late_joiner_never_learns(self):
+        sim, pids = build(FloodNode)
+        origin = sim.network.process(pids[0])
+        sim.at(1.0, lambda: origin.broadcast_value("x"))
+        late = {}
+        sim.at(20.0, lambda: late.setdefault(
+            "pid", sim.spawn(FloodNode(1.0), [pids[0]]).pid
+        ))
+        sim.run(until=100)
+        assert not sim.network.process(late["pid"]).holds(0)
+
+    def test_churn_degrades_population_coverage(self):
+        """One-shot flooding leaves the turned-over population ignorant:
+        population coverage at audit time decays with churn even while the
+        (shrinking) stable-core obligation stays satisfied."""
+        def population_coverage(rate: float) -> float:
+            sim, pids = build(FloodNode, n=24, seed=5)
+            if rate:
+                model = ReplacementChurn(lambda: FloodNode(1.0), rate=rate)
+                model.immortal.add(pids[0])
+                model.install(sim)
+            origin = sim.network.process(pids[0])
+            sim.at(10.0, lambda: origin.broadcast_value("x"))
+            sim.run(until=60)
+            verdict = DisseminationSpec().check(sim.trace, at=60.0)[0]
+            return verdict.population_coverage
+
+        assert population_coverage(0.0) == 1.0
+        assert population_coverage(4.0) < 0.5
+
+
+class TestAntiEntropy:
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            AntiEntropyNode(period=0.0)
+
+    def test_late_joiner_eventually_learns(self):
+        sim, pids = build(AntiEntropyNode, period=2.0)
+        origin = sim.network.process(pids[0])
+        sim.at(1.0, lambda: origin.broadcast_value("x"))
+        late = {}
+        sim.at(20.0, lambda: late.setdefault(
+            "pid", sim.spawn(AntiEntropyNode(1.0, period=2.0), [pids[0]]).pid
+        ))
+        sim.run(until=100)
+        assert sim.network.process(late["pid"]).holds(0)
+
+    def test_repairs_churn_damage(self):
+        """Anti-entropy recovers coverage that one-shot flooding loses."""
+        def coverage(node_cls, horizon: float) -> float:
+            sim, pids = build(node_cls, n=24, seed=5)
+            model = ReplacementChurn(lambda: node_cls(1.0), rate=3.0)
+            model.immortal.add(pids[0])
+            model.install(sim, stop_at=30.0)
+            origin = sim.network.process(pids[0])
+            sim.at(10.0, lambda: origin.broadcast_value("x"))
+            sim.run(until=horizon)
+            verdict = DisseminationSpec().check(sim.trace, at=horizon)[0]
+            return verdict.coverage
+
+        flood = coverage(FloodNode, 120.0)
+        repaired = coverage(AntiEntropyNode, 120.0)
+        assert repaired >= flood
+        assert repaired > 0.95
+
+    def test_reconciliation_counter(self):
+        sim, pids = build(AntiEntropyNode, period=1.0)
+        origin = sim.network.process(pids[0])
+        sim.at(20.0, lambda: origin.broadcast_value("late-news"))
+        sim.run(until=60)
+        total = sum(
+            sim.network.process(p).reconciliations
+            for p in pids
+            if sim.network.is_present(p)
+        )
+        assert total >= 0  # counter is wired (may be 0 if flood beat it)
+
+
+class TestSpec:
+    def base_log(self) -> TraceLog:
+        log = TraceLog()
+        log.record(0.0, "join", entity=0, value=1)
+        log.record(0.0, "join", entity=1, value=1)
+        log.record(0.0, "join", entity=2, value=1)
+        log.record(1.0, "bcast_issued", entity=0, bid=0, value="v")
+        log.record(1.0, "bcast_delivered", entity=0, bid=0)
+        log.record(2.0, "bcast_delivered", entity=1, bid=0)
+        return log
+
+    def test_partial_coverage(self):
+        verdict = DisseminationSpec().check(self.base_log(), at=10.0)[0]
+        assert verdict.coverage == pytest.approx(2 / 3)
+        assert not verdict.complete
+        assert verdict.missing == {2}
+
+    def test_full_coverage(self):
+        log = self.base_log()
+        log.record(3.0, "bcast_delivered", entity=2, bid=0)
+        verdict = DisseminationSpec().check(log, at=10.0)[0]
+        assert verdict.ok
+
+    def test_audit_time_matters(self):
+        log = self.base_log()
+        log.record(8.0, "bcast_delivered", entity=2, bid=0)
+        early = DisseminationSpec().check(log, at=5.0)[0]
+        late = DisseminationSpec().check(log, at=10.0)[0]
+        assert not early.complete
+        assert late.complete
+
+    def test_departed_not_required(self):
+        log = self.base_log()
+        log.record(4.0, "leave", entity=2)
+        verdict = DisseminationSpec().check(log, at=10.0)[0]
+        assert verdict.complete  # 2 is not stable core of [1, 10]
+
+    def test_duplicate_delivery_flagged(self):
+        log = self.base_log()
+        log.record(3.0, "bcast_delivered", entity=1, bid=0)
+        log.record(4.0, "bcast_delivered", entity=2, bid=0)
+        verdict = DisseminationSpec().check(log, at=10.0)[0]
+        assert not verdict.integral
+
+    def test_early_delivery_flagged(self):
+        log = TraceLog()
+        log.record(0.0, "join", entity=0, value=1)
+        log.record(0.5, "bcast_delivered", entity=0, bid=0)
+        log.record(1.0, "bcast_issued", entity=0, bid=0, value="v")
+        verdict = DisseminationSpec().check(log, at=10.0)[0]
+        assert not verdict.integral
+
+    def test_phantom_deliverer_flagged(self):
+        log = self.base_log()
+        log.record(3.0, "bcast_delivered", entity=99, bid=0)
+        verdict = DisseminationSpec().check(log, at=10.0)[0]
+        assert not verdict.integral
+
+    def test_restrict_to(self):
+        spec = DisseminationSpec(restrict_to=frozenset({0, 1}))
+        verdict = spec.check(self.base_log(), at=10.0)[0]
+        assert verdict.complete
+
+    def test_audit_before_issue_rejected(self):
+        from repro.core.dissemination_spec import extract_broadcasts
+
+        log = self.base_log()
+        record = extract_broadcasts(log)[0]
+        with pytest.raises(ValueError):
+            DisseminationSpec().check_broadcast(log, record, at=0.5)

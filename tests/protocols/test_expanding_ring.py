@@ -1,0 +1,114 @@
+"""Tests for the expanding-ring querier (repro.protocols.expanding_ring)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn.adversary import GrowthAdversary
+from repro.core.aggregates import COUNT, SUM
+from repro.core.spec import OneTimeQuerySpec
+from repro.protocols.expanding_ring import ExpandingRingNode
+from repro.sim.errors import ProtocolError
+from repro.sim.latency import ConstantDelay
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+
+
+def build(topo, seed: int = 0):
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(1.0))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(ExpandingRingNode(float(node)), neighbors).pid)
+    return sim, pids
+
+
+class TestStaticSuccess:
+    @pytest.mark.parametrize("family", ["line", "ring", "er", "tree", "star"])
+    def test_complete_without_diameter_knowledge(self, family):
+        sim = Simulator(seed=2, delay_model=ConstantDelay(1.0))
+        topo = gen.make(family, 18, sim.rng_for("topo"))
+        sim2, pids = build(topo, seed=2)
+        querier = sim2.network.process(pids[0])
+        querier.issue_adaptive_query(COUNT)
+        sim2.run(until=10_000)
+        verdict = OneTimeQuerySpec().check(sim2.trace)[0]
+        assert verdict.ok, (family, verdict)
+        assert querier.results[0].result == 18
+
+    def test_probe_count_logarithmic(self):
+        sim, pids = build(gen.line(33))
+        querier = sim.network.process(pids[0])
+        querier.issue_adaptive_query(COUNT)
+        sim.run(until=100_000)
+        # TTLs 1,2,4,8,16,32,(64): covered at 32; stability needs one more.
+        assert querier.probe_rounds <= 8
+        assert querier.results[0].result == 33
+
+    def test_sum_aggregate(self):
+        sim, pids = build(gen.ring(12))
+        querier = sim.network.process(pids[0])
+        querier.issue_adaptive_query(SUM)
+        sim.run(until=10_000)
+        assert querier.results[0].result == sum(range(12))
+
+    def test_probes_traced(self):
+        sim, pids = build(gen.line(9))
+        sim.network.process(pids[0]).issue_adaptive_query(COUNT)
+        sim.run(until=10_000)
+        assert sim.trace.count("probe") >= 3
+
+    def test_singleton(self):
+        sim, pids = build(gen.line(1))
+        querier = sim.network.process(pids[0])
+        querier.issue_adaptive_query(COUNT)
+        sim.run(until=100)
+        assert querier.results[0].result == 1
+
+
+class TestParameters:
+    def test_invalid_initial_ttl(self):
+        sim, pids = build(gen.line(3))
+        with pytest.raises(ProtocolError):
+            sim.network.process(pids[0]).issue_adaptive_query(initial_ttl=0)
+
+    def test_invalid_stability(self):
+        sim, pids = build(gen.line(3))
+        with pytest.raises(ProtocolError):
+            sim.network.process(pids[0]).issue_adaptive_query(stability_rounds=1)
+
+    def test_max_ttl_forces_termination(self):
+        sim, pids = build(gen.line(20))
+        querier = sim.network.process(pids[0])
+        querier.issue_adaptive_query(COUNT, max_ttl=4)
+        sim.run(until=10_000)
+        verdict = OneTimeQuerySpec().check(sim.trace)[0]
+        assert verdict.terminated
+        assert not verdict.complete  # the cap truncated the search
+        assert querier.results[0].result == 5
+
+
+class TestAdversary:
+    def test_growth_adversary_defeats_stability_rule(self):
+        """While the querier probes, the adversary extends the chain right
+        at the frontier: either the probe sequence keeps chasing (here,
+        until max_ttl) or it stabilises while stable members hide beyond
+        the horizon.  Either way the E6 impossibility reappears."""
+        sim = Simulator(seed=5, delay_model=ConstantDelay(1.0))
+        querier = sim.spawn(ExpandingRingNode(1.0))
+        anchor = sim.spawn(ExpandingRingNode(1.0), [querier.pid])
+        adversary = GrowthAdversary(
+            lambda: ExpandingRingNode(1.0),
+            initial_gap=0.2, acceleration=0.9, min_gap=0.05, max_joins=600,
+        )
+        adversary.install(sim)
+        # Let the chain outgrow the probe cap before the query is issued:
+        # those members are stable core yet sit beyond any TTL <= 64.
+        sim.run(until=15)
+        assert len(sim.network.present()) > 100
+        querier.issue_adaptive_query(COUNT, max_ttl=64)
+        sim.run(until=4000)
+        verdict = OneTimeQuerySpec().check(sim.trace)[0]
+        assert verdict.terminated
+        # The chain outgrew the probe cap: stable members were missed.
+        assert not verdict.complete

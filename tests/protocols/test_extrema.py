@@ -1,0 +1,125 @@
+"""Tests for extrema-propagation census (repro.protocols.extrema)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.protocols.extrema import (
+    CENSUS_ESTIMATE,
+    ExtremaNode,
+    estimate_from_vector,
+    expected_relative_error,
+)
+from repro.sim.errors import ConfigurationError
+from repro.sim.latency import ConstantDelay
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+
+
+def census_system(n: int, seed: int = 0, k: int = 128, family: str = "er"):
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(0.2))
+    topo = gen.make(family, n, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(ExtremaNode(k=k), neighbors).pid)
+    return sim, pids
+
+
+class TestEstimator:
+    def test_estimate_from_vector(self):
+        # k=3, sum=1 -> estimate 2.0
+        assert estimate_from_vector([0.5, 0.3, 0.2]) == pytest.approx(2.0)
+
+    def test_small_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_from_vector([1.0])
+
+    def test_zero_sum_infinite(self):
+        assert math.isinf(estimate_from_vector([0.0, 0.0, 0.0]))
+
+    def test_expected_relative_error(self):
+        assert expected_relative_error(102) == pytest.approx(0.1)
+        assert math.isinf(expected_relative_error(2))
+
+
+class TestConfiguration:
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            ExtremaNode(k=1)
+
+    def test_invalid_period(self):
+        with pytest.raises(ConfigurationError):
+            ExtremaNode(period=0.0)
+
+
+class TestConvergence:
+    def test_census_accuracy(self):
+        sim, pids = census_system(40, k=256)
+        sim.run(until=20)
+        estimate = sim.network.process(pids[0]).estimate
+        assert estimate == pytest.approx(40, rel=0.25)
+
+    def test_all_nodes_converge_to_same_vector(self):
+        sim, pids = census_system(15, k=32)
+        sim.run(until=30)
+        vectors = [tuple(sim.network.process(p).vector) for p in pids]
+        assert len(set(vectors)) == 1
+
+    def test_wider_sketch_is_more_accurate_on_average(self):
+        def mean_error(k: int) -> float:
+            errors = []
+            for seed in range(6):
+                sim, pids = census_system(30, seed=seed, k=k)
+                sim.run(until=20)
+                estimate = sim.network.process(pids[0]).estimate
+                errors.append(abs(estimate - 30) / 30)
+            return sum(errors) / len(errors)
+
+        assert mean_error(512) < mean_error(8) + 0.05
+
+    def test_read_estimate_traced(self):
+        sim, pids = census_system(10)
+        sim.run(until=10)
+        sim.network.process(pids[0]).read_estimate()
+        assert sim.trace.count(CENSUS_ESTIMATE) == 1
+
+    def test_isolated_node_estimates_one(self):
+        sim = Simulator(seed=0)
+        node = sim.spawn(ExtremaNode(k=512))
+        sim.run(until=5)
+        assert node.estimate == pytest.approx(1.0, rel=0.2)
+
+
+class TestChurnBias:
+    def test_departures_do_not_shrink_estimate(self):
+        """Extrema propagation never forgets: after half the system leaves,
+        the estimate still reflects everyone ever seen."""
+        sim, pids = census_system(30, k=256)
+        sim.run(until=15)
+        for victim in pids[15:]:
+            sim.kill(victim)
+        sim.run(until=30)
+        survivor = sim.network.process(pids[0])
+        assert survivor.estimate > 20  # near 30, certainly above current 15
+
+    def test_newcomers_absorbed(self):
+        sim, pids = census_system(10, k=256)
+        sim.run(until=10)
+        for _ in range(10):
+            sim.spawn(ExtremaNode(k=256), [pids[0]])
+        sim.run(until=30)
+        estimate = sim.network.process(pids[0]).estimate
+        assert estimate == pytest.approx(20, rel=0.3)
+
+    def test_greeting_speeds_convergence(self):
+        """A newcomer converges via the join greeting without waiting for
+        the neighbor's next round."""
+        sim, pids = census_system(10, k=64)
+        sim.run(until=10)
+        newcomer = sim.spawn(ExtremaNode(k=64), [pids[0]])
+        sim.run(until=10.5)  # well under one period
+        # The newcomer has absorbed the network vector already.
+        assert newcomer.estimate > 5

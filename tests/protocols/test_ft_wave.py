@@ -1,0 +1,129 @@
+"""Tests for the fault-tolerant wave (repro.protocols.ft_wave)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import COUNT
+from repro.core.spec import OneTimeQuerySpec
+from repro.protocols.ft_wave import FaultTolerantWaveNode
+from repro.protocols.one_time_query import WaveNode
+from repro.sim.errors import ConfigurationError
+from repro.sim.latency import ConstantDelay
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+
+
+def build(node_factory, n: int = 8, seed: int = 0, notify_leaves: bool = True,
+          family: str = "line"):
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(0.5),
+                    notify_leaves=notify_leaves)
+    topo = gen.make(family, n, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(node_factory(), neighbors).pid)
+    return sim, pids
+
+
+def ft_factory():
+    return FaultTolerantWaveNode(1.0, period=1.0, timeout=3.0)
+
+
+class TestSilentCrashMode:
+    def test_silent_mode_suppresses_callbacks(self):
+        sim, pids = build(lambda: WaveNode(1.0), notify_leaves=False)
+        left = []
+        node = sim.network.process(pids[0])
+        node.on_neighbor_leave = lambda pid: left.append(pid)  # spy
+        sim.kill(pids[1])
+        sim.run(until=10)
+        assert left == []
+
+    def test_plain_wave_deadlocks_on_silent_crash(self):
+        sim, pids = build(lambda: WaveNode(1.0), notify_leaves=False)
+        querier = sim.network.process(pids[0])
+        querier.issue_query(COUNT)
+        sim.schedule_leave(1.2, pids[3])  # relay dies silently mid-wave
+        sim.run(until=500)
+        verdict = OneTimeQuerySpec().check(sim.trace)[0]
+        assert not verdict.terminated  # the query waits forever
+
+
+class TestFaultTolerantWave:
+    def test_invalid_timing(self):
+        with pytest.raises(ConfigurationError):
+            FaultTolerantWaveNode(1.0, period=2.0, timeout=1.0)
+
+    def test_static_query_clean(self):
+        sim, pids = build(ft_factory, notify_leaves=False, family="er")
+        querier = sim.network.process(pids[0])
+        querier.issue_query(COUNT)
+        sim.run(until=100)
+        verdict = OneTimeQuerySpec().check(sim.trace)[0]
+        assert verdict.ok
+        assert querier.results[0].result == 8
+
+    def test_unblocks_after_silent_crash(self):
+        sim, pids = build(ft_factory, notify_leaves=False)
+        querier = sim.network.process(pids[0])
+        querier.issue_query(COUNT)
+        sim.schedule_leave(1.2, pids[3])
+        sim.run(until=500)
+        verdict = OneTimeQuerySpec().check(sim.trace)[0]
+        assert verdict.terminated  # the detector rescued termination
+        # The crashed relay cut the line: nodes past it are lost.
+        assert querier.results[0].result == 3
+
+    def test_latency_pays_the_detection_timeout(self):
+        def latency(timeout: float) -> float:
+            sim, pids = build(
+                lambda: FaultTolerantWaveNode(1.0, period=1.0, timeout=timeout),
+                notify_leaves=False,
+            )
+            querier = sim.network.process(pids[0])
+            querier.issue_query(COUNT)
+            sim.schedule_leave(1.2, pids[3])
+            sim.run(until=1000)
+            return querier.results[0].latency
+
+        assert latency(8.0) > latency(3.0)
+        assert latency(3.0) >= 3.0  # at least the detection delay
+
+    def test_with_notifications_behaves_like_plain_wave(self):
+        sim, pids = build(ft_factory, notify_leaves=True)
+        querier = sim.network.process(pids[0])
+        querier.issue_query(COUNT)
+        sim.schedule_leave(1.2, pids[3])
+        sim.run(until=500)
+        verdict = OneTimeQuerySpec().check(sim.trace)[0]
+        assert verdict.terminated
+        # Leave notification unblocks immediately; no 3-unit stall.
+        assert querier.results[0].latency < 6.0
+
+    def test_heartbeats_flow(self):
+        sim, pids = build(ft_factory, notify_leaves=False)
+        sim.run(until=20)
+        from repro.analysis.metrics import message_cost
+
+        assert message_cost(sim.trace, "FD_HEARTBEAT") > 50
+
+    def test_false_suspicion_costs_completeness_not_termination(self):
+        """Unbounded delays: a live child may be suspected; the query still
+        terminates and never double counts."""
+        from repro.sim.latency import ExponentialDelay
+
+        sim = Simulator(seed=11, delay_model=ExponentialDelay(1.2),
+                        notify_leaves=False)
+        topo = gen.make("er", 10, sim.rng_for("topo"))
+        pids = []
+        for node in sorted(topo.nodes()):
+            neighbors = [p for p in topo.neighbors(node) if p < node]
+            proc = FaultTolerantWaveNode(1.0, period=1.0, timeout=2.5)
+            pids.append(sim.spawn(proc, neighbors).pid)
+        querier = sim.network.process(pids[0])
+        querier.issue_query(COUNT)
+        sim.run(until=2000)
+        verdict = OneTimeQuerySpec().check(sim.trace)[0]
+        assert verdict.terminated
+        assert verdict.integral

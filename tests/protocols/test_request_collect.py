@@ -1,0 +1,120 @@
+"""Tests for request/collect (repro.protocols.request_collect)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import AVG, COUNT, SET, SUM
+from repro.core.spec import OneTimeQuerySpec
+from repro.protocols.request_collect import RequestCollectNode
+from repro.sim.latency import BernoulliLoss, ConstantDelay
+from repro.sim.scheduler import Simulator
+
+
+def complete_system(n: int, seed: int = 0) -> tuple[Simulator, list[int]]:
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(1.0), complete=True)
+    pids = [sim.spawn(RequestCollectNode(float(i))).pid for i in range(n)]
+    return sim, pids
+
+
+def check(sim: Simulator):
+    return OneTimeQuerySpec().check(sim.trace)[0]
+
+
+class TestStatic:
+    def test_collects_everyone(self):
+        sim, pids = complete_system(6)
+        node = sim.network.process(pids[0])
+        node.issue_query(COUNT)
+        sim.run(until=100)
+        assert check(sim).ok
+        assert node.results[0].result == 6
+
+    def test_round_trip_latency(self):
+        sim, pids = complete_system(6)
+        node = sim.network.process(pids[0])
+        node.issue_query(COUNT)
+        sim.run(until=100)
+        assert node.results[0].latency == pytest.approx(2.0)  # one RTT
+
+    def test_singleton(self):
+        sim, pids = complete_system(1)
+        node = sim.network.process(pids[0])
+        node.issue_query(SUM)
+        sim.run(until=100)
+        assert check(sim).ok
+        assert node.results[0].result == 0.0
+
+    @pytest.mark.parametrize("aggregate,expected", [
+        (COUNT, 4), (SUM, 6.0), (AVG, 1.5),
+        (SET, frozenset({0.0, 1.0, 2.0, 3.0})),
+    ])
+    def test_aggregates(self, aggregate, expected):
+        sim, pids = complete_system(4)
+        node = sim.network.process(pids[0])
+        node.issue_query(aggregate)
+        sim.run(until=100)
+        assert node.results[0].result == expected
+
+    def test_message_cost_linear(self):
+        sim, pids = complete_system(10)
+        sim.network.process(pids[0]).issue_query(COUNT)
+        sim.run(until=100)
+        assert sim.trace.message_count() == 18  # 9 requests + 9 responses
+
+
+class TestChurn:
+    def test_departed_member_not_awaited(self):
+        sim, pids = complete_system(5)
+        node = sim.network.process(pids[0])
+        node.issue_query(COUNT)
+        sim.schedule_leave(0.5, pids[4])  # leaves before responding
+        sim.run(until=100)
+        verdict = check(sim)
+        assert verdict.ok  # pids[4] is not stable core
+        assert node.results[0].result == 4
+
+    def test_join_mid_query_not_counted(self):
+        sim, pids = complete_system(4)
+        node = sim.network.process(pids[0])
+        node.issue_query(COUNT)
+        sim.at(0.5, lambda: sim.spawn(RequestCollectNode(99.0)))
+        sim.run(until=100)
+        assert node.results[0].result == 4  # snapshot at issue time
+        assert check(sim).ok
+
+    def test_deadline_returns_partial_under_loss(self):
+        sim = Simulator(
+            seed=3, delay_model=ConstantDelay(1.0),
+            loss_model=BernoulliLoss(0.8), complete=True,
+        )
+        pids = [sim.spawn(RequestCollectNode(float(i))).pid for i in range(8)]
+        node = sim.network.process(pids[0])
+        node.issue_query(COUNT, deadline=10.0)
+        sim.run(until=100)
+        verdict = check(sim)
+        assert verdict.terminated
+        assert node.results[0].latency <= 10.0 + 1e-9
+
+    def test_no_deadline_under_loss_stalls(self):
+        """Without a deadline, lost responses leave the query pending —
+        the behaviour that motivates failure detection / timeouts."""
+        sim = Simulator(
+            seed=3, delay_model=ConstantDelay(1.0),
+            loss_model=BernoulliLoss(1.0), complete=True,
+        )
+        pids = [sim.spawn(RequestCollectNode(float(i))).pid for i in range(4)]
+        node = sim.network.process(pids[0])
+        node.issue_query(COUNT)
+        sim.run(until=100)
+        assert not check(sim).terminated
+        assert node.results == []
+
+    def test_responder_ignores_requester_that_left(self):
+        sim, pids = complete_system(3)
+        node = sim.network.process(pids[0])
+        node.issue_query(COUNT, deadline=50.0)
+        sim.schedule_leave(0.5, pids[0])
+        sim.run(until=100)
+        # The querier left; its query never returns, but nothing crashes.
+        assert not check(sim).terminated

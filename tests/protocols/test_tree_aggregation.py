@@ -1,0 +1,134 @@
+"""Tests for continuous tree aggregation (repro.protocols.tree_aggregation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.churn.models import ReplacementChurn
+from repro.protocols.tree_aggregation import TREE_ESTIMATE, TreeAggregationNode
+from repro.sim.errors import ConfigurationError
+from repro.sim.latency import ConstantDelay
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+
+
+def build(n: int = 16, seed: int = 0, family: str = "er",
+          rebuild: float = 10.0, report: float = 1.0):
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(0.2))
+    topo = gen.make(family, n, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        proc = TreeAggregationNode(
+            float(node), is_sink=(node == 0),
+            rebuild_period=rebuild, report_period=report,
+        )
+        pids.append(sim.spawn(proc, neighbors).pid)
+    return sim, pids
+
+
+class TestConfiguration:
+    def test_invalid_periods(self):
+        with pytest.raises(ConfigurationError):
+            TreeAggregationNode(rebuild_period=0.0)
+        with pytest.raises(ConfigurationError):
+            TreeAggregationNode(report_period=-1.0)
+
+
+class TestStaticConvergence:
+    def test_exact_after_first_rebuild(self):
+        sim, pids = build(16)
+        sim.run(until=18)  # past the t=10 rebuild + pipeline fill
+        sink = sim.network.process(pids[0])
+        total, count = sink.subtree_totals()
+        assert count == 16
+        assert total == sum(range(16))
+
+    def test_avg_estimate(self):
+        sim, pids = build(16)
+        sim.run(until=18)
+        sink = sim.network.process(pids[0])
+        assert sink.estimate_avg == pytest.approx(7.5)
+
+    def test_estimate_stable_between_rebuilds(self):
+        sim, pids = build(12)
+        readings = []
+        for t in (18, 22, 26):
+            sim.at(float(t), lambda: readings.append(
+                sim.network.process(pids[0]).subtree_totals()
+            ))
+        sim.run(until=30)
+        assert len(set(readings)) == 1
+
+    @pytest.mark.parametrize("family", ["line", "ring", "star", "tree"])
+    def test_all_topologies(self, family):
+        sim, pids = build(12, family=family, rebuild=8.0)
+        sim.run(until=30)
+        sink = sim.network.process(pids[0])
+        assert sink.estimate_count == 12
+
+    def test_read_estimate_traced(self):
+        sim, pids = build(8)
+        sim.run(until=18)
+        sim.network.process(pids[0]).read_estimate()
+        assert sim.trace.count(TREE_ESTIMATE) == 1
+
+    def test_epochs_advance(self):
+        sim, pids = build(8, rebuild=5.0)
+        sim.run(until=26)
+        sink = sim.network.process(pids[0])
+        assert sink.epoch >= 4
+        assert sink.builds_started >= 5
+
+
+class TestChurnBehaviour:
+    def test_departure_purged_from_estimate(self):
+        sim, pids = build(12, rebuild=6.0, report=0.5)
+        sim.run(until=15)
+        victims = pids[8:]
+        for victim in victims:
+            sim.kill(victim)
+        sim.run(until=35)  # several rebuilds later
+        sink = sim.network.process(pids[0])
+        assert sink.estimate_count == 8
+
+    def test_newcomer_absorbed_after_rebuild(self):
+        sim, pids = build(8, rebuild=6.0, report=0.5)
+        sim.run(until=15)
+        sim.spawn(
+            TreeAggregationNode(99.0, rebuild_period=6.0, report_period=0.5),
+            [pids[0]],
+        )
+        sim.run(until=35)
+        sink = sim.network.process(pids[0])
+        total, count = sink.subtree_totals()
+        assert count == 9
+        assert total == sum(range(8)) + 99.0
+
+    def test_tracks_population_under_replacement_churn(self):
+        sim, pids = build(16, rebuild=5.0, report=0.5)
+        model = ReplacementChurn(
+            lambda: TreeAggregationNode(1.0, rebuild_period=5.0, report_period=0.5),
+            rate=0.5,
+        )
+        model.immortal.add(pids[0])  # keep the sink alive
+        model.install(sim)
+        sim.run(until=60)
+        sink = sim.network.process(pids[0])
+        count = sink.estimate_count
+        present = len(sim.network.present())
+        # The estimate tracks the true population within a small margin
+        # (staleness of at most one rebuild period of churn).
+        assert abs(count - present) <= 6
+
+    def test_no_double_counting_within_epoch(self):
+        """The first-arrival parent rule: the sink never counts more
+        processes than exist."""
+        sim, pids = build(14, family="er", rebuild=6.0, report=0.5)
+        readings = []
+        for t in range(8, 40, 3):
+            sim.at(float(t), lambda: readings.append(
+                sim.network.process(pids[0]).estimate_count
+            ))
+        sim.run(until=40)
+        assert all(r <= 14 for r in readings)

@@ -1,0 +1,114 @@
+"""Tests for the event queue (repro.sim.events)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import SchedulingError
+from repro.sim.events import (
+    EventQueue,
+    PRIORITY_LATE,
+    PRIORITY_MEMBERSHIP,
+    PRIORITY_NORMAL,
+)
+
+
+def noop() -> None:
+    pass
+
+
+class TestEventQueue:
+    def test_empty_queue_is_falsy(self):
+        assert not EventQueue()
+
+    def test_len_counts_live_events(self):
+        q = EventQueue()
+        q.push(1.0, noop)
+        q.push(2.0, noop)
+        assert len(q) == 2
+
+    def test_pop_orders_by_time(self):
+        q = EventQueue()
+        q.push(3.0, noop, label="c")
+        q.push(1.0, noop, label="a")
+        q.push(2.0, noop, label="b")
+        assert [q.pop().label for _ in range(3)] == ["a", "b", "c"]
+
+    def test_ties_broken_by_priority(self):
+        q = EventQueue()
+        q.push(1.0, noop, priority=PRIORITY_LATE, label="late")
+        q.push(1.0, noop, priority=PRIORITY_MEMBERSHIP, label="member")
+        q.push(1.0, noop, priority=PRIORITY_NORMAL, label="normal")
+        assert [q.pop().label for _ in range(3)] == ["member", "normal", "late"]
+
+    def test_ties_broken_by_insertion_order(self):
+        q = EventQueue()
+        q.push(1.0, noop, label="first")
+        q.push(1.0, noop, label="second")
+        assert q.pop().label == "first"
+        assert q.pop().label == "second"
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().pop()
+
+    def test_cancelled_events_skipped(self):
+        q = EventQueue()
+        event = q.push(1.0, noop, label="cancel-me")
+        q.push(2.0, noop, label="keep")
+        event.cancel()
+        q.note_cancelled()
+        assert q.pop().label == "keep"
+
+    def test_note_cancelled_updates_len(self):
+        q = EventQueue()
+        event = q.push(1.0, noop)
+        event.cancel()
+        q.note_cancelled()
+        assert len(q) == 0
+        assert not q
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(5.0, noop)
+        q.push(2.0, noop)
+        assert q.peek_time() == 2.0
+
+    def test_peek_time_skips_cancelled(self):
+        q = EventQueue()
+        event = q.push(1.0, noop)
+        q.push(3.0, noop)
+        event.cancel()
+        q.note_cancelled()
+        assert q.peek_time() == 3.0
+
+    def test_nan_time_rejected(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().push(float("nan"), noop)
+
+    def test_clear(self):
+        q = EventQueue()
+        q.push(1.0, noop)
+        q.push(2.0, noop)
+        q.clear()
+        assert len(q) == 0
+        assert q.peek_time() is None
+
+    def test_actions_preserved(self):
+        q = EventQueue()
+        fired = []
+        q.push(1.0, lambda: fired.append("x"))
+        q.pop().action()
+        assert fired == ["x"]
+
+    def test_many_events_stay_sorted(self):
+        q = EventQueue()
+        import random
+
+        r = random.Random(9)
+        times = [r.uniform(0, 100) for _ in range(500)]
+        for t in times:
+            q.push(t, noop)
+        popped = [q.pop().time for _ in range(500)]
+        assert popped == sorted(times)

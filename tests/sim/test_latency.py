@@ -1,0 +1,98 @@
+"""Tests for delay and loss models (repro.sim.latency)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import ConfigurationError
+from repro.sim.latency import (
+    BernoulliLoss,
+    ConstantDelay,
+    ExponentialDelay,
+    NoLoss,
+    UniformDelay,
+)
+
+
+class TestConstantDelay:
+    def test_sample_is_constant(self, rng):
+        model = ConstantDelay(2.5)
+        assert all(model.sample(rng) == 2.5 for _ in range(10))
+
+    def test_bound_equals_delay(self, rng):
+        assert ConstantDelay(3.0).bound() == 3.0
+
+    def test_zero_delay_allowed(self, rng):
+        assert ConstantDelay(0.0).sample(rng) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConstantDelay(-1.0)
+
+
+class TestUniformDelay:
+    def test_samples_in_range(self, rng):
+        model = UniformDelay(0.5, 1.5)
+        for _ in range(100):
+            assert 0.5 <= model.sample(rng) <= 1.5
+
+    def test_bound_is_high(self):
+        assert UniformDelay(0.5, 1.5).bound() == 1.5
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UniformDelay(2.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            UniformDelay(-0.5, 1.0)
+
+    def test_degenerate_range(self, rng):
+        assert UniformDelay(1.0, 1.0).sample(rng) == 1.0
+
+
+class TestExponentialDelay:
+    def test_samples_positive(self, rng):
+        model = ExponentialDelay(mean=2.0)
+        assert all(model.sample(rng) >= 0 for _ in range(100))
+
+    def test_unbounded(self):
+        assert ExponentialDelay(1.0).bound() is None
+
+    def test_mean_roughly_matches(self, rng):
+        model = ExponentialDelay(mean=2.0)
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(2.0, rel=0.1)
+
+    def test_nonpositive_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExponentialDelay(0.0)
+
+
+class TestLossModels:
+    def test_no_loss_never_drops(self, rng):
+        model = NoLoss()
+        assert not any(model.is_lost(rng) for _ in range(100))
+
+    def test_bernoulli_zero_never_drops(self, rng):
+        model = BernoulliLoss(0.0)
+        assert not any(model.is_lost(rng) for _ in range(100))
+
+    def test_bernoulli_one_always_drops(self, rng):
+        model = BernoulliLoss(1.0)
+        assert all(model.is_lost(rng) for _ in range(100))
+
+    def test_bernoulli_rate_roughly_matches(self, rng):
+        model = BernoulliLoss(0.3)
+        drops = sum(model.is_lost(rng) for _ in range(10000))
+        assert drops / 10000 == pytest.approx(0.3, abs=0.03)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(1.5)
+        with pytest.raises(ConfigurationError):
+            BernoulliLoss(-0.1)
+
+    def test_reprs(self):
+        assert "0.3" in repr(BernoulliLoss(0.3))
+        assert repr(NoLoss()) == "NoLoss()"
+        assert "2.5" in repr(ConstantDelay(2.5))
+        assert "ExponentialDelay" in repr(ExponentialDelay(1.0))

@@ -1,0 +1,214 @@
+"""Tests for membership and transport (repro.sim.network)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import MembershipError, TopologyError
+from repro.sim.latency import BernoulliLoss, ConstantDelay
+from repro.sim.messages import Message
+from repro.sim.node import Process
+from repro.sim.scheduler import Simulator
+
+
+class Recorder(Process):
+    """A process that records everything that happens to it."""
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.received: list[Message] = []
+        self.joined_neighbors: list[int] = []
+        self.left_neighbors: list[int] = []
+        self.started = False
+        self.stopped = False
+
+    def on_start(self):
+        self.started = True
+
+    def on_stop(self):
+        self.stopped = True
+
+    def on_message(self, message):
+        self.received.append(message)
+
+    def on_neighbor_join(self, pid):
+        self.joined_neighbors.append(pid)
+
+    def on_neighbor_leave(self, pid):
+        self.left_neighbors.append(pid)
+
+
+class TestMembership:
+    def test_add_and_present(self, sim):
+        a = sim.spawn(Recorder())
+        assert sim.network.present() == {a.pid}
+        assert a.started
+
+    def test_double_add_rejected(self, sim):
+        a = sim.spawn(Recorder())
+        with pytest.raises(MembershipError):
+            sim.network.add_process(a)
+
+    def test_attach_to_absent_rejected(self, sim):
+        proc = Recorder()
+        proc.pid = sim.new_pid()
+        proc._sim = sim
+        with pytest.raises(MembershipError):
+            sim.network.add_process(proc, neighbors=[999])
+
+    def test_remove_absent_rejected(self, sim):
+        with pytest.raises(MembershipError):
+            sim.network.remove_process(42)
+
+    def test_neighbor_callbacks_on_join(self, sim):
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        assert a.joined_neighbors == [b.pid]
+        assert b.neighbors() == {a.pid}
+
+    def test_neighbor_callbacks_on_leave(self, sim):
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        sim.kill(b.pid)
+        assert a.left_neighbors == [b.pid]
+        assert b.stopped
+
+    def test_leave_cleans_adjacency(self, sim):
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        sim.kill(b.pid)
+        assert a.neighbors() == frozenset()
+
+
+class TestTopologyOps:
+    def test_add_edge_notifies_both(self, sim):
+        a, b = sim.spawn(Recorder()), sim.spawn(Recorder())
+        sim.network.add_edge(a.pid, b.pid)
+        assert a.joined_neighbors == [b.pid]
+        assert b.joined_neighbors == [a.pid]
+
+    def test_add_edge_idempotent(self, sim):
+        a, b = sim.spawn(Recorder()), sim.spawn(Recorder())
+        sim.network.add_edge(a.pid, b.pid)
+        sim.network.add_edge(a.pid, b.pid)
+        assert a.joined_neighbors == [b.pid]
+
+    def test_remove_edge_notifies(self, sim):
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        sim.network.remove_edge(a.pid, b.pid)
+        assert a.left_neighbors == [b.pid]
+        assert b.left_neighbors == [a.pid]
+        assert a.neighbors() == frozenset()
+
+    def test_remove_missing_edge_is_noop(self, sim):
+        a, b = sim.spawn(Recorder()), sim.spawn(Recorder())
+        sim.network.remove_edge(a.pid, b.pid)
+        assert a.left_neighbors == []
+
+    def test_self_loop_rejected(self, sim):
+        a = sim.spawn(Recorder())
+        with pytest.raises(TopologyError):
+            sim.network.add_edge(a.pid, a.pid)
+
+    def test_edges_view(self, sim):
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        assert sim.network.edges() == {(a.pid, b.pid)}
+
+
+class TestTransport:
+    def test_delivery_between_neighbors(self, sim):
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        a.send(b.pid, "PING", n=1)
+        sim.run()
+        assert len(b.received) == 1
+        assert b.received[0].kind == "PING"
+        assert b.received[0].payload["n"] == 1
+
+    def test_send_to_non_neighbor_rejected(self, sim):
+        a, b = sim.spawn(Recorder()), sim.spawn(Recorder())
+        with pytest.raises(TopologyError):
+            a.send(b.pid, "PING")
+
+    def test_delivery_respects_delay(self):
+        sim = Simulator(seed=0, delay_model=ConstantDelay(2.5))
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        a.send(b.pid, "PING")
+        sim.run()
+        deliver = sim.trace.events("deliver")[0]
+        assert deliver.time == 2.5
+
+    def test_message_to_departed_dropped(self, sim):
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        a.send(b.pid, "PING")
+        sim.kill(b.pid)  # leaves before the delivery at t=1
+        sim.run()
+        assert b.received == []
+        drops = sim.trace.events("drop")
+        assert len(drops) == 1
+        assert drops[0]["reason"] == "receiver_absent"
+
+    def test_loss_model_drops(self):
+        sim = Simulator(seed=0, loss_model=BernoulliLoss(1.0))
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        a.send(b.pid, "PING")
+        sim.run()
+        assert b.received == []
+        assert sim.trace.events("drop")[0]["reason"] == "loss"
+
+    def test_send_traced(self, sim):
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        a.send(b.pid, "PING")
+        sends = sim.trace.events("send")
+        assert len(sends) == 1
+        assert sends[0]["msg_kind"] == "PING"
+        assert sends[0]["sender"] == a.pid
+
+    def test_edge_delay_override(self):
+        sim = Simulator(seed=0, delay_model=ConstantDelay(1.0))
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        sim.network.set_edge_delay(a.pid, b.pid, ConstantDelay(9.0))
+        a.send(b.pid, "PING")
+        sim.run()
+        assert sim.trace.events("deliver")[0].time == 9.0
+
+
+class TestCompleteMode:
+    def test_everyone_is_neighbor(self, complete_sim):
+        procs = [complete_sim.spawn(Recorder()) for _ in range(4)]
+        assert procs[0].neighbors() == {p.pid for p in procs[1:]}
+
+    def test_send_without_edges(self, complete_sim):
+        a = complete_sim.spawn(Recorder())
+        b = complete_sim.spawn(Recorder())
+        a.send(b.pid, "PING")
+        complete_sim.run()
+        assert len(b.received) == 1
+
+    def test_join_notifies_everyone(self, complete_sim):
+        a = complete_sim.spawn(Recorder())
+        b = complete_sim.spawn(Recorder())
+        assert a.joined_neighbors == [b.pid]
+
+    def test_leave_notifies_everyone(self, complete_sim):
+        a = complete_sim.spawn(Recorder())
+        b = complete_sim.spawn(Recorder())
+        complete_sim.kill(b.pid)
+        assert a.left_neighbors == [b.pid]
+
+    def test_send_to_self_rejected(self, complete_sim):
+        a = complete_sim.spawn(Recorder())
+        with pytest.raises(TopologyError):
+            a.send(a.pid, "PING")
+
+    def test_send_to_absent_rejected(self, complete_sim):
+        a = complete_sim.spawn(Recorder())
+        with pytest.raises(TopologyError):
+            a.send(999, "PING")

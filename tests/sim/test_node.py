@@ -1,0 +1,127 @@
+"""Tests for the process runtime (repro.sim.node)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import ProtocolError
+from repro.sim.node import Process
+from repro.sim.scheduler import Simulator
+
+
+class TimerNode(Process):
+    def __init__(self):
+        super().__init__()
+        self.fired: list[tuple[str, object, float]] = []
+
+    def on_timer(self, name, payload):
+        self.fired.append((name, payload, self.now))
+
+
+class TestLifecycle:
+    def test_unattached_process_has_no_sim(self):
+        proc = Process()
+        with pytest.raises(ProtocolError):
+            _ = proc.sim
+
+    def test_alive_flag(self, sim):
+        proc = sim.spawn(Process())
+        assert proc.alive
+        sim.kill(proc.pid)
+        assert not proc.alive
+
+    def test_value_stored(self, sim):
+        proc = sim.spawn(Process(value="hello"))
+        assert proc.value == "hello"
+
+    def test_repr(self, sim):
+        proc = sim.spawn(Process(value=3))
+        assert str(proc.pid) in repr(proc)
+
+
+class TestTimers:
+    def test_timer_fires(self, sim):
+        node = sim.spawn(TimerNode())
+        node.set_timer(2.0, "tick", {"x": 1})
+        sim.run()
+        assert node.fired == [("tick", {"x": 1}, 2.0)]
+
+    def test_timer_cancel(self, sim):
+        node = sim.spawn(TimerNode())
+        timer = node.set_timer(2.0, "tick")
+        node.cancel_timer(timer)
+        sim.run()
+        assert node.fired == []
+
+    def test_cancel_fired_timer_is_noop(self, sim):
+        node = sim.spawn(TimerNode())
+        timer = node.set_timer(1.0, "tick")
+        sim.run()
+        node.cancel_timer(timer)  # must not raise
+        assert len(node.fired) == 1
+
+    def test_timer_suppressed_after_departure(self, sim):
+        node = sim.spawn(TimerNode())
+        node.set_timer(5.0, "tick")
+        sim.schedule_leave(1.0, node.pid)
+        sim.run()
+        assert node.fired == []
+
+    def test_negative_timer_rejected(self, sim):
+        node = sim.spawn(TimerNode())
+        with pytest.raises(ProtocolError):
+            node.set_timer(-1.0, "tick")
+
+    def test_multiple_timers_ordered(self, sim):
+        node = sim.spawn(TimerNode())
+        node.set_timer(3.0, "late")
+        node.set_timer(1.0, "early")
+        sim.run()
+        assert [f[0] for f in node.fired] == ["early", "late"]
+
+    def test_timer_traced(self, sim):
+        node = sim.spawn(TimerNode())
+        node.set_timer(1.0, "tick")
+        sim.run()
+        timers = sim.trace.events("timer")
+        assert len(timers) == 1
+        assert timers[0]["name"] == "tick"
+
+
+class TestActions:
+    def test_broadcast_reaches_all_neighbors(self, sim):
+        hub = sim.spawn(Process())
+        leaves = [sim.spawn(Process(), neighbors=[hub.pid]) for _ in range(3)]
+        sent = hub.broadcast("HELLO")
+        assert sent == 3
+        sim.run()
+        assert sim.trace.count("deliver") == 3
+
+    def test_broadcast_exclude(self, sim):
+        hub = sim.spawn(Process())
+        a = sim.spawn(Process(), neighbors=[hub.pid])
+        b = sim.spawn(Process(), neighbors=[hub.pid])
+        sent = hub.broadcast("HELLO", exclude=a.pid)
+        assert sent == 1
+        sim.run()
+        deliver = sim.trace.events("deliver")[0]
+        assert deliver["receiver"] == b.pid
+
+    def test_broadcast_no_neighbors(self, sim):
+        lone = sim.spawn(Process())
+        assert lone.broadcast("HELLO") == 0
+
+    def test_record_writes_to_trace(self, sim):
+        proc = sim.spawn(Process())
+        proc.record("custom_event", data=5)
+        events = sim.trace.events("custom_event")
+        assert len(events) == 1
+        assert events[0]["entity"] == proc.pid
+        assert events[0]["data"] == 5
+
+    def test_per_process_rng_deterministic(self, sim):
+        a = sim.spawn(Process())
+        first = a.rng.random()
+        other_sim = Simulator(seed=0)
+        b = other_sim.spawn(Process())
+        assert b.rng.random() == first

@@ -1,0 +1,82 @@
+"""Tests for seeded randomness (repro.sim.rng)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import ConfigurationError
+from repro.sim.rng import SeedSequence, iter_seeds
+
+
+class TestSeedSequence:
+    def test_same_key_same_seed(self):
+        assert SeedSequence(42).child("churn") == SeedSequence(42).child("churn")
+
+    def test_different_keys_differ(self):
+        ss = SeedSequence(42)
+        assert ss.child("churn") != ss.child("delays")
+
+    def test_different_roots_differ(self):
+        assert SeedSequence(1).child("x") != SeedSequence(2).child("x")
+
+    def test_integer_keys(self):
+        ss = SeedSequence(7)
+        assert ss.child(0) != ss.child(1)
+        assert ss.child(3) == ss.child(3)
+
+    def test_long_string_keys_do_not_collide_on_prefix(self):
+        ss = SeedSequence(7)
+        a = ss.child("a-very-long-component-name-one")
+        b = ss.child("a-very-long-component-name-two")
+        assert a != b
+
+    def test_stream_is_reproducible(self):
+        s1 = SeedSequence(5).stream("net")
+        s2 = SeedSequence(5).stream("net")
+        assert [s1.random() for _ in range(10)] == [s2.random() for _ in range(10)]
+
+    def test_streams_are_independent(self):
+        ss = SeedSequence(5)
+        a = ss.stream("a")
+        b = ss.stream("b")
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_spawn_gives_child_sequence(self):
+        ss = SeedSequence(5)
+        child = ss.spawn("sub")
+        assert isinstance(child, SeedSequence)
+        assert child.seed == ss.child("sub")
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SeedSequence("abc")  # type: ignore[arg-type]
+
+    def test_negative_seed_normalised(self):
+        # Negative seeds are masked to 64 bits rather than rejected.
+        ss = SeedSequence(-1)
+        assert ss.seed >= 0
+
+    def test_repr_contains_seed(self):
+        assert "42" in repr(SeedSequence(42))
+
+    def test_adjacent_integer_keys_decorrelated(self):
+        # The avalanche step should make consecutive keys wildly different.
+        ss = SeedSequence(0)
+        a, b = ss.child(1000), ss.child(1001)
+        # They differ in many bits, not just the low ones.
+        assert bin(a ^ b).count("1") > 10
+
+
+class TestIterSeeds:
+    def test_count(self):
+        assert len(list(iter_seeds(0, 7))) == 7
+
+    def test_deterministic(self):
+        assert list(iter_seeds(3, 5)) == list(iter_seeds(3, 5))
+
+    def test_distinct(self):
+        seeds = list(iter_seeds(3, 50))
+        assert len(set(seeds)) == 50
+
+    def test_different_roots_disjoint_prefixes(self):
+        assert list(iter_seeds(1, 5)) != list(iter_seeds(2, 5))

@@ -1,0 +1,188 @@
+"""Tests for the simulator core (repro.sim.scheduler)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import SchedulingError
+from repro.sim.latency import ConstantDelay
+from repro.sim.node import Process
+from repro.sim.scheduler import Simulator
+
+
+class TestClockAndScheduling:
+    def test_time_starts_at_zero(self, sim):
+        assert sim.now == 0.0
+
+    def test_schedule_relative(self, sim):
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+
+    def test_at_absolute(self, sim):
+        fired = []
+        sim.at(3.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [3.0]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(SchedulingError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_at_in_past_rejected(self, sim):
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.at(2.0, lambda: None)
+
+    def test_call_soon_runs_at_current_time(self, sim):
+        fired = []
+        sim.schedule(2.0, lambda: sim.call_soon(lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_run_until_stops_clock(self, sim):
+        sim.schedule(10.0, lambda: None)
+        end = sim.run(until=4.0)
+        assert end == 4.0
+        assert sim.now == 4.0
+        # The pending event survives and fires on the next run.
+        assert len(sim.queue) == 1
+
+    def test_run_until_includes_boundary_events(self, sim):
+        fired = []
+        sim.schedule(4.0, lambda: fired.append(True))
+        sim.run(until=4.0)
+        assert fired == [True]
+
+    def test_run_advances_to_until_when_queue_drains(self, sim):
+        sim.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_max_events_guard(self, sim):
+        def reschedule():
+            sim.schedule(0.1, reschedule)
+
+        sim.schedule(0.1, reschedule)
+        with pytest.raises(SchedulingError):
+            sim.run(max_events=100)
+
+    def test_events_executed_counter(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.events_executed == 2
+
+    def test_step_returns_false_on_empty(self, sim):
+        assert sim.step() is False
+
+    def test_nested_scheduling_ordering(self, sim):
+        order = []
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(1.0, lambda: order.append("b"))
+        sim.schedule(0.5, lambda: order.append("c"))
+        sim.run()
+        assert order == ["c", "a", "b"]
+
+
+class TestRandomStreams:
+    def test_rng_for_is_cached(self, sim):
+        assert sim.rng_for("x") is sim.rng_for("x")
+
+    def test_rng_for_distinct_names(self, sim):
+        a = sim.rng_for("a")
+        b = sim.rng_for("b")
+        assert [a.random() for _ in range(3)] != [b.random() for _ in range(3)]
+
+    def test_process_rng_deterministic_across_sims(self):
+        s1, s2 = Simulator(seed=9), Simulator(seed=9)
+        assert s1.process_rng(3).random() == s2.process_rng(3).random()
+
+    def test_seed_changes_streams(self):
+        s1, s2 = Simulator(seed=1), Simulator(seed=2)
+        assert s1.rng_for("x").random() != s2.rng_for("x").random()
+
+
+class TestMembership:
+    def test_new_pid_monotonic(self, sim):
+        pids = [sim.new_pid() for _ in range(5)]
+        assert pids == sorted(pids)
+        assert len(set(pids)) == 5
+
+    def test_new_qid_independent_of_pid(self, sim):
+        assert sim.new_qid() == 0
+        sim.new_pid()
+        assert sim.new_qid() == 1
+
+    def test_spawn_assigns_pid_and_attaches(self, sim):
+        proc = sim.spawn(Process(value=7))
+        assert proc.pid >= 0
+        assert proc.alive
+        assert sim.network.is_present(proc.pid)
+
+    def test_spawn_with_explicit_pid(self, sim):
+        proc = sim.spawn(Process(), pid=99)
+        assert proc.pid == 99
+
+    def test_kill_removes(self, sim):
+        proc = sim.spawn(Process())
+        sim.kill(proc.pid)
+        assert not proc.alive
+        assert not sim.network.is_present(proc.pid)
+
+    def test_schedule_join_uses_chooser(self, sim):
+        anchor = sim.spawn(Process())
+        chosen = []
+
+        def choose(present):
+            chosen.append(set(present))
+            return [anchor.pid]
+
+        sim.schedule_join(2.0, Process, choose)
+        sim.run()
+        assert chosen == [{anchor.pid}]
+        assert len(sim.network.present()) == 2
+
+    def test_schedule_leave_noop_if_gone(self, sim):
+        proc = sim.spawn(Process())
+        sim.schedule_leave(1.0, proc.pid)
+        sim.schedule_leave(2.0, proc.pid)  # second leave is a no-op
+        sim.run()
+        assert not sim.network.is_present(proc.pid)
+
+    def test_join_leave_traced(self, sim):
+        proc = sim.spawn(Process(value=3))
+        sim.kill(proc.pid)
+        joins = sim.trace.events("join")
+        leaves = sim.trace.events("leave")
+        assert len(joins) == 1 and joins[0]["entity"] == proc.pid
+        assert joins[0]["value"] == 3
+        assert len(leaves) == 1 and leaves[0]["entity"] == proc.pid
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_traces(self):
+        def run(seed: int):
+            simulator = Simulator(seed=seed, delay_model=ConstantDelay(1.0))
+            from tests.conftest import spawn_line
+
+            pids = spawn_line(simulator, 5)
+            node = simulator.network.process(pids[0])
+            node.issue_query()
+            simulator.run(until=100)
+            return [(e.time, e.kind, tuple(sorted(e.data.items()))) for e in simulator.trace]
+
+        assert run(7) == run(7)
+
+    def test_different_seeds_differ(self):
+        def run(seed: int):
+            simulator = Simulator(seed=seed)  # uniform delays -> randomness
+            from tests.conftest import spawn_line
+
+            pids = spawn_line(simulator, 5)
+            simulator.network.process(pids[0]).issue_query()
+            simulator.run(until=100)
+            return [(e.time, e.kind) for e in simulator.trace]
+
+        assert run(1) != run(2)

@@ -1,0 +1,119 @@
+"""Tests for synchronous knowledge flooding (repro.synchronous.flooding)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.aggregates import COUNT, SUM
+from repro.synchronous.flooding import KnowledgeFlood
+from repro.synchronous.runner import SynchronousSystem, build_from_topology
+from repro.topology import generators as gen
+
+
+def flood_system(topo, send_deltas: bool = True):
+    system = SynchronousSystem()
+    pids = build_from_topology(
+        system, topo, lambda node: KnowledgeFlood(float(node), send_deltas)
+    )
+    return system, pids
+
+
+class TestStaticFlooding:
+    def test_knowledge_radius_grows_one_hop_per_round(self):
+        system, pids = flood_system(gen.line(8))
+        querier = system.process(pids[0])
+        for expected_radius in range(1, 8):
+            system.run(1)
+            assert set(querier.known) == set(range(expected_radius + 1))
+
+    def test_complete_iff_rounds_reach_eccentricity(self):
+        rng = random.Random(5)
+        for family in ("ring", "er", "tree", "star"):
+            topo = gen.make(family, 14, rng)
+            ecc = topo.eccentricity(0)
+            # One round short: incomplete.
+            system, pids = flood_system(topo)
+            system.run(ecc - 1) if ecc > 1 else None
+            querier = system.process(pids[0])
+            if ecc > 1:
+                assert len(querier.known) < 14, family
+            # Exactly eccentricity: complete.
+            system2, pids2 = flood_system(topo)
+            system2.run(ecc)
+            assert len(system2.process(pids2[0]).known) == 14, family
+
+    def test_aggregate(self):
+        system, pids = flood_system(gen.ring(6))
+        system.run(3)  # ring diameter 3
+        querier = system.process(pids[0])
+        assert querier.aggregate(COUNT) == 6
+        assert querier.aggregate(SUM) == sum(range(6))
+
+    def test_coverage_of(self):
+        system, pids = flood_system(gen.line(6))
+        system.run(2)
+        querier = system.process(pids[0])
+        assert querier.coverage_of(frozenset(pids)) == pytest.approx(3 / 6)
+        assert querier.coverage_of(frozenset()) == 1.0
+
+    def test_deltas_and_full_resend_learn_identically(self):
+        topo = gen.make("er", 12, random.Random(3))
+        deltas, pids_a = flood_system(topo, send_deltas=True)
+        full, pids_b = flood_system(topo, send_deltas=False)
+        deltas.run(6)
+        full.run(6)
+        for a, b in zip(pids_a, pids_b):
+            assert deltas.process(a).known == full.process(b).known
+
+    def test_deltas_cheaper_than_full_resend(self):
+        topo = gen.make("er", 12, random.Random(3))
+        deltas, _ = flood_system(topo, send_deltas=True)
+        full, _ = flood_system(topo, send_deltas=False)
+        deltas.run(8)
+        full.run(8)
+        assert deltas.messages_sent < full.messages_sent
+
+
+class TestSynchronousDiagonalisation:
+    def test_chain_growth_keeps_frontier_ahead(self):
+        """One new process per round at the chain's end: the flood's
+        frontier never catches up — the paper's impossibility argument,
+        verbatim in the round model."""
+        system = SynchronousSystem()
+        querier_pid = system.add_process(KnowledgeFlood(0.0))
+        tail = [querier_pid]
+
+        def extend(round_no, sys_):
+            tail.append(
+                sys_.add_process(KnowledgeFlood(float(round_no)), [tail[-1]])
+            )
+
+        rounds = 30
+        system.run(rounds, before_round=extend)
+        querier = system.process(querier_pid)
+        population = system.present()
+        # The querier always lags: it can never know everyone.
+        assert len(querier.known) < len(population)
+        # And the gap does not close with more rounds.
+        system.run(20, before_round=extend)
+        assert len(querier.known) < len(system.present())
+
+    def test_static_prefix_is_learned_eventually(self):
+        """The impossibility is about the moving frontier, not the past:
+        everything that existed R rounds ago is known after R more rounds."""
+        system = SynchronousSystem()
+        querier_pid = system.add_process(KnowledgeFlood(0.0))
+        tail = [querier_pid]
+
+        def extend(round_no, sys_):
+            tail.append(
+                sys_.add_process(KnowledgeFlood(1.0), [tail[-1]])
+            )
+
+        system.run(10, before_round=extend)
+        early_population = set(system.present())
+        system.run(len(early_population) + 2, before_round=extend)
+        querier = system.process(querier_pid)
+        assert early_population <= set(querier.known)

@@ -1,0 +1,187 @@
+"""Tests for the synchronous-rounds runner (repro.synchronous.runner)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import ConfigurationError, MembershipError
+from repro.synchronous.runner import (
+    RoundMessage,
+    SyncProcess,
+    SynchronousSystem,
+    build_from_topology,
+)
+from repro.topology.generators import line, ring
+
+
+class Echoer(SyncProcess):
+    """Sends its round number to every neighbor; records its inboxes."""
+
+    def __init__(self):
+        super().__init__()
+        self.inboxes: list[list[RoundMessage]] = []
+
+    def send(self, round_no):
+        return {neighbor: round_no for neighbor in self.neighbors}
+
+    def receive(self, round_no, inbox):
+        self.inboxes.append(list(inbox))
+
+
+class Silent(SyncProcess):
+    def send(self, round_no):
+        return {}
+
+    def receive(self, round_no, inbox):
+        pass
+
+
+class TestConstruction:
+    def test_add_process_assigns_pids(self):
+        system = SynchronousSystem()
+        a = system.add_process(Silent())
+        b = system.add_process(Silent(), [a])
+        assert (a, b) == (0, 1)
+        assert system.present() == {0, 1}
+
+    def test_attach_to_absent_rejected(self):
+        system = SynchronousSystem()
+        with pytest.raises(MembershipError):
+            system.add_process(Silent(), [99])
+
+    def test_remove_process(self):
+        system = SynchronousSystem()
+        a = system.add_process(Silent())
+        b = system.add_process(Silent(), [a])
+        system.remove_process(b)
+        assert system.present() == {a}
+        assert system.topology().nodes() == [a]
+
+    def test_remove_absent_rejected(self):
+        with pytest.raises(MembershipError):
+            SynchronousSystem().remove_process(0)
+
+    def test_build_from_topology(self):
+        system = SynchronousSystem()
+        pids = build_from_topology(system, ring(6), lambda node: Silent())
+        assert len(pids) == 6
+        assert system.topology().is_connected()
+
+    def test_edge_operations(self):
+        system = SynchronousSystem()
+        a, b = system.add_process(Silent()), system.add_process(Silent())
+        system.add_edge(a, b)
+        assert b in system.topology().neighbors(a)
+        system.remove_edge(a, b)
+        assert b not in system.topology().neighbors(a)
+
+
+class TestRounds:
+    def test_send_received_same_round(self):
+        """The two-phase round: a round-r send arrives in round r."""
+        system = SynchronousSystem()
+        pids = build_from_topology(system, line(2), lambda node: Echoer())
+        system.run(2)
+        receiver = system.process(pids[1])
+        assert [m.payload for m in receiver.inboxes[0]] == [1]
+        assert [m.payload for m in receiver.inboxes[1]] == [2]
+
+    def test_sends_computed_from_preround_state(self):
+        """No intra-round causality: what a process sends in round r cannot
+        depend on what it receives in round r."""
+
+        class Parrot(SyncProcess):
+            def __init__(self):
+                super().__init__()
+                self.heard: list[int] = []
+
+            def send(self, round_no):
+                # Echo the *last known* word, which for round 1 is nothing.
+                word = self.heard[-1] if self.heard else -1
+                return {n: word for n in self.neighbors}
+
+            def receive(self, round_no, inbox):
+                self.heard.extend(m.payload for m in inbox)
+
+        system = SynchronousSystem()
+        a = system.add_process(Parrot())
+        b = system.add_process(Parrot(), [a])
+        system.run(1)
+        # Both sides sent -1 in round 1: nobody had heard anything before.
+        assert system.process(a).heard == [-1]
+        assert system.process(b).heard == [-1]
+
+    def test_send_to_non_neighbor_rejected(self):
+        class Rogue(SyncProcess):
+            def send(self, round_no):
+                return {99: "hello"}
+
+            def receive(self, round_no, inbox):
+                pass
+
+        system = SynchronousSystem()
+        system.add_process(Rogue())
+        with pytest.raises(ConfigurationError):
+            system.run(1)
+
+    def test_message_accounting(self):
+        system = SynchronousSystem()
+        build_from_topology(system, ring(5), lambda node: Echoer())
+        system.run(3)
+        assert system.messages_sent == 5 * 2 * 3  # degree 2 each, 3 rounds
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SynchronousSystem().run(-1)
+
+    def test_round_counter(self):
+        system = SynchronousSystem()
+        system.add_process(Silent())
+        system.run(4)
+        assert system.round_no == 4
+
+
+class TestRoundHook:
+    def test_hook_runs_before_each_round(self):
+        seen = []
+        system = SynchronousSystem()
+        system.add_process(Silent())
+        system.run(3, before_round=lambda r, s: seen.append(r))
+        assert seen == [1, 2, 3]
+
+    def test_hook_can_grow_the_system(self):
+        system = SynchronousSystem()
+        system.add_process(Echoer())
+
+        def grow(round_no, sys_):
+            newest = max(sys_.present())
+            sys_.add_process(Echoer(), [newest])
+
+        system.run(4, before_round=grow)
+        assert len(system.present()) == 5
+
+    def test_newcomer_participates_same_round(self):
+        system = SynchronousSystem()
+        anchor = system.add_process(Echoer())
+
+        def join_once(round_no, sys_):
+            if round_no == 2:
+                sys_.add_process(Echoer(), [anchor])
+
+        system.run(2, before_round=join_once)
+        # The newcomer (added before round 2) both sent and received.
+        anchor_proc = system.process(anchor)
+        assert [m.payload for m in anchor_proc.inboxes[1]] == [2]
+
+    def test_removed_process_stops_participating(self):
+        system = SynchronousSystem()
+        pids = build_from_topology(system, line(3), lambda node: Echoer())
+
+        def kill_middle(round_no, sys_):
+            if round_no == 2 and pids[1] in sys_.present():
+                sys_.remove_process(pids[1])
+
+        system.run(2, before_round=kill_middle)
+        ends = [system.process(pids[0]), system.process(pids[2])]
+        for end in ends:
+            assert end.inboxes[1] == []  # nothing heard after the removal

@@ -1,0 +1,105 @@
+"""Tests for attachment rules (repro.topology.attachment)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import ConfigurationError
+from repro.sim.node import Process
+from repro.sim.scheduler import Simulator
+from repro.topology.attachment import (
+    ChainAttachment,
+    DegreeProportionalAttachment,
+    UniformAttachment,
+)
+
+
+def populated_sim(n: int = 6) -> Simulator:
+    sim = Simulator(seed=1)
+    prev = None
+    for _ in range(n):
+        prev = sim.spawn(Process(), neighbors=[prev.pid] if prev else [])
+    return sim
+
+
+class TestUniformAttachment:
+    def test_returns_k_choices(self, rng):
+        sim = populated_sim()
+        chosen = UniformAttachment(k=3).choose(sim.network, rng)
+        assert len(chosen) == 3
+        assert len(set(chosen)) == 3
+        assert set(chosen) <= sim.network.present()
+
+    def test_clamps_to_population(self, rng):
+        sim = populated_sim(2)
+        chosen = UniformAttachment(k=5).choose(sim.network, rng)
+        assert len(chosen) == 2
+
+    def test_empty_network(self, rng):
+        sim = Simulator(seed=1)
+        assert UniformAttachment().choose(sim.network, rng) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            UniformAttachment(k=0)
+
+    def test_deterministic_given_rng(self):
+        import random
+
+        sim = populated_sim()
+        a = UniformAttachment(k=2).choose(sim.network, random.Random(5))
+        b = UniformAttachment(k=2).choose(sim.network, random.Random(5))
+        assert a == b
+
+
+class TestDegreeProportionalAttachment:
+    def test_returns_distinct_choices(self, rng):
+        sim = populated_sim()
+        chosen = DegreeProportionalAttachment(k=3).choose(sim.network, rng)
+        assert len(chosen) == 3
+        assert len(set(chosen)) == 3
+
+    def test_prefers_high_degree(self):
+        import random
+
+        # A star: the hub has degree 5, leaves degree 1.
+        sim = Simulator(seed=1)
+        hub = sim.spawn(Process())
+        for _ in range(5):
+            sim.spawn(Process(), neighbors=[hub.pid])
+        rule = DegreeProportionalAttachment(k=1)
+        r = random.Random(0)
+        picks = [rule.choose(sim.network, r)[0] for _ in range(300)]
+        hub_fraction = picks.count(hub.pid) / len(picks)
+        # Hub weight 6 vs five leaves of weight 2 each: expect ~6/16.
+        assert hub_fraction > 0.25
+
+    def test_empty_network(self, rng):
+        sim = Simulator(seed=1)
+        assert DegreeProportionalAttachment().choose(sim.network, rng) == []
+
+    def test_invalid_k(self):
+        with pytest.raises(ConfigurationError):
+            DegreeProportionalAttachment(k=0)
+
+
+class TestChainAttachment:
+    def test_picks_newest(self, rng):
+        sim = populated_sim()
+        newest = max(sim.network.present())
+        assert ChainAttachment().choose(sim.network, rng) == [newest]
+
+    def test_empty_network(self, rng):
+        sim = Simulator(seed=1)
+        assert ChainAttachment().choose(sim.network, rng) == []
+
+    def test_grows_a_path(self, rng):
+        sim = Simulator(seed=1)
+        rule = ChainAttachment()
+        for _ in range(6):
+            sim.spawn(Process(), rule.choose(sim.network, rng))
+        # Path: every node has degree <= 2 and the graph is connected.
+        present = sorted(sim.network.present())
+        degrees = [len(sim.network.neighbors(p)) for p in present]
+        assert max(degrees) <= 2
+        assert degrees.count(1) == 2  # exactly two endpoints

@@ -1,0 +1,165 @@
+"""Tests for dynamic-edge models (repro.topology.dynamic)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import ConfigurationError, SimulationError
+from repro.sim.node import Process
+from repro.sim.scheduler import Simulator
+from repro.topology.dynamic import (
+    EdgeRewiringChurn,
+    edge_timeline,
+    interval_connectivity,
+    snapshot,
+)
+from repro.topology.generators import ring
+from repro.topology.graph import Topology
+
+
+def ring_system(n: int = 10, seed: int = 0) -> Simulator:
+    sim = Simulator(seed=seed)
+    topo = ring(n)
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(Process(value=1.0), neighbors).pid)
+    return sim
+
+
+class TestEdgeRewiringChurn:
+    def test_rewires_happen(self):
+        sim = ring_system()
+        churn = EdgeRewiringChurn(rate=2.0)
+        churn.install(sim)
+        sim.run(until=50)
+        assert churn.rewires > 20
+
+    def test_edge_count_conserved(self):
+        sim = ring_system(10)
+        before = len(sim.network.edges())
+        churn = EdgeRewiringChurn(rate=2.0, preserve_connectivity=False)
+        churn.install(sim)
+        sim.run(until=50)
+        after = len(sim.network.edges())
+        # One removal + one addition per event; removals may hit an edge
+        # already gone only if the graph got full/empty — sizes stay close.
+        assert abs(after - before) <= churn.rewires
+
+    def test_connectivity_preserved(self):
+        sim = ring_system(10)
+        churn = EdgeRewiringChurn(rate=3.0, preserve_connectivity=True)
+        churn.install(sim)
+        for t in range(5, 50, 5):
+            sim.at(float(t), lambda: None)
+        sim.run(until=50)
+        assert snapshot(sim.network).is_connected()
+
+    def test_shape_actually_changes(self):
+        sim = ring_system(10)
+        before = set(sim.network.edges())
+        EdgeRewiringChurn(rate=2.0).install(sim)
+        sim.run(until=50)
+        assert set(sim.network.edges()) != before
+
+    def test_bridge_detection_skips(self):
+        # A line is all bridges: with connectivity preserved, no removal
+        # may disconnect it.
+        sim = Simulator(seed=1)
+        pids = []
+        for _ in range(6):
+            pids.append(sim.spawn(Process(), pids[-1:]).pid)
+        churn = EdgeRewiringChurn(rate=2.0, preserve_connectivity=True)
+        churn.install(sim)
+        sim.run(until=30)
+        assert snapshot(sim.network).is_connected()
+
+    def test_zero_rate_inert(self):
+        sim = ring_system()
+        churn = EdgeRewiringChurn(rate=0.0)
+        churn.install(sim)
+        before = set(sim.network.edges())
+        sim.run(until=20)
+        assert set(sim.network.edges()) == before
+
+    def test_double_install_rejected(self):
+        sim = ring_system()
+        churn = EdgeRewiringChurn(rate=1.0)
+        churn.install(sim)
+        with pytest.raises(SimulationError):
+            churn.install(sim)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ConfigurationError):
+            EdgeRewiringChurn(rate=-1.0)
+
+    def test_stop_at(self):
+        sim = ring_system()
+        churn = EdgeRewiringChurn(rate=5.0)
+        churn.install(sim, stop_at=10.0)
+        sim.run(until=100)
+        last_edge_event = max(
+            (e.time for e in sim.trace if e.kind in ("edge_up", "edge_down")),
+            default=0.0,
+        )
+        assert last_edge_event <= 10.0
+
+    def test_tiny_population_noop(self):
+        sim = Simulator(seed=0)
+        sim.spawn(Process())
+        sim.spawn(Process())
+        churn = EdgeRewiringChurn(rate=5.0)
+        churn.install(sim)
+        sim.run(until=10)
+        assert len(sim.network.edges()) == 0
+
+
+class TestEdgeTimeline:
+    def test_records_ups_and_downs(self):
+        sim = ring_system(5)
+        a, b = sorted(sim.network.present())[:2]
+        c = sorted(sim.network.present())[2]
+        sim.network.remove_edge(a, b)
+        sim.network.add_edge(a, c) if c not in sim.network.neighbors(a) else None
+        timeline = edge_timeline(sim.trace)
+        kinds = [k for _, k, _ in timeline]
+        assert "down" in kinds
+
+
+class TestIntervalConnectivity:
+    def test_static_connected_sequence(self):
+        snaps = [ring(6) for _ in range(5)]
+        assert interval_connectivity(snaps, window=3)
+
+    def test_disconnected_snapshot_fails_window_one(self):
+        bad = Topology(nodes=range(4), edges=[(0, 1)])
+        assert not interval_connectivity([ring(4), bad], window=1)
+
+    def test_alternating_edges_fail_wide_window(self):
+        # Two graphs, each connected, sharing no edges: 1-interval
+        # connected but not 2-interval connected.
+        left = Topology(nodes=range(3), edges=[(0, 1), (1, 2)])
+        right = Topology(nodes=range(3), edges=[(0, 2), (2, 1)])
+        # They share edge (1,2) -- build truly disjoint instead:
+        right = Topology(nodes=range(3), edges=[(0, 2)])
+        right.add_edge(0, 1)
+        # left edges {01,12}, right edges {02,01}: intersection {01} is
+        # not spanning.
+        assert interval_connectivity([left, right], window=1)
+        assert not interval_connectivity([left, right], window=2)
+
+    def test_empty_sequence(self):
+        assert interval_connectivity([], window=2)
+
+    def test_invalid_window(self):
+        with pytest.raises(ConfigurationError):
+            interval_connectivity([ring(3)], window=0)
+
+
+class TestSnapshot:
+    def test_captures_graph(self):
+        sim = ring_system(5)
+        topo = snapshot(sim.network)
+        assert len(topo) == 5
+        assert topo.is_connected()
+        assert topo.edge_count() == 5

@@ -1,0 +1,143 @@
+"""Tests for topology generators (repro.topology.generators)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.sim.errors import ConfigurationError
+from repro.topology import generators as gen
+
+
+@pytest.fixture
+def grng() -> random.Random:
+    return random.Random(77)
+
+
+class TestDeterministicFamilies:
+    def test_complete(self):
+        topo = gen.complete_graph(5)
+        assert topo.edge_count() == 10
+        assert topo.diameter() == 1
+
+    def test_complete_singleton(self):
+        assert len(gen.complete_graph(1)) == 1
+
+    def test_line(self):
+        topo = gen.line(6)
+        assert topo.edge_count() == 5
+        assert topo.diameter() == 5
+        assert topo.degree(0) == 1
+        assert topo.degree(3) == 2
+
+    def test_ring(self):
+        topo = gen.ring(8)
+        assert topo.edge_count() == 8
+        assert topo.diameter() == 4
+        assert all(topo.degree(i) == 2 for i in range(8))
+
+    def test_ring_small(self):
+        assert gen.ring(1).edge_count() == 0
+        assert gen.ring(2).edge_count() == 1
+        assert gen.ring(3).edge_count() == 3
+
+    def test_star(self):
+        topo = gen.star(6)
+        assert topo.degree(0) == 5
+        assert topo.diameter() == 2
+
+    def test_torus(self):
+        topo = gen.torus(4, 4)
+        assert len(topo) == 16
+        assert all(topo.degree(i) == 4 for i in range(16))
+        assert topo.diameter() == 4
+
+    def test_torus_row(self):
+        topo = gen.torus(1, 5)  # degenerates to a ring
+        assert topo.is_connected()
+
+    def test_grid(self):
+        topo = gen.grid(3, 3)
+        assert topo.degree(4) == 4  # center
+        assert topo.degree(0) == 2  # corner
+        assert topo.diameter() == 4
+
+    def test_binary_tree(self):
+        topo = gen.binary_tree(7)
+        assert topo.edge_count() == 6
+        assert topo.is_connected()
+        assert topo.degree(0) == 2
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ConfigurationError):
+            gen.line(0)
+        with pytest.raises(ConfigurationError):
+            gen.torus(0, 3)
+
+
+class TestRandomFamilies:
+    def test_erdos_renyi_connected(self, grng):
+        topo = gen.erdos_renyi(30, 0.1, grng, connected=True)
+        assert len(topo) == 30
+        assert topo.is_connected()
+
+    def test_erdos_renyi_p_zero_stitched(self, grng):
+        topo = gen.erdos_renyi(10, 0.0, grng, connected=True)
+        assert topo.is_connected()
+
+    def test_erdos_renyi_p_zero_unstitched(self, grng):
+        topo = gen.erdos_renyi(10, 0.0, grng, connected=False)
+        assert topo.edge_count() == 0
+
+    def test_erdos_renyi_invalid_p(self, grng):
+        with pytest.raises(ConfigurationError):
+            gen.erdos_renyi(10, 1.5, grng)
+
+    def test_erdos_renyi_deterministic(self):
+        a = gen.erdos_renyi(20, 0.2, random.Random(3))
+        b = gen.erdos_renyi(20, 0.2, random.Random(3))
+        assert a.edges() == b.edges()
+
+    def test_random_regular(self, grng):
+        topo = gen.random_regular(10, 4, grng)
+        assert all(topo.degree(i) == 4 for i in range(10))
+
+    def test_random_regular_invalid(self, grng):
+        with pytest.raises(ConfigurationError):
+            gen.random_regular(5, 3, grng)  # n*d odd
+
+    def test_geometric_connected(self, grng):
+        topo = gen.geometric(25, 0.3, grng, connected=True)
+        assert topo.is_connected()
+
+    def test_geometric_invalid_radius(self, grng):
+        with pytest.raises(ConfigurationError):
+            gen.geometric(10, 0.0, grng)
+
+    def test_barabasi_albert(self, grng):
+        topo = gen.barabasi_albert(30, 2, grng)
+        assert len(topo) == 30
+        assert topo.is_connected()
+
+    def test_barabasi_albert_invalid_m(self, grng):
+        with pytest.raises(ConfigurationError):
+            gen.barabasi_albert(5, 5, grng)
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize("family", sorted(gen.FAMILIES))
+    def test_every_family_builds_connected(self, family, grng):
+        topo = gen.make(family, 17, grng)
+        assert len(topo) == 17
+        assert topo.is_connected()
+
+    @pytest.mark.parametrize("family", sorted(gen.FAMILIES))
+    def test_every_family_small_n(self, family, grng):
+        topo = gen.make(family, 3, grng)
+        assert len(topo) == 3
+        assert topo.is_connected()
+
+    def test_unknown_family(self, grng):
+        with pytest.raises(ConfigurationError, match="hypercube"):
+            gen.make("hypercube", 8, grng)

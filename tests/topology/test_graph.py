@@ -1,0 +1,147 @@
+"""Tests for the graph type (repro.topology.graph)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.errors import TopologyError
+from repro.topology.graph import Topology
+
+
+def square() -> Topology:
+    return Topology(nodes=range(4), edges=[(0, 1), (1, 2), (2, 3), (3, 0)])
+
+
+class TestConstruction:
+    def test_empty(self):
+        topo = Topology()
+        assert len(topo) == 0
+        assert topo.nodes() == []
+        assert topo.is_connected()  # vacuously
+
+    def test_nodes_and_edges(self):
+        topo = square()
+        assert topo.nodes() == [0, 1, 2, 3]
+        assert topo.edge_count() == 4
+
+    def test_add_edge_creates_nodes(self):
+        topo = Topology()
+        topo.add_edge(5, 7)
+        assert 5 in topo and 7 in topo
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology(edges=[(1, 1)])
+
+    def test_duplicate_edge_collapsed(self):
+        topo = Topology(edges=[(0, 1), (1, 0), (0, 1)])
+        assert topo.edge_count() == 1
+
+    def test_iteration_sorted(self):
+        topo = Topology(nodes=[3, 1, 2])
+        assert list(topo) == [1, 2, 3]
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        topo = square()
+        topo.remove_edge(0, 1)
+        assert not topo.has_edge(0, 1)
+        assert topo.edge_count() == 3
+
+    def test_remove_node_cleans_edges(self):
+        topo = square()
+        topo.remove_node(0)
+        assert 0 not in topo
+        assert not topo.has_edge(1, 0)
+        assert topo.edge_count() == 2
+
+    def test_remove_missing_edge_noop(self):
+        topo = square()
+        topo.remove_edge(0, 2)
+        assert topo.edge_count() == 4
+
+    def test_relabel(self):
+        topo = Topology(edges=[(0, 1)])
+        renamed = topo.relabel({0: 10, 1: 11})
+        assert renamed.has_edge(10, 11)
+        assert 0 not in renamed
+
+    def test_relabel_missing_mapping_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology(edges=[(0, 1)]).relabel({0: 10})
+
+    def test_copy_independent(self):
+        topo = square()
+        clone = topo.copy()
+        clone.remove_edge(0, 1)
+        assert topo.has_edge(0, 1)
+
+
+class TestQueries:
+    def test_neighbors(self):
+        assert square().neighbors(0) == {1, 3}
+
+    def test_neighbors_missing_node(self):
+        with pytest.raises(TopologyError):
+            square().neighbors(42)
+
+    def test_degree(self):
+        assert square().degree(0) == 2
+
+    def test_average_degree(self):
+        assert square().average_degree() == 2.0
+        assert Topology().average_degree() == 0.0
+
+
+class TestStructure:
+    def test_bfs_distances(self):
+        dist = square().bfs_distances(0)
+        assert dist == {0: 0, 1: 1, 3: 1, 2: 2}
+
+    def test_bfs_from_missing_node(self):
+        with pytest.raises(TopologyError):
+            square().bfs_distances(42)
+
+    def test_reachable_from(self):
+        topo = Topology(nodes=range(4), edges=[(0, 1), (2, 3)])
+        assert topo.reachable_from(0) == {0, 1}
+        assert topo.reachable_from(3) == {2, 3}
+
+    def test_is_connected(self):
+        assert square().is_connected()
+        assert not Topology(nodes=range(3), edges=[(0, 1)]).is_connected()
+
+    def test_components_ordered_largest_first(self):
+        topo = Topology(nodes=range(5), edges=[(0, 1), (1, 2)])
+        comps = topo.components()
+        assert comps[0] == {0, 1, 2}
+        assert {3} in comps and {4} in comps
+
+    def test_eccentricity(self):
+        assert square().eccentricity(0) == 2
+
+    def test_diameter(self):
+        assert square().diameter() == 2
+
+    def test_diameter_disconnected_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology(nodes=range(2)).diameter()
+
+    def test_diameter_empty_rejected(self):
+        with pytest.raises(TopologyError):
+            Topology().diameter()
+
+    def test_diameter_singleton(self):
+        assert Topology(nodes=[0]).diameter() == 0
+
+
+class TestInterop:
+    def test_networkx_roundtrip(self):
+        topo = square()
+        back = Topology.from_networkx(topo.to_networkx())
+        assert back.nodes() == topo.nodes()
+        assert back.edges() == topo.edges()
+
+    def test_repr(self):
+        assert "n=4" in repr(square())

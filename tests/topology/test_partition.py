@@ -1,0 +1,150 @@
+"""Tests for partition faults (repro.topology.partition)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import COUNT
+from repro.core.spec import OneTimeQuerySpec
+from repro.protocols.one_time_query import WaveNode
+from repro.sim.errors import ConfigurationError, SimulationError
+from repro.sim.latency import ConstantDelay
+from repro.sim.scheduler import Simulator
+from repro.topology import generators as gen
+from repro.topology.dynamic import snapshot
+from repro.topology.partition import PartitionFault, isolate, random_bisection
+
+
+def build(n: int = 12, seed: int = 0):
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(0.5))
+    topo = gen.make("er", n, sim.rng_for("topo"))
+    pids = []
+    for node in sorted(topo.nodes()):
+        neighbors = [p for p in topo.neighbors(node) if p < node]
+        pids.append(sim.spawn(WaveNode(1.0), neighbors).pid)
+    return sim, pids
+
+
+class TestAssignments:
+    def test_random_bisection_sizes(self, rng):
+        assign = random_bisection(0.5)
+        groups = assign(list(range(10)), rng)
+        sizes = sorted(list(groups.values()).count(g) for g in (0, 1))
+        assert sizes == [5, 5]
+
+    def test_random_bisection_fraction(self, rng):
+        assign = random_bisection(0.25)
+        groups = assign(list(range(12)), rng)
+        assert list(groups.values()).count(0) == 3
+
+    def test_random_bisection_invalid(self):
+        with pytest.raises(ConfigurationError):
+            random_bisection(0.0)
+
+    def test_isolate(self, rng):
+        assign = isolate([3, 4])
+        groups = assign(list(range(6)), rng)
+        assert groups[3] == groups[4] == 1
+        assert groups[0] == 0
+
+
+class TestPartitionFault:
+    def test_split_disconnects(self):
+        sim, pids = build()
+        fault = PartitionFault(at=5.0, groups=isolate(pids[:4]))
+        fault.install(sim)
+        sim.run(until=10)
+        topo = snapshot(sim.network)
+        island = set(pids[:4])
+        for a, b in topo.edges():
+            assert (a in island) == (b in island)
+        assert sim.trace.count("partition_split") == 1
+
+    def test_heal_reconnects(self):
+        sim, pids = build()
+        fault = PartitionFault(at=5.0, heal_at=20.0, groups=isolate(pids[:4]))
+        fault.install(sim)
+        sim.run(until=30)
+        assert not fault.active
+        assert snapshot(sim.network).is_connected()
+        assert sim.trace.count("partition_heal") == 1
+
+    def test_side_queries(self):
+        sim, pids = build()
+        fault = PartitionFault(at=5.0, groups=isolate(pids[:4]))
+        fault.install(sim)
+        sim.run(until=10)
+        assert fault.group_members(1) == frozenset(pids[:4])
+        assert fault.side_of(pids[0]) == 1
+
+    def test_watchdog_adopts_newcomers(self):
+        sim, pids = build()
+        fault = PartitionFault(at=5.0, groups=isolate(pids[:4]),
+                               watchdog_period=0.5)
+        fault.install(sim)
+        sim.run(until=8)
+        # A newcomer attaches inside the island; the watchdog adopts it.
+        new = sim.spawn(WaveNode(1.0), [pids[0]])
+        sim.run(until=12)
+        assert fault.side_of(new.pid) == 1
+
+    def test_invalid_times(self):
+        with pytest.raises(ConfigurationError):
+            PartitionFault(at=5.0, heal_at=5.0)
+        with pytest.raises(ConfigurationError):
+            PartitionFault(at=5.0, watchdog_period=0.0)
+
+    def test_double_install_rejected(self):
+        sim, _ = build()
+        fault = PartitionFault(at=5.0)
+        fault.install(sim)
+        with pytest.raises(SimulationError):
+            fault.install(sim)
+
+    def test_uninstalled_access_rejected(self):
+        with pytest.raises(SimulationError):
+            _ = PartitionFault(at=1.0).sim
+
+
+class TestQueriesAcrossPartitions:
+    def test_query_during_partition_misses_far_side(self):
+        sim, pids = build(seed=2)
+        fault = PartitionFault(at=5.0, groups=isolate(pids[6:]))
+        fault.install(sim)
+        querier = sim.network.process(pids[0])
+        sim.at(10.0, lambda: querier.issue_query(COUNT))
+        sim.run(until=200)
+        verdict = OneTimeQuerySpec().check(sim.trace)[0]
+        assert verdict.terminated
+        # Unrestricted obligation: the far side is stable core but cut off.
+        assert not verdict.complete
+        assert querier.results[0].result == 6
+
+    def test_query_after_heal_complete(self):
+        sim, pids = build(seed=2)
+        fault = PartitionFault(at=5.0, heal_at=15.0, groups=isolate(pids[6:]))
+        fault.install(sim)
+        querier = sim.network.process(pids[0])
+        sim.at(20.0, lambda: querier.issue_query(COUNT))
+        sim.run(until=200)
+        verdict = OneTimeQuerySpec().check(sim.trace)[0]
+        assert verdict.ok
+        assert querier.results[0].result == 12
+
+    def test_scoped_obligation_is_satisfiable_mid_partition(self):
+        """Scoping the obligation to the querier's side (what the runner
+        does) makes the mid-partition query spec-clean."""
+        from repro.bench.runner import reachable_now
+
+        sim, pids = build(seed=2)
+        fault = PartitionFault(at=5.0, groups=isolate(pids[6:]))
+        fault.install(sim)
+        querier = sim.network.process(pids[0])
+        holder = {}
+        def issue():
+            holder["reach"] = reachable_now(sim.network, pids[0])
+            querier.issue_query(COUNT)
+        sim.at(10.0, issue)
+        sim.run(until=200)
+        spec = OneTimeQuerySpec(restrict_core_to=holder["reach"])
+        assert spec.check(sim.trace)[0].ok
