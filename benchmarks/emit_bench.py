@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Engine perf emitter: serial vs parallel wall-time into BENCH_engine.json.
+
+Runs one fixed plan (the E4 churn-sweep shape) through both executor
+backends, asserts their canonical result documents are byte-identical (the
+engine's core guarantee), and records the wall-times.  The output file is
+untracked scratch — a perf snapshot of this machine, not a fixture.
+
+Run:  PYTHONPATH=src python benchmarks/emit_bench.py [--jobs N] [--output FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+
+from repro.engine import (
+    ParallelExecutor,
+    SerialExecutor,
+    build_plan,
+    run_plan,
+)
+
+RATES = [0.0, 0.5, 2.0, 8.0]
+TRIALS = 8
+BASE = {"n": 32, "topology": "er", "aggregate": "COUNT", "horizon": 300.0}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
+                        help="workers for the parallel backend")
+    parser.add_argument("--output", default="BENCH_engine.json")
+    args = parser.parse_args()
+
+    plan = build_plan(
+        "bench-engine", kind="query",
+        grid={"churn_rate": RATES}, base=BASE,
+        trials=TRIALS, root_seed=2007,
+    )
+    print(f"plan: {len(plan)} trials "
+          f"({len(RATES)} rates x {TRIALS} trials), n={BASE['n']}")
+
+    start = time.perf_counter()
+    serial_store = run_plan(plan, executor=SerialExecutor())
+    serial_wall = time.perf_counter() - start
+    print(f"serial   : {serial_wall:.2f}s")
+
+    start = time.perf_counter()
+    parallel_store = run_plan(plan, executor=ParallelExecutor(args.jobs))
+    parallel_wall = time.perf_counter() - start
+    print(f"parallel : {parallel_wall:.2f}s (jobs={args.jobs})")
+
+    identical = serial_store.to_json() == parallel_store.to_json()
+    print(f"documents byte-identical: {identical}")
+    if not identical:
+        raise SystemExit("executor backends disagree — engine bug")
+
+    trial_walls = [r.wall_time for r in serial_store.results]
+    payload = {
+        "benchmark": "engine-serial-vs-parallel",
+        "plan": plan.meta(),
+        "grid": {"churn_rate": RATES},
+        "base": BASE,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "jobs": args.jobs,
+        "serial_wall_s": round(serial_wall, 4),
+        "parallel_wall_s": round(parallel_wall, 4),
+        "speedup": round(serial_wall / parallel_wall, 3),
+        "documents_identical": identical,
+        "trial_wall_s": {
+            "min": round(min(trial_walls), 4),
+            "max": round(max(trial_walls), 4),
+            "mean": round(sum(trial_walls) / len(trial_walls), 4),
+        },
+        "events_executed_total": sum(
+            r.events_executed for r in serial_store.results
+        ),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output} (speedup {payload['speedup']}x "
+          f"on {payload['machine']['cpu_count']} core(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,20 +4,20 @@ The harness renders the full (arrival x knowledge) matrix from the decision
 table and cross-validates a representative cell of each verdict kind
 empirically: a YES cell must succeed in simulation, a NO cell must be
 defeated by its adversary, and a CONDITIONAL cell must flip with its
-condition.
+condition.  The empirical cells run as small engine plans — declarative
+churn specs instead of hand-rolled builder lambdas.
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
 from repro.analysis.tables import render_matrix
-from repro.bench.runner import QueryConfig, run_query
 from repro.churn.adversary import defeat_ttl
-from repro.churn.models import ReplacementChurn
 from repro.core.aggregates import COUNT
 from repro.core.classes import standard_lattice
 from repro.core.solvability import Solvable, solvability_matrix
 from repro.core.spec import OneTimeQuerySpec
+from repro.engine import build_plan, run_plan
 from repro.protocols.one_time_query import WaveNode
 
 SYMBOL = {Solvable.YES: "yes", Solvable.CONDITIONAL: "cond", Solvable.NO: "NO"}
@@ -51,10 +51,13 @@ def test_e10_matrix(benchmark):
 
     # Empirical cross-validation of one cell per verdict kind:
     # YES — (M_static, G_complete):
-    assert run_query(QueryConfig(
-        n=16, protocol="request_collect", aggregate="COUNT", seed=1,
-        horizon=100.0,
-    )).ok
+    yes_store = run_plan(build_plan(
+        "e10-yes-cell", kind="query",
+        base={"n": 16, "protocol": "request_collect", "aggregate": "COUNT",
+              "horizon": 100.0},
+        seeds=[1],
+    ))
+    assert yes_store.results[0].ok
 
     # NO — (M_*, G_local) via the TTL diagonalisation:
     sim, pids = defeat_ttl(6, lambda: WaveNode(1.0))
@@ -63,19 +66,18 @@ def test_e10_matrix(benchmark):
     assert not OneTimeQuerySpec().check(sim.trace)[0].ok
 
     # CONDITIONAL — (M_inf_bounded, G_known_diameter): flips with churn.
-    slow = run_query(QueryConfig(
-        n=16, topology="er", aggregate="COUNT", seed=2, horizon=200.0,
-        churn=lambda f: ReplacementChurn(f, rate=0.05),
+    conditional_base = {"n": 16, "topology": "er", "aggregate": "COUNT",
+                        "horizon": 200.0}
+    slow_store = run_plan(build_plan(
+        "e10-conditional-slow", kind="query",
+        grid={"churn_rate": [0.05]}, base=conditional_base, seeds=[2],
     ))
-    assert slow.completeness == 1.0
-    fast_any_fail = any(
-        run_query(QueryConfig(
-            n=16, topology="er", aggregate="COUNT", seed=s, horizon=200.0,
-            churn=lambda f: ReplacementChurn(f, rate=8.0),
-        )).completeness < 1.0
-        for s in (1, 2, 3)
-    )
-    assert fast_any_fail
+    assert slow_store.results[0].completeness == 1.0
+    fast_store = run_plan(build_plan(
+        "e10-conditional-fast", kind="query",
+        grid={"churn_rate": [8.0]}, base=conditional_base, seeds=[1, 2, 3],
+    ))
+    assert any(result.completeness < 1.0 for result in fast_store.results)
 
     benchmark.pedantic(
         lambda: solvability_matrix(standard_lattice()), rounds=5, iterations=1

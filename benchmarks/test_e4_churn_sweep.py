@@ -2,56 +2,58 @@
 
 Claim: conditionally solvable — the wave stays complete while churn is slow
 relative to the wave traversal, and degrades as churn accelerates.  The
-harness sweeps the replacement churn rate and reports the completeness
-curve; the paper-shape assertion is the monotone-ish decline with a clean
-regime at the slow end and a broken regime at the fast end.
+harness expands the churn-rate grid into an engine plan, executes it, and
+reads the completeness curve off the result store; the paper-shape
+assertion is the monotone-ish decline with a clean regime at the slow end
+and a broken regime at the fast end.
 """
 
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.bench.runner import QueryConfig, run_query
-from repro.bench.sweep import sweep, sweep_table
-from repro.churn.models import ReplacementChurn
+from repro.analysis.tables import render_result_document
+from repro.engine import SerialExecutor, build_plan, execute_trial, run_plan
 
 RATES = [0.0, 0.25, 1.0, 2.0, 4.0, 8.0]
 N = 32
+BASE = {"n": N, "topology": "er", "aggregate": "COUNT", "horizon": 250.0}
 
-
-def trial(rate: float, seed: int):
-    churn = (
-        (lambda f: ReplacementChurn(f, rate=rate)) if rate > 0 else None
-    )
-    return run_query(QueryConfig(
-        n=N, topology="er", aggregate="COUNT", seed=seed, horizon=250.0,
-        churn=churn,
-    ))
+PLAN = build_plan(
+    "e4-churn-sweep",
+    kind="query",
+    grid={"churn_rate": RATES},
+    base=BASE,
+    trials=6,
+    root_seed=2007,
+)
 
 
 def test_e4_completeness_vs_churn(benchmark):
-    points = sweep(RATES, trial, trials=6)
-    emit(sweep_table(
-        points,
-        {
-            "completeness": lambda p: p.metric(lambda o: o.completeness).mean,
-            "fully_complete": lambda p: p.fraction(lambda o: o.completeness == 1.0),
-            "reached": lambda p: p.metric(lambda o: float(o.record.result or 0)).mean,
-            "core_size": lambda p: p.metric(
-                lambda o: float(len(o.verdict.stable_core))
-            ).mean,
-        },
-        parameter_name="churn_rate",
+    store = run_plan(PLAN, executor=SerialExecutor())
+    document = store.document()
+    emit(render_result_document(
+        document,
+        columns=("completeness", "fully_complete", "result_mean", "core_size"),
         title=f"E4: wave completeness vs replacement churn, n={N}",
     ))
-    mean_completeness = [p.metric(lambda o: o.completeness).mean for p in points]
+    summaries = {
+        entry["point"]["churn_rate"]: entry["summary"]
+        for entry in document["points"]
+    }
+    mean_completeness = [summaries[rate]["completeness"] for rate in RATES]
     # Slow-churn regime: spec fully satisfied.
     assert mean_completeness[0] == 1.0
-    assert points[1].metric(lambda o: o.completeness).mean > 0.9
+    assert summaries[RATES[1]]["completeness"] > 0.9
     # Fast-churn regime: the wave loses stable members.
     assert mean_completeness[-1] < mean_completeness[0]
-    assert points[-1].fraction(lambda o: o.completeness == 1.0) < 1.0
+    assert summaries[RATES[-1]]["fully_complete"] < 1.0
     # The number of values actually folded shrinks with churn.
-    reached = [p.metric(lambda o: float(o.record.result or 0)).mean for p in points]
+    reached = [summaries[rate]["result_mean"] for rate in RATES]
     assert reached[-1] < reached[0]
 
-    benchmark.pedantic(lambda: trial(2.0, 0), rounds=3, iterations=1)
+    representative = build_plan(
+        "e4-representative", kind="query",
+        grid={"churn_rate": [2.0]}, base=BASE, seeds=[0],
+    ).specs[0]
+    benchmark.pedantic(lambda: execute_trial(representative),
+                       rounds=3, iterations=1)

@@ -2,7 +2,9 @@
 
 Claim: the wave's message cost is Theta(edges) and its latency tracks the
 topology diameter — O(1) on expanders, Theta(n) on the line.  The harness
-sweeps n per family and checks the asymptotic shape by ratio tests.
+builds one engine trial spec per (family, n) point — prebuilt topologies
+ride along as overrides, the family name as a reporting label — runs the
+plan, and checks the asymptotic shape by ratio tests.
 """
 
 from __future__ import annotations
@@ -11,32 +13,55 @@ import random
 
 from benchmarks.conftest import emit
 from repro.analysis.tables import render_table
-from repro.bench.runner import QueryConfig, run_query
+from repro.engine import ExperimentPlan, SerialExecutor, TrialSpec, execute_trial
 from repro.sim.latency import ConstantDelay
 from repro.topology import generators as gen
 
+FAMILIES = ("line", "ring", "er", "star")
 SIZES = [16, 32, 64, 128]
 
 
-def trial(family: str, n: int, seed: int = 0):
-    topo = gen.make(family, n, random.Random(seed))
-    return run_query(QueryConfig(
-        n=n, topology=topo, aggregate="COUNT", ttl=None,
-        seed=seed, delay=ConstantDelay(1.0), horizon=5000.0,
-    )), topo
+def build_scaling_plan():
+    """One trial per (family, n), topology drawn with the family's own RNG."""
+    specs = []
+    topologies = {}
+    for family in FAMILIES:
+        for n in SIZES:
+            topo = gen.make(family, n, random.Random(0))
+            topologies[(family, n)] = topo
+            specs.append(TrialSpec(
+                kind="query",
+                index=len(specs),
+                trial=0,
+                seed=0,
+                point=(("n", n),),
+                labels=(("family", family),),
+                overrides=(
+                    ("aggregate", "COUNT"),
+                    ("delay", ConstantDelay(1.0)),
+                    ("horizon", 5000.0),
+                    ("topology", topo),
+                    ("ttl", None),
+                ),
+            ))
+    plan = ExperimentPlan(name="e9-scaling", root_seed=0,
+                          trials_per_point=1, specs=tuple(specs))
+    return plan, topologies
 
 
 def test_e9_scaling(benchmark):
+    plan, topologies = build_scaling_plan()
+    results = SerialExecutor().run(plan)
     rows = []
     data: dict[tuple[str, int], tuple[float, float, int]] = {}
-    for family in ("line", "ring", "er", "star"):
-        for n in SIZES:
-            outcome, topo = trial(family, n)
-            assert outcome.ok
-            per_edge = outcome.messages / topo.edge_count()
-            rows.append([family, n, outcome.latency, outcome.messages, per_edge])
-            data[(family, n)] = (outcome.latency, float(outcome.messages),
-                                 topo.edge_count())
+    for result in results:
+        point = result.point_dict()
+        family, n = point["family"], point["n"]
+        assert result.ok, (family, n)
+        edges = topologies[(family, n)].edge_count()
+        rows.append([family, n, result.latency, result.messages,
+                     result.messages / edges])
+        data[(family, n)] = (result.latency, float(result.messages), edges)
     emit(render_table(
         ["topology", "n", "latency", "messages", "msgs_per_edge"],
         rows,
@@ -52,4 +77,9 @@ def test_e9_scaling(benchmark):
     star_ratio = data[("star", 128)][0] / data[("star", 16)][0]
     assert star_ratio < 1.5
 
-    benchmark.pedantic(lambda: trial("er", 64), rounds=3, iterations=1)
+    representative = next(
+        spec for spec in plan.specs
+        if spec.point_dict() == {"family": "er", "n": 64}
+    )
+    benchmark.pedantic(lambda: execute_trial(representative),
+                       rounds=3, iterations=1)

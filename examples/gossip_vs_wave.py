@@ -5,45 +5,56 @@ The engineering question behind the paper's taxonomy: when your system is
 dynamic, do you want a protocol with a sharp spec (the one-time query wave)
 or one that degrades gracefully (push-sum gossip)?
 
-The script sweeps the replacement-churn rate and prints, side by side, the
-wave's completeness/error and gossip's estimation error for the AVG
-aggregate, using common random seeds for a paired comparison.
+Two engine plans — one query, one gossip — sweep the replacement-churn rate
+with a shared root seed, so every (rate, trial) pair runs both protocols on
+common randomness: the paired comparison comes for free.  Pass ``--jobs N``
+to fan the trials out over worker processes; the numbers are identical
+either way.
 
-Run:  python examples/gossip_vs_wave.py
+Run:  python examples/gossip_vs_wave.py [--jobs N]
 """
 
+import argparse
+
 from repro.analysis.tables import render_table
-from repro.bench import GossipConfig, QueryConfig, run_gossip, run_query
-from repro.churn import ReplacementChurn
-from repro.sim.rng import iter_seeds
+from repro.engine import build_plan, make_executor, run_plan
 
 N = 24
 RATES = [0.0, 0.25, 1.0, 4.0]
 TRIALS = 5
+ROOT_SEED = 7
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = serial)")
+    args = parser.parse_args()
+    executor = make_executor(args.jobs)
+
+    wave_plan = build_plan(
+        "wave-vs-churn", kind="query",
+        grid={"churn_rate": RATES},
+        base={"n": N, "topology": "er", "aggregate": "AVG", "horizon": 250.0},
+        trials=TRIALS, root_seed=ROOT_SEED,
+    )
+    gossip_plan = build_plan(
+        "gossip-vs-churn", kind="gossip",
+        grid={"churn_rate": RATES},
+        base={"n": N, "topology": "er", "mode": "avg", "rounds": 60},
+        trials=TRIALS, root_seed=ROOT_SEED,
+    )
+    wave = run_plan(wave_plan, executor=executor).summary()
+    gossip = run_plan(gossip_plan, executor=executor).summary()
+
     rows = []
     for rate in RATES:
-        churn = (lambda f, r=rate: ReplacementChurn(f, rate=r)) if rate else None
-        wave_errors, wave_completeness, gossip_errors = [], [], []
-        for seed in iter_seeds(7, TRIALS):
-            wave = run_query(QueryConfig(
-                n=N, topology="er", aggregate="AVG", seed=seed,
-                horizon=250.0, churn=churn,
-            ))
-            wave_errors.append(wave.error)
-            wave_completeness.append(wave.completeness)
-            gossip = run_gossip(GossipConfig(
-                n=N, topology="er", mode="avg", rounds=60, seed=seed,
-                churn=churn,
-            ))
-            gossip_errors.append(gossip.error)
+        point = (("churn_rate", rate),)
         rows.append([
             rate,
-            sum(wave_completeness) / TRIALS,
-            sum(wave_errors) / TRIALS,
-            sum(gossip_errors) / TRIALS,
+            wave[point]["completeness"],
+            wave[point]["error"],
+            gossip[point]["error"],
         ])
 
     print(render_table(

@@ -14,12 +14,12 @@ Run:  python examples/solvability_tour.py
 """
 
 from repro.analysis.tables import render_matrix
-from repro.bench import QueryConfig, run_query
-from repro.churn import ReplacementChurn, defeat_ttl
+from repro.churn import defeat_ttl
 from repro.core import standard_lattice
 from repro.core.aggregates import COUNT
 from repro.core.solvability import Solvable, solvability_matrix
 from repro.core.spec import OneTimeQuerySpec
+from repro.engine import build_plan, run_plan
 from repro.protocols.one_time_query import WaveNode
 
 SYMBOL = {Solvable.YES: "yes", Solvable.CONDITIONAL: "cond", Solvable.NO: "NO"}
@@ -48,24 +48,35 @@ def print_matrix() -> None:
 
 def demo_yes() -> None:
     print("\n--- YES: (M_static, G_complete), request/collect ---")
-    outcome = run_query(QueryConfig(
-        n=16, protocol="request_collect", aggregate="COUNT", seed=1,
-        horizon=100.0,
+    store = run_plan(build_plan(
+        "yes-cell", kind="query",
+        base={"n": 16, "protocol": "request_collect", "aggregate": "COUNT",
+              "horizon": 100.0},
+        seeds=[1],
     ))
-    print(f"  {outcome.verdict}")
-    assert outcome.ok
+    result = store.results[0]
+    print(f"  ok={result.ok}, counted {result.result}, "
+          f"completeness {result.completeness:.2f}")
+    assert result.ok
 
 
 def demo_conditional() -> None:
     print("\n--- CONDITIONAL: (M_inf_bounded, G_known_diameter) ---")
-    for rate, label in ((0.05, "slow churn (condition holds)"),
-                        (8.0, "fast churn (condition violated)")):
-        outcome = run_query(QueryConfig(
-            n=16, topology="er", aggregate="COUNT", seed=2, horizon=200.0,
-            churn=lambda f: ReplacementChurn(f, rate=rate),
-        ))
-        print(f"  {label}: completeness {outcome.completeness:.2f}, "
-              f"counted {outcome.record.result}")
+    # One engine plan covers both sides of the condition: the churn rate is
+    # the grid axis, the declarative ChurnSpec is built per trial.
+    store = run_plan(build_plan(
+        "conditional-cell", kind="query",
+        grid={"churn_rate": [0.05, 8.0]},
+        base={"n": 16, "topology": "er", "aggregate": "COUNT",
+              "horizon": 200.0},
+        seeds=[2],
+    ))
+    labels = {0.05: "slow churn (condition holds)",
+              8.0: "fast churn (condition violated)"}
+    for result in store.results:
+        rate = result.point_dict()["churn_rate"]
+        print(f"  {labels[rate]}: completeness {result.completeness:.2f}, "
+              f"counted {result.result}")
 
 
 def demo_no() -> None:

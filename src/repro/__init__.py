@@ -16,7 +16,10 @@ runnable code:
 * :mod:`repro.protocols` — the wave (flooding/echo) one-time-query
   protocol, the request/collect baseline and push-sum gossip;
 * :mod:`repro.analysis` — metrics, statistics and tables;
-* :mod:`repro.bench` — the experiment runner and sweep harness.
+* :mod:`repro.engine` — the layered experiment engine: plan expansion,
+  serial/parallel trial executors, and the schema-versioned result store;
+* :mod:`repro.bench` — compatibility shims over the engine's trial layer
+  plus the callable-based sweep harness.
 
 Quickstart::
 
@@ -25,9 +28,26 @@ Quickstart::
     outcome = run_query(QueryConfig(n=32, topology="er", aggregate="SUM",
                                     ttl=None, seed=7))
     print(outcome.verdict, outcome.latency, outcome.messages)
+
+Many trials at once (the engine)::
+
+    from repro.engine import build_plan, run_plan
+
+    plan = build_plan("churn-sweep", grid={"churn_rate": [0.0, 2.0, 8.0]},
+                      base={"n": 32, "aggregate": "COUNT"}, trials=8)
+    store = run_plan(plan, jobs=4)   # results independent of jobs
+    print(store.summary())
 """
 
 from repro.bench import GossipConfig, QueryConfig, run_gossip, run_query
+from repro.engine import (
+    ExperimentPlan,
+    ParallelExecutor,
+    ResultStore,
+    SerialExecutor,
+    build_plan,
+    run_plan,
+)
 from repro.core import (
     FiniteArrival,
     InfiniteArrivalBounded,
@@ -50,8 +70,14 @@ from repro.synchronous import KnowledgeFlood, SynchronousSystem
 __version__ = "1.0.0"
 
 __all__ = [
+    "ExperimentPlan",
     "FiniteArrival",
     "GossipConfig",
+    "ParallelExecutor",
+    "ResultStore",
+    "SerialExecutor",
+    "build_plan",
+    "run_plan",
     "InfiniteArrivalBounded",
     "InfiniteArrivalFinite",
     "InfiniteArrivalUnbounded",

@@ -118,3 +118,48 @@ def paired_compare(
         mean_diff=mean_diff,
         p_value=sign_test_p_value(wins_a, wins_b),
     )
+
+
+def _trial_metrics(document: dict, metric: str) -> dict[tuple, float]:
+    """Per-trial metric values keyed by (point, seed, trial)."""
+    values: dict[tuple, float] = {}
+    for entry in document.get("points", []):
+        point_key = tuple(sorted(entry.get("point", {}).items()))
+        for record in entry.get("trials", []):
+            key = (point_key, record.get("seed"), record.get("trial"))
+            values[key] = float(record[metric])
+    return values
+
+
+def compare_documents(
+    document_a: dict,
+    document_b: dict,
+    metric: str = "completeness",
+    name_a: str = "A",
+    name_b: str = "B",
+    higher_is_better: bool = True,
+) -> PairedComparison:
+    """Paired comparison of two engine result documents on one metric.
+
+    The documents come from :class:`repro.engine.results.ResultStore`; the
+    engine's seed discipline (common seeds across plans with the same root
+    seed) makes trials pair naturally.  Trials are matched on
+    ``(grid point, seed, trial index)`` and unmatched trials are dropped;
+    comparing documents with no common trials is an error.
+    """
+    metrics_a = _trial_metrics(document_a, metric)
+    metrics_b = _trial_metrics(document_b, metric)
+    common = [key for key in metrics_a if key in metrics_b]
+    if not common:
+        raise ValueError(
+            "result documents share no (point, seed, trial) pairs; "
+            "were they produced from plans with the same grid and root seed?"
+        )
+    return paired_compare(
+        [metrics_a[key] for key in common],
+        [metrics_b[key] for key in common],
+        metric=lambda value: value,
+        name_a=name_a,
+        name_b=name_b,
+        higher_is_better=higher_is_better,
+    )

@@ -69,3 +69,41 @@ def render_matrix(
         for row in row_labels
     ]
     return render_table(headers, rows, title=title)
+
+
+#: Default summary columns pulled from an engine result document.
+DEFAULT_RESULT_COLUMNS = (
+    "trials", "completeness", "fully_complete", "ok", "messages", "latency",
+)
+
+
+def render_result_document(
+    document: dict[str, Any],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render a ``repro.engine.results`` JSON document as a summary table.
+
+    One row per grid point; the point coordinates become the leading
+    columns and ``columns`` names the per-point summary fields to show
+    (see :func:`repro.engine.results.summarize_point` for what exists).
+    """
+    points = document.get("points", [])
+    summary_columns = list(columns if columns is not None else DEFAULT_RESULT_COLUMNS)
+    point_keys: list[str] = []
+    for entry in points:
+        for key in entry.get("point", {}):
+            if key not in point_keys:
+                point_keys.append(key)
+    headers = [*point_keys, *summary_columns]
+    rows = []
+    for entry in points:
+        point = entry.get("point", {})
+        summary = entry.get("summary", {})
+        rows.append([
+            *[point.get(key, "") for key in point_keys],
+            *[summary.get(column, "") for column in summary_columns],
+        ])
+    if title is None:
+        title = str(document.get("plan", {}).get("name", "")) or None
+    return render_table(headers, rows, title=title)

@@ -1,142 +1,22 @@
-"""Experiment runner for dissemination scenarios.
+"""Compatibility shim: the dissemination runner now lives in the engine.
 
 The dissemination counterpart of :func:`repro.bench.runner.run_query`: one
-config in, one audited outcome out.
+config in, one audited outcome out.  The implementation moved to
+:mod:`repro.engine.trials`; this module re-exports it so existing imports
+keep working unchanged.  Dissemination trials can also be orchestrated
+through the engine with ``build_plan(..., kind="dissemination")``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
-from repro.analysis.metrics import message_cost
-from repro.bench.runner import ChurnBuilder
-from repro.core.dissemination_spec import (
-    BroadcastRecord,
-    DisseminationSpec,
-    DisseminationVerdict,
-    extract_broadcasts,
+from repro.engine.trials import (  # noqa: F401
+    DisseminationConfig,
+    DisseminationOutcome,
+    run_dissemination,
 )
-from repro.core.runs import Run
-from repro.protocols.dissemination import AntiEntropyNode, FloodNode
-from repro.sim import trace as tr
-from repro.sim.errors import ConfigurationError
-from repro.sim.latency import DelayModel, UniformDelay
-from repro.sim.scheduler import Simulator
-from repro.topology import generators
-from repro.topology.graph import Topology
 
-
-@dataclass
-class DisseminationConfig:
-    """A complete dissemination scenario.
-
-    Attributes:
-        n: initial population size.
-        topology: a generator family name or a prebuilt topology.
-        protocol: ``"flood"`` (one-shot) or ``"anti_entropy"`` (repairing).
-        broadcast_at: when the origin publishes its value.
-        audit_at: when coverage is measured.
-        ae_period: reconciliation period for anti-entropy.
-        seed, delay, churn: as in :class:`~repro.bench.runner.QueryConfig`.
-        protect_origin: exempt the origin from random victim selection.
-    """
-
-    n: int = 24
-    topology: str | Topology = "er"
-    protocol: str = "anti_entropy"
-    broadcast_at: float = 10.0
-    audit_at: float = 80.0
-    ae_period: float = 2.0
-    seed: int = 0
-    delay: DelayModel | None = None
-    churn: ChurnBuilder | None = None
-    protect_origin: bool = True
-    value: object = "payload"
-
-
-@dataclass
-class DisseminationOutcome:
-    """Everything measured about one dissemination scenario."""
-
-    config: DisseminationConfig
-    verdict: DisseminationVerdict
-    record: BroadcastRecord
-    messages: int
-    run: Run
-    trace: tr.TraceLog
-    origin: int
-
-    @property
-    def coverage(self) -> float:
-        return self.verdict.coverage
-
-    @property
-    def population_coverage(self) -> float:
-        return self.verdict.population_coverage
-
-    @property
-    def ok(self) -> bool:
-        return self.verdict.ok
-
-
-def run_dissemination(config: DisseminationConfig) -> DisseminationOutcome:
-    """Execute a dissemination scenario end to end and audit it."""
-    if config.protocol not in ("flood", "anti_entropy"):
-        raise ConfigurationError(
-            f"unknown protocol {config.protocol!r}; use 'flood' or "
-            "'anti_entropy'"
-        )
-    if config.audit_at <= config.broadcast_at:
-        raise ConfigurationError(
-            f"audit time {config.audit_at} must follow broadcast time "
-            f"{config.broadcast_at}"
-        )
-    sim = Simulator(seed=config.seed, delay_model=config.delay or UniformDelay())
-
-    def factory():
-        if config.protocol == "flood":
-            return FloodNode(1.0)
-        return AntiEntropyNode(1.0, period=config.ae_period)
-
-    if isinstance(config.topology, Topology):
-        topo = config.topology
-    else:
-        topo = generators.make(config.topology, config.n, sim.rng_for("topology"))
-    pids = []
-    for node in sorted(topo.nodes()):
-        neighbors = [p for p in topo.neighbors(node) if p < node]
-        pids.append(sim.spawn(factory(), neighbors).pid)
-    origin_pid = pids[0]
-
-    if config.churn is not None:
-        model = config.churn(factory)
-        if config.protect_origin:
-            model.immortal.add(origin_pid)
-        model.install(sim)
-
-    def publish() -> None:
-        if sim.network.is_present(origin_pid):
-            sim.network.process(origin_pid).broadcast_value(config.value)
-
-    sim.at(config.broadcast_at, publish, label="experiment:broadcast")
-    sim.run(until=config.audit_at)
-
-    records = extract_broadcasts(sim.trace)
-    if not records:
-        raise ConfigurationError(
-            "the broadcast never happened (origin departed first?)"
-        )
-    record = records[0]
-    run = Run.from_trace(sim.trace, horizon=config.audit_at)
-    verdict = DisseminationSpec().check_broadcast(
-        sim.trace, record, at=config.audit_at, run=run
-    )
-    return DisseminationOutcome(
-        config=config,
-        verdict=verdict,
-        record=record,
-        messages=message_cost(sim.trace),
-        run=run,
-        trace=sim.trace,
-        origin=origin_pid,
-    )
+__all__ = [
+    "DisseminationConfig",
+    "DisseminationOutcome",
+    "run_dissemination",
+]

@@ -1,4 +1,14 @@
-"""Parameter sweeps with repeated, independently seeded trials."""
+"""Parameter sweeps with repeated, independently seeded trials.
+
+This harness predates the layered experiment engine and keeps its
+callable-based interface (``trial(parameter, seed)``), but execution now
+goes through the engine's executor layer: pass an
+:class:`~repro.engine.executor.TrialExecutor` to fan the trials out, or
+leave the default for the classic in-process behaviour.  Declarative
+sweeps (grids of config fields) should use :func:`repro.engine.build_plan`
+directly — specs built there are picklable, which arbitrary trial
+callables generally are not.
+"""
 
 from __future__ import annotations
 
@@ -7,10 +17,26 @@ from typing import Any, Callable, Generic, Sequence, TypeVar
 
 from repro.analysis.stats import Summary, summarize
 from repro.analysis.tables import render_table
+from repro.engine.executor import SerialExecutor, TrialExecutor
 from repro.sim.rng import iter_seeds
 
 P = TypeVar("P")
 R = TypeVar("R")
+
+
+class _SweepCall(Generic[P, R]):
+    """Adapter making ``trial(parameter, seed)`` a one-argument callable.
+
+    Module-level (not a closure) so a picklable ``trial`` stays picklable
+    end to end and can cross the parallel backend's process boundary.
+    """
+
+    def __init__(self, trial: Callable[[P, int], R]) -> None:
+        self.trial = trial
+
+    def __call__(self, item: tuple[P, int]) -> R:
+        parameter, seed = item
+        return self.trial(parameter, seed)
 
 
 @dataclass
@@ -36,18 +62,28 @@ def sweep(
     trial: Callable[[P, int], R],
     trials: int = 5,
     root_seed: int = 2007,
+    executor: TrialExecutor | None = None,
 ) -> list[SweepPoint[P, R]]:
     """Run ``trial(parameter, seed)`` for every parameter × trial seed.
 
     Seeds are derived deterministically from ``root_seed`` and shared across
     parameters, so parameter effects are measured against common randomness
     (paired comparisons).
+
+    ``executor`` selects the engine backend; the default
+    :class:`SerialExecutor` preserves the classic in-process call order.
+    A parallel backend requires ``trial`` (and its outcomes) to be
+    picklable.
     """
     seeds = list(iter_seeds(root_seed, trials))
-    return [
-        SweepPoint(parameter, [trial(parameter, seed) for seed in seeds])
-        for parameter in parameters
-    ]
+    backend = executor if executor is not None else SerialExecutor()
+    items = [(parameter, seed) for parameter in parameters for seed in seeds]
+    outcomes = backend.map(_SweepCall(trial), items)
+    points: list[SweepPoint[P, R]] = []
+    for i, parameter in enumerate(parameters):
+        chunk = outcomes[i * len(seeds):(i + 1) * len(seeds)]
+        points.append(SweepPoint(parameter, list(chunk)))
+    return points
 
 
 def sweep_table(

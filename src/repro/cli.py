@@ -7,7 +7,13 @@ Run experiments without writing a script::
     python -m repro gossip --n 24 --mode count --rounds 60
     python -m repro matrix
     python -m repro describe --arrival inf-bounded --knowledge local
-    python -m repro sweep --rates 0,0.5,2,8 --trials 5
+    python -m repro sweep --rates 0,0.5,2,8 --trials 8 --jobs 4
+
+The ``sweep`` command runs through the layered experiment engine
+(:mod:`repro.engine`): ``--jobs N`` fans trials out over worker processes
+and ``--output FILE`` writes the schema-versioned result document.
+Results are independent of ``--jobs`` — parallelism changes wall-clock
+time, never verdicts.
 """
 
 from __future__ import annotations
@@ -16,9 +22,8 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro.analysis.tables import render_matrix, render_table
+from repro.analysis.tables import render_matrix, render_result_document, render_table
 from repro.bench.runner import GossipConfig, QueryConfig, run_gossip, run_query
-from repro.bench.sweep import sweep, sweep_table
 from repro.churn.models import ReplacementChurn
 from repro.core.arrival import (
     ArrivalClass,
@@ -129,6 +134,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep_cmd.add_argument("--topology", default="er")
     sweep_cmd.add_argument("--trials", type=int, default=5)
     sweep_cmd.add_argument("--seed", type=int, default=2007)
+    sweep_cmd.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (1 = serial; results are "
+                           "identical either way)")
+    sweep_cmd.add_argument("--output", default=None,
+                           help="write the engine's JSON result document "
+                           "to this file")
 
     return parser
 
@@ -285,25 +296,30 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import build_plan, make_executor, run_plan
+
     rates = [float(r) for r in args.rates.split(",") if r.strip()]
-
-    def trial(rate: float, seed: int):
-        return run_query(QueryConfig(
-            n=args.n, topology=args.topology, aggregate="COUNT", seed=seed,
-            horizon=300.0, churn=_churn_builder(rate),
-        ))
-
-    points = sweep(rates, trial, trials=args.trials, root_seed=args.seed)
-    print(sweep_table(
-        points,
-        {
-            "completeness": lambda p: f"{p.metric(lambda o: o.completeness).mean:.3f}",
-            "fully_complete": lambda p: f"{p.fraction(lambda o: o.completeness == 1.0):.2f}",
-            "messages": lambda p: f"{p.metric(lambda o: float(o.messages)).mean:.0f}",
+    plan = build_plan(
+        "churn-sweep",
+        kind="query",
+        grid={"churn_rate": rates},
+        base={
+            "n": args.n, "topology": args.topology,
+            "aggregate": "COUNT", "horizon": 300.0,
         },
-        parameter_name="churn_rate",
-        title=f"churn sweep: n={args.n}, {args.topology}, {args.trials} trials",
+        trials=args.trials,
+        root_seed=args.seed,
+    )
+    store = run_plan(plan, executor=make_executor(args.jobs))
+    print(render_result_document(
+        store.document(),
+        columns=("trials", "completeness", "fully_complete", "messages"),
+        title=(f"churn sweep: n={args.n}, {args.topology}, "
+               f"{args.trials} trials, jobs={args.jobs}"),
     ))
+    if args.output:
+        store.write(args.output)
+        print(f"result document written to {args.output}")
     return 0
 
 

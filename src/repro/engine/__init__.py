@@ -1,0 +1,71 @@
+"""The layered experiment engine: plan → executor → results.
+
+Three explicit layers replace the old "call ``run_query`` in a loop"
+pattern:
+
+* :mod:`repro.engine.plan` — :func:`build_plan` expands a parameter grid
+  into an immutable :class:`ExperimentPlan` of picklable
+  :class:`TrialSpec`s with deterministically fanned-out seeds;
+* :mod:`repro.engine.executor` — :class:`SerialExecutor` and the
+  ``ProcessPoolExecutor``-backed :class:`ParallelExecutor` run the specs
+  (``--jobs N`` on the CLI) and return results in plan order;
+* :mod:`repro.engine.results` — :class:`ResultStore` aggregates
+  :class:`TrialResult`s into a schema-versioned, canonical JSON document
+  consumed by ``repro.analysis`` and the benchmark emitters.
+
+One-call form::
+
+    from repro.engine import build_plan, run_plan
+
+    plan = build_plan("churn-sweep", grid={"churn_rate": [0.0, 2.0]},
+                      base={"n": 32, "aggregate": "COUNT"}, trials=8)
+    store = run_plan(plan, jobs=4)
+    store.write("results.json")
+
+The single-trial layer lives in :mod:`repro.engine.trials`;
+``repro.bench.runner`` re-exports it for compatibility.
+"""
+
+from repro.engine.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    TrialExecutor,
+    execute_trial,
+    make_executor,
+    run_plan,
+)
+from repro.engine.plan import (
+    VALUE_FUNCTIONS,
+    ChurnSpec,
+    ExperimentPlan,
+    TrialSpec,
+    build_plan,
+)
+from repro.engine.results import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    ResultStore,
+    TrialResult,
+    summarize_point,
+    validate_document,
+)
+
+__all__ = [
+    "ChurnSpec",
+    "ExperimentPlan",
+    "ParallelExecutor",
+    "ResultStore",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "SerialExecutor",
+    "TrialExecutor",
+    "TrialResult",
+    "TrialSpec",
+    "VALUE_FUNCTIONS",
+    "build_plan",
+    "execute_trial",
+    "make_executor",
+    "run_plan",
+    "summarize_point",
+    "validate_document",
+]

@@ -1,0 +1,204 @@
+"""The TrialExecutor layer: interchangeable serial / parallel backends.
+
+:func:`execute_trial` is the single unit of work — a module-level function
+taking a picklable :class:`~repro.engine.plan.TrialSpec` and returning a
+picklable :class:`~repro.engine.results.TrialResult` — which is exactly the
+shape :class:`concurrent.futures.ProcessPoolExecutor` needs.
+
+Both backends return results **in plan order** regardless of completion
+order, so a plan's result list (and therefore its
+:class:`~repro.engine.results.ResultStore` document) is identical under
+``SerialExecutor`` and ``ParallelExecutor``: parallelism changes wall-clock
+time, never results.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor as _ProcessPool
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+from repro.engine.plan import ExperimentPlan, TrialSpec
+from repro.engine.results import ResultStore, TrialResult, jsonable
+from repro.engine.trials import (
+    DisseminationOutcome,
+    GossipOutcome,
+    QueryOutcome,
+    run_dissemination,
+    run_gossip,
+    run_query,
+)
+from repro.sim.errors import ConfigurationError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def execute_trial(spec: TrialSpec) -> TrialResult:
+    """Run one trial spec to completion and summarise it.
+
+    Wall time covers config materialisation plus the whole simulation;
+    ``events_executed`` comes straight from the simulator.
+    """
+    start = time.perf_counter()
+    config = spec.to_config()
+    if spec.kind == "query":
+        outcome: Any = run_query(config)
+    elif spec.kind == "gossip":
+        outcome = run_gossip(config)
+    elif spec.kind == "dissemination":
+        outcome = run_dissemination(config)
+    else:  # pragma: no cover - to_config already rejects unknown kinds
+        raise ConfigurationError(f"unknown trial kind {spec.kind!r}")
+    wall = time.perf_counter() - start
+    return _summarise(spec, outcome, wall)
+
+
+def _summarise(spec: TrialSpec, outcome: Any, wall: float) -> TrialResult:
+    point = tuple(spec.point_dict().items())
+    common = {
+        "index": spec.index,
+        "kind": spec.kind,
+        "seed": spec.seed,
+        "trial": spec.trial,
+        "point": point,
+        "messages": outcome.messages,
+        "events_executed": outcome.events_executed,
+        "wall_time": wall,
+    }
+    if isinstance(outcome, QueryOutcome):
+        return TrialResult(
+            ok=outcome.ok,
+            terminated=outcome.terminated,
+            result=jsonable(outcome.record.result),
+            truth=jsonable(outcome.truth),
+            error=outcome.error,
+            completeness=outcome.completeness,
+            latency=outcome.latency,
+            core_size=len(outcome.verdict.stable_core),
+            **common,
+        )
+    if isinstance(outcome, GossipOutcome):
+        return TrialResult(
+            ok=math.isfinite(outcome.error),
+            terminated=True,
+            result=outcome.estimate,
+            truth=outcome.truth,
+            error=outcome.error,
+            completeness=float("nan"),
+            latency=outcome.read_time,
+            core_size=0,
+            **common,
+        )
+    if isinstance(outcome, DisseminationOutcome):
+        return TrialResult(
+            ok=outcome.ok,
+            terminated=True,
+            result=outcome.coverage,
+            truth=outcome.population_coverage,
+            error=1.0 - outcome.coverage,
+            completeness=outcome.coverage,
+            latency=float("nan"),
+            core_size=len(outcome.verdict.obligation),
+            **common,
+        )
+    raise ConfigurationError(
+        f"cannot summarise outcome type {type(outcome).__name__}"
+    )
+
+
+class TrialExecutor(abc.ABC):
+    """Runs a plan's trial specs; backends differ only in *where* they run."""
+
+    #: Worker count the backend will use (1 for serial).
+    jobs: int = 1
+
+    def run(self, plan: ExperimentPlan) -> list[TrialResult]:
+        """Execute every spec in ``plan``; results come back in plan order."""
+        return self.run_specs(plan.specs)
+
+    @abc.abstractmethod
+    def run_specs(self, specs: Sequence[TrialSpec]) -> list[TrialResult]:
+        """Execute an explicit spec list, preserving input order."""
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        """Apply ``fn`` over ``items``, preserving input order.
+
+        The generic escape hatch for harnesses (like ``repro.bench.sweep``)
+        whose work units are callables rather than trial specs.  With the
+        parallel backend, ``fn`` and every item must be picklable.
+        """
+
+
+class SerialExecutor(TrialExecutor):
+    """In-process, strictly sequential execution (the reference backend)."""
+
+    jobs = 1
+
+    def run_specs(self, specs: Sequence[TrialSpec]) -> list[TrialResult]:
+        return [execute_trial(spec) for spec in specs]
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+    def __repr__(self) -> str:
+        return "SerialExecutor()"
+
+
+class ParallelExecutor(TrialExecutor):
+    """Fans trials out over a :class:`ProcessPoolExecutor`.
+
+    Trials are independent simulations, so process-level parallelism is
+    safe; results are re-ordered to plan order, making the backend
+    observationally identical to :class:`SerialExecutor` (modulo wall
+    time).  ``jobs`` defaults to the machine's CPU count.
+    """
+
+    def __init__(self, jobs: int | None = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+
+    def run_specs(self, specs: Sequence[TrialSpec]) -> list[TrialResult]:
+        return self.map(execute_trial, list(specs))
+
+    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+        items = list(items)
+        if not items:
+            return []
+        workers = min(self.jobs, len(items))
+        if workers == 1:
+            return [fn(item) for item in items]
+        with _ProcessPool(max_workers=workers) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            # Collect in submission order: completion order never leaks
+            # into the result list.
+            return [future.result() for future in futures]
+
+    def __repr__(self) -> str:
+        return f"ParallelExecutor(jobs={self.jobs})"
+
+
+def make_executor(jobs: int | None) -> TrialExecutor:
+    """``jobs`` semantics shared by the CLI and scripts: ``None``/``0``/``1``
+    mean serial; anything larger selects the process-pool backend."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor()
+    return ParallelExecutor(jobs)
+
+
+def run_plan(
+    plan: ExperimentPlan,
+    executor: TrialExecutor | None = None,
+    jobs: int | None = None,
+) -> ResultStore:
+    """Execute ``plan`` and aggregate the results into a
+    :class:`ResultStore` — the one-call form of the three-layer pipeline."""
+    if executor is not None and jobs is not None:
+        raise ConfigurationError("give either 'executor' or 'jobs', not both")
+    backend = executor if executor is not None else make_executor(jobs)
+    return ResultStore.from_run(plan, backend.run(plan))

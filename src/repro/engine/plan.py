@@ -1,0 +1,301 @@
+"""The ExperimentPlan layer: declarative, picklable trial specifications.
+
+A plan turns "sweep this grid with that base config, N trials per point"
+into an immutable list of :class:`TrialSpec`s.  Specs are plain data — no
+lambdas, no simulator objects — so they cross process boundaries intact,
+which is what lets :class:`~repro.engine.executor.ParallelExecutor` fan
+trials out over worker processes.
+
+Seed discipline (the contract every consumer relies on):
+
+* trial ``t`` of **every** grid point uses the ``t``-th seed from
+  :func:`repro.sim.rng.iter_seeds(root_seed, trials)` — common randomness
+  across parameters, so parameter effects pair naturally;
+* seeds depend only on ``(root_seed, trial index)``, never on the grid —
+  growing the grid (new rates, new sizes) never perturbs the seeds, and
+  therefore the results, of the points that were already there.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.churn.lifetimes import ExponentialLifetime, ParetoLifetime
+from repro.churn.models import (
+    ArrivalDepartureChurn,
+    FiniteArrivalChurn,
+    PhasedChurn,
+    ReplacementChurn,
+)
+from repro.engine.trials import (
+    ChurnBuilder,
+    DisseminationConfig,
+    GossipConfig,
+    QueryConfig,
+)
+from repro.sim.errors import ConfigurationError
+from repro.sim.rng import iter_seeds
+
+
+def _unit_value(index: int) -> float:
+    """Every entity carries the value 1.0 (COUNT-style workloads)."""
+    return 1.0
+
+
+#: Named value functions, so specs can select one by (picklable) name.
+VALUE_FUNCTIONS: dict[str, Callable[[int], float]] = {
+    "index": float,
+    "unit": _unit_value,
+}
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """A declarative, picklable churn description.
+
+    ``kind`` selects the generative model; the remaining fields parameterise
+    it.  :meth:`builder` produces the ``ChurnBuilder`` the trial layer
+    expects — the closure is created *after* unpickling, inside the worker,
+    so the spec itself stays plain data.
+
+    Kinds:
+        ``"replacement"``: constant-population turnover at ``rate``.
+        ``"arrival-departure"``: Poisson arrivals at ``rate`` with
+            exponential (``lifetime_mean``) or Pareto
+            (``pareto_alpha``/``pareto_xm``) lifetimes, optional ``cap``.
+        ``"finite"``: ``total_arrivals`` arrivals at ``rate``, then quiet.
+        ``"phased"``: storms at ``rate`` of length ``storm_length``
+            alternating with ``calm_length`` calm.
+    """
+
+    kind: str = "replacement"
+    rate: float = 1.0
+    lifetime_mean: float | None = None
+    pareto_alpha: float | None = None
+    pareto_xm: float | None = None
+    cap: int | None = None
+    total_arrivals: int | None = None
+    storm_length: float = 40.0
+    calm_length: float = 60.0
+    doom_initial: bool = False
+
+    def _lifetimes(self):
+        if self.pareto_alpha is not None:
+            return ParetoLifetime(alpha=self.pareto_alpha, xm=self.pareto_xm or 1.0)
+        if self.lifetime_mean is not None:
+            return ExponentialLifetime(self.lifetime_mean)
+        return None
+
+    def builder(self) -> ChurnBuilder:
+        """Materialise the churn builder this spec describes."""
+        if self.kind == "replacement":
+            return lambda factory: ReplacementChurn(factory, rate=self.rate)
+        if self.kind == "arrival-departure":
+            lifetimes = self._lifetimes() or ExponentialLifetime(30.0)
+            return lambda factory: ArrivalDepartureChurn(
+                factory,
+                arrival_rate=self.rate,
+                lifetimes=lifetimes,
+                concurrency_cap=self.cap,
+                doom_initial=self.doom_initial,
+            )
+        if self.kind == "finite":
+            return lambda factory: FiniteArrivalChurn(
+                factory,
+                total_arrivals=self.total_arrivals or 20,
+                arrival_rate=self.rate,
+                lifetimes=self._lifetimes(),
+            )
+        if self.kind == "phased":
+            return lambda factory: PhasedChurn(
+                factory,
+                storm_rate=self.rate,
+                storm_length=self.storm_length,
+                calm_length=self.calm_length,
+            )
+        raise ConfigurationError(
+            f"unknown churn kind {self.kind!r}; use 'replacement', "
+            "'arrival-departure', 'finite' or 'phased'"
+        )
+
+
+_CONFIG_TYPES = {
+    "query": QueryConfig,
+    "gossip": GossipConfig,
+    "dissemination": DisseminationConfig,
+}
+
+#: Spec keys that are translated rather than passed to the config verbatim.
+_SPECIAL_KEYS = ("churn_rate", "churn", "value_of")
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One trial: a kind, a seed, and declarative config parameters.
+
+    Attributes:
+        kind: ``"query"``, ``"gossip"`` or ``"dissemination"``.
+        index: position in the plan (results are reported in this order).
+        trial: trial number within the grid point (selects the seed).
+        seed: the root seed handed to the simulator.
+        point: the grid coordinates, e.g. ``(("churn_rate", 2.0),)`` —
+            these feed the config *and* label the result.
+        labels: extra reporting-only coordinates that do **not** feed the
+            config (e.g. a topology family name when the topology itself is
+            prebuilt and passed via ``overrides``).
+        overrides: base config parameters shared by the whole plan.
+    """
+
+    kind: str
+    index: int
+    trial: int
+    seed: int
+    point: tuple[tuple[str, Any], ...] = ()
+    labels: tuple[tuple[str, Any], ...] = ()
+    overrides: tuple[tuple[str, Any], ...] = ()
+
+    def point_dict(self) -> dict[str, Any]:
+        """Grid coordinates plus labels, for reporting."""
+        merged = dict(self.point)
+        merged.update(dict(self.labels))
+        return merged
+
+    def to_config(self) -> QueryConfig | GossipConfig | DisseminationConfig:
+        """Materialise the (possibly unpicklable) config for execution."""
+        try:
+            config_type = _CONFIG_TYPES[self.kind]
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown trial kind {self.kind!r}; use "
+                f"{', '.join(sorted(_CONFIG_TYPES))}"
+            ) from None
+        params: dict[str, Any] = dict(self.overrides)
+        params.update(dict(self.point))
+        params["seed"] = self.seed
+
+        churn_spec = params.pop("churn", None)
+        churn_rate = params.pop("churn_rate", None)
+        if churn_spec is not None and churn_rate is not None:
+            raise ConfigurationError("give either 'churn' or 'churn_rate', not both")
+        if churn_rate is not None and churn_rate > 0:
+            churn_spec = ChurnSpec(kind="replacement", rate=churn_rate)
+        if churn_spec is not None:
+            if not isinstance(churn_spec, ChurnSpec):
+                raise ConfigurationError(
+                    f"'churn' must be a ChurnSpec, got {type(churn_spec).__name__}"
+                )
+            params["churn"] = churn_spec.builder()
+
+        value_name = params.pop("value_of", None)
+        if value_name is not None:
+            try:
+                params["value_of"] = VALUE_FUNCTIONS[value_name]
+            except KeyError:
+                raise ConfigurationError(
+                    f"unknown value function {value_name!r}; known: "
+                    f"{', '.join(sorted(VALUE_FUNCTIONS))}"
+                ) from None
+
+        known = {f.name for f in fields(config_type)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown {self.kind} config field(s) {unknown}; known: "
+                f"{', '.join(sorted(known))}"
+            )
+        return config_type(**params)
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """An immutable, fully expanded list of trial specs."""
+
+    name: str
+    root_seed: int
+    trials_per_point: int
+    specs: tuple[TrialSpec, ...]
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def points(self) -> list[dict[str, Any]]:
+        """The distinct grid points, in plan order."""
+        seen: list[dict[str, Any]] = []
+        for spec in self.specs:
+            point = spec.point_dict()
+            if point not in seen:
+                seen.append(point)
+        return seen
+
+    def meta(self) -> dict[str, Any]:
+        """Plan header for the result document."""
+        return {
+            "name": self.name,
+            "root_seed": self.root_seed,
+            "trials_per_point": self.trials_per_point,
+            "n_trials": len(self.specs),
+        }
+
+
+def build_plan(
+    name: str,
+    *,
+    kind: str = "query",
+    grid: Mapping[str, Sequence[Any]] | None = None,
+    base: Mapping[str, Any] | None = None,
+    trials: int = 5,
+    root_seed: int = 2007,
+    seeds: Sequence[int] | None = None,
+) -> ExperimentPlan:
+    """Expand ``grid`` x ``trials`` into an :class:`ExperimentPlan`.
+
+    ``grid`` maps config field names to the values to sweep (the cartesian
+    product is taken in insertion order); ``base`` holds the parameters
+    shared by every trial.  Seeds are fanned out with
+    :func:`repro.sim.rng.iter_seeds` and shared across grid points (paired
+    comparisons); pass ``seeds`` to pin them explicitly instead.
+    """
+    if kind not in _CONFIG_TYPES:
+        raise ConfigurationError(
+            f"unknown trial kind {kind!r}; use {', '.join(sorted(_CONFIG_TYPES))}"
+        )
+    if seeds is None:
+        if trials < 1:
+            raise ConfigurationError(f"trials must be >= 1, got {trials}")
+        seed_list = list(iter_seeds(root_seed, trials))
+    else:
+        seed_list = list(seeds)
+        if not seed_list:
+            raise ConfigurationError("explicit seed list must not be empty")
+    overrides = tuple(sorted((base or {}).items(), key=lambda kv: kv[0]))
+    axes = [(key, list(values)) for key, values in (grid or {}).items()]
+    for key, values in axes:
+        if not values:
+            raise ConfigurationError(f"grid axis {key!r} has no values")
+    if axes:
+        keys = [key for key, _ in axes]
+        combos = itertools.product(*[values for _, values in axes])
+        points = [tuple(zip(keys, combo)) for combo in combos]
+    else:
+        points = [()]
+    specs: list[TrialSpec] = []
+    index = 0
+    for point in points:
+        for trial_number, seed in enumerate(seed_list):
+            specs.append(TrialSpec(
+                kind=kind,
+                index=index,
+                trial=trial_number,
+                seed=seed,
+                point=point,
+                overrides=overrides,
+            ))
+            index += 1
+    return ExperimentPlan(
+        name=name,
+        root_seed=root_seed,
+        trials_per_point=len(seed_list),
+        specs=tuple(specs),
+    )

@@ -1,0 +1,276 @@
+"""The ResultStore layer: trial results as a schema-versioned document.
+
+The executor hands back a flat :class:`TrialResult` per trial — plain,
+picklable, JSON-able data.  :class:`ResultStore` groups them by grid point,
+computes per-point summaries, and serialises everything as a canonical JSON
+document that downstream consumers (``repro.analysis.tables``,
+``repro.analysis.compare``, ``benchmarks/emit_bench.py``) read without ever
+touching simulator objects.
+
+Canonical form: trials sorted by plan index, keys sorted, fixed indent, and
+— by default — **no wall-clock timing**, so the same plan produces a
+byte-identical document no matter which executor backend ran it or in what
+order the trials finished.  Pass ``include_timing=True`` to add the
+(non-deterministic) per-trial wall times for perf work.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping
+
+from repro.sim.errors import ConfigurationError
+
+#: Document schema identifier and version; bump the version on any change
+#: to the document layout.
+SCHEMA_NAME = "repro-engine-results"
+SCHEMA_VERSION = 1
+
+
+def jsonable(value: Any) -> Any:
+    """Coerce a trial-level value to something ``json.dumps`` accepts."""
+    if isinstance(value, (frozenset, set)):
+        return sorted(jsonable(v) for v in value)
+    if isinstance(value, tuple):
+        return [jsonable(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, list):
+        return [jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    return str(value)
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """The flat, process-boundary-safe summary of one executed trial.
+
+    ``result``/``truth`` hold JSON-able values (set aggregates arrive as
+    sorted lists).  ``completeness`` is the stable-core coverage for query
+    trials, the audit coverage for dissemination trials, and ``nan`` for
+    gossip trials (which have no core obligation).  ``wall_time`` is
+    measured around the whole trial (config materialisation + simulation)
+    and is excluded from canonical documents.
+    """
+
+    index: int
+    kind: str
+    seed: int
+    trial: int
+    point: tuple[tuple[str, Any], ...]
+    ok: bool
+    terminated: bool
+    result: Any
+    truth: Any
+    error: float
+    completeness: float
+    latency: float
+    messages: int
+    core_size: int
+    events_executed: int
+    wall_time: float
+
+    def point_dict(self) -> dict[str, Any]:
+        return dict(self.point)
+
+    def to_record(self, include_timing: bool = False) -> dict[str, Any]:
+        """The per-trial JSON record (deterministic unless timing is on)."""
+        record = {
+            "index": self.index,
+            "kind": self.kind,
+            "seed": self.seed,
+            "trial": self.trial,
+            "ok": self.ok,
+            "terminated": self.terminated,
+            "result": jsonable(self.result),
+            "truth": jsonable(self.truth),
+            "error": self.error,
+            "completeness": self.completeness,
+            "latency": self.latency,
+            "messages": self.messages,
+            "core_size": self.core_size,
+            "events_executed": self.events_executed,
+        }
+        if include_timing:
+            record["wall_time"] = self.wall_time
+        return record
+
+    @classmethod
+    def from_record(
+        cls, record: Mapping[str, Any], point: Mapping[str, Any]
+    ) -> "TrialResult":
+        """Rebuild a result from a loaded document record."""
+        return cls(
+            index=record["index"],
+            kind=record["kind"],
+            seed=record["seed"],
+            trial=record["trial"],
+            point=tuple(sorted(point.items(), key=lambda kv: kv[0])),
+            ok=record["ok"],
+            terminated=record["terminated"],
+            result=record["result"],
+            truth=record["truth"],
+            error=record["error"],
+            completeness=record["completeness"],
+            latency=record["latency"],
+            messages=record["messages"],
+            core_size=record["core_size"],
+            events_executed=record["events_executed"],
+            wall_time=record.get("wall_time", 0.0),
+        )
+
+
+def _mean(values: list[float]) -> float:
+    if not values:
+        return float("nan")
+    return sum(values) / len(values)
+
+
+def summarize_point(results: list[TrialResult]) -> dict[str, Any]:
+    """Per-point aggregates over the trial results."""
+    n = len(results)
+    numeric_results = [
+        float(r.result) if isinstance(r.result, (int, float)) else 0.0
+        for r in results
+    ]
+    return {
+        "trials": n,
+        "ok": sum(1 for r in results if r.ok) / n if n else 0.0,
+        "completeness": _mean([r.completeness for r in results]),
+        "fully_complete": (
+            sum(1 for r in results if r.completeness == 1.0) / n if n else 0.0
+        ),
+        "error": _mean([r.error for r in results]),
+        "latency": _mean([r.latency for r in results]),
+        "messages": _mean([float(r.messages) for r in results]),
+        "result_mean": _mean(numeric_results),
+        "core_size": _mean([float(r.core_size) for r in results]),
+        "events_executed": sum(r.events_executed for r in results),
+    }
+
+
+class ResultStore:
+    """Aggregates :class:`TrialResult`s into the canonical JSON document."""
+
+    def __init__(
+        self,
+        plan: Mapping[str, Any] | None = None,
+        results: Iterable[TrialResult] = (),
+    ) -> None:
+        self.plan: dict[str, Any] = dict(plan or {})
+        self._results: list[TrialResult] = list(results)
+
+    @classmethod
+    def from_run(cls, plan: Any, results: Iterable[TrialResult]) -> "ResultStore":
+        """Build a store from an :class:`~repro.engine.plan.ExperimentPlan`
+        (or any object with a ``meta()`` dict) and its executed results."""
+        meta = plan.meta() if hasattr(plan, "meta") else dict(plan or {})
+        return cls(plan=meta, results=results)
+
+    # ------------------------------------------------------------------
+    # Accumulation & access
+    # ------------------------------------------------------------------
+
+    def add(self, result: TrialResult) -> None:
+        self._results.append(result)
+
+    def extend(self, results: Iterable[TrialResult]) -> None:
+        self._results.extend(results)
+
+    @property
+    def results(self) -> list[TrialResult]:
+        """All results, in plan order (stable across executor backends)."""
+        return sorted(self._results, key=lambda r: r.index)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def by_point(self) -> dict[tuple[tuple[str, Any], ...], list[TrialResult]]:
+        """Results grouped by grid point, groups and trials in plan order."""
+        grouped: dict[tuple[tuple[str, Any], ...], list[TrialResult]] = {}
+        for result in self.results:
+            grouped.setdefault(result.point, []).append(result)
+        return grouped
+
+    def summary(self) -> dict[tuple[tuple[str, Any], ...], dict[str, Any]]:
+        """Per-point summaries keyed by the point tuple, in plan order."""
+        return {
+            point: summarize_point(results)
+            for point, results in self.by_point().items()
+        }
+
+    # ------------------------------------------------------------------
+    # Document serialisation
+    # ------------------------------------------------------------------
+
+    def document(self, include_timing: bool = False) -> dict[str, Any]:
+        """The full result document (deterministic by default)."""
+        points = []
+        for point, results in self.by_point().items():
+            points.append({
+                "point": jsonable(dict(point)),
+                "summary": summarize_point(results),
+                "trials": [r.to_record(include_timing) for r in results],
+            })
+        return {
+            "schema": SCHEMA_NAME,
+            "version": SCHEMA_VERSION,
+            "plan": jsonable(self.plan),
+            "points": points,
+        }
+
+    def to_json(self, include_timing: bool = False) -> str:
+        """Canonical JSON: sorted keys, indent 2, trailing newline."""
+        return json.dumps(
+            self.document(include_timing), indent=2, sort_keys=True
+        ) + "\n"
+
+    def write(self, path: str, include_timing: bool = False) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(include_timing))
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_document(cls, document: Mapping[str, Any]) -> "ResultStore":
+        """Validate and rehydrate a result document."""
+        validate_document(document)
+        results = [
+            TrialResult.from_record(record, entry["point"])
+            for entry in document["points"]
+            for record in entry["trials"]
+        ]
+        return cls(plan=document.get("plan", {}), results=results)
+
+    @classmethod
+    def load(cls, path: str) -> "ResultStore":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_document(json.load(handle))
+
+
+def validate_document(document: Mapping[str, Any]) -> None:
+    """Raise :class:`ConfigurationError` unless ``document`` matches the
+    schema this version of the engine writes."""
+    if not isinstance(document, Mapping):
+        raise ConfigurationError("result document must be a JSON object")
+    if document.get("schema") != SCHEMA_NAME:
+        raise ConfigurationError(
+            f"not a {SCHEMA_NAME} document (schema={document.get('schema')!r})"
+        )
+    if document.get("version") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported document version {document.get('version')!r}; "
+            f"this engine reads version {SCHEMA_VERSION}"
+        )
+    points = document.get("points")
+    if not isinstance(points, list):
+        raise ConfigurationError("result document has no 'points' list")
+    for entry in points:
+        if "point" not in entry or "trials" not in entry:
+            raise ConfigurationError(
+                "each point entry needs 'point' and 'trials' members"
+            )

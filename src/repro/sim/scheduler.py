@@ -203,6 +203,11 @@ class Simulator:
     def run(self, until: float | None = None, max_events: int = 5_000_000) -> float:
         """Run until the queue drains, ``until`` passes, or ``max_events``.
 
+        The ``max_events`` budget is **per call**: each invocation counts
+        from zero, so a resumed run (calling ``run`` again with a later
+        ``until``) gets a fresh budget.  The lifetime total across all
+        calls is exposed separately as :attr:`events_executed`.
+
         Events scheduled exactly at ``until`` are executed.  Returns the
         simulation time when the run stopped.
         """

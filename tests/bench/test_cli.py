@@ -81,6 +81,26 @@ class TestSweepCommand:
         assert "churn sweep" in out
         assert "completeness" in out
 
+    def test_sweep_output_document(self, capsys, tmp_path):
+        path = tmp_path / "sweep.json"
+        assert main([
+            "sweep", "--rates", "0,4.0", "--n", "12", "--trials", "2",
+            "--output", str(path),
+        ]) == 0
+        from repro.engine import ResultStore
+
+        store = ResultStore.load(str(path))
+        assert len(store) == 4
+        assert store.plan["name"] == "churn-sweep"
+
+    def test_sweep_jobs_do_not_change_results(self, capsys, tmp_path):
+        serial, parallel = tmp_path / "serial.json", tmp_path / "parallel.json"
+        common = ["sweep", "--rates", "0,4.0", "--n", "10", "--trials", "2"]
+        assert main([*common, "--jobs", "1", "--output", str(serial)]) == 0
+        assert main([*common, "--jobs", "2", "--output", str(parallel)]) == 0
+        capsys.readouterr()
+        assert serial.read_text() == parallel.read_text()
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

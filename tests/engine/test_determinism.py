@@ -1,0 +1,84 @@
+"""Engine determinism guarantees.
+
+Two contracts the whole experiment stack rests on:
+
+* executor transparency — the same plan produces a **byte-identical**
+  canonical JSON document whether trials run serially or fanned out over
+  worker processes;
+* seed stability — trial seeds depend only on ``(root_seed, trial index)``,
+  so growing the sweep grid never perturbs the seeds (and therefore the
+  results) of the grid points that were already there.
+"""
+
+from __future__ import annotations
+
+from repro.engine.executor import ParallelExecutor, SerialExecutor, run_plan
+from repro.engine.plan import build_plan
+
+BASE = {"n": 10, "topology": "er", "aggregate": "COUNT", "horizon": 150.0}
+
+
+def _plan(rates, name="determinism", trials=2, root_seed=77):
+    return build_plan(
+        name, kind="query", grid={"churn_rate": rates}, base=BASE,
+        trials=trials, root_seed=root_seed,
+    )
+
+
+class TestExecutorTransparency:
+    def test_serial_and_parallel_documents_byte_identical(self):
+        plan = _plan([0.0, 2.0])
+        serial = run_plan(plan, executor=SerialExecutor()).to_json()
+        parallel = run_plan(plan, executor=ParallelExecutor(jobs=2)).to_json()
+        assert serial == parallel
+
+    def test_rerun_is_byte_identical(self):
+        plan = _plan([0.0, 2.0])
+        assert run_plan(plan).to_json() == run_plan(plan).to_json()
+
+    def test_gossip_plan_byte_identical_across_backends(self):
+        plan = build_plan(
+            "determinism-gossip", kind="gossip",
+            grid={"churn_rate": [0.0, 1.0]},
+            base={"n": 8, "topology": "er", "mode": "avg", "rounds": 20},
+            trials=2, root_seed=77,
+        )
+        serial = run_plan(plan, executor=SerialExecutor()).to_json()
+        parallel = run_plan(plan, executor=ParallelExecutor(jobs=2)).to_json()
+        assert serial == parallel
+
+
+class TestSeedStability:
+    def test_seeds_unchanged_when_grid_grows(self):
+        small = _plan([0.0, 2.0])
+        grown = _plan([0.0, 2.0, 8.0])
+        seeds_small = {(s.point, s.trial): s.seed for s in small.specs}
+        seeds_grown = {(s.point, s.trial): s.seed for s in grown.specs}
+        for key, seed in seeds_small.items():
+            assert seeds_grown[key] == seed
+
+    def test_results_unchanged_when_grid_grows(self):
+        """Adding a grid point leaves every pre-existing trial record
+        untouched (indices shift; the physics does not)."""
+        small = run_plan(_plan([0.0, 2.0]))
+        grown = run_plan(_plan([0.0, 2.0, 8.0]))
+
+        def by_key(store):
+            return {
+                (r.point, r.trial): {
+                    k: v for k, v in r.to_record().items() if k != "index"
+                }
+                for r in store.results
+            }
+
+        small_records = by_key(small)
+        grown_records = by_key(grown)
+        for key, record in small_records.items():
+            assert grown_records[key] == record
+
+    def test_trials_extension_preserves_seed_prefix(self):
+        short = _plan([0.0], trials=3)
+        long = _plan([0.0], trials=6)
+        short_seeds = [s.seed for s in short.specs]
+        long_seeds = [s.seed for s in long.specs]
+        assert long_seeds[: len(short_seeds)] == short_seeds

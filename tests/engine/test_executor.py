@@ -1,0 +1,128 @@
+"""Tests for the TrialExecutor layer (repro.engine.executor)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    execute_trial,
+    make_executor,
+    run_plan,
+)
+from repro.engine.plan import build_plan
+from repro.engine.results import ResultStore, TrialResult
+from repro.sim.errors import ConfigurationError
+
+QUERY_PLAN = build_plan(
+    "exec-query", kind="query",
+    grid={"churn_rate": [0.0, 2.0]},
+    base={"n": 8, "topology": "er", "aggregate": "COUNT", "horizon": 150.0},
+    trials=2, root_seed=13,
+)
+
+
+def _square(x: int) -> int:
+    return x * x
+
+
+class TestExecuteTrial:
+    def test_query_trial_result_fields(self):
+        result = execute_trial(QUERY_PLAN.specs[0])
+        assert isinstance(result, TrialResult)
+        assert result.kind == "query"
+        assert result.index == 0
+        assert result.events_executed > 0
+        assert result.wall_time > 0.0
+        assert result.point_dict() == {"churn_rate": 0.0}
+
+    def test_static_query_is_exact(self):
+        result = execute_trial(QUERY_PLAN.specs[0])
+        assert result.ok and result.completeness == 1.0
+        assert result.result == result.truth == 8
+
+    def test_gossip_trial(self):
+        spec = build_plan(
+            "g", kind="gossip",
+            base={"n": 8, "topology": "er", "mode": "avg", "rounds": 30},
+            seeds=[3],
+        ).specs[0]
+        result = execute_trial(spec)
+        assert result.kind == "gossip"
+        assert result.terminated
+        assert math.isnan(result.completeness)
+        assert result.ok == math.isfinite(result.error)
+
+    def test_dissemination_trial(self):
+        spec = build_plan(
+            "d", kind="dissemination",
+            base={"n": 10, "topology": "er", "audit_at": 60.0},
+            seeds=[3],
+        ).specs[0]
+        result = execute_trial(spec)
+        assert result.kind == "dissemination"
+        assert 0.0 <= result.completeness <= 1.0
+        assert result.completeness == result.result
+
+
+class TestBackends:
+    def test_serial_results_in_plan_order(self):
+        results = SerialExecutor().run(QUERY_PLAN)
+        assert [r.index for r in results] == list(range(len(QUERY_PLAN)))
+
+    def test_parallel_results_in_plan_order(self):
+        results = ParallelExecutor(jobs=2).run(QUERY_PLAN)
+        assert [r.index for r in results] == list(range(len(QUERY_PLAN)))
+
+    def test_serial_and_parallel_agree(self):
+        serial = SerialExecutor().run(QUERY_PLAN)
+        parallel = ParallelExecutor(jobs=2).run(QUERY_PLAN)
+        assert [r.to_record() for r in serial] == [
+            r.to_record() for r in parallel
+        ]
+
+    def test_map_preserves_order_serial(self):
+        assert SerialExecutor().map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_map_preserves_order_parallel(self):
+        assert ParallelExecutor(jobs=2).map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_map_empty(self):
+        assert ParallelExecutor(jobs=2).map(_square, []) == []
+
+    def test_parallel_with_one_item_stays_in_process(self):
+        assert ParallelExecutor(jobs=4).map(_square, [5]) == [25]
+
+    def test_jobs_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelExecutor(jobs=0)
+
+
+class TestMakeExecutor:
+    @pytest.mark.parametrize("jobs", [None, 0, 1])
+    def test_serial_selection(self, jobs):
+        assert isinstance(make_executor(jobs), SerialExecutor)
+
+    def test_parallel_selection(self):
+        executor = make_executor(3)
+        assert isinstance(executor, ParallelExecutor)
+        assert executor.jobs == 3
+
+
+class TestRunPlan:
+    def test_returns_result_store(self):
+        store = run_plan(QUERY_PLAN)
+        assert isinstance(store, ResultStore)
+        assert len(store) == len(QUERY_PLAN)
+        assert store.plan == QUERY_PLAN.meta()
+
+    def test_executor_and_jobs_conflict(self):
+        with pytest.raises(ConfigurationError):
+            run_plan(QUERY_PLAN, executor=SerialExecutor(), jobs=2)
+
+    def test_jobs_shortcut(self):
+        store = run_plan(QUERY_PLAN, jobs=1)
+        assert len(store) == len(QUERY_PLAN)

@@ -74,6 +74,31 @@ class TestClockAndScheduling:
         sim.run()
         assert sim.events_executed == 2
 
+    def test_max_events_budget_is_per_call(self, sim):
+        """A resumed run gets a fresh ``max_events`` budget: the guard is
+        per call, while ``events_executed`` keeps the lifetime total."""
+        def tick():
+            if sim.now < 20.0:
+                sim.schedule(0.1, tick)
+
+        sim.schedule(0.1, tick)
+        sim.run(until=6.0, max_events=100)
+        first_leg = sim.events_executed
+        assert first_leg <= 100
+        # The second leg executes about as many events again; it must NOT
+        # raise even though the lifetime total exceeds the per-call budget.
+        sim.run(until=12.0, max_events=100)
+        assert sim.events_executed > 100
+        assert sim.events_executed > first_leg
+
+    def test_max_events_exhausted_on_single_call(self, sim):
+        def tick():
+            sim.schedule(0.1, tick)
+
+        sim.schedule(0.1, tick)
+        with pytest.raises(SchedulingError):
+            sim.run(until=1000.0, max_events=50)
+
     def test_step_returns_false_on_empty(self, sim):
         assert sim.step() is False
 
