@@ -7,6 +7,10 @@ engine's core guarantee), and records the wall-times.  The output file is
 untracked scratch — a perf snapshot of this machine, not a fixture.
 
 Run:  PYTHONPATH=src python benchmarks/emit_bench.py [--jobs N] [--output FILE]
+
+``--smoke`` shrinks the plan to a seconds-scale run for CI, which executes
+it with DeprecationWarnings promoted to errors — any internal code path
+that still routes through the `repro.bench` shims fails the build.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import os
 import platform
 import time
 
-from repro.engine import (
+from repro.api import (
     ParallelExecutor,
     SerialExecutor,
     build_plan,
@@ -28,21 +32,42 @@ RATES = [0.0, 0.5, 2.0, 8.0]
 TRIALS = 8
 BASE = {"n": 32, "topology": "er", "aggregate": "COUNT", "horizon": 300.0}
 
+SMOKE_RATES = [0.0, 2.0]
+SMOKE_TRIALS = 2
+SMOKE_BASE = {"n": 12, "topology": "er", "aggregate": "COUNT",
+              "horizon": 150.0}
+
+
+def _metrics_totals(store) -> dict[str, int | float]:
+    """Sum the per-trial counter blocks into whole-plan totals."""
+    totals: dict[str, int | float] = {}
+    for result in store.results:
+        for name, value in result.metrics.get("counters", {}).items():
+            totals[name] = totals.get(name, 0) + value
+    return {name: totals[name] for name in sorted(totals)}
+
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
                         help="workers for the parallel backend")
     parser.add_argument("--output", default="BENCH_engine.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny plan for CI: same checks, seconds-scale")
     args = parser.parse_args()
+
+    rates = SMOKE_RATES if args.smoke else RATES
+    trials = SMOKE_TRIALS if args.smoke else TRIALS
+    base = SMOKE_BASE if args.smoke else BASE
 
     plan = build_plan(
         "bench-engine", kind="query",
-        grid={"churn_rate": RATES}, base=BASE,
-        trials=TRIALS, root_seed=2007,
+        grid={"churn_rate": rates}, base=base,
+        trials=trials, root_seed=2007,
     )
     print(f"plan: {len(plan)} trials "
-          f"({len(RATES)} rates x {TRIALS} trials), n={BASE['n']}")
+          f"({len(rates)} rates x {trials} trials), n={base['n']}"
+          f"{' [smoke]' if args.smoke else ''}")
 
     start = time.perf_counter()
     serial_store = run_plan(plan, executor=SerialExecutor())
@@ -63,8 +88,9 @@ def main() -> int:
     payload = {
         "benchmark": "engine-serial-vs-parallel",
         "plan": plan.meta(),
-        "grid": {"churn_rate": RATES},
-        "base": BASE,
+        "grid": {"churn_rate": rates},
+        "base": base,
+        "smoke": args.smoke,
         "machine": {
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
@@ -83,6 +109,7 @@ def main() -> int:
         "events_executed_total": sum(
             r.events_executed for r in serial_store.results
         ),
+        "metrics_totals": _metrics_totals(serial_store),
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import emit
 from repro.analysis.tables import render_table
-from repro.bench.runner import QueryConfig, run_query
+from repro.engine.trials import QueryConfig, run_query
 from repro.churn.models import ReplacementChurn
 from repro.protocols.extrema import ExtremaNode
 from repro.sim.latency import ConstantDelay

@@ -8,7 +8,7 @@ independent of n) and message cost (exactly 2(n-1), linear in n).
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.bench.runner import QueryConfig, run_query
+from repro.engine.trials import QueryConfig, run_query
 from repro.bench.sweep import sweep, sweep_table
 from repro.sim.latency import ConstantDelay
 

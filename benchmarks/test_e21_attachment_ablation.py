@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import emit
 from repro.analysis.tables import render_table
-from repro.bench.runner import QueryConfig, reachable_now, run_query
+from repro.engine.trials import QueryConfig, reachable_now, run_query
 from repro.churn.models import ReplacementChurn
 from repro.sim.rng import iter_seeds
 from repro.topology.attachment import (

@@ -11,7 +11,7 @@ import random
 
 from benchmarks.conftest import emit
 from repro.analysis.tables import render_table
-from repro.bench.runner import QueryConfig, run_query
+from repro.engine.trials import QueryConfig, run_query
 from repro.sim.latency import ConstantDelay
 from repro.sim.rng import iter_seeds
 from repro.topology import generators as gen

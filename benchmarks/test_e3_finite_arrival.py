@@ -8,7 +8,7 @@ harness sweeps the query issue time across the churn/quiescent boundary.
 from __future__ import annotations
 
 from benchmarks.conftest import emit
-from repro.bench.runner import QueryConfig, run_query
+from repro.engine.trials import QueryConfig, run_query
 from repro.bench.sweep import sweep, sweep_table
 from repro.churn.lifetimes import ExponentialLifetime
 from repro.churn.models import FiniteArrivalChurn

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import emit
 from repro.analysis.tables import render_table
-from repro.bench.runner import QueryConfig, run_query
+from repro.engine.trials import QueryConfig, run_query
 from repro.churn.lifetimes import ExponentialLifetime, ParetoLifetime
 from repro.churn.models import ArrivalDepartureChurn
 from repro.sim.rng import iter_seeds

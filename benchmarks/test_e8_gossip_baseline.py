@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import emit
 from repro.analysis.tables import render_table
-from repro.bench.runner import (
+from repro.engine.trials import (
     GossipConfig,
     QueryConfig,
     run_gossip,

@@ -16,13 +16,18 @@ time, then the failure-detector scoreboard.
 Run:  python examples/continuous_monitoring.py
 """
 
-from repro.analysis.tables import render_table
-from repro.churn.models import ReplacementChurn
-from repro.failure.detector import HeartbeatNode, false_suspicions, mistake_recovery_count
-from repro.protocols.tree_aggregation import TreeAggregationNode
-from repro.sim.latency import ConstantDelay, ExponentialDelay
-from repro.sim.scheduler import Simulator
-from repro.topology import generators as gen
+from repro.api import (
+    ConstantDelay,
+    ExponentialDelay,
+    HeartbeatNode,
+    ReplacementChurn,
+    Simulator,
+    TreeAggregationNode,
+    false_suspicions,
+    generators as gen,
+    mistake_recovery_count,
+    render_table,
+)
 
 N = 24
 SEED = 11

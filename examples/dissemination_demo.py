@@ -13,13 +13,16 @@ samples two coverage notions over time:
 Run:  python examples/dissemination_demo.py
 """
 
-from repro.analysis.tables import render_table
-from repro.churn.models import ReplacementChurn
-from repro.core.dissemination_spec import DisseminationSpec
-from repro.protocols.dissemination import AntiEntropyNode, FloodNode
-from repro.sim.latency import ConstantDelay
-from repro.sim.scheduler import Simulator
-from repro.topology import generators as gen
+from repro.api import (
+    AntiEntropyNode,
+    ConstantDelay,
+    DisseminationSpec,
+    FloodNode,
+    ReplacementChurn,
+    Simulator,
+    generators as gen,
+    render_table,
+)
 
 N = 20
 SEED = 13

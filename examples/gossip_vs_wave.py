@@ -16,8 +16,7 @@ Run:  python examples/gossip_vs_wave.py [--jobs N]
 
 import argparse
 
-from repro.analysis.tables import render_table
-from repro.engine import build_plan, make_executor, run_plan
+from repro.api import build_plan, make_executor, render_table, run_plan
 
 N = 24
 RATES = [0.0, 0.25, 1.0, 4.0]

@@ -14,16 +14,21 @@ the thick of the storm and how queries recover when churn thins out.
 Run:  python examples/p2p_aggregation.py
 """
 
-from repro.analysis.tables import render_table
-from repro.churn.lifetimes import ParetoLifetime
-from repro.churn.traces import TraceReplayChurn, synthetic_sessions, trace_statistics
-from repro.core.aggregates import COUNT
-from repro.core.runs import Run
-from repro.core.spec import OneTimeQuerySpec, extract_queries
-from repro.protocols.one_time_query import WaveNode
-from repro.sim.rng import SeedSequence
-from repro.sim.scheduler import Simulator
-from repro.topology.attachment import UniformAttachment
+from repro.api import (
+    COUNT,
+    OneTimeQuerySpec,
+    ParetoLifetime,
+    Run,
+    SeedSequence,
+    Simulator,
+    TraceReplayChurn,
+    UniformAttachment,
+    WaveNode,
+    extract_queries,
+    render_table,
+    synthetic_sessions,
+    trace_statistics,
+)
 
 SEED = 42
 HORIZON = 220.0

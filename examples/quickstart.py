@@ -8,7 +8,7 @@ specification (termination + stable-core validity + integrity).
 Run:  python examples/quickstart.py
 """
 
-from repro.bench import QueryConfig, run_query
+from repro.api import QueryConfig, run_query
 
 
 def main() -> None:

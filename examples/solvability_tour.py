@@ -13,14 +13,18 @@ representative cells by simulation:
 Run:  python examples/solvability_tour.py
 """
 
-from repro.analysis.tables import render_matrix
-from repro.churn import defeat_ttl
-from repro.core import standard_lattice
-from repro.core.aggregates import COUNT
-from repro.core.solvability import Solvable, solvability_matrix
-from repro.core.spec import OneTimeQuerySpec
-from repro.engine import build_plan, run_plan
-from repro.protocols.one_time_query import WaveNode
+from repro.api import (
+    COUNT,
+    OneTimeQuerySpec,
+    Solvable,
+    WaveNode,
+    build_plan,
+    defeat_ttl,
+    render_matrix,
+    run_plan,
+    solvability_matrix,
+    standard_lattice,
+)
 
 SYMBOL = {Solvable.YES: "yes", Solvable.CONDITIONAL: "cond", Solvable.NO: "NO"}
 

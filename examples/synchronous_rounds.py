@@ -16,11 +16,14 @@ Two short demonstrations on the lock-step substrate:
 Run:  python examples/synchronous_rounds.py
 """
 
-from repro.analysis.ascii_plot import sparkline
-from repro.analysis.tables import render_table
-from repro.synchronous.flooding import KnowledgeFlood
-from repro.synchronous.runner import SynchronousSystem, build_from_topology
-from repro.topology.generators import ring
+from repro.api import (
+    KnowledgeFlood,
+    SynchronousSystem,
+    build_from_topology,
+    render_table,
+    ring,
+    sparkline,
+)
 
 
 def threshold_demo() -> None:

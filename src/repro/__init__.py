@@ -18,12 +18,16 @@ runnable code:
 * :mod:`repro.analysis` — metrics, statistics and tables;
 * :mod:`repro.engine` — the layered experiment engine: plan expansion,
   serial/parallel trial executors, and the schema-versioned result store;
-* :mod:`repro.bench` — compatibility shims over the engine's trial layer
-  plus the callable-based sweep harness.
+* :mod:`repro.obs` — the observability layer: metrics registry and
+  pluggable trace sinks;
+* :mod:`repro.bench` — preset scenarios and the callable-based sweep
+  harness (its ``runner`` submodules are deprecated shims);
+* :mod:`repro.api` — the stable public facade re-exporting the blessed
+  surface of all of the above.
 
-Quickstart::
+Quickstart (the stable facade — :mod:`repro.api`)::
 
-    from repro.bench import QueryConfig, run_query
+    from repro.api import QueryConfig, run_query
 
     outcome = run_query(QueryConfig(n=32, topology="er", aggregate="SUM",
                                     ttl=None, seed=7))
@@ -31,7 +35,7 @@ Quickstart::
 
 Many trials at once (the engine)::
 
-    from repro.engine import build_plan, run_plan
+    from repro.api import build_plan, run_plan
 
     plan = build_plan("churn-sweep", grid={"churn_rate": [0.0, 2.0, 8.0]},
                       base={"n": 32, "aggregate": "COUNT"}, trials=8)
@@ -39,7 +43,7 @@ Many trials at once (the engine)::
     print(store.summary())
 """
 
-from repro.bench import GossipConfig, QueryConfig, run_gossip, run_query
+from repro.engine.trials import GossipConfig, QueryConfig, run_gossip, run_query
 from repro.engine import (
     ExperimentPlan,
     ParallelExecutor,

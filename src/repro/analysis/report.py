@@ -9,7 +9,7 @@ report.  The CLI exposes it as ``python -m repro report``.
 from __future__ import annotations
 
 from repro.analysis.tables import render_matrix, render_table
-from repro.bench.runner import GossipConfig, QueryConfig, run_gossip, run_query
+from repro.engine.trials import GossipConfig, QueryConfig, run_gossip, run_query
 from repro.bench.sweep import sweep
 from repro.churn.models import ReplacementChurn
 from repro.core.classes import standard_lattice

@@ -1,0 +1,298 @@
+"""The stable public facade of the repro package.
+
+Everything a downstream user — scripts, notebooks, the examples/ directory,
+external reproduction harnesses — should need lives behind this one module::
+
+    from repro.api import QueryConfig, run_query, build_plan, run_plan
+
+The names re-exported here are the **blessed surface**: they follow the
+deprecation policy documented in ``docs/API.md`` (a name is never removed
+or changed incompatibly without at least one release of
+``DeprecationWarning`` from a compatibility shim).  Anything imported from
+deeper module paths (``repro.engine.trials``, ``repro.sim.scheduler``, …)
+continues to work but is treated as internal: it may move without a shim.
+
+The surface groups into:
+
+* **Trials** — one config in, one checked outcome out
+  (:class:`QueryConfig`/:func:`run_query` and the gossip / dissemination
+  counterparts).
+* **Engine** — many trials: :func:`build_plan` → executor
+  (:class:`SerialExecutor`/:class:`ParallelExecutor`) →
+  :class:`ResultStore` and its schema-versioned document
+  (:func:`load_document`).
+* **Observability** — :class:`Metrics` and the pluggable trace sinks
+  (:class:`MemorySink`, :class:`JsonlStreamSink`, :class:`NullSink`,
+  :class:`CountingSink`) selected per trial via ``trace_sink=...``.
+* **Model** — the paper's formal layer (system classes, runs, the
+  one-time-query specification) plus the simulator, topology, churn and
+  protocol building blocks the examples exercise.
+"""
+
+from __future__ import annotations
+
+# --- Trials: one scenario in, one checked outcome out -------------------
+from repro.engine.trials import (
+    DisseminationConfig,
+    DisseminationOutcome,
+    GossipConfig,
+    GossipOutcome,
+    QueryConfig,
+    QueryOutcome,
+    build_population,
+    reachable_now,
+    run_dissemination,
+    run_gossip,
+    run_query,
+)
+
+# --- Engine: plan → executor → result store -----------------------------
+from repro.engine.executor import (
+    ParallelExecutor,
+    ProgressFn,
+    SerialExecutor,
+    TrialExecutor,
+    execute_trial,
+    make_executor,
+    run_plan,
+)
+from repro.engine.plan import (
+    VALUE_FUNCTIONS,
+    ExperimentPlan,
+    TrialSpec,
+    build_plan,
+)
+from repro.engine.results import (
+    SCHEMA_NAME,
+    SCHEMA_VERSION,
+    ResultStore,
+    TrialResult,
+    load_document,
+    summarize_point,
+    validate_document,
+)
+
+# --- Observability: metrics registry and trace sinks --------------------
+from repro.obs import (
+    SINK_NAMES,
+    TRANSPORT_KINDS,
+    Counter,
+    CountingSink,
+    Gauge,
+    Histogram,
+    JsonlStreamSink,
+    MemorySink,
+    Metrics,
+    NullSink,
+    TraceSink,
+    make_sink,
+)
+
+# --- Churn: declarative specs, generative models, adversaries -----------
+from repro.churn.spec import ChurnSpec, resolve_churn
+from repro.churn import (
+    ArrivalDepartureChurn,
+    ExponentialLifetime,
+    FiniteArrivalChurn,
+    ParetoLifetime,
+    PhasedChurn,
+    ReplacementChurn,
+    TraceReplayChurn,
+    defeat_ttl,
+    synthetic_sessions,
+    trace_statistics,
+)
+
+# --- The formal model: classes, runs, specifications --------------------
+from repro.core import (
+    AGGREGATES,
+    AVG,
+    COUNT,
+    MAX,
+    MIN,
+    SET,
+    SUM,
+    Aggregate,
+    DisseminationSpec,
+    FiniteArrival,
+    InfiniteArrivalBounded,
+    InfiniteArrivalFinite,
+    InfiniteArrivalUnbounded,
+    OneTimeQuerySpec,
+    Run,
+    Solvable,
+    StaticArrival,
+    SystemClass,
+    complete,
+    extract_queries,
+    known_diameter,
+    known_size,
+    local,
+    one_time_query_solvability,
+    solvability_matrix,
+    standard_lattice,
+)
+
+# --- Simulator, topology, protocols, failure detection ------------------
+from repro.sim import (
+    BernoulliLoss,
+    ConstantDelay,
+    ExponentialDelay,
+    SeedSequence,
+    Simulator,
+    TraceLog,
+    UniformDelay,
+)
+from repro.topology import Topology, UniformAttachment, ring
+from repro.topology import generators
+from repro.protocols import (
+    AntiEntropyNode,
+    FloodNode,
+    PushSumNode,
+    RequestCollectNode,
+    TreeAggregationNode,
+    WaveNode,
+)
+from repro.failure.detector import (
+    HeartbeatNode,
+    false_suspicions,
+    mistake_recovery_count,
+)
+from repro.synchronous import (
+    KnowledgeFlood,
+    SynchronousSystem,
+    build_from_topology,
+)
+
+# --- Analysis & presets -------------------------------------------------
+from repro.analysis import (
+    message_cost,
+    relative_error,
+    render_matrix,
+    render_table,
+    sparkline,
+)
+from repro.bench.scenarios import SCENARIOS, make_scenario
+from repro.bench.sweep import SweepPoint, sweep, sweep_table
+
+__all__ = [
+    # trials
+    "DisseminationConfig",
+    "DisseminationOutcome",
+    "GossipConfig",
+    "GossipOutcome",
+    "QueryConfig",
+    "QueryOutcome",
+    "build_population",
+    "reachable_now",
+    "run_dissemination",
+    "run_gossip",
+    "run_query",
+    # engine
+    "ExperimentPlan",
+    "ParallelExecutor",
+    "ProgressFn",
+    "ResultStore",
+    "SCHEMA_NAME",
+    "SCHEMA_VERSION",
+    "SerialExecutor",
+    "TrialExecutor",
+    "TrialResult",
+    "TrialSpec",
+    "VALUE_FUNCTIONS",
+    "build_plan",
+    "execute_trial",
+    "load_document",
+    "make_executor",
+    "run_plan",
+    "summarize_point",
+    "validate_document",
+    # observability
+    "Counter",
+    "CountingSink",
+    "Gauge",
+    "Histogram",
+    "JsonlStreamSink",
+    "MemorySink",
+    "Metrics",
+    "NullSink",
+    "SINK_NAMES",
+    "TRANSPORT_KINDS",
+    "TraceSink",
+    "make_sink",
+    # churn
+    "ArrivalDepartureChurn",
+    "ChurnSpec",
+    "ExponentialLifetime",
+    "FiniteArrivalChurn",
+    "ParetoLifetime",
+    "PhasedChurn",
+    "ReplacementChurn",
+    "TraceReplayChurn",
+    "defeat_ttl",
+    "resolve_churn",
+    "synthetic_sessions",
+    "trace_statistics",
+    # formal model
+    "AGGREGATES",
+    "AVG",
+    "Aggregate",
+    "COUNT",
+    "DisseminationSpec",
+    "FiniteArrival",
+    "InfiniteArrivalBounded",
+    "InfiniteArrivalFinite",
+    "InfiniteArrivalUnbounded",
+    "MAX",
+    "MIN",
+    "OneTimeQuerySpec",
+    "Run",
+    "SET",
+    "SUM",
+    "Solvable",
+    "StaticArrival",
+    "SystemClass",
+    "complete",
+    "extract_queries",
+    "known_diameter",
+    "known_size",
+    "local",
+    "one_time_query_solvability",
+    "solvability_matrix",
+    "standard_lattice",
+    # simulator / topology / protocols
+    "AntiEntropyNode",
+    "BernoulliLoss",
+    "ConstantDelay",
+    "ExponentialDelay",
+    "FloodNode",
+    "HeartbeatNode",
+    "KnowledgeFlood",
+    "PushSumNode",
+    "RequestCollectNode",
+    "SeedSequence",
+    "Simulator",
+    "SynchronousSystem",
+    "Topology",
+    "TraceLog",
+    "TreeAggregationNode",
+    "UniformAttachment",
+    "UniformDelay",
+    "WaveNode",
+    "build_from_topology",
+    "false_suspicions",
+    "generators",
+    "mistake_recovery_count",
+    "ring",
+    # analysis & presets
+    "SCENARIOS",
+    "SweepPoint",
+    "make_scenario",
+    "message_cost",
+    "relative_error",
+    "render_matrix",
+    "render_table",
+    "sparkline",
+    "sweep",
+    "sweep_table",
+]

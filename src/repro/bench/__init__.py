@@ -1,19 +1,24 @@
-"""Benchmark harness: experiment runner and parameter sweeps."""
+"""Benchmark harness: preset scenarios and the callable-based sweep.
 
-from repro.bench.runner import (
+The trial runners re-exported here live in :mod:`repro.engine.trials`;
+new code should import them from :mod:`repro.api`.  The submodules
+``repro.bench.runner`` and ``repro.bench.dissemination_runner`` are
+deprecated shims kept for old import sites — importing *them* warns,
+importing this package does not.
+"""
+
+from repro.engine.trials import (
+    DisseminationConfig,
+    DisseminationOutcome,
     GossipConfig,
     GossipOutcome,
     QueryConfig,
     QueryOutcome,
     build_population,
     reachable_now,
+    run_dissemination,
     run_gossip,
     run_query,
-)
-from repro.bench.dissemination_runner import (
-    DisseminationConfig,
-    DisseminationOutcome,
-    run_dissemination,
 )
 from repro.bench.scenarios import SCENARIOS, make_scenario
 from repro.bench.sweep import SweepPoint, sweep, sweep_table

@@ -1,15 +1,25 @@
-"""Compatibility shim: the dissemination runner now lives in the engine.
+"""Deprecated shim: the dissemination runner now lives in the engine.
 
-The dissemination counterpart of :func:`repro.bench.runner.run_query`: one
-config in, one audited outcome out.  The implementation moved to
+The dissemination counterpart of the old ``repro.bench.runner.run_query``:
+one config in, one audited outcome out.  The implementation moved to
 :mod:`repro.engine.trials`; this module re-exports it so existing imports
-keep working unchanged.  Dissemination trials can also be orchestrated
-through the engine with ``build_plan(..., kind="dissemination")``.
+keep working, but importing it now raises a :class:`DeprecationWarning` —
+import from :mod:`repro.api` instead.  Dissemination trials can also be
+orchestrated through the engine with ``build_plan(..., kind="dissemination")``.
 """
 
 from __future__ import annotations
 
-from repro.engine.trials import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.bench.dissemination_runner is deprecated; import "
+    "DisseminationConfig/run_dissemination from repro.api instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.engine.trials import (  # noqa: E402,F401
     DisseminationConfig,
     DisseminationOutcome,
     run_dissemination,

@@ -1,21 +1,28 @@
-"""Compatibility shim: the experiment runner now lives in the engine.
+"""Deprecated shim: the experiment runner now lives in the engine.
 
 One function call = one fully checked simulation, exactly as before: a
 :class:`QueryConfig` in, a :class:`QueryOutcome` out.  The implementation
 moved to :mod:`repro.engine.trials` when the layered experiment engine
 (:mod:`repro.engine`) was introduced; this module re-exports it so existing
-imports — tests, examples, benchmarks — keep working unchanged.
+imports — tests, examples, benchmarks — keep working, but importing it now
+raises a :class:`DeprecationWarning`.  Import from :mod:`repro.api`
+instead::
 
-For anything beyond a single trial, prefer the engine::
-
-    from repro.engine import build_plan, run_plan
-
-    store = run_plan(build_plan("sweep", grid={"churn_rate": [0, 2.0]}))
+    from repro.api import QueryConfig, run_query, build_plan, run_plan
 """
 
 from __future__ import annotations
 
-from repro.engine.trials import (  # noqa: F401
+import warnings
+
+warnings.warn(
+    "repro.bench.runner is deprecated; import QueryConfig/run_query and "
+    "friends from repro.api instead",
+    DeprecationWarning,
+    stacklevel=2,
+)
+
+from repro.engine.trials import (  # noqa: E402,F401
     ChurnBuilder,
     GossipConfig,
     GossipOutcome,

@@ -3,21 +3,17 @@
 A downstream user exploring the definition space should not have to
 assemble churn builders by hand; these presets cover the regimes the
 experiments study, each returning a fresh :class:`QueryConfig` (so callers
-can tweak fields before running).
+can tweak fields before running).  Churn is expressed as declarative
+:class:`~repro.churn.spec.ChurnSpec`s, so every preset config is picklable
+and runs unchanged under the parallel executor.
 """
 
 from __future__ import annotations
 
 from typing import Callable
 
-from repro.bench.runner import QueryConfig
-from repro.churn.lifetimes import ExponentialLifetime, ParetoLifetime
-from repro.churn.models import (
-    ArrivalDepartureChurn,
-    FiniteArrivalChurn,
-    PhasedChurn,
-    ReplacementChurn,
-)
+from repro.churn.spec import ChurnSpec
+from repro.engine.trials import QueryConfig
 from repro.sim.errors import ConfigurationError
 
 
@@ -39,7 +35,7 @@ def steady_churn(rate: float = 1.0, seed: int = 2007) -> QueryConfig:
         raise ConfigurationError(f"rate must be > 0, got {rate}")
     return QueryConfig(
         n=32, topology="er", aggregate="COUNT", seed=seed, horizon=300.0,
-        churn=lambda factory: ReplacementChurn(factory, rate=rate),
+        churn=ChurnSpec(kind="replacement", rate=rate),
     )
 
 
@@ -48,10 +44,10 @@ def p2p_heavy_tail(seed: int = 2007) -> QueryConfig:
     return QueryConfig(
         n=24, topology="er", aggregate="COUNT", seed=seed,
         query_at=30.0, horizon=400.0,
-        churn=lambda factory: ArrivalDepartureChurn(
-            factory, arrival_rate=1.0,
-            lifetimes=ParetoLifetime(alpha=1.5, xm=4.0),
-            concurrency_cap=96, doom_initial=True,
+        churn=ChurnSpec(
+            kind="arrival-departure", rate=1.0,
+            pareto_alpha=1.5, pareto_xm=4.0,
+            cap=96, doom_initial=True,
         ),
     )
 
@@ -61,9 +57,8 @@ def flash_crowd(seed: int = 2007) -> QueryConfig:
     return QueryConfig(
         n=8, topology="er", aggregate="COUNT", seed=seed,
         query_at=80.0, horizon=400.0,
-        churn=lambda factory: FiniteArrivalChurn(
-            factory, total_arrivals=40, arrival_rate=2.0,
-            lifetimes=ExponentialLifetime(60.0),
+        churn=ChurnSpec(
+            kind="finite", total_arrivals=40, rate=2.0, lifetime_mean=60.0,
         ),
     )
 
@@ -73,8 +68,8 @@ def storm_and_calm(seed: int = 2007) -> QueryConfig:
     return QueryConfig(
         n=24, topology="er", aggregate="COUNT", seed=seed,
         query_at=10.0, horizon=400.0,
-        churn=lambda factory: PhasedChurn(
-            factory, storm_rate=3.0, storm_length=40.0, calm_length=60.0,
+        churn=ChurnSpec(
+            kind="phased", rate=3.0, storm_length=40.0, calm_length=60.0,
         ),
     )
 

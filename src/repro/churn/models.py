@@ -102,6 +102,7 @@ class ChurnModel(abc.ABC):
         neighbors = self.attachment.choose(self.sim.network, self.rng)
         self.sim.spawn(proc, neighbors)
         self.joins += 1
+        self.sim.metrics.inc("churn.joins")
         if lifetime is not None:
             pid = proc.pid
 
@@ -109,6 +110,7 @@ class ChurnModel(abc.ABC):
                 if self.sim.network.is_present(pid):
                     self.sim.kill(pid)
                     self.leaves += 1
+                    self.sim.metrics.inc("churn.leaves")
 
             self._schedule(lifetime, _depart, f"churn:lifetime-leave:{pid}")
         return proc
@@ -121,6 +123,7 @@ class ChurnModel(abc.ABC):
         victim = self.rng.choice(present)
         self.sim.kill(victim)
         self.leaves += 1
+        self.sim.metrics.inc("churn.leaves")
         return victim
 
     def _schedule(self, delay: float, action: Callable[[], None], label: str) -> None:

@@ -1,0 +1,123 @@
+"""Declarative churn specifications.
+
+:class:`ChurnSpec` is the picklable description of a churn process: plain
+data that crosses process boundaries intact, materialised into a live
+:class:`~repro.churn.models.ChurnModel` only inside the worker that runs
+the trial.  Trial configs (:class:`~repro.engine.trials.QueryConfig` and
+friends) accept a ``ChurnSpec`` directly, which is what lets a config
+built in a script run unchanged under ``--jobs N``; the legacy callable
+(``factory -> ChurnModel``) form remains accepted for one release.
+
+This module used to live inside :mod:`repro.engine.plan`; it moved here so
+the trial layer can resolve specs without importing the plan layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.churn.lifetimes import ExponentialLifetime, ParetoLifetime
+from repro.churn.models import (
+    ArrivalDepartureChurn,
+    ChurnModel,
+    FiniteArrivalChurn,
+    PhasedChurn,
+    ProcessFactory,
+    ReplacementChurn,
+)
+from repro.sim.errors import ConfigurationError
+
+#: Builds a churn model from a process factory (the runner owns the factory
+#: so arrivals get fresh values).
+ChurnBuilder = Callable[[ProcessFactory], ChurnModel]
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """A declarative, picklable churn description.
+
+    ``kind`` selects the generative model; the remaining fields parameterise
+    it.  :meth:`builder` produces the ``ChurnBuilder`` the trial layer
+    expects — the closure is created *after* unpickling, inside the worker,
+    so the spec itself stays plain data.
+
+    Kinds:
+        ``"replacement"``: constant-population turnover at ``rate``.
+        ``"arrival-departure"``: Poisson arrivals at ``rate`` with
+            exponential (``lifetime_mean``) or Pareto
+            (``pareto_alpha``/``pareto_xm``) lifetimes, optional ``cap``.
+        ``"finite"``: ``total_arrivals`` arrivals at ``rate``, then quiet.
+        ``"phased"``: storms at ``rate`` of length ``storm_length``
+            alternating with ``calm_length`` calm.
+    """
+
+    kind: str = "replacement"
+    rate: float = 1.0
+    lifetime_mean: float | None = None
+    pareto_alpha: float | None = None
+    pareto_xm: float | None = None
+    cap: int | None = None
+    total_arrivals: int | None = None
+    storm_length: float = 40.0
+    calm_length: float = 60.0
+    doom_initial: bool = False
+
+    def _lifetimes(self):
+        if self.pareto_alpha is not None:
+            return ParetoLifetime(alpha=self.pareto_alpha, xm=self.pareto_xm or 1.0)
+        if self.lifetime_mean is not None:
+            return ExponentialLifetime(self.lifetime_mean)
+        return None
+
+    def builder(self) -> ChurnBuilder:
+        """Materialise the churn builder this spec describes."""
+        if self.kind == "replacement":
+            return lambda factory: ReplacementChurn(factory, rate=self.rate)
+        if self.kind == "arrival-departure":
+            lifetimes = self._lifetimes() or ExponentialLifetime(30.0)
+            return lambda factory: ArrivalDepartureChurn(
+                factory,
+                arrival_rate=self.rate,
+                lifetimes=lifetimes,
+                concurrency_cap=self.cap,
+                doom_initial=self.doom_initial,
+            )
+        if self.kind == "finite":
+            return lambda factory: FiniteArrivalChurn(
+                factory,
+                total_arrivals=self.total_arrivals or 20,
+                arrival_rate=self.rate,
+                lifetimes=self._lifetimes(),
+            )
+        if self.kind == "phased":
+            return lambda factory: PhasedChurn(
+                factory,
+                storm_rate=self.rate,
+                storm_length=self.storm_length,
+                calm_length=self.calm_length,
+            )
+        raise ConfigurationError(
+            f"unknown churn kind {self.kind!r}; use 'replacement', "
+            "'arrival-departure', 'finite' or 'phased'"
+        )
+
+
+def resolve_churn(
+    churn: "ChurnSpec | ChurnBuilder | None",
+) -> ChurnBuilder | None:
+    """Normalise a config's ``churn`` field to a builder (or ``None``).
+
+    Accepts the declarative :class:`ChurnSpec` (preferred — picklable) and
+    the legacy callable form.
+    """
+    if churn is None:
+        return None
+    if isinstance(churn, ChurnSpec):
+        return churn.builder()
+    if callable(churn):
+        return churn
+    raise ConfigurationError(
+        f"'churn' must be a ChurnSpec or a builder callable, "
+        f"got {type(churn).__name__}"
+    )

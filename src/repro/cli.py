@@ -9,21 +9,42 @@ Run experiments without writing a script::
     python -m repro describe --arrival inf-bounded --knowledge local
     python -m repro sweep --rates 0,0.5,2,8 --trials 8 --jobs 4
 
-The ``sweep`` command runs through the layered experiment engine
-(:mod:`repro.engine`): ``--jobs N`` fans trials out over worker processes
-and ``--output FILE`` writes the schema-versioned result document.
-Results are independent of ``--jobs`` — parallelism changes wall-clock
-time, never verdicts.
+The experiment commands — ``query``, ``gossip`` and ``sweep`` — share one
+flag vocabulary and all run through the layered experiment engine
+(:mod:`repro.engine`):
+
+* ``--jobs N`` fans trials out over worker processes; results are
+  independent of ``--jobs`` — parallelism changes wall-clock time, never
+  verdicts.
+* ``--output FILE`` writes the schema-versioned result document.
+* ``--progress`` prints live ``done/total`` progress with an ETA derived
+  from the per-trial wall times observed so far.
+* ``--profile`` prints a plan/execute/aggregate phase-timing table plus a
+  ``cProfile`` breakdown of one representative trial.
+* ``--trace-sink {memory,jsonl,null,counts}`` selects the transport-event
+  sink (``jsonl`` needs ``--trace-dir``); verdicts and documents are
+  identical under every sink.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
-from typing import Sequence
+import time
+from typing import Any, Mapping, Sequence
 
 from repro.analysis.tables import render_matrix, render_result_document, render_table
-from repro.bench.runner import GossipConfig, QueryConfig, run_gossip, run_query
+from repro.api import (
+    SINK_NAMES,
+    ChurnSpec,
+    ExperimentPlan,
+    ResultStore,
+    build_plan,
+    execute_trial,
+    make_executor,
+    run_plan,
+)
 from repro.churn.models import ReplacementChurn
 from repro.core.arrival import (
     ArrivalClass,
@@ -42,7 +63,6 @@ from repro.core.geography import (
     local,
 )
 from repro.core.solvability import Solvable, one_time_query_solvability, solvability_matrix
-from repro.sim.rng import iter_seeds
 
 _ARRIVALS = {
     "static": lambda n: StaticArrival(n),
@@ -62,6 +82,159 @@ _KNOWLEDGE = {
 _MATRIX_SYMBOL = {Solvable.YES: "yes", Solvable.CONDITIONAL: "cond", Solvable.NO: "NO"}
 
 
+# ----------------------------------------------------------------------
+# Shared engine flags (argparse parent for query / gossip / sweep)
+# ----------------------------------------------------------------------
+
+
+def _engine_parent(trials_default: int = 1) -> argparse.ArgumentParser:
+    """The flag vocabulary every engine-backed command shares.
+
+    Each subparser gets its own parent instance (argparse shares action
+    objects between a parent and its children, so a single instance would
+    alias defaults across commands).
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("engine")
+    group.add_argument("--seed", type=int, default=2007,
+                       help="root seed; trial seeds are fanned out "
+                       "deterministically")
+    group.add_argument("--trials", type=int, default=trials_default,
+                       help="trials per grid point")
+    group.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = serial; results are "
+                       "identical either way)")
+    group.add_argument("--output", default=None,
+                       help="write the engine's JSON result document to "
+                       "this file")
+    group.add_argument("--progress", action="store_true",
+                       help="print live done/total progress with an ETA")
+    group.add_argument("--profile", action="store_true",
+                       help="print phase timings and a cProfile of one trial")
+    group.add_argument("--trace-sink", dest="trace_sink", default="memory",
+                       choices=list(SINK_NAMES),
+                       help="transport-event sink (documents are identical "
+                       "under every sink)")
+    group.add_argument("--trace-dir", dest="trace_dir", default=None,
+                       help="directory for per-trial .jsonl event streams "
+                       "(required by --trace-sink jsonl)")
+    return parent
+
+
+class _ProgressPrinter:
+    """Live ``done/total`` progress with an ETA from per-trial wall times.
+
+    Invoked by the executor in completion order; the ETA divides the mean
+    observed trial wall time by the worker count, so it stays meaningful
+    under ``--jobs N``.
+    """
+
+    def __init__(self, jobs: int = 1, stream: Any = None) -> None:
+        self.jobs = max(1, jobs)
+        self.stream = stream if stream is not None else sys.stderr
+        self._walls: list[float] = []
+
+    def __call__(self, done: int, total: int, result: Any) -> None:
+        self._walls.append(float(getattr(result, "wall_time", 0.0)))
+        mean_wall = sum(self._walls) / len(self._walls)
+        eta = mean_wall * (total - done) / self.jobs
+        line = f"[{done}/{total}] trials done, eta {eta:.1f}s"
+        if self.stream.isatty():
+            end = "\n" if done == total else "\r"
+            self.stream.write("\r" + line + end)
+        else:
+            self.stream.write(line + "\n")
+        self.stream.flush()
+
+
+def _profile_one_trial(plan: ExperimentPlan) -> str:
+    """cProfile a single representative trial (the plan's first spec)."""
+    import cProfile
+    import io
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    execute_trial(plan.specs[0])
+    profiler.disable()
+    buffer = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(12)
+    return buffer.getvalue()
+
+
+def _apply_sink_flags(args: argparse.Namespace, name: str,
+                      base: dict[str, Any]) -> dict[str, Any]:
+    """Fold ``--trace-sink`` / ``--trace-dir`` into the plan's base config."""
+    base = dict(base)
+    base["trace_sink"] = args.trace_sink
+    if args.trace_sink == "jsonl":
+        if not args.trace_dir:
+            raise SystemExit("--trace-sink jsonl requires --trace-dir")
+        os.makedirs(args.trace_dir, exist_ok=True)
+        # {index}/{seed} are formatted per trial by TrialSpec.to_config.
+        base["trace_path"] = os.path.join(
+            args.trace_dir, f"{name}-trial{{index}}-seed{{seed}}.jsonl"
+        )
+    elif args.trace_dir:
+        raise SystemExit("--trace-dir only applies with --trace-sink jsonl")
+    return base
+
+
+def _engine_run(
+    args: argparse.Namespace,
+    name: str,
+    kind: str,
+    base: Mapping[str, Any],
+    grid: Mapping[str, Sequence[Any]] | None = None,
+) -> tuple[ExperimentPlan, ResultStore, dict[str, float]]:
+    """The shared plan → execute → aggregate path, timed per phase."""
+    timings: dict[str, float] = {}
+    start = time.perf_counter()
+    plan = build_plan(
+        name, kind=kind, grid=grid,
+        base=_apply_sink_flags(args, name, dict(base)),
+        trials=args.trials, root_seed=args.seed,
+    )
+    timings["plan"] = time.perf_counter() - start
+
+    progress = _ProgressPrinter(jobs=args.jobs) if args.progress else None
+    start = time.perf_counter()
+    store = run_plan(plan, executor=make_executor(args.jobs), progress=progress)
+    timings["execute"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    store.document()
+    timings["aggregate"] = time.perf_counter() - start
+    return plan, store, timings
+
+
+def _engine_finish(
+    args: argparse.Namespace,
+    plan: ExperimentPlan,
+    store: ResultStore,
+    timings: dict[str, float],
+) -> None:
+    """Post-table chores shared by the engine commands: output + profile."""
+    if args.output:
+        store.write(args.output)
+        print(f"result document written to {args.output}")
+    if args.profile:
+        print(render_table(
+            ["phase", "wall time"],
+            [[phase, f"{timings[phase]:.3f}s"]
+             for phase in ("plan", "execute", "aggregate")],
+            title="phase timing",
+        ))
+        print("cProfile of one trial (top 12 by cumulative time):")
+        print(_profile_one_trial(plan))
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -70,7 +243,8 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    query = sub.add_parser("query", help="run a one-time query scenario")
+    query = sub.add_parser("query", parents=[_engine_parent(trials_default=1)],
+                           help="run a one-time query scenario")
     query.add_argument("--n", type=int, default=32)
     query.add_argument("--topology", default="er")
     query.add_argument("--protocol", default="wave",
@@ -81,17 +255,15 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("--deadline", type=float, default=None)
     query.add_argument("--churn-rate", type=float, default=0.0,
                        help="replacement churn rate (0 = static)")
-    query.add_argument("--seed", type=int, default=2007)
-    query.add_argument("--trials", type=int, default=1)
     query.add_argument("--horizon", type=float, default=300.0)
 
-    gossip = sub.add_parser("gossip", help="run a push-sum gossip scenario")
+    gossip = sub.add_parser("gossip", parents=[_engine_parent(trials_default=1)],
+                            help="run a push-sum gossip scenario")
     gossip.add_argument("--n", type=int, default=32)
     gossip.add_argument("--topology", default="er")
     gossip.add_argument("--mode", default="avg", choices=["avg", "count"])
     gossip.add_argument("--rounds", type=int, default=50)
     gossip.add_argument("--churn-rate", type=float, default=0.0)
-    gossip.add_argument("--seed", type=int, default=2007)
 
     sub.add_parser("matrix", help="print the solvability matrix")
 
@@ -127,46 +299,40 @@ def _build_parser() -> argparse.ArgumentParser:
     scenario.add_argument("--seed", type=int, default=2007)
     scenario.add_argument("--trials", type=int, default=1)
 
-    sweep_cmd = sub.add_parser("sweep", help="sweep churn rates (E4 shape)")
+    sweep_cmd = sub.add_parser("sweep", parents=[_engine_parent(trials_default=5)],
+                               help="sweep churn rates (E4 shape)")
     sweep_cmd.add_argument("--rates", default="0,0.5,2.0,8.0",
                            help="comma-separated replacement churn rates")
     sweep_cmd.add_argument("--n", type=int, default=32)
     sweep_cmd.add_argument("--topology", default="er")
-    sweep_cmd.add_argument("--trials", type=int, default=5)
-    sweep_cmd.add_argument("--seed", type=int, default=2007)
-    sweep_cmd.add_argument("--jobs", type=int, default=1,
-                           help="worker processes (1 = serial; results are "
-                           "identical either way)")
-    sweep_cmd.add_argument("--output", default=None,
-                           help="write the engine's JSON result document "
-                           "to this file")
 
     return parser
 
 
-def _churn_builder(rate: float):
-    if rate <= 0:
-        return None
-    return lambda factory: ReplacementChurn(factory, rate=rate)
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
+    base: dict[str, Any] = {
+        "n": args.n, "topology": args.topology, "protocol": args.protocol,
+        "aggregate": args.aggregate, "ttl": args.ttl,
+        "deadline": args.deadline, "horizon": args.horizon,
+    }
+    if args.churn_rate > 0:
+        base["churn"] = ChurnSpec(kind="replacement", rate=args.churn_rate)
+    plan, store, timings = _engine_run(args, "cli-query", "query", base)
     rows = []
-    for seed in iter_seeds(args.seed, args.trials):
-        outcome = run_query(QueryConfig(
-            n=args.n, topology=args.topology, protocol=args.protocol,
-            aggregate=args.aggregate, ttl=args.ttl, deadline=args.deadline,
-            seed=seed, horizon=args.horizon,
-            churn=_churn_builder(args.churn_rate),
-        ))
+    for result in store.results:
         rows.append([
-            seed % 100_000,
-            str(outcome.record.result),
-            str(outcome.truth),
-            f"{outcome.completeness:.2f}",
-            f"{outcome.latency:.2f}" if outcome.terminated else "inf",
-            outcome.messages,
-            "OK" if outcome.ok else "FAIL",
+            result.seed % 100_000,
+            str(result.result),
+            str(result.truth),
+            f"{result.completeness:.2f}",
+            f"{result.latency:.2f}" if result.terminated else "inf",
+            result.messages,
+            "OK" if result.ok else "FAIL",
         ])
     print(render_table(
         ["seed", "result", "truth", "completeness", "latency", "messages", "spec"],
@@ -174,18 +340,25 @@ def _cmd_query(args: argparse.Namespace) -> int:
         title=(f"one-time query: n={args.n}, {args.topology}, "
                f"{args.protocol}, {args.aggregate}, churn={args.churn_rate}"),
     ))
+    _engine_finish(args, plan, store, timings)
     return 0
 
 
 def _cmd_gossip(args: argparse.Namespace) -> int:
-    outcome = run_gossip(GossipConfig(
-        n=args.n, topology=args.topology, mode=args.mode,
-        rounds=args.rounds, seed=args.seed,
-        churn=_churn_builder(args.churn_rate),
-    ))
-    print(f"push-sum {args.mode}: estimate {outcome.estimate:.4g}, "
-          f"truth {outcome.truth:.4g}, relative error {outcome.error:.4g}, "
-          f"{outcome.messages} messages")
+    base: dict[str, Any] = {
+        "n": args.n, "topology": args.topology, "mode": args.mode,
+        "rounds": args.rounds,
+    }
+    if args.churn_rate > 0:
+        base["churn"] = ChurnSpec(kind="replacement", rate=args.churn_rate)
+    plan, store, timings = _engine_run(args, "cli-gossip", "gossip", base)
+    for result in store.results:
+        print(f"push-sum {args.mode} (seed {result.seed % 100_000}): "
+              f"estimate {float(result.result):.4g}, "
+              f"truth {float(result.truth):.4g}, "
+              f"relative error {result.error:.4g}, "
+              f"{result.messages} messages")
+    _engine_finish(args, plan, store, timings)
     return 0
 
 
@@ -273,7 +446,9 @@ def _cmd_disseminate(args: argparse.Namespace) -> int:
 def _cmd_scenario(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
+    from repro.api import run_query
     from repro.bench.scenarios import make_scenario
+    from repro.sim.rng import iter_seeds
 
     rows = []
     for seed in iter_seeds(args.seed, args.trials):
@@ -296,30 +471,21 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    from repro.engine import build_plan, make_executor, run_plan
-
     rates = [float(r) for r in args.rates.split(",") if r.strip()]
-    plan = build_plan(
-        "churn-sweep",
-        kind="query",
-        grid={"churn_rate": rates},
-        base={
-            "n": args.n, "topology": args.topology,
-            "aggregate": "COUNT", "horizon": 300.0,
-        },
-        trials=args.trials,
-        root_seed=args.seed,
+    base = {
+        "n": args.n, "topology": args.topology,
+        "aggregate": "COUNT", "horizon": 300.0,
+    }
+    plan, store, timings = _engine_run(
+        args, "churn-sweep", "query", base, grid={"churn_rate": rates}
     )
-    store = run_plan(plan, executor=make_executor(args.jobs))
     print(render_result_document(
         store.document(),
         columns=("trials", "completeness", "fully_complete", "messages"),
         title=(f"churn sweep: n={args.n}, {args.topology}, "
                f"{args.trials} trials, jobs={args.jobs}"),
     ))
-    if args.output:
-        store.write(args.output)
-        print(f"result document written to {args.output}")
+    _engine_finish(args, plan, store, timings)
     return 0
 
 

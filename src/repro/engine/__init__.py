@@ -28,6 +28,7 @@ The single-trial layer lives in :mod:`repro.engine.trials`;
 
 from repro.engine.executor import (
     ParallelExecutor,
+    ProgressFn,
     SerialExecutor,
     TrialExecutor,
     execute_trial,
@@ -44,8 +45,10 @@ from repro.engine.plan import (
 from repro.engine.results import (
     SCHEMA_NAME,
     SCHEMA_VERSION,
+    SUPPORTED_VERSIONS,
     ResultStore,
     TrialResult,
+    load_document,
     summarize_point,
     validate_document,
 )
@@ -54,9 +57,11 @@ __all__ = [
     "ChurnSpec",
     "ExperimentPlan",
     "ParallelExecutor",
+    "ProgressFn",
     "ResultStore",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
+    "SUPPORTED_VERSIONS",
     "SerialExecutor",
     "TrialExecutor",
     "TrialResult",
@@ -64,6 +69,7 @@ __all__ = [
     "VALUE_FUNCTIONS",
     "build_plan",
     "execute_trial",
+    "load_document",
     "make_executor",
     "run_plan",
     "summarize_point",

@@ -19,7 +19,8 @@ import math
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
-from typing import Any, Callable, Iterable, Sequence, TypeVar
+from concurrent.futures import as_completed
+from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.engine.plan import ExperimentPlan, TrialSpec
 from repro.engine.results import ResultStore, TrialResult, jsonable
@@ -35,6 +36,11 @@ from repro.sim.errors import ConfigurationError
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+#: Progress callback: ``(done_count, total, just_finished_result)``.
+#: Invoked in *completion* order as work drains — the returned result list
+#: is still in input order, so progress reporting never perturbs results.
+ProgressFn = Callable[[int, int, Any], None]
 
 
 def execute_trial(spec: TrialSpec) -> TrialResult:
@@ -68,6 +74,7 @@ def _summarise(spec: TrialSpec, outcome: Any, wall: float) -> TrialResult:
         "messages": outcome.messages,
         "events_executed": outcome.events_executed,
         "wall_time": wall,
+        "metrics": outcome.metrics,
     }
     if isinstance(outcome, QueryOutcome):
         return TrialResult(
@@ -116,16 +123,33 @@ class TrialExecutor(abc.ABC):
     #: Worker count the backend will use (1 for serial).
     jobs: int = 1
 
-    def run(self, plan: ExperimentPlan) -> list[TrialResult]:
-        """Execute every spec in ``plan``; results come back in plan order."""
-        return self.run_specs(plan.specs)
+    def run(
+        self,
+        plan: ExperimentPlan,
+        progress: Optional[ProgressFn] = None,
+    ) -> list[TrialResult]:
+        """Execute every spec in ``plan``; results come back in plan order.
 
-    @abc.abstractmethod
-    def run_specs(self, specs: Sequence[TrialSpec]) -> list[TrialResult]:
+        ``progress`` (if given) fires after each trial completes, in
+        completion order, with ``(done, total, result)``.
+        """
+        return self.run_specs(plan.specs, progress=progress)
+
+    def run_specs(
+        self,
+        specs: Sequence[TrialSpec],
+        progress: Optional[ProgressFn] = None,
+    ) -> list[TrialResult]:
         """Execute an explicit spec list, preserving input order."""
+        return self.map(execute_trial, list(specs), progress=progress)
 
     @abc.abstractmethod
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        progress: Optional[ProgressFn] = None,
+    ) -> list[R]:
         """Apply ``fn`` over ``items``, preserving input order.
 
         The generic escape hatch for harnesses (like ``repro.bench.sweep``)
@@ -139,11 +163,19 @@ class SerialExecutor(TrialExecutor):
 
     jobs = 1
 
-    def run_specs(self, specs: Sequence[TrialSpec]) -> list[TrialResult]:
-        return [execute_trial(spec) for spec in specs]
-
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
-        return [fn(item) for item in items]
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        progress: Optional[ProgressFn] = None,
+    ) -> list[R]:
+        items = list(items)
+        results: list[R] = []
+        for item in items:
+            results.append(fn(item))
+            if progress is not None:
+                progress(len(results), len(items), results[-1])
+        return results
 
     def __repr__(self) -> str:
         return "SerialExecutor()"
@@ -163,18 +195,27 @@ class ParallelExecutor(TrialExecutor):
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
 
-    def run_specs(self, specs: Sequence[TrialSpec]) -> list[TrialResult]:
-        return self.map(execute_trial, list(specs))
-
-    def map(self, fn: Callable[[T], R], items: Iterable[T]) -> list[R]:
+    def map(
+        self,
+        fn: Callable[[T], R],
+        items: Iterable[T],
+        progress: Optional[ProgressFn] = None,
+    ) -> list[R]:
         items = list(items)
         if not items:
             return []
         workers = min(self.jobs, len(items))
         if workers == 1:
-            return [fn(item) for item in items]
+            return SerialExecutor().map(fn, items, progress=progress)
         with _ProcessPool(max_workers=workers) as pool:
             futures = [pool.submit(fn, item) for item in items]
+            if progress is not None:
+                # Progress fires in completion order; result collection
+                # below still reads in submission order.
+                done = 0
+                for future in as_completed(futures):
+                    done += 1
+                    progress(done, len(futures), future.result())
             # Collect in submission order: completion order never leaks
             # into the result list.
             return [future.result() for future in futures]
@@ -195,10 +236,11 @@ def run_plan(
     plan: ExperimentPlan,
     executor: TrialExecutor | None = None,
     jobs: int | None = None,
+    progress: Optional[ProgressFn] = None,
 ) -> ResultStore:
     """Execute ``plan`` and aggregate the results into a
     :class:`ResultStore` — the one-call form of the three-layer pipeline."""
     if executor is not None and jobs is not None:
         raise ConfigurationError("give either 'executor' or 'jobs', not both")
     backend = executor if executor is not None else make_executor(jobs)
-    return ResultStore.from_run(plan, backend.run(plan))
+    return ResultStore.from_run(plan, backend.run(plan, progress=progress))

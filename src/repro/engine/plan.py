@@ -22,15 +22,8 @@ import itertools
 from dataclasses import dataclass, fields
 from typing import Any, Callable, Mapping, Sequence
 
-from repro.churn.lifetimes import ExponentialLifetime, ParetoLifetime
-from repro.churn.models import (
-    ArrivalDepartureChurn,
-    FiniteArrivalChurn,
-    PhasedChurn,
-    ReplacementChurn,
-)
+from repro.churn.spec import ChurnBuilder, ChurnSpec
 from repro.engine.trials import (
-    ChurnBuilder,
     DisseminationConfig,
     GossipConfig,
     QueryConfig,
@@ -49,76 +42,6 @@ VALUE_FUNCTIONS: dict[str, Callable[[int], float]] = {
     "index": float,
     "unit": _unit_value,
 }
-
-
-@dataclass(frozen=True)
-class ChurnSpec:
-    """A declarative, picklable churn description.
-
-    ``kind`` selects the generative model; the remaining fields parameterise
-    it.  :meth:`builder` produces the ``ChurnBuilder`` the trial layer
-    expects — the closure is created *after* unpickling, inside the worker,
-    so the spec itself stays plain data.
-
-    Kinds:
-        ``"replacement"``: constant-population turnover at ``rate``.
-        ``"arrival-departure"``: Poisson arrivals at ``rate`` with
-            exponential (``lifetime_mean``) or Pareto
-            (``pareto_alpha``/``pareto_xm``) lifetimes, optional ``cap``.
-        ``"finite"``: ``total_arrivals`` arrivals at ``rate``, then quiet.
-        ``"phased"``: storms at ``rate`` of length ``storm_length``
-            alternating with ``calm_length`` calm.
-    """
-
-    kind: str = "replacement"
-    rate: float = 1.0
-    lifetime_mean: float | None = None
-    pareto_alpha: float | None = None
-    pareto_xm: float | None = None
-    cap: int | None = None
-    total_arrivals: int | None = None
-    storm_length: float = 40.0
-    calm_length: float = 60.0
-    doom_initial: bool = False
-
-    def _lifetimes(self):
-        if self.pareto_alpha is not None:
-            return ParetoLifetime(alpha=self.pareto_alpha, xm=self.pareto_xm or 1.0)
-        if self.lifetime_mean is not None:
-            return ExponentialLifetime(self.lifetime_mean)
-        return None
-
-    def builder(self) -> ChurnBuilder:
-        """Materialise the churn builder this spec describes."""
-        if self.kind == "replacement":
-            return lambda factory: ReplacementChurn(factory, rate=self.rate)
-        if self.kind == "arrival-departure":
-            lifetimes = self._lifetimes() or ExponentialLifetime(30.0)
-            return lambda factory: ArrivalDepartureChurn(
-                factory,
-                arrival_rate=self.rate,
-                lifetimes=lifetimes,
-                concurrency_cap=self.cap,
-                doom_initial=self.doom_initial,
-            )
-        if self.kind == "finite":
-            return lambda factory: FiniteArrivalChurn(
-                factory,
-                total_arrivals=self.total_arrivals or 20,
-                arrival_rate=self.rate,
-                lifetimes=self._lifetimes(),
-            )
-        if self.kind == "phased":
-            return lambda factory: PhasedChurn(
-                factory,
-                storm_rate=self.rate,
-                storm_length=self.storm_length,
-                calm_length=self.calm_length,
-            )
-        raise ConfigurationError(
-            f"unknown churn kind {self.kind!r}; use 'replacement', "
-            "'arrival-departure', 'finite' or 'phased'"
-        )
 
 
 _CONFIG_TYPES = {
@@ -186,7 +109,16 @@ class TrialSpec:
                 raise ConfigurationError(
                     f"'churn' must be a ChurnSpec, got {type(churn_spec).__name__}"
                 )
-            params["churn"] = churn_spec.builder()
+            # Configs accept the spec directly; the builder closure is only
+            # materialised inside the worker (resolve_churn), keeping the
+            # spec picklable end to end.
+            params["churn"] = churn_spec
+
+        trace_path = params.get("trace_path")
+        if isinstance(trace_path, str) and "{" in trace_path:
+            params["trace_path"] = trace_path.format(
+                index=self.index, seed=self.seed, trial=self.trial
+            )
 
         value_name = params.pop("value_of", None)
         if value_name is not None:

@@ -11,21 +11,33 @@ Canonical form: trials sorted by plan index, keys sorted, fixed indent, and
 — by default — **no wall-clock timing**, so the same plan produces a
 byte-identical document no matter which executor backend ran it or in what
 order the trials finished.  Pass ``include_timing=True`` to add the
-(non-deterministic) per-trial wall times for perf work.
+(non-deterministic) per-trial wall times and phase timings for perf work.
+
+Schema history:
+
+* **v1** — plan / points / summary / trials records.
+* **v2** — adds an optional per-trial ``metrics`` block (the simulator's
+  counter/gauge/histogram snapshot, minus its wall-clock ``timings``
+  section, which moves under ``include_timing`` with ``wall_time``).
+  v1 documents still load; the ``metrics`` block simply comes back empty.
 """
 
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
+from repro.obs.metrics import strip_timings
 from repro.sim.errors import ConfigurationError
 
 #: Document schema identifier and version; bump the version on any change
 #: to the document layout.
 SCHEMA_NAME = "repro-engine-results"
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+#: Versions this engine can still read.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def jsonable(value: Any) -> Any:
@@ -52,7 +64,10 @@ class TrialResult:
     trials, the audit coverage for dissemination trials, and ``nan`` for
     gossip trials (which have no core obligation).  ``wall_time`` is
     measured around the whole trial (config materialisation + simulation)
-    and is excluded from canonical documents.
+    and is excluded from canonical documents.  ``metrics`` is the
+    simulator's observability snapshot; its deterministic sections
+    (counters / gauges / histograms) go into the document, while the
+    wall-clock ``timings`` section is quarantined with ``wall_time``.
     """
 
     index: int
@@ -71,6 +86,7 @@ class TrialResult:
     core_size: int
     events_executed: int
     wall_time: float
+    metrics: Mapping[str, Any] = field(default_factory=dict)
 
     def point_dict(self) -> dict[str, Any]:
         return dict(self.point)
@@ -92,9 +108,13 @@ class TrialResult:
             "messages": self.messages,
             "core_size": self.core_size,
             "events_executed": self.events_executed,
+            "metrics": jsonable(strip_timings(self.metrics)),
         }
         if include_timing:
             record["wall_time"] = self.wall_time
+            timings = dict(self.metrics or {}).get("timings")
+            if timings:
+                record["metrics"]["timings"] = jsonable(timings)
         return record
 
     @classmethod
@@ -119,6 +139,7 @@ class TrialResult:
             core_size=record["core_size"],
             events_executed=record["events_executed"],
             wall_time=record.get("wall_time", 0.0),
+            metrics=record.get("metrics", {}),
         )
 
 
@@ -252,6 +273,19 @@ class ResultStore:
             return cls.from_document(json.load(handle))
 
 
+def load_document(path: str) -> dict[str, Any]:
+    """Load and validate a result document, returning the raw JSON object.
+
+    Use :meth:`ResultStore.load` to rehydrate :class:`TrialResult`s instead;
+    this helper is for consumers that want the document verbatim (tables,
+    comparisons, archival checks) with the schema guarantee up front.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    validate_document(document)
+    return document
+
+
 def validate_document(document: Mapping[str, Any]) -> None:
     """Raise :class:`ConfigurationError` unless ``document`` matches the
     schema this version of the engine writes."""
@@ -261,10 +295,11 @@ def validate_document(document: Mapping[str, Any]) -> None:
         raise ConfigurationError(
             f"not a {SCHEMA_NAME} document (schema={document.get('schema')!r})"
         )
-    if document.get("version") != SCHEMA_VERSION:
+    if document.get("version") not in SUPPORTED_VERSIONS:
         raise ConfigurationError(
             f"unsupported document version {document.get('version')!r}; "
-            f"this engine reads version {SCHEMA_VERSION}"
+            f"this engine reads versions "
+            f"{', '.join(str(v) for v in SUPPORTED_VERSIONS)}"
         )
     points = document.get("points")
     if not isinstance(points, list):

@@ -21,6 +21,7 @@ from typing import Any, Callable
 
 from repro.analysis.metrics import message_cost, relative_error
 from repro.churn.models import ChurnModel
+from repro.churn.spec import ChurnSpec, resolve_churn
 from repro.core.aggregates import Aggregate, by_name
 from repro.core.dissemination_spec import (
     BroadcastRecord,
@@ -30,6 +31,7 @@ from repro.core.dissemination_spec import (
 )
 from repro.core.runs import Run
 from repro.core.spec import OneTimeQuerySpec, QueryRecord, Verdict, extract_queries
+from repro.obs.sinks import TraceSink, make_sink
 from repro.protocols.base import QueryResult
 from repro.protocols.dissemination import AntiEntropyNode, FloodNode
 from repro.protocols.ft_wave import FaultTolerantWaveNode
@@ -48,6 +50,18 @@ from repro.topology.graph import Topology
 #: Builds a churn model from a process factory (the runner owns the factory
 #: so arrivals get fresh values).
 ChurnBuilder = Callable[[Callable[[], Process]], ChurnModel]
+
+
+def _make_simulator(config: Any, **kwargs: Any) -> Simulator:
+    """Construct the trial simulator with the configured trace sink.
+
+    ``config.trace_sink`` is a sink name (see
+    :data:`repro.obs.sinks.SINK_NAMES`) or a prebuilt
+    :class:`~repro.obs.sinks.TraceSink`; ``config.trace_path`` supplies the
+    output file for the ``"jsonl"`` sink.
+    """
+    sink = make_sink(config.trace_sink, path=config.trace_path)
+    return Simulator(seed=config.seed, trace_sink=sink, **kwargs)
 
 
 @dataclass
@@ -70,8 +84,17 @@ class QueryConfig:
         seed: root seed for all randomness.
         delay: message delay model (default uniform [0.5, 1.5]).
         loss_rate: Bernoulli message loss probability.
-        churn: optional churn builder; receives the process factory.
+        churn: optional churn — a declarative (picklable)
+            :class:`~repro.churn.spec.ChurnSpec`, or the legacy builder
+            callable receiving the process factory.
         churn_stop: freeze churn at this time (finite-arrival phases).
+        trace_sink: transport-event sink — a name from
+            :data:`repro.obs.sinks.SINK_NAMES` (``"memory"``/``"jsonl"``/
+            ``"null"``/``"counts"``) or a prebuilt sink instance.
+            Membership and protocol-milestone events are always retained
+            in memory, so verdicts and documents are identical under every
+            sink.
+        trace_path: output file for the ``"jsonl"`` sink.
         value_of: maps an arrival index (0-based, initial population first)
             to the entity's local value.  Default: ``float(index)``.
         protect_querier: exempt the querier from random victim selection.
@@ -91,12 +114,14 @@ class QueryConfig:
     seed: int = 0
     delay: DelayModel | None = None
     loss_rate: float = 0.0
-    churn: ChurnBuilder | None = None
+    churn: ChurnSpec | ChurnBuilder | None = None
     churn_stop: float | None = None
     value_of: Callable[[int], Any] = field(default=float)
     protect_querier: bool = True
     notify_leaves: bool = True
     detector_timeout: float = 3.0
+    trace_sink: str | TraceSink = "memory"
+    trace_path: str | None = None
 
     def aggregate_obj(self) -> Aggregate:
         return by_name(self.aggregate)
@@ -118,6 +143,7 @@ class QueryOutcome:
     querier: int
     reachable_at_issue: frozenset[int]
     events_executed: int = 0
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     @property
     def terminated(self) -> bool:
@@ -185,8 +211,8 @@ def run_query(config: QueryConfig) -> QueryOutcome:
             "or 'request_collect'"
         )
     complete = config.protocol == "request_collect"
-    sim = Simulator(
-        seed=config.seed,
+    sim = _make_simulator(
+        config,
         delay_model=config.delay or UniformDelay(),
         loss_model=BernoulliLoss(config.loss_rate) if config.loss_rate else None,
         complete=complete,
@@ -210,8 +236,9 @@ def run_query(config: QueryConfig) -> QueryOutcome:
     querier_pid = pids[0]
 
     churn_model: ChurnModel | None = None
-    if config.churn is not None:
-        churn_model = config.churn(factory)
+    churn_builder = resolve_churn(config.churn)
+    if churn_builder is not None:
+        churn_model = churn_builder(factory)
         if config.protect_querier:
             churn_model.immortal.add(querier_pid)
         churn_model.install(sim, stop_at=config.churn_stop)
@@ -234,28 +261,33 @@ def run_query(config: QueryConfig) -> QueryOutcome:
             )
 
     sim.at(config.query_at, issue, label="experiment:issue-query")
-    sim.run(until=config.horizon)
+    with sim.metrics.timer("simulate"):
+        sim.run(until=config.horizon)
 
     trace = sim.trace
-    run = Run.from_trace(trace, horizon=max(sim.now, config.horizon))
-    records = extract_queries(trace)
-    if not records:
-        # The querier never got to ask (it left first); report a vacuous
-        # non-terminating record so callers can count the failure.
-        record = QueryRecord(
-            qid=-1,
-            querier=querier_pid,
-            aggregate=config.aggregate,
-            issue_time=config.query_at,
-            return_time=None,
+    trace.close()
+    with sim.metrics.timer("check"):
+        run = Run.from_trace(trace, horizon=max(sim.now, config.horizon))
+        records = extract_queries(trace)
+        if not records:
+            # The querier never got to ask (it left first); report a vacuous
+            # non-terminating record so callers can count the failure.
+            record = QueryRecord(
+                qid=-1,
+                querier=querier_pid,
+                aggregate=config.aggregate,
+                issue_time=config.query_at,
+                return_time=None,
+            )
+        else:
+            record = records[0]
+
+        spec = OneTimeQuerySpec(restrict_core_to=issue_state["reachable"] or None)
+        verdict = spec.check_query(trace, record, run)
+
+        truth, error = _ground_truth(
+            config, run, trace, record, issue_state["reachable"]
         )
-    else:
-        record = records[0]
-
-    spec = OneTimeQuerySpec(restrict_core_to=issue_state["reachable"] or None)
-    verdict = spec.check_query(trace, record, run)
-
-    truth, error = _ground_truth(config, run, trace, record, issue_state["reachable"])
 
     querier_proc = (
         sim.network.process(querier_pid)
@@ -279,6 +311,7 @@ def run_query(config: QueryConfig) -> QueryOutcome:
         querier=querier_pid,
         reachable_at_issue=issue_state["reachable"],
         events_executed=sim.events_executed,
+        metrics=sim.metrics_snapshot(include_timing=True),
     )
 
 
@@ -339,9 +372,11 @@ class GossipConfig:
     period: float = 1.0
     seed: int = 0
     delay: DelayModel | None = None
-    churn: ChurnBuilder | None = None
+    churn: ChurnSpec | ChurnBuilder | None = None
     value_of: Callable[[int], float] = field(default=float)
     protect_reader: bool = True
+    trace_sink: str | TraceSink = "memory"
+    trace_path: str | None = None
 
 
 @dataclass
@@ -357,13 +392,14 @@ class GossipOutcome:
     trace: tr.TraceLog
     read_time: float
     events_executed: int = 0
+    metrics: dict[str, Any] = field(default_factory=dict)
 
 
 def run_gossip(config: GossipConfig) -> GossipOutcome:
     """Execute a push-sum scenario and measure estimate accuracy."""
     if config.mode not in ("avg", "count"):
         raise ConfigurationError(f"unknown gossip mode {config.mode!r}")
-    sim = Simulator(seed=config.seed, delay_model=config.delay or UniformDelay())
+    sim = _make_simulator(config, delay_model=config.delay or UniformDelay())
 
     arrival_index = [0]
 
@@ -383,8 +419,9 @@ def run_gossip(config: GossipConfig) -> GossipOutcome:
     pids = build_population(sim, query_config, factory)
     reader_pid = pids[0]
 
-    if config.churn is not None:
-        model = config.churn(factory)
+    churn_builder = resolve_churn(config.churn)
+    if churn_builder is not None:
+        model = churn_builder(factory)
         if config.protect_reader:
             model.immortal.add(reader_pid)
         model.install(sim)
@@ -408,9 +445,12 @@ def run_gossip(config: GossipConfig) -> GossipOutcome:
             state["truth"] = sum(values) / len(values) if values else float("nan")
 
     sim.at(read_time, read, label="experiment:read-estimate")
-    sim.run(until=read_time + 2 * config.period)
+    with sim.metrics.timer("simulate"):
+        sim.run(until=read_time + 2 * config.period)
 
-    run = Run.from_trace(sim.trace, horizon=sim.now)
+    sim.trace.close()
+    with sim.metrics.timer("check"):
+        run = Run.from_trace(sim.trace, horizon=sim.now)
     estimate = state["estimate"]
     return GossipOutcome(
         config=config,
@@ -422,6 +462,7 @@ def run_gossip(config: GossipConfig) -> GossipOutcome:
         trace=sim.trace,
         read_time=read_time,
         events_executed=sim.events_executed,
+        metrics=sim.metrics_snapshot(include_timing=True),
     )
 
 
@@ -453,9 +494,11 @@ class DisseminationConfig:
     ae_period: float = 2.0
     seed: int = 0
     delay: DelayModel | None = None
-    churn: ChurnBuilder | None = None
+    churn: ChurnSpec | ChurnBuilder | None = None
     protect_origin: bool = True
     value: object = "payload"
+    trace_sink: str | TraceSink = "memory"
+    trace_path: str | None = None
 
 
 @dataclass
@@ -470,6 +513,7 @@ class DisseminationOutcome:
     trace: tr.TraceLog
     origin: int
     events_executed: int = 0
+    metrics: dict[str, Any] = field(default_factory=dict)
 
     @property
     def coverage(self) -> float:
@@ -496,7 +540,7 @@ def run_dissemination(config: DisseminationConfig) -> DisseminationOutcome:
             f"audit time {config.audit_at} must follow broadcast time "
             f"{config.broadcast_at}"
         )
-    sim = Simulator(seed=config.seed, delay_model=config.delay or UniformDelay())
+    sim = _make_simulator(config, delay_model=config.delay or UniformDelay())
 
     def factory():
         if config.protocol == "flood":
@@ -513,8 +557,9 @@ def run_dissemination(config: DisseminationConfig) -> DisseminationOutcome:
         pids.append(sim.spawn(factory(), neighbors).pid)
     origin_pid = pids[0]
 
-    if config.churn is not None:
-        model = config.churn(factory)
+    churn_builder = resolve_churn(config.churn)
+    if churn_builder is not None:
+        model = churn_builder(factory)
         if config.protect_origin:
             model.immortal.add(origin_pid)
         model.install(sim)
@@ -524,18 +569,21 @@ def run_dissemination(config: DisseminationConfig) -> DisseminationOutcome:
             sim.network.process(origin_pid).broadcast_value(config.value)
 
     sim.at(config.broadcast_at, publish, label="experiment:broadcast")
-    sim.run(until=config.audit_at)
+    with sim.metrics.timer("simulate"):
+        sim.run(until=config.audit_at)
 
+    sim.trace.close()
     records = extract_broadcasts(sim.trace)
     if not records:
         raise ConfigurationError(
             "the broadcast never happened (origin departed first?)"
         )
     record = records[0]
-    run = Run.from_trace(sim.trace, horizon=config.audit_at)
-    verdict = DisseminationSpec().check_broadcast(
-        sim.trace, record, at=config.audit_at, run=run
-    )
+    with sim.metrics.timer("check"):
+        run = Run.from_trace(sim.trace, horizon=config.audit_at)
+        verdict = DisseminationSpec().check_broadcast(
+            sim.trace, record, at=config.audit_at, run=run
+        )
     return DisseminationOutcome(
         config=config,
         verdict=verdict,
@@ -545,4 +593,5 @@ def run_dissemination(config: DisseminationConfig) -> DisseminationOutcome:
         trace=sim.trace,
         origin=origin_pid,
         events_executed=sim.events_executed,
+        metrics=sim.metrics_snapshot(include_timing=True),
     )

@@ -105,6 +105,7 @@ class HeartbeatNode(AggregatingProcess):
             if target not in self._suspected and self.now - heard > self.timeout:
                 self._suspected.add(target)
                 self.suspicions_raised += 1
+                self.sim.metrics.inc("detector.suspicions")
                 self.record(SUSPECT, target=target)
                 self.on_suspect(target)
 
@@ -114,6 +115,7 @@ class HeartbeatNode(AggregatingProcess):
             if message.sender in self._suspected:
                 self._suspected.discard(message.sender)
                 self.suspicions_retracted += 1
+                self.sim.metrics.inc("detector.restorals")
                 self.record(RESTORE, target=message.sender)
                 self.on_restore(message.sender)
 

@@ -1,0 +1,52 @@
+"""Observability: metrics, trace sinks and profiling support.
+
+``repro.obs`` is the layer that makes a run *inspectable*:
+
+* :mod:`repro.obs.metrics` — a per-simulator registry of counters, gauges
+  and fixed-bucket histograms, written by the scheduler, the network,
+  churn models, the failure detector and the protocol base class, and
+  embedded per trial in schema-v2 result documents;
+* :mod:`repro.obs.sinks` — pluggable destinations for the trace-event
+  stream (in-memory, JSONL streaming, counting, null), selected per trial
+  with ``trace_sink=...`` or ``--trace-sink``;
+* :mod:`repro.obs.codec` — the tuple/frozenset-preserving JSON codec
+  shared by trace persistence and the streaming sink.
+
+Import the blessed names from :mod:`repro.api`.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    strip_timings,
+)
+from repro.obs.sinks import (
+    SINK_NAMES,
+    TRANSPORT_KINDS,
+    CountingSink,
+    JsonlStreamSink,
+    MemorySink,
+    NullSink,
+    TraceSink,
+    make_sink,
+)
+
+__all__ = [
+    "Counter",
+    "CountingSink",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "JsonlStreamSink",
+    "MemorySink",
+    "Metrics",
+    "NullSink",
+    "SINK_NAMES",
+    "TRANSPORT_KINDS",
+    "TraceSink",
+    "make_sink",
+    "strip_timings",
+]

@@ -1,0 +1,46 @@
+"""JSON codec for trace-event payloads.
+
+Trace event data may contain tuples and frozensets (contributor tuples,
+reachability sets).  Plain JSON has neither, so both are encoded with type
+markers and decoded back exactly.  The codec is shared by
+:meth:`repro.sim.trace.TraceLog.save_jsonl` and the streaming
+:class:`repro.obs.sinks.JsonlStreamSink`, so a streamed trace file and a
+saved one round-trip identically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def encode_value(value: Any) -> Any:
+    """JSON-encode event data, marking tuples and frozensets."""
+    if isinstance(value, tuple):
+        return {"__tuple__": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        return {"__frozenset__": sorted((encode_value(v) for v in value), key=repr)}
+    if isinstance(value, (list, dict, str, int, float, bool)) or value is None:
+        return value
+    return {"__repr__": repr(value)}
+
+
+def decode_value(value: Any) -> Any:
+    """Inverse of :func:`encode_value` (best effort for ``__repr__`` markers)."""
+    if isinstance(value, dict):
+        if "__tuple__" in value:
+            return tuple(decode_value(v) for v in value["__tuple__"])
+        if "__frozenset__" in value:
+            return frozenset(decode_value(v) for v in value["__frozenset__"])
+        if "__repr__" in value:
+            return value["__repr__"]
+        return {key: decode_value(v) for key, v in value.items()}
+    return value
+
+
+def encode_event(time: float, kind: str, data: dict[str, Any]) -> dict[str, Any]:
+    """The canonical one-line JSON record for a trace event."""
+    return {
+        "t": time,
+        "k": kind,
+        "d": {key: encode_value(value) for key, value in data.items()},
+    }

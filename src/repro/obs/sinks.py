@@ -1,0 +1,183 @@
+"""Pluggable trace sinks: where high-volume trace events go.
+
+Historically :class:`~repro.sim.trace.TraceLog` kept *every* event in a
+grow-only list — fine for one trial, hostile to big sweeps where a single
+run can emit hundreds of thousands of transport events.  A sink decides
+what happens to each recorded event:
+
+* :class:`MemorySink` — keep everything in memory (the default; exactly
+  the historical behavior).
+* :class:`JsonlStreamSink` — stream every event to a JSON-Lines file as it
+  is recorded; constant memory in the transport-event count, and the file
+  is loadable with :meth:`repro.sim.trace.TraceLog.load_jsonl`.
+* :class:`CountingSink` — keep nothing but per-kind (and per-message-kind)
+  counts.
+* :class:`NullSink` — discard outright (perf mode).
+
+**The spec checker keeps working under every sink.**  The membership and
+protocol-milestone events (joins/leaves, ``query_issued``/
+``query_returned``, ``bcast_issued``/``bcast_delivered``, …) that
+:mod:`repro.core` consumes are always retained in memory; the sink policy
+governs only the high-volume transport and timer firehose
+(:data:`TRANSPORT_KINDS`).  That is what makes a ``--trace-sink null``
+sweep produce the same result document as a memory-sink sweep, only
+cheaper.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from pathlib import Path
+from typing import IO, TYPE_CHECKING, Any
+
+from repro.obs.codec import encode_event
+from repro.sim.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace -> sinks)
+    from repro.sim.trace import TraceEvent
+
+#: The high-volume substrate kinds a space-saving sink may drop without
+#: breaking the specification checker.  Everything else (membership,
+#: protocol milestones, detector output, topology changes) is low-volume
+#: and always retained by the TraceLog.
+TRANSPORT_KINDS = frozenset({"send", "deliver", "drop", "timer"})
+
+
+class TraceSink(abc.ABC):
+    """Receives every trace event; decides retention for transport kinds."""
+
+    #: Human-readable sink name (the ``--trace-sink`` vocabulary).
+    name = "abstract"
+
+    def retains(self, kind: str) -> bool:
+        """Should the TraceLog keep events of ``kind`` in memory?
+
+        Default policy: retain everything except the transport firehose.
+        :class:`MemorySink` overrides this to retain all kinds.
+        """
+        return kind not in TRANSPORT_KINDS
+
+    def emit(self, event: "TraceEvent") -> None:
+        """Called once per recorded event, in record order."""
+
+    def close(self) -> None:
+        """Flush and release any resources (idempotent)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class MemorySink(TraceSink):
+    """Retain every event in the TraceLog's list (historical behavior)."""
+
+    name = "memory"
+
+    def retains(self, kind: str) -> bool:
+        return True
+
+
+class NullSink(TraceSink):
+    """Drop transport events outright — the cheapest possible sink."""
+
+    name = "null"
+
+
+class CountingSink(TraceSink):
+    """Keep only count summaries of the dropped transport events.
+
+    The TraceLog already counts events per kind; this sink additionally
+    breaks the transport kinds down by protocol message kind, so a perf
+    run still answers "how many WAVE_QUERY sends?" without storing any
+    event objects.
+    """
+
+    name = "counts"
+
+    def __init__(self) -> None:
+        self._by_msg_kind: dict[str, dict[str, int]] = {}
+
+    def emit(self, event: "TraceEvent") -> None:
+        if event.kind not in TRANSPORT_KINDS:
+            return
+        msg_kind = event.get("msg_kind")
+        if msg_kind is None:
+            return
+        breakdown = self._by_msg_kind.setdefault(event.kind, {})
+        breakdown[msg_kind] = breakdown.get(msg_kind, 0) + 1
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """``{event kind: {message kind: count}}`` for transport events."""
+        return {
+            kind: dict(sorted(counts.items()))
+            for kind, counts in sorted(self._by_msg_kind.items())
+        }
+
+
+class JsonlStreamSink(TraceSink):
+    """Stream every event to a JSON-Lines file as it is recorded.
+
+    Memory stays constant in the transport-event count; the produced file
+    uses the same tuple/frozenset-marking codec as
+    :meth:`~repro.sim.trace.TraceLog.save_jsonl`, so
+    :meth:`~repro.sim.trace.TraceLog.load_jsonl` round-trips it exactly.
+    The file handle opens lazily on the first event and must be
+    :meth:`close`\\ d (the trial runners do) before the file is complete.
+    """
+
+    name = "jsonl"
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._handle: IO[str] | None = None
+        self.events_written = 0
+
+    def emit(self, event: "TraceEvent") -> None:
+        if self._handle is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("w", encoding="utf-8")
+        record = encode_event(event.time, event.kind, event.data)
+        self._handle.write(json.dumps(record) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __repr__(self) -> str:
+        return f"JsonlStreamSink(path={str(self.path)!r})"
+
+
+#: ``--trace-sink`` vocabulary shared by the CLI and the trial configs.
+SINK_NAMES = ("memory", "jsonl", "null", "counts")
+
+
+def make_sink(
+    sink: "str | TraceSink | None", path: str | Path | None = None
+) -> TraceSink:
+    """Materialise a sink from a name (or pass an instance through).
+
+    ``path`` is required for ``"jsonl"`` and ignored otherwise.  ``None``
+    selects the default :class:`MemorySink`.
+    """
+    if sink is None:
+        return MemorySink()
+    if isinstance(sink, TraceSink):
+        return sink
+    if sink == "memory":
+        return MemorySink()
+    if sink == "null":
+        return NullSink()
+    if sink == "counts":
+        return CountingSink()
+    if sink == "jsonl":
+        if path is None:
+            raise ConfigurationError(
+                "trace sink 'jsonl' needs a trace path (set trace_path "
+                "on the config, or --trace-dir on the CLI)"
+            )
+        return JsonlStreamSink(path)
+    raise ConfigurationError(
+        f"unknown trace sink {sink!r}; use one of {', '.join(SINK_NAMES)}"
+    )

@@ -58,6 +58,7 @@ class AggregatingProcess(Process):
     def announce_query(self, aggregate: Aggregate) -> int:
         """Allocate a query id and record the issue event; returns the qid."""
         qid = self.sim.new_qid()
+        self.sim.metrics.inc("query.issued")
         self.record(QUERY_ISSUED, qid=qid, aggregate=aggregate.name)
         return qid
 
@@ -86,6 +87,8 @@ class AggregatingProcess(Process):
             result=result_value,
         )
         self.results.append(outcome)
+        self.sim.metrics.inc("query.returned")
+        self.sim.metrics.inc("query.contributions", len(contributions))
         self.record(
             QUERY_RETURNED,
             qid=qid,

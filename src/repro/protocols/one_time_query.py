@@ -124,7 +124,7 @@ class WaveNode(AggregatingProcess):
         if wire_ttl != 0:
             child_ttl = UNBOUNDED if wire_ttl == UNBOUNDED else wire_ttl - 1
             for neighbor in sorted(self.neighbors()):
-                self.send(neighbor, WAVE_QUERY, qid=qid, ttl=child_ttl)
+                self.send(neighbor, WAVE_QUERY, qid=qid, ttl=child_ttl, hops=1)
                 state.pending.add(neighbor)
         if deadline is not None:
             state.deadline_timer = self.set_timer(deadline, "wave-deadline", qid)
@@ -158,8 +158,11 @@ class WaveNode(AggregatingProcess):
         self._states[qid] = state
         if ttl != 0:
             child_ttl = UNBOUNDED if ttl == UNBOUNDED else ttl - 1
+            # hop depth travels with the query so the network can histogram
+            # deliveries by hop count (obs: net.delivery_hops).
+            hops = message.payload.get("hops", 1)
             for neighbor in sorted(self.neighbors() - {message.sender}):
-                self.send(neighbor, WAVE_QUERY, qid=qid, ttl=child_ttl)
+                self.send(neighbor, WAVE_QUERY, qid=qid, ttl=child_ttl, hops=hops + 1)
                 state.pending.add(neighbor)
         self._check_complete(state)
 

@@ -22,6 +22,11 @@ from repro.sim.node import Process
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.scheduler import Simulator
 
+#: Bucket bounds for the deliveries-by-hop-count histogram (wave depths,
+#: flood frontiers); roughly Fibonacci so both shallow and deep networks
+#: resolve.
+HOP_BUCKETS = (1.0, 2.0, 3.0, 5.0, 8.0, 13.0, 21.0, 34.0)
+
 
 class Network:
     """Tracks present processes, their links, and in-flight messages.
@@ -102,6 +107,7 @@ class Network:
         self._adjacency[pid] = set()
         for other in sorted(neighbor_ids):
             self._link(pid, other)
+        self._sim.metrics.inc("membership.joins")
         self._sim.trace.record(
             self._sim.now, tr.JOIN, entity=pid, degree=len(neighbor_ids),
             value=getattr(proc, "value", None),
@@ -131,6 +137,7 @@ class Network:
             self._adjacency[other].discard(pid)
         del self._adjacency[pid]
         del self._processes[pid]
+        self._sim.metrics.inc("membership.leaves")
         self._sim.trace.record(self._sim.now, tr.LEAVE, entity=pid)
         if self.notify_leaves:
             for other in former_neighbors:
@@ -215,18 +222,22 @@ class Network:
             raise TopologyError(f"process {sender} cannot reach {receiver}")
         now = self._sim.now
         msg_id = next(self._msg_ids)
+        self._sim.metrics.inc("net.sent")
+        self._sim.metrics.inc(f"net.sent.{message.kind}")
         self._sim.trace.record(
             now, tr.SEND, msg_id=msg_id, msg_kind=message.kind,
             sender=sender, receiver=receiver,
         )
         rng = self._sim.rng_for("transport")
         if self.loss_model.is_lost(rng):
+            self._sim.metrics.inc("net.dropped.loss")
             self._sim.trace.record(
                 now, tr.DROP, msg_id=msg_id, msg_kind=message.kind,
                 sender=sender, receiver=receiver, reason="loss",
             )
             return
         delay = self._delay_for(sender, receiver).sample(rng)
+        self._sim.metrics.observe("net.delivery_delay", delay)
         deliver_at = now + delay
         if self.fifo:
             channel = (sender, receiver)
@@ -243,12 +254,17 @@ class Network:
         now = self._sim.now
         receiver = self._processes.get(message.receiver)
         if receiver is None or not receiver._alive:
+            self._sim.metrics.inc("net.dropped.receiver_absent")
             self._sim.trace.record(
                 now, tr.DROP, msg_id=msg_id, msg_kind=message.kind,
                 sender=message.sender, receiver=message.receiver,
                 reason="receiver_absent",
             )
             return
+        self._sim.metrics.inc("net.delivered")
+        hops = message.payload.get("hops")
+        if isinstance(hops, int):
+            self._sim.metrics.observe("net.delivery_hops", hops, buckets=HOP_BUCKETS)
         self._sim.trace.record(
             now, tr.DELIVER, msg_id=msg_id, msg_kind=message.kind,
             sender=message.sender, receiver=message.receiver,

@@ -11,6 +11,8 @@ import itertools
 import random
 from typing import Any, Callable, Iterable
 
+from repro.obs.metrics import Metrics
+from repro.obs.sinks import TraceSink
 from repro.sim.errors import SchedulingError
 from repro.sim.events import Event, EventQueue, PRIORITY_MEMBERSHIP, PRIORITY_NORMAL
 from repro.sim.latency import DelayModel, LossModel
@@ -32,6 +34,8 @@ class Simulator:
         fifo: if ``True`` channels are FIFO (no per-link reordering).
         notify_leaves: if ``False`` departures are silent (no perfect
             failure detection; protocols must use timeouts/heartbeats).
+        trace_sink: where trace events go (default: all in memory); see
+            :mod:`repro.obs.sinks` for the space-saving alternatives.
     """
 
     def __init__(
@@ -42,10 +46,12 @@ class Simulator:
         complete: bool = False,
         fifo: bool = False,
         notify_leaves: bool = True,
+        trace_sink: TraceSink | None = None,
     ) -> None:
         self.seeds = SeedSequence(seed)
         self.queue = EventQueue()
-        self.trace = TraceLog()
+        self.trace = TraceLog(sink=trace_sink)
+        self.metrics = Metrics()
         self.network = Network(
             self, delay_model=delay_model, loss_model=loss_model,
             complete=complete, fifo=fifo, notify_leaves=notify_leaves,
@@ -226,3 +232,22 @@ class Simulator:
         if until is not None and until > self._now:
             self._now = until
         return self._now
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def metrics_snapshot(self, include_timing: bool = False) -> dict[str, Any]:
+        """Final metrics snapshot for this simulation.
+
+        Stamps the end-of-run gauges (clock, executed events, population)
+        and returns :meth:`repro.obs.metrics.Metrics.snapshot` — the block
+        the experiment engine embeds per trial in schema-v2 result
+        documents.  Everything except the optional ``timings`` section is
+        deterministic for a fixed seed.
+        """
+        self.metrics.set_gauge("sim.time", self._now)
+        self.metrics.set_gauge("sim.events_executed", self._events_executed)
+        self.metrics.set_gauge("sim.population", len(self.network.present()))
+        self.metrics.set_gauge("sim.trace_events", len(self.trace))
+        return self.metrics.snapshot(include_timing=include_timing)

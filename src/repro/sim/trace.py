@@ -5,6 +5,17 @@ sends, deliveries and drops, protocol milestones — is appended to a
 :class:`TraceLog`.  The formal layer (:mod:`repro.core`) consumes traces to
 build *runs* and to check problem specifications, so the trace is the single
 source of truth connecting the simulator to the paper's definitions.
+
+Storage is delegated to a pluggable :class:`repro.obs.sinks.TraceSink`.
+The default :class:`~repro.obs.sinks.MemorySink` keeps every event in
+memory (the historical behavior); space-saving sinks
+(:class:`~repro.obs.sinks.JsonlStreamSink`,
+:class:`~repro.obs.sinks.CountingSink`,
+:class:`~repro.obs.sinks.NullSink`) stream or drop the high-volume
+transport events while the membership and protocol-milestone events the
+specification checker relies on are always retained.  Per-kind counts are
+maintained unconditionally, so :meth:`TraceLog.count` and
+:meth:`TraceLog.summary` are exact under every sink.
 """
 
 from __future__ import annotations
@@ -13,6 +24,9 @@ import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Iterable, Iterator
+
+from repro.obs.codec import decode_value, encode_event, encode_value
+from repro.obs.sinks import MemorySink, TraceSink
 
 # Canonical event kinds written by the substrate.  Protocols are free to
 # record additional kinds (e.g. "query_issued").
@@ -40,55 +54,85 @@ class TraceEvent:
 
 
 class TraceLog:
-    """An append-only, time-ordered log of :class:`TraceEvent` objects."""
+    """An append-only, time-ordered log of :class:`TraceEvent` objects.
 
-    def __init__(self) -> None:
+    Args:
+        sink: where recorded events go (default: keep all in memory).
+            Space-saving sinks retain only the low-volume kinds the
+            specification layer needs; :meth:`events` then returns the
+            retained subset while :meth:`count`/:meth:`summary` stay exact.
+    """
+
+    def __init__(self, sink: TraceSink | None = None) -> None:
+        self._sink: TraceSink = sink if sink is not None else MemorySink()
         self._events: list[TraceEvent] = []
         self._counts: dict[str, int] = {}
+        self._total = 0
+
+    @property
+    def sink(self) -> TraceSink:
+        """The sink receiving this log's events."""
+        return self._sink
 
     def __len__(self) -> int:
-        return len(self._events)
+        """Total number of events *recorded* (under every sink)."""
+        return self._total
 
     def __iter__(self) -> Iterator[TraceEvent]:
+        """Iterate over the retained events (all of them, with the default
+        memory sink)."""
         return iter(self._events)
+
+    @property
+    def retained(self) -> int:
+        """How many events are held in memory (== ``len`` for MemorySink)."""
+        return len(self._events)
 
     def record(self, time: float, kind: str, **data: Any) -> TraceEvent:
         """Append an event and return it."""
         event = TraceEvent(time, kind, data)
-        self._events.append(event)
+        self._total += 1
         self._counts[kind] = self._counts.get(kind, 0) + 1
+        if self._sink.retains(kind):
+            self._events.append(event)
+        self._sink.emit(event)
         return event
+
+    def close(self) -> None:
+        """Flush and close the sink (idempotent; a no-op for memory)."""
+        self._sink.close()
 
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
 
     def events(self, kind: str | None = None) -> list[TraceEvent]:
-        """Return all events, optionally filtered by kind."""
+        """Return the retained events, optionally filtered by kind."""
         if kind is None:
             return list(self._events)
         return [e for e in self._events if e.kind == kind]
 
     def count(self, kind: str) -> int:
-        """Return how many events of ``kind`` were recorded."""
+        """Return how many events of ``kind`` were recorded (exact under
+        every sink)."""
         return self._counts.get(kind, 0)
 
     def first(self, kind: str) -> TraceEvent | None:
-        """Return the earliest event of ``kind``, or ``None``."""
+        """Return the earliest retained event of ``kind``, or ``None``."""
         for event in self._events:
             if event.kind == kind:
                 return event
         return None
 
     def last(self, kind: str) -> TraceEvent | None:
-        """Return the latest event of ``kind``, or ``None``."""
+        """Return the latest retained event of ``kind``, or ``None``."""
         for event in reversed(self._events):
             if event.kind == kind:
                 return event
         return None
 
     def between(self, t0: float, t1: float, kind: str | None = None) -> list[TraceEvent]:
-        """Return events with ``t0 <= time <= t1`` (optionally of one kind)."""
+        """Return retained events with ``t0 <= time <= t1``."""
         return [
             e
             for e in self._events
@@ -100,7 +144,7 @@ class TraceLog:
     # ------------------------------------------------------------------
 
     def membership_events(self) -> list[TraceEvent]:
-        """Return join/leave events in time order."""
+        """Return join/leave events in time order (retained by every sink)."""
         return [e for e in self._events if e.kind in (JOIN, LEAVE)]
 
     def entities_ever(self) -> set[int]:
@@ -112,7 +156,8 @@ class TraceLog:
         return self.count(SEND)
 
     def summary(self) -> dict[str, int]:
-        """Return a ``{kind: count}`` summary of the whole log."""
+        """Return a ``{kind: count}`` summary of the whole log (exact under
+        every sink)."""
         return dict(self._counts)
 
     # ------------------------------------------------------------------
@@ -120,25 +165,24 @@ class TraceLog:
     # ------------------------------------------------------------------
 
     def save_jsonl(self, path: str | Path) -> int:
-        """Write the log as JSON Lines; returns the number of events.
+        """Write the retained events as JSON Lines; returns how many.
 
         Tuples and frozensets in event data are encoded with type markers
-        so :meth:`load_jsonl` round-trips them exactly.
+        so :meth:`load_jsonl` round-trips them exactly.  To persist the
+        *full* stream under a space-saving sink, record through a
+        :class:`~repro.obs.sinks.JsonlStreamSink` instead.
         """
         path = Path(path)
         with path.open("w", encoding="utf-8") as handle:
             for event in self._events:
-                record = {
-                    "t": event.time,
-                    "k": event.kind,
-                    "d": {key: _encode(value) for key, value in event.data.items()},
-                }
+                record = encode_event(event.time, event.kind, event.data)
                 handle.write(json.dumps(record) + "\n")
         return len(self._events)
 
     @classmethod
     def load_jsonl(cls, path: str | Path) -> "TraceLog":
-        """Read a log written by :meth:`save_jsonl`."""
+        """Read a log written by :meth:`save_jsonl` (or streamed by a
+        :class:`~repro.obs.sinks.JsonlStreamSink`)."""
         log = cls()
         with Path(path).open("r", encoding="utf-8") as handle:
             for line in handle:
@@ -146,39 +190,26 @@ class TraceLog:
                 if not line:
                     continue
                 record = json.loads(line)
-                data = {key: _decode(value) for key, value in record["d"].items()}
+                data = {key: decode_value(value) for key, value in record["d"].items()}
                 log.record(record["t"], record["k"], **data)
         return log
 
 
 def _encode(value: Any) -> Any:
-    """JSON-encode event data, marking tuples and frozensets."""
-    if isinstance(value, tuple):
-        return {"__tuple__": [_encode(v) for v in value]}
-    if isinstance(value, frozenset):
-        return {"__frozenset__": sorted((_encode(v) for v in value), key=repr)}
-    if isinstance(value, (list, dict, str, int, float, bool)) or value is None:
-        return value
-    return {"__repr__": repr(value)}
+    """Backwards-compatible alias for :func:`repro.obs.codec.encode_value`."""
+    return encode_value(value)
 
 
 def _decode(value: Any) -> Any:
-    """Inverse of :func:`_encode` (best effort for ``__repr__`` markers)."""
-    if isinstance(value, dict):
-        if "__tuple__" in value:
-            return tuple(_decode(v) for v in value["__tuple__"])
-        if "__frozenset__" in value:
-            return frozenset(_decode(v) for v in value["__frozenset__"])
-        if "__repr__" in value:
-            return value["__repr__"]
-        return {key: _decode(v) for key, v in value.items()}
-    return value
+    """Backwards-compatible alias for :func:`repro.obs.codec.decode_value`."""
+    return decode_value(value)
 
 
 def merge_logs(logs: Iterable[TraceLog]) -> TraceLog:
     """Merge several logs into one, re-sorted by time (stable).
 
-    Useful when analysing a batch of independent trials together.
+    Useful when analysing a batch of independent trials together.  Only
+    retained events merge; use memory sinks when a full merge matters.
     """
     merged = TraceLog()
     events = sorted(

@@ -96,7 +96,7 @@ class TestEndToEndComparison:
     def test_wave_vs_gossip_on_common_seeds(self):
         """Formalises the E8 comparison: wave beats gossip on exactness in
         a static system, significantly."""
-        from repro.bench.runner import GossipConfig, QueryConfig, run_gossip, run_query
+        from repro.engine.trials import GossipConfig, QueryConfig, run_gossip, run_query
         from repro.sim.rng import iter_seeds
 
         seeds = list(iter_seeds(5, 6))

@@ -1,0 +1,86 @@
+"""The repro.bench runner shims: deprecated but fully functional.
+
+``repro.bench.runner`` and ``repro.bench.dissemination_runner`` became
+re-export shims when the single-trial layer moved to
+``repro.engine.trials``.  Importing them must raise a
+:class:`DeprecationWarning` pointing at :mod:`repro.api`, and every old
+call site must keep working unchanged.
+"""
+
+from __future__ import annotations
+
+import importlib
+import subprocess
+import sys
+import warnings
+
+import pytest
+
+SHIMS = ("repro.bench.runner", "repro.bench.dissemination_runner")
+
+
+def _import_fresh(module_name):
+    """Re-execute the shim module so its import-time warning fires."""
+    sys.modules.pop(module_name, None)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        module = importlib.import_module(module_name)
+    return module, caught
+
+
+@pytest.mark.parametrize("module_name", SHIMS)
+def test_importing_shim_warns_and_points_at_api(module_name):
+    _, caught = _import_fresh(module_name)
+    deprecations = [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len(deprecations) == 1
+    assert "repro.api" in str(deprecations[0].message)
+    assert module_name in str(deprecations[0].message)
+
+
+def test_old_query_call_site_still_works():
+    module, _ = _import_fresh("repro.bench.runner")
+    outcome = module.run_query(
+        module.QueryConfig(n=8, topology="er", aggregate="COUNT", seed=5)
+    )
+    assert outcome.ok
+    assert outcome.record.result == 8
+
+
+def test_old_gossip_call_site_still_works():
+    module, _ = _import_fresh("repro.bench.runner")
+    outcome = module.run_gossip(
+        module.GossipConfig(n=8, topology="er", mode="avg", seed=5)
+    )
+    assert outcome.messages > 0
+
+
+def test_old_dissemination_call_site_still_works():
+    module, _ = _import_fresh("repro.bench.dissemination_runner")
+    outcome = module.run_dissemination(
+        module.DisseminationConfig(n=8, topology="er", seed=5)
+    )
+    assert outcome.coverage > 0
+
+
+def test_shims_and_engine_export_the_same_objects():
+    runner, _ = _import_fresh("repro.bench.runner")
+    from repro.engine import trials
+
+    assert runner.QueryConfig is trials.QueryConfig
+    assert runner.run_query is trials.run_query
+
+
+def test_bench_package_import_does_not_warn():
+    """`import repro.bench` itself is not deprecated — only the shims.
+
+    A subprocess keeps the import fresh without re-executing package
+    modules the rest of the suite already holds references into.
+    """
+    completed = subprocess.run(
+        [sys.executable, "-W", "error::DeprecationWarning",
+         "-c", "import repro.bench"],
+        capture_output=True, text=True,
+    )
+    assert completed.returncode == 0, completed.stderr

@@ -6,7 +6,7 @@ import math
 
 import pytest
 
-from repro.bench.runner import GossipConfig, run_gossip
+from repro.engine.trials import GossipConfig, run_gossip
 from repro.churn.models import ArrivalDepartureChurn, ReplacementChurn
 from repro.churn.lifetimes import ExponentialLifetime
 

@@ -7,7 +7,7 @@ import math
 import pytest
 
 from repro.analysis.metrics import message_cost_by_kind, wave_depth
-from repro.bench.runner import QueryConfig, run_query
+from repro.engine.trials import QueryConfig, run_query
 from repro.churn.models import ReplacementChurn
 from repro.sim.errors import ConfigurationError
 from repro.sim.latency import ConstantDelay

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.runner import run_query
+from repro.engine.trials import run_query
 from repro.bench.scenarios import SCENARIOS, make_scenario, steady_churn
 from repro.sim.errors import ConfigurationError
 

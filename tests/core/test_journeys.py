@@ -151,7 +151,7 @@ class TestAuditQueryMisses:
         """End-to-end: every stable-core member the wave misses under churn
         lacks a fast journey (with hop_time = the constant message delay,
         journey reachability upper-bounds the wave's forward progress)."""
-        from repro.bench.runner import QueryConfig, run_query
+        from repro.engine.trials import QueryConfig, run_query
         from repro.churn.models import ReplacementChurn
         from repro.sim.latency import ConstantDelay
 

@@ -1,0 +1,146 @@
+"""Engine-level observability contracts: metrics in documents, schema
+v1 -> v2 compatibility, and sink/churn-spec behavior across executors."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.churn.spec import ChurnSpec
+from repro.engine.executor import ParallelExecutor, SerialExecutor, run_plan
+from repro.engine.plan import build_plan
+from repro.engine.results import (
+    SCHEMA_NAME,
+    SUPPORTED_VERSIONS,
+    ResultStore,
+    load_document,
+    validate_document,
+)
+from repro.sim.errors import ConfigurationError
+
+BASE = {"n": 10, "topology": "er", "aggregate": "COUNT", "horizon": 150.0}
+
+
+def _plan(**overrides):
+    params = dict(
+        grid={"churn_rate": [0.0, 2.0]}, base=BASE, trials=2, root_seed=77
+    )
+    params.update(overrides)
+    return build_plan("obs", kind="query", **params)
+
+
+class TestMetricsInDocuments:
+    def test_every_trial_record_carries_metrics(self):
+        document = run_plan(_plan()).document()
+        for entry in document["points"]:
+            for record in entry["trials"]:
+                metrics = record["metrics"]
+                assert metrics["counters"]["net.sent"] > 0
+                assert "sim.time" in metrics["gauges"]
+                assert "net.delivery_delay" in metrics["histograms"]
+                assert "timings" not in metrics
+
+    def test_metrics_identical_serial_vs_parallel(self):
+        plan = _plan()
+        serial = run_plan(plan, executor=SerialExecutor()).document()
+        parallel = run_plan(
+            plan, executor=ParallelExecutor(jobs=2)
+        ).document()
+        assert serial == parallel  # metrics included
+
+    def test_timings_quarantined_under_include_timing(self):
+        store = run_plan(_plan(grid=None, trials=1))
+        canonical = store.document()["points"][0]["trials"][0]
+        timed = store.document(include_timing=True)["points"][0]["trials"][0]
+        assert "timings" not in canonical["metrics"]
+        assert timed["metrics"]["timings"]["simulate"] >= 0.0
+        assert timed["metrics"]["timings"]["check"] >= 0.0
+        # stripping the wall-clock fields recovers the canonical record
+        timed.pop("wall_time")
+        timed["metrics"].pop("timings")
+        assert timed == canonical
+
+
+class TestSchemaCompat:
+    def _v1_document(self):
+        """A v2 document downgraded the way the old engine wrote it."""
+        document = run_plan(_plan(grid=None, trials=1)).document()
+        document["version"] = 1
+        for entry in document["points"]:
+            for record in entry["trials"]:
+                del record["metrics"]
+        return document
+
+    def test_v1_document_still_validates(self):
+        validate_document(self._v1_document())
+
+    def test_v1_document_loads_with_empty_metrics(self):
+        store = ResultStore.from_document(self._v1_document())
+        assert len(store) == 1
+        assert store.results[0].metrics == {}
+
+    def test_load_document_accepts_both_versions(self, tmp_path):
+        for version, document in (
+            (1, self._v1_document()),
+            (2, run_plan(_plan(grid=None, trials=1)).document()),
+        ):
+            path = tmp_path / f"v{version}.json"
+            path.write_text(json.dumps(document))
+            loaded = load_document(str(path))
+            assert loaded["version"] == version
+            assert loaded["schema"] == SCHEMA_NAME
+
+    def test_future_version_rejected(self):
+        document = self._v1_document()
+        document["version"] = max(SUPPORTED_VERSIONS) + 1
+        with pytest.raises(ConfigurationError, match="unsupported"):
+            validate_document(document)
+
+
+class TestChurnSpecAcrossProcesses:
+    def test_declarative_churn_runs_under_process_pool(self):
+        """ChurnSpec configs must cross the pickle boundary intact."""
+        plan = _plan(
+            grid=None,
+            base=dict(BASE, churn=ChurnSpec(kind="replacement", rate=2.0)),
+            trials=2,
+        )
+        serial = run_plan(plan, executor=SerialExecutor()).to_json()
+        parallel = run_plan(plan, executor=ParallelExecutor(jobs=2)).to_json()
+        assert serial == parallel
+        assert json.loads(serial)["points"][0]["trials"][0]["metrics"][
+            "counters"
+        ]["churn.joins"] > 0
+
+
+class TestTraceSinksAcrossExecutors:
+    def test_null_sink_parallel_matches_memory_serial(self):
+        """The acceptance contract, at the document level: sink choice and
+        executor backend never perturb the canonical document."""
+        plan_memory = _plan()
+        plan_null = _plan(base=dict(BASE, trace_sink="null"))
+        memory_serial = run_plan(
+            plan_memory, executor=SerialExecutor()
+        ).to_json()
+        null_parallel = run_plan(
+            plan_null, executor=ParallelExecutor(jobs=4)
+        ).to_json()
+        assert memory_serial == null_parallel
+
+    def test_jsonl_sink_writes_per_trial_files(self, tmp_path):
+        plan = _plan(
+            grid=None,
+            base=dict(
+                BASE,
+                trace_sink="jsonl",
+                trace_path=str(tmp_path / "t{index}-s{seed}.jsonl"),
+            ),
+            trials=2,
+        )
+        store = run_plan(plan)
+        files = sorted(tmp_path.glob("*.jsonl"))
+        assert len(files) == 2
+        for path, result in zip(files, store.results):
+            assert f"t{result.index}-s{result.seed}" in path.name
+            assert path.stat().st_size > 0

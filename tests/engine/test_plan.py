@@ -7,6 +7,7 @@ import pickle
 import pytest
 
 from repro.churn.models import PhasedChurn, ReplacementChurn
+from repro.churn.spec import resolve_churn
 from repro.engine.plan import ChurnSpec, ExperimentPlan, TrialSpec, build_plan
 from repro.engine.trials import GossipConfig, QueryConfig
 from repro.sim.errors import ConfigurationError
@@ -110,7 +111,10 @@ class TestTrialSpecToConfig:
             "p", grid={"churn_rate": [2.5]}, base={"n": 8}, seeds=[0]
         ).specs[0]
         config = spec.to_config()
-        churn = config.churn(lambda: None)
+        # The config keeps the declarative (picklable) spec; the builder
+        # closure is only materialised inside the worker.
+        assert config.churn == ChurnSpec(kind="replacement", rate=2.5)
+        churn = resolve_churn(config.churn)(lambda: None)
         assert isinstance(churn, ReplacementChurn)
         assert churn.rate == 2.5
 
@@ -126,7 +130,7 @@ class TestTrialSpecToConfig:
             base={"n": 8, "churn": ChurnSpec(kind="phased", rate=6.0)},
             seeds=[0],
         ).specs[0]
-        churn = spec.to_config().churn(lambda: None)
+        churn = resolve_churn(spec.to_config().churn)(lambda: None)
         assert isinstance(churn, PhasedChurn)
 
     def test_churn_and_churn_rate_conflict(self):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.runner import QueryConfig, run_query
+from repro.engine.trials import QueryConfig, run_query
 from repro.churn.lifetimes import ExponentialLifetime, ParetoLifetime
 from repro.churn.models import (
     ArrivalDepartureChurn,

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench.runner import QueryConfig, run_query
+from repro.engine.trials import QueryConfig, run_query
 from repro.churn.adversary import defeat_ttl
 from repro.churn.models import ReplacementChurn
 from repro.core.aggregates import COUNT

@@ -13,7 +13,7 @@ import random
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.bench.runner import QueryConfig, run_query
+from repro.engine.trials import QueryConfig, run_query
 from repro.churn.models import ReplacementChurn
 from repro.core.spec import OneTimeQuerySpec
 from repro.protocols.one_time_query import WaveNode

@@ -37,7 +37,7 @@ class TestTracePersistence:
 
     def test_loaded_trace_spec_checkable(self, tmp_path):
         """A persisted simulation trace can be re-audited offline."""
-        from repro.bench.runner import QueryConfig, run_query
+        from repro.engine.trials import QueryConfig, run_query
 
         outcome = run_query(QueryConfig(n=10, topology="er", aggregate="SUM",
                                         seed=4, horizon=100))

@@ -134,7 +134,7 @@ class TestQueriesAcrossPartitions:
     def test_scoped_obligation_is_satisfiable_mid_partition(self):
         """Scoping the obligation to the querier's side (what the runner
         does) makes the mid-partition query spec-clean."""
-        from repro.bench.runner import reachable_now
+        from repro.engine.trials import reachable_now
 
         sim, pids = build(seed=2)
         fault = PartitionFault(at=5.0, groups=isolate(pids[6:]))
