@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerate the committed bench-diff baseline (benchmarks/BASELINE.json).
+
+The engine's result documents are deterministic for a fixed plan and root
+seed (wall clock is quarantined into ``timings``), so the smoke-shaped
+churn-sweep document below is an exact fixture: any change in verdicts,
+completeness, message counts or executed events shows up as a
+``repro bench diff`` regression.  CI regenerates a candidate with this
+script and gates it against the committed baseline::
+
+    PYTHONPATH=src python benchmarks/make_baseline.py --output /tmp/candidate.json
+    PYTHONPATH=src python -m repro bench diff \
+        benchmarks/BASELINE.json /tmp/candidate.json --fail-on-regression
+
+Re-run with ``--output benchmarks/BASELINE.json`` and commit the result
+when a change *intentionally* shifts the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.api import build_plan, make_executor, run_plan
+
+# The emit_bench.py smoke shape: seconds-scale, still exercises churn.
+RATES = [0.0, 2.0]
+TRIALS = 2
+BASE = {"n": 12, "topology": "er", "aggregate": "COUNT", "horizon": 150.0}
+ROOT_SEED = 2007
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="benchmarks/BASELINE.json")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="workers (documents are identical either way)")
+    args = parser.parse_args()
+
+    plan = build_plan(
+        "bench-baseline", kind="query",
+        grid={"churn_rate": RATES}, base=BASE,
+        trials=TRIALS, root_seed=ROOT_SEED,
+    )
+    store = run_plan(plan, executor=make_executor(args.jobs))
+    store.write(args.output)
+    print(f"baseline document written to {args.output} "
+          f"({len(plan)} trials)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

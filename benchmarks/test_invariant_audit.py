@@ -1,0 +1,81 @@
+"""Trace invariant audit over the E1-E10 experiment shapes.
+
+Every benchmark family runs one representative trial with the streaming
+invariant checkers (:mod:`repro.obs.check`) enabled; a violation means the
+substrate broke one of its own contracts (delivery to a departed entity,
+activity from a zombie process, a backwards clock, a non-quiescent query)
+somewhere in the regime that experiment exercises.  Trials are scaled to
+seconds so the whole audit rides in the benchmarks CI job.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import pytest
+
+from repro.churn.spec import ChurnSpec
+from repro.engine.trials import GossipConfig, QueryConfig, run_gossip, run_query
+from repro.sim.latency import ConstantDelay
+
+#: One representative, seconds-scale trial per experiment family.
+REPRESENTATIVES: dict[str, dict[str, Any]] = {
+    "e1-static-complete": dict(
+        n=16, protocol="request_collect", aggregate="COUNT",
+        delay=ConstantDelay(1.0), horizon=100.0,
+    ),
+    "e2-static-wave": dict(n=24, topology="er", aggregate="COUNT",
+                           horizon=150.0),
+    "e3-finite-arrival": dict(
+        n=12, topology="er", aggregate="COUNT", query_at=60.0, horizon=300.0,
+        churn=ChurnSpec(kind="finite", total_arrivals=20, rate=1.0,
+                        lifetime_mean=10.0),
+    ),
+    "e4-churn-sweep": dict(
+        n=24, topology="er", aggregate="COUNT", horizon=200.0,
+        churn=ChurnSpec(kind="replacement", rate=2.0),
+    ),
+    "e5-session-crossover": dict(
+        n=16, topology="er", aggregate="COUNT", query_at=10.0, horizon=250.0,
+        churn=ChurnSpec(kind="arrival-departure", rate=1.0,
+                        pareto_alpha=1.5, pareto_xm=4.0, cap=48,
+                        doom_initial=True),
+    ),
+    "e6-impossibility": dict(
+        n=16, topology="er", aggregate="COUNT", horizon=150.0,
+        churn=ChurnSpec(kind="replacement", rate=8.0),
+    ),
+    "e7-knowledge-ablation": dict(
+        n=24, topology="er", aggregate="COUNT", ttl=2,
+        delay=ConstantDelay(1.0), horizon=200.0,
+    ),
+    "e9-scaling": dict(n=48, topology="er", aggregate="COUNT", horizon=200.0),
+    "e10-conditional-cell": dict(
+        n=16, topology="er", aggregate="COUNT", horizon=150.0,
+        churn=ChurnSpec(kind="replacement", rate=0.25),
+    ),
+}
+
+
+def _assert_clean(metrics: dict[str, Any], label: str) -> None:
+    counters = metrics.get("counters", {})
+    offending = {name: count for name, count in counters.items()
+                 if name.startswith("check.violations")}
+    assert not offending, f"{label}: invariant violations {offending}"
+
+
+@pytest.mark.parametrize("label", sorted(REPRESENTATIVES))
+def test_query_families_run_clean(label):
+    outcome = run_query(QueryConfig(
+        seed=2007, check_invariants=True, **REPRESENTATIVES[label],
+    ))
+    _assert_clean(outcome.metrics, label)
+
+
+def test_e8_gossip_baseline_runs_clean():
+    outcome = run_gossip(GossipConfig(
+        n=24, topology="er", mode="avg", rounds=40, seed=2007,
+        churn=ChurnSpec(kind="replacement", rate=1.0),
+        check_invariants=True,
+    ))
+    _assert_clean(outcome.metrics, "e8-gossip-baseline")

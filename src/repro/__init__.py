@@ -70,8 +70,12 @@ from repro.core import (
 )
 from repro.sim import Simulator
 from repro.synchronous import KnowledgeFlood, SynchronousSystem
+from repro.version import package_version
 
-__version__ = "1.0.0"
+#: Resolved from installed package metadata when available, so installed
+#: copies report their true version; result documents embed it as
+#: ``repro_version`` for provenance.
+__version__ = package_version()
 
 __all__ = [
     "ExperimentPlan",

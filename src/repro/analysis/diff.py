@@ -1,0 +1,311 @@
+"""Bench regression gate: compare two result documents metric by metric.
+
+Every engine result document is deterministic for a fixed plan and root
+seed (wall clock is quarantined), so a committed baseline document is an
+exact fixture: re-running the same plan must reproduce its per-point
+summaries within the configured per-metric relative thresholds, and any
+drift beyond them is a behavioral regression the gate should catch before
+merge.  ``repro bench diff`` (and the CI workflow, against
+``benchmarks/BASELINE.json``) runs exactly this comparison and exits
+non-zero on regression when ``--fail-on-regression`` is set.
+
+Two input shapes are understood:
+
+* **schema-v2 result documents** (``repro-engine-results``) — points are
+  matched on their grid coordinates and each summary metric is compared
+  with a direction (higher-better for ``ok``/``completeness``/
+  ``fully_complete``, lower-better for ``error``/``latency``/``messages``
+  and the deterministic ``events_executed``);
+* **BENCH payloads** (``benchmarks/emit_bench.py`` output) — flat numeric
+  fields; wall-clock fields get a generous lower-is-better threshold,
+  deterministic totals are held to exact agreement by default.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.analysis.tables import render_table
+from repro.engine.results import SCHEMA_NAME, load_document, validate_document
+from repro.sim.errors import ConfigurationError
+
+#: Default per-metric relative thresholds for result-document summaries:
+#: ``(allowed relative worsening, higher_is_better)``.  The documents are
+#: deterministic, so the defaults are tight; loosen per metric with
+#: ``--metric name=rel`` when a plan intentionally changes.
+DOCUMENT_THRESHOLDS: dict[str, tuple[float, bool]] = {
+    "ok": (0.0, True),
+    "completeness": (0.0, True),
+    "fully_complete": (0.0, True),
+    "error": (0.0, False),
+    "latency": (0.0, False),
+    "messages": (0.0, False),
+    "events_executed": (0.0, False),
+}
+
+#: Default thresholds for BENCH payload scalars.  Wall-clock numbers are
+#: machine noise, so they get room; deterministic totals do not.
+BENCH_THRESHOLDS: dict[str, tuple[float, bool]] = {
+    "serial_wall_s": (0.50, False),
+    "parallel_wall_s": (0.50, False),
+    "speedup": (0.50, True),
+    "events_executed_total": (0.0, False),
+}
+
+
+@dataclass(frozen=True)
+class MetricDiff:
+    """One baseline-vs-candidate comparison of a single metric."""
+
+    label: str
+    metric: str
+    baseline: float
+    candidate: float
+    rel_change: float  # positive = worse, in units of |baseline|
+    threshold: float
+    regressed: bool
+
+    def __str__(self) -> str:
+        flag = "REGRESSED" if self.regressed else "ok"
+        return (
+            f"{self.label} {self.metric}: {self.baseline:g} -> "
+            f"{self.candidate:g} ({self.rel_change:+.2%} vs "
+            f"threshold {self.threshold:.2%}) {flag}"
+        )
+
+
+@dataclass
+class BenchDiff:
+    """The full comparison: every metric at every matched point."""
+
+    entries: list[MetricDiff] = field(default_factory=list)
+    missing: list[str] = field(default_factory=list)  # baseline-only labels
+    extra: list[str] = field(default_factory=list)    # candidate-only labels
+
+    @property
+    def regressions(self) -> list[MetricDiff]:
+        return [entry for entry in self.entries if entry.regressed]
+
+    @property
+    def ok(self) -> bool:
+        """No regressions and no baseline point missing from the candidate
+        (new candidate-only points are fine — grids may grow)."""
+        return not self.regressions and not self.missing
+
+    def render(self, only_regressions: bool = False) -> str:
+        """A human-readable comparison table."""
+        rows = []
+        shown = self.regressions if only_regressions else self.entries
+        for entry in shown:
+            rows.append([
+                entry.label,
+                entry.metric,
+                f"{entry.baseline:g}",
+                f"{entry.candidate:g}",
+                f"{entry.rel_change:+.2%}",
+                "REGRESSED" if entry.regressed else "ok",
+            ])
+        table = render_table(
+            ["point", "metric", "baseline", "candidate", "change", "verdict"],
+            rows,
+            title=(f"bench diff: {len(self.entries)} comparisons, "
+                   f"{len(self.regressions)} regression(s)"),
+        )
+        notes = []
+        if self.missing:
+            notes.append(
+                f"baseline points missing from candidate: {self.missing}"
+            )
+        if self.extra:
+            notes.append(f"candidate-only points (ignored): {self.extra}")
+        return "\n".join([table] + notes)
+
+
+def _relative_change(
+    baseline: float, candidate: float, higher_is_better: bool
+) -> float:
+    """Signed relative worsening: positive means the candidate is worse."""
+    worsening = baseline - candidate if higher_is_better else candidate - baseline
+    if math.isnan(baseline) and math.isnan(candidate):
+        return 0.0
+    if math.isinf(baseline) and math.isinf(candidate) and baseline == candidate:
+        return 0.0
+    if not math.isfinite(baseline) or not math.isfinite(candidate):
+        # One side finite, the other not: direction decides severity.
+        return math.copysign(math.inf, worsening) if worsening != 0 else 0.0
+    if baseline == 0.0:
+        return 0.0 if worsening == 0.0 else math.copysign(math.inf, worsening)
+    return worsening / abs(baseline)
+
+
+def _compare(
+    label: str,
+    metric: str,
+    baseline: float,
+    candidate: float,
+    threshold: float,
+    higher_is_better: bool,
+) -> MetricDiff:
+    rel = _relative_change(baseline, candidate, higher_is_better)
+    return MetricDiff(
+        label=label,
+        metric=metric,
+        baseline=baseline,
+        candidate=candidate,
+        rel_change=rel,
+        threshold=threshold,
+        regressed=rel > threshold,
+    )
+
+
+def _point_label(point: Mapping[str, Any]) -> str:
+    if not point:
+        return "(base)"
+    return ",".join(f"{key}={point[key]}" for key in sorted(point))
+
+
+def _merge_thresholds(
+    defaults: dict[str, tuple[float, bool]],
+    overrides: Mapping[str, float] | None,
+) -> dict[str, tuple[float, bool]]:
+    merged = dict(defaults)
+    for name, rel in (overrides or {}).items():
+        if rel < 0:
+            raise ConfigurationError(
+                f"threshold for {name!r} must be >= 0, got {rel}"
+            )
+        _, higher = merged.get(name, (0.0, False))
+        merged[name] = (float(rel), higher)
+    return merged
+
+
+def diff_documents(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    thresholds: Mapping[str, float] | None = None,
+) -> BenchDiff:
+    """Compare two schema-versioned result documents point by point.
+
+    ``thresholds`` overrides the allowed relative worsening per metric
+    (direction stays as in :data:`DOCUMENT_THRESHOLDS`).  Baseline points
+    absent from the candidate count against :attr:`BenchDiff.ok`;
+    candidate-only points are reported but tolerated.
+    """
+    validate_document(baseline)
+    validate_document(candidate)
+    merged = _merge_thresholds(DOCUMENT_THRESHOLDS, thresholds)
+
+    def summaries(doc: Mapping[str, Any]) -> dict[tuple, tuple[str, Mapping[str, Any]]]:
+        out: dict[tuple, tuple[str, Mapping[str, Any]]] = {}
+        for entry in doc["points"]:
+            point = entry["point"]
+            key = tuple(sorted((str(k), repr(v)) for k, v in point.items()))
+            out[key] = (_point_label(point), entry.get("summary", {}))
+        return out
+
+    base_points = summaries(baseline)
+    cand_points = summaries(candidate)
+    diff = BenchDiff()
+    diff.missing = [
+        label for key, (label, _) in base_points.items()
+        if key not in cand_points
+    ]
+    diff.extra = [
+        label for key, (label, _) in cand_points.items()
+        if key not in base_points
+    ]
+    for key, (label, base_summary) in base_points.items():
+        if key not in cand_points:
+            continue
+        _, cand_summary = cand_points[key]
+        for metric, (threshold, higher) in merged.items():
+            if metric not in base_summary or metric not in cand_summary:
+                continue
+            diff.entries.append(_compare(
+                label, metric,
+                float(base_summary[metric]), float(cand_summary[metric]),
+                threshold, higher,
+            ))
+    return diff
+
+
+def diff_bench_payloads(
+    baseline: Mapping[str, Any],
+    candidate: Mapping[str, Any],
+    thresholds: Mapping[str, float] | None = None,
+) -> BenchDiff:
+    """Compare two ``emit_bench.py`` payloads on their numeric scalars.
+
+    Wall-clock fields use generous lower-is-better thresholds; the
+    deterministic ``events_executed_total`` and every ``metrics_totals``
+    counter are held to exact agreement unless overridden.
+    """
+    merged = _merge_thresholds(BENCH_THRESHOLDS, thresholds)
+    label = str(baseline.get("benchmark", "bench"))
+    diff = BenchDiff()
+    for metric, (threshold, higher) in merged.items():
+        if metric not in baseline or metric not in candidate:
+            continue
+        diff.entries.append(_compare(
+            label, metric,
+            float(baseline[metric]), float(candidate[metric]),
+            threshold, higher,
+        ))
+    base_totals = baseline.get("metrics_totals", {}) or {}
+    cand_totals = candidate.get("metrics_totals", {}) or {}
+    for name in sorted(base_totals):
+        if name not in cand_totals:
+            diff.missing.append(f"metrics_totals.{name}")
+            continue
+        threshold, higher = merged.get(f"metrics_totals.{name}", (0.0, False))
+        diff.entries.append(_compare(
+            label, f"metrics_totals.{name}",
+            float(base_totals[name]), float(cand_totals[name]),
+            threshold, higher,
+        ))
+    return diff
+
+
+def load_comparable(path: str | Path) -> Mapping[str, Any]:
+    """Load a JSON file the gate knows how to compare.
+
+    Schema-versioned engine documents are validated (raising the typed
+    :class:`~repro.engine.results.SchemaVersionError` on unknown
+    versions); anything with a ``benchmark`` field is treated as an
+    ``emit_bench.py`` payload.
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, Mapping) and document.get("schema") == SCHEMA_NAME:
+        return load_document(str(path))
+    if isinstance(document, Mapping) and "benchmark" in document:
+        return document
+    raise ConfigurationError(
+        f"{path} is neither a {SCHEMA_NAME} document nor an emit_bench "
+        "payload; nothing to compare"
+    )
+
+
+def diff_files(
+    baseline_path: str | Path,
+    candidate_path: str | Path,
+    thresholds: Mapping[str, float] | None = None,
+) -> BenchDiff:
+    """Load two files (result documents or BENCH payloads) and diff them."""
+    baseline = load_comparable(baseline_path)
+    candidate = load_comparable(candidate_path)
+    base_is_doc = baseline.get("schema") == SCHEMA_NAME
+    cand_is_doc = candidate.get("schema") == SCHEMA_NAME
+    if base_is_doc != cand_is_doc:
+        raise ConfigurationError(
+            "cannot compare a result document against a BENCH payload; "
+            "pass two files of the same shape"
+        )
+    if base_is_doc:
+        return diff_documents(baseline, candidate, thresholds)
+    return diff_bench_payloads(baseline, candidate, thresholds)

@@ -23,7 +23,14 @@ The surface groups into:
   (:func:`load_document`).
 * **Observability** — :class:`Metrics` and the pluggable trace sinks
   (:class:`MemorySink`, :class:`JsonlStreamSink`, :class:`NullSink`,
-  :class:`CountingSink`) selected per trial via ``trace_sink=...``.
+  :class:`CountingSink`) selected per trial via ``trace_sink=...``, plus
+  the causal analysis layer: :class:`HappensBeforeDAG` /
+  :class:`InfluenceReport`, the streaming invariant checkers behind
+  :class:`CheckingSink` / :func:`check_trace`, and the timeline exporters
+  (:func:`write_chrome_trace`, :func:`ascii_timeline`).
+* **Regression gating** — :func:`diff_files` / :func:`diff_documents`
+  compare two result documents (or BENCH payloads) with per-metric
+  relative thresholds; ``repro bench diff`` is the CLI face.
 * **Model** — the paper's formal layer (system classes, runs, the
   one-time-query specification) plus the simulator, topology, churn and
   protocol building blocks the examples exercise.
@@ -66,27 +73,50 @@ from repro.engine.results import (
     SCHEMA_NAME,
     SCHEMA_VERSION,
     ResultStore,
+    SchemaVersionError,
     TrialResult,
     load_document,
     summarize_point,
     validate_document,
 )
 
-# --- Observability: metrics registry and trace sinks --------------------
+# --- Observability: metrics, sinks, causality, checking, export ---------
 from repro.obs import (
     SINK_NAMES,
     TRANSPORT_KINDS,
+    CheckingSink,
     Counter,
     CountingSink,
     Gauge,
+    HappensBeforeDAG,
     Histogram,
+    InfluenceReport,
+    InvariantChecker,
     JsonlStreamSink,
     MemorySink,
     Metrics,
     NullSink,
     TraceSink,
+    Violation,
+    ascii_timeline,
+    check_trace,
+    default_checkers,
     make_sink,
+    owners_of,
+    to_chrome_trace,
+    write_chrome_trace,
 )
+
+# --- Regression gating: compare result documents ------------------------
+from repro.analysis.diff import (
+    BENCH_THRESHOLDS,
+    DOCUMENT_THRESHOLDS,
+    BenchDiff,
+    MetricDiff,
+    diff_documents,
+    diff_files,
+)
+from repro.version import package_version
 
 # --- Churn: declarative specs, generative models, adversaries -----------
 from repro.churn.spec import ChurnSpec, resolve_churn
@@ -208,10 +238,14 @@ __all__ = [
     "summarize_point",
     "validate_document",
     # observability
+    "CheckingSink",
     "Counter",
     "CountingSink",
     "Gauge",
+    "HappensBeforeDAG",
     "Histogram",
+    "InfluenceReport",
+    "InvariantChecker",
     "JsonlStreamSink",
     "MemorySink",
     "Metrics",
@@ -219,7 +253,23 @@ __all__ = [
     "SINK_NAMES",
     "TRANSPORT_KINDS",
     "TraceSink",
+    "Violation",
+    "ascii_timeline",
+    "check_trace",
+    "default_checkers",
     "make_sink",
+    "owners_of",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    # regression gating & provenance
+    "BENCH_THRESHOLDS",
+    "BenchDiff",
+    "DOCUMENT_THRESHOLDS",
+    "MetricDiff",
+    "SchemaVersionError",
+    "diff_documents",
+    "diff_files",
+    "package_version",
     # churn
     "ArrivalDepartureChurn",
     "ChurnSpec",

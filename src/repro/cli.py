@@ -24,6 +24,15 @@ flag vocabulary and all run through the layered experiment engine
 * ``--trace-sink {memory,jsonl,null,counts}`` selects the transport-event
   sink (``jsonl`` needs ``--trace-dir``); verdicts and documents are
   identical under every sink.
+* ``--check-invariants`` runs the streaming trace invariant checkers
+  (:mod:`repro.obs.check`) inside every trial.
+
+Saved ``.jsonl`` traces feed the analysis commands::
+
+    python -m repro trace analyze trial.jsonl        # causal influence
+    python -m repro trace check   trial.jsonl        # invariant audit
+    python -m repro trace export  trial.jsonl --format chrome -o t.json
+    python -m repro bench diff BASELINE.json candidate.json --fail-on-regression
 """
 
 from __future__ import annotations
@@ -118,6 +127,10 @@ def _engine_parent(trials_default: int = 1) -> argparse.ArgumentParser:
     group.add_argument("--trace-dir", dest="trace_dir", default=None,
                        help="directory for per-trial .jsonl event streams "
                        "(required by --trace-sink jsonl)")
+    group.add_argument("--check-invariants", dest="check_invariants",
+                       action="store_true",
+                       help="verify the trace invariants online; violations "
+                       "are counted under check.violations in the metrics")
     return parent
 
 
@@ -126,19 +139,39 @@ class _ProgressPrinter:
 
     Invoked by the executor in completion order; the ETA divides the mean
     observed trial wall time by the worker count, so it stays meaningful
-    under ``--jobs N``.
+    under ``--jobs N``.  The final line reports per-status counts: ``ok``
+    (spec satisfied), ``failed`` (terminated but spec violated) and
+    ``skipped`` (never reached a verdict — e.g. the query never returned).
     """
 
     def __init__(self, jobs: int = 1, stream: Any = None) -> None:
         self.jobs = max(1, jobs)
         self.stream = stream if stream is not None else sys.stderr
         self._walls: list[float] = []
+        self.ok = 0
+        self.failed = 0
+        self.skipped = 0
+
+    def _classify(self, result: Any) -> None:
+        if not getattr(result, "terminated", True):
+            self.skipped += 1
+        elif getattr(result, "ok", False):
+            self.ok += 1
+        else:
+            self.failed += 1
+
+    def summary(self) -> str:
+        return f"{self.ok} ok, {self.failed} failed, {self.skipped} skipped"
 
     def __call__(self, done: int, total: int, result: Any) -> None:
         self._walls.append(float(getattr(result, "wall_time", 0.0)))
+        self._classify(result)
         mean_wall = sum(self._walls) / len(self._walls)
         eta = mean_wall * (total - done) / self.jobs
-        line = f"[{done}/{total}] trials done, eta {eta:.1f}s"
+        if done == total:
+            line = f"[{done}/{total}] trials done: {self.summary()}"
+        else:
+            line = f"[{done}/{total}] trials done, eta {eta:.1f}s"
         if self.stream.isatty():
             end = "\n" if done == total else "\r"
             self.stream.write("\r" + line + end)
@@ -168,6 +201,8 @@ def _apply_sink_flags(args: argparse.Namespace, name: str,
     """Fold ``--trace-sink`` / ``--trace-dir`` into the plan's base config."""
     base = dict(base)
     base["trace_sink"] = args.trace_sink
+    if args.check_invariants:
+        base["check_invariants"] = True
     if args.trace_sink == "jsonl":
         if not args.trace_dir:
             raise SystemExit("--trace-sink jsonl requires --trace-dir")
@@ -236,11 +271,15 @@ def _engine_finish(
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.version import package_version
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Dynamic distributed systems: the PaCT 2007 definition "
         "space, executable.",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {package_version()}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     query = sub.add_parser("query", parents=[_engine_parent(trials_default=1)],
@@ -305,6 +344,59 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="comma-separated replacement churn rates")
     sweep_cmd.add_argument("--n", type=int, default=32)
     sweep_cmd.add_argument("--topology", default="er")
+
+    trace_cmd = sub.add_parser(
+        "trace", help="analyze, check or export a saved .jsonl trace"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+
+    analyze = trace_sub.add_parser(
+        "analyze",
+        help="build the happens-before DAG and report causal influence",
+    )
+    analyze.add_argument("path", help="JSONL trace file (--trace-sink jsonl)")
+    analyze.add_argument("--qid", type=int, default=None,
+                         help="query id to analyze (default: the last "
+                         "returned query)")
+
+    check = trace_sub.add_parser(
+        "check", help="replay the trace through the invariant checkers"
+    )
+    check.add_argument("path", help="JSONL trace file to audit")
+
+    export = trace_sub.add_parser(
+        "export", help="export per-node timelines (Chrome trace or ASCII)"
+    )
+    export.add_argument("path", help="JSONL trace file to export")
+    export.add_argument("--format", dest="format", default="ascii",
+                        choices=["ascii", "chrome"],
+                        help="ascii prints a terminal timeline; chrome "
+                        "writes a Perfetto/chrome://tracing JSON file")
+    export.add_argument("--output", "-o", default=None,
+                        help="output file (required for --format chrome)")
+    export.add_argument("--width", type=int, default=72,
+                        help="timeline width in characters (ascii only)")
+
+    bench_cmd = sub.add_parser(
+        "bench", help="benchmark utilities (regression gating)"
+    )
+    bench_sub = bench_cmd.add_subparsers(dest="bench_command", required=True)
+
+    diff = bench_sub.add_parser(
+        "diff",
+        help="compare two result documents (or BENCH_*.json payloads) "
+        "with per-metric relative thresholds",
+    )
+    diff.add_argument("baseline", help="baseline JSON file")
+    diff.add_argument("candidate", help="candidate JSON file")
+    diff.add_argument("--metric", action="append", default=[],
+                      metavar="NAME=REL",
+                      help="override a metric's relative threshold, e.g. "
+                      "--metric latency=0.10 (repeatable)")
+    diff.add_argument("--fail-on-regression", dest="fail_on_regression",
+                      action="store_true",
+                      help="exit non-zero if any metric regressed beyond "
+                      "its threshold")
 
     return parser
 
@@ -489,6 +581,74 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.causal import HappensBeforeDAG
+    from repro.obs.check import check_trace
+    from repro.obs.export import ascii_timeline, write_chrome_trace
+    from repro.sim.trace import TraceLog
+
+    if args.trace_command == "analyze":
+        dag = HappensBeforeDAG.from_jsonl(args.path)
+        print(f"trace: {args.path}")
+        print(f"  events         : {len(dag.events)}")
+        print(f"  program edges  : {dag.program_edges}")
+        print(f"  message edges  : {dag.message_edges}")
+        queries = dag.query_indices()
+        if not queries:
+            print("  no queries in this trace; nothing to analyze")
+            return 0
+        report = dag.influence(args.qid)
+        print()
+        print(report)
+        return 0
+
+    if args.trace_command == "check":
+        violations = check_trace(args.path)
+        if not violations:
+            print(f"{args.path}: all trace invariants hold")
+            return 0
+        print(f"{args.path}: {len(violations)} invariant violation(s)")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+
+    # export
+    log = TraceLog.load_jsonl(args.path)
+    if args.format == "chrome":
+        if not args.output:
+            raise SystemExit("--format chrome requires --output FILE")
+        written = write_chrome_trace(log, args.output)
+        print(f"{written} trace events written to {args.output} "
+              "(open in Perfetto or chrome://tracing)")
+        return 0
+    print(ascii_timeline(log, width=args.width))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.analysis.diff import diff_files
+
+    thresholds: dict[str, float] = {}
+    for spec in args.metric:
+        name, sep, value = spec.partition("=")
+        if not sep or not name:
+            raise SystemExit(
+                f"--metric expects NAME=REL (a relative threshold), got {spec!r}"
+            )
+        try:
+            thresholds[name] = float(value)
+        except ValueError:
+            raise SystemExit(f"--metric {spec!r}: {value!r} is not a number")
+    diff = diff_files(args.baseline, args.candidate, thresholds or None)
+    print(diff.render())
+    if diff.ok:
+        print("no regressions")
+        return 0
+    print(f"{len(diff.regressions)} regression(s), "
+          f"{len(diff.missing)} missing point(s)")
+    return 1 if args.fail_on_regression else 0
+
+
 _COMMANDS = {
     "query": _cmd_query,
     "report": _cmd_report,
@@ -498,6 +658,8 @@ _COMMANDS = {
     "matrix": _cmd_matrix,
     "describe": _cmd_describe,
     "sweep": _cmd_sweep,
+    "trace": _cmd_trace,
+    "bench": _cmd_bench,
 }
 
 

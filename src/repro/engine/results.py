@@ -30,6 +30,7 @@ from typing import Any, Iterable, Mapping
 
 from repro.obs.metrics import strip_timings
 from repro.sim.errors import ConfigurationError
+from repro.version import package_version
 
 #: Document schema identifier and version; bump the version on any change
 #: to the document layout.
@@ -38,6 +39,27 @@ SCHEMA_VERSION = 2
 
 #: Versions this engine can still read.
 SUPPORTED_VERSIONS = (1, 2)
+
+
+class SchemaVersionError(ConfigurationError):
+    """A result document declares a schema version this engine cannot read.
+
+    Raised up front by :func:`validate_document` / :func:`load_document`
+    (instead of failing deep in consumer code) and names both the offending
+    version and the supported range.  Subclasses
+    :class:`~repro.sim.errors.ConfigurationError`, so existing broad
+    handlers keep working.
+    """
+
+    def __init__(self, version: Any, supported: tuple[int, ...]) -> None:
+        self.version = version
+        self.supported = tuple(supported)
+        super().__init__(
+            f"unsupported result document schema version {version!r}; this "
+            f"engine reads {SCHEMA_NAME} versions "
+            f"{self.supported[0]}..{self.supported[-1]} "
+            f"({', '.join(str(v) for v in self.supported)})"
+        )
 
 
 def jsonable(value: Any) -> Any:
@@ -238,6 +260,7 @@ class ResultStore:
         return {
             "schema": SCHEMA_NAME,
             "version": SCHEMA_VERSION,
+            "repro_version": package_version(),
             "plan": jsonable(self.plan),
             "points": points,
         }
@@ -296,11 +319,7 @@ def validate_document(document: Mapping[str, Any]) -> None:
             f"not a {SCHEMA_NAME} document (schema={document.get('schema')!r})"
         )
     if document.get("version") not in SUPPORTED_VERSIONS:
-        raise ConfigurationError(
-            f"unsupported document version {document.get('version')!r}; "
-            f"this engine reads versions "
-            f"{', '.join(str(v) for v in SUPPORTED_VERSIONS)}"
-        )
+        raise SchemaVersionError(document.get("version"), SUPPORTED_VERSIONS)
     points = document.get("points")
     if not isinstance(points, list):
         raise ConfigurationError("result document has no 'points' list")

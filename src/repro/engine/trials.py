@@ -31,6 +31,7 @@ from repro.core.dissemination_spec import (
 )
 from repro.core.runs import Run
 from repro.core.spec import OneTimeQuerySpec, QueryRecord, Verdict, extract_queries
+from repro.obs.check import CheckingSink
 from repro.obs.sinks import TraceSink, make_sink
 from repro.protocols.base import QueryResult
 from repro.protocols.dissemination import AntiEntropyNode, FloodNode
@@ -58,9 +59,14 @@ def _make_simulator(config: Any, **kwargs: Any) -> Simulator:
     ``config.trace_sink`` is a sink name (see
     :data:`repro.obs.sinks.SINK_NAMES`) or a prebuilt
     :class:`~repro.obs.sinks.TraceSink`; ``config.trace_path`` supplies the
-    output file for the ``"jsonl"`` sink.
+    output file for the ``"jsonl"`` sink.  With ``config.check_invariants``
+    the sink is wrapped in a :class:`~repro.obs.check.CheckingSink`, so the
+    four trace invariants are verified online and any violations are
+    counted under ``check.violations`` in the trial's metrics block.
     """
     sink = make_sink(config.trace_sink, path=config.trace_path)
+    if getattr(config, "check_invariants", False):
+        sink = CheckingSink(sink)
     return Simulator(seed=config.seed, trace_sink=sink, **kwargs)
 
 
@@ -95,6 +101,9 @@ class QueryConfig:
             in memory, so verdicts and documents are identical under every
             sink.
         trace_path: output file for the ``"jsonl"`` sink.
+        check_invariants: verify the four trace invariants online (see
+            :mod:`repro.obs.check`); violations are counted under
+            ``check.violations`` in the trial's metrics block.
         value_of: maps an arrival index (0-based, initial population first)
             to the entity's local value.  Default: ``float(index)``.
         protect_querier: exempt the querier from random victim selection.
@@ -122,6 +131,7 @@ class QueryConfig:
     detector_timeout: float = 3.0
     trace_sink: str | TraceSink = "memory"
     trace_path: str | None = None
+    check_invariants: bool = False
 
     def aggregate_obj(self) -> Aggregate:
         return by_name(self.aggregate)
@@ -377,6 +387,7 @@ class GossipConfig:
     protect_reader: bool = True
     trace_sink: str | TraceSink = "memory"
     trace_path: str | None = None
+    check_invariants: bool = False
 
 
 @dataclass
@@ -499,6 +510,7 @@ class DisseminationConfig:
     value: object = "payload"
     trace_sink: str | TraceSink = "memory"
     trace_path: str | None = None
+    check_invariants: bool = False
 
 
 @dataclass

@@ -10,7 +10,13 @@
   stream (in-memory, JSONL streaming, counting, null), selected per trial
   with ``trace_sink=...`` or ``--trace-sink``;
 * :mod:`repro.obs.codec` — the tuple/frozenset-preserving JSON codec
-  shared by trace persistence and the streaming sink.
+  shared by trace persistence and the streaming sink;
+* :mod:`repro.obs.causal` — the happens-before DAG over a trace and the
+  per-query causal influence report;
+* :mod:`repro.obs.check` — streaming trace invariant checkers and the
+  :class:`~repro.obs.check.CheckingSink` decorator;
+* :mod:`repro.obs.export` — Chrome Trace Format (Perfetto) and ASCII
+  timeline exporters.
 
 Import the blessed names from :mod:`repro.api`.
 """
@@ -33,20 +39,58 @@ from repro.obs.sinks import (
     TraceSink,
     make_sink,
 )
+from repro.obs.causal import (
+    HappensBeforeDAG,
+    InfluenceReport,
+    owners_of,
+    threads_of,
+)
+from repro.obs.check import (
+    CheckingSink,
+    DeliveryLivenessChecker,
+    InvariantChecker,
+    QueryQuiescenceChecker,
+    SendLivenessChecker,
+    TimeMonotonicityChecker,
+    Violation,
+    check_trace,
+    default_checkers,
+)
+from repro.obs.export import (
+    ascii_timeline,
+    to_chrome_trace,
+    write_chrome_trace,
+)
 
 __all__ = [
+    "CheckingSink",
     "Counter",
     "CountingSink",
     "DEFAULT_BUCKETS",
+    "DeliveryLivenessChecker",
     "Gauge",
+    "HappensBeforeDAG",
     "Histogram",
+    "InfluenceReport",
+    "InvariantChecker",
     "JsonlStreamSink",
     "MemorySink",
     "Metrics",
     "NullSink",
+    "QueryQuiescenceChecker",
     "SINK_NAMES",
+    "SendLivenessChecker",
     "TRANSPORT_KINDS",
+    "TimeMonotonicityChecker",
     "TraceSink",
+    "Violation",
+    "ascii_timeline",
+    "check_trace",
+    "default_checkers",
     "make_sink",
+    "owners_of",
     "strip_timings",
+    "threads_of",
+    "to_chrome_trace",
+    "write_chrome_trace",
 ]

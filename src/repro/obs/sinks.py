@@ -64,6 +64,15 @@ class TraceSink(abc.ABC):
     def close(self) -> None:
         """Flush and release any resources (idempotent)."""
 
+    def attach_metrics(self, metrics: Any) -> None:
+        """Offer the owning simulator's metrics registry to the sink.
+
+        Called once by :class:`~repro.sim.scheduler.Simulator` right after
+        construction.  The default is a no-op; instrumented sinks (e.g.
+        :class:`repro.obs.check.CheckingSink`) override it to count what
+        they observe.
+        """
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}()"
 

@@ -52,6 +52,8 @@ class Simulator:
         self.queue = EventQueue()
         self.trace = TraceLog(sink=trace_sink)
         self.metrics = Metrics()
+        # Instrumented sinks (CheckingSink) count into this registry.
+        self.trace.sink.attach_metrics(self.metrics)
         self.network = Network(
             self, delay_model=delay_model, loss_model=loss_model,
             complete=complete, fifo=fifo, notify_leaves=notify_leaves,

@@ -1,0 +1,26 @@
+"""Package version lookup, shared by ``repro --version`` and the result
+documents' provenance stamp.
+
+The installed distribution metadata is authoritative; when the package is
+run straight from a source tree without installation, the fallback keeps
+the stamp meaningful instead of crashing provenance-aware consumers.
+"""
+
+from __future__ import annotations
+
+#: Used when the ``repro`` distribution is not installed (e.g. running
+#: from a source checkout via ``PYTHONPATH=src``).  Keep in sync with
+#: ``pyproject.toml``.
+FALLBACK_VERSION = "1.0.0"
+
+
+def package_version() -> str:
+    """The installed ``repro`` version, or the source-tree fallback."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - importlib.metadata is 3.8+
+        return FALLBACK_VERSION
+    try:
+        return version("repro")
+    except PackageNotFoundError:
+        return FALLBACK_VERSION

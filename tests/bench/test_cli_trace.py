@@ -1,0 +1,140 @@
+"""CLI tests for the trace/bench command groups, --version and
+--check-invariants (repro.cli)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    """One churn trial streamed to JSONL via the engine flags."""
+    trace_dir = tmp_path / "traces"
+    assert main([
+        "query", "--n", "10", "--churn-rate", "2.0", "--horizon", "100",
+        "--seed", "7", "--trace-sink", "jsonl",
+        "--trace-dir", str(trace_dir),
+    ]) == 0
+    files = list(trace_dir.glob("*.jsonl"))
+    assert len(files) == 1
+    return files[0]
+
+
+class TestVersionFlag:
+    def test_version_prints_package_version(self, capsys):
+        from repro.version import package_version
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert package_version() in capsys.readouterr().out
+
+
+class TestTraceCommands:
+    def test_analyze_reports_influence(self, trace_file, capsys):
+        assert main(["trace", "analyze", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "program edges" in out and "message edges" in out
+        assert "causal depth" in out
+
+    def test_analyze_explicit_qid(self, trace_file, capsys):
+        assert main(["trace", "analyze", str(trace_file),
+                     "--qid", "0"]) == 0
+        assert "query 0" in capsys.readouterr().out
+
+    def test_check_clean_trace_exits_zero(self, trace_file, capsys):
+        assert main(["trace", "check", str(trace_file)]) == 0
+        assert "all trace invariants hold" in capsys.readouterr().out
+
+    def test_check_violating_trace_exits_nonzero(self, tmp_path, capsys):
+        from repro.obs.codec import encode_event
+
+        bad = tmp_path / "bad.jsonl"
+        records = [
+            encode_event(0.0, "join", {"entity": 0}),
+            encode_event(1.0, "leave", {"entity": 0}),
+            encode_event(2.0, "deliver", {"msg_id": 1, "msg_kind": "X",
+                                          "sender": 9, "receiver": 0}),
+        ]
+        bad.write_text(
+            "".join(json.dumps(r) + "\n" for r in records), encoding="utf-8"
+        )
+        assert main(["trace", "check", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "1 invariant violation" in out
+        assert "no_delivery_to_departed" in out
+
+    def test_export_ascii(self, trace_file, capsys):
+        assert main(["trace", "export", str(trace_file),
+                     "--width", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "trace timeline" in out and "legend:" in out
+
+    def test_export_chrome(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "perfetto.json"
+        assert main(["trace", "export", str(trace_file),
+                     "--format", "chrome", "-o", str(out_path)]) == 0
+        assert "Perfetto" in capsys.readouterr().out
+        document = json.loads(out_path.read_text(encoding="utf-8"))
+        assert document["traceEvents"]
+
+    def test_export_chrome_requires_output(self, trace_file):
+        with pytest.raises(SystemExit):
+            main(["trace", "export", str(trace_file), "--format", "chrome"])
+
+
+class TestBenchDiffCommand:
+    @pytest.fixture()
+    def documents(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        assert main([
+            "query", "--n", "8", "--horizon", "80", "--seed", "3",
+            "--trials", "1", "--output", str(baseline),
+        ]) == 0
+        perturbed = json.loads(baseline.read_text(encoding="utf-8"))
+        perturbed["points"][0]["summary"]["completeness"] -= 0.5
+        candidate = tmp_path / "candidate.json"
+        candidate.write_text(json.dumps(perturbed), encoding="utf-8")
+        return baseline, candidate
+
+    def test_identical_documents_exit_zero(self, documents, capsys):
+        baseline, _ = documents
+        assert main(["bench", "diff", str(baseline), str(baseline),
+                     "--fail-on-regression"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_fails_only_when_asked(self, documents, capsys):
+        baseline, candidate = documents
+        assert main(["bench", "diff", str(baseline), str(candidate)]) == 0
+        assert "REGRESSED" in capsys.readouterr().out
+        assert main(["bench", "diff", str(baseline), str(candidate),
+                     "--fail-on-regression"]) == 1
+
+    def test_metric_threshold_override(self, documents):
+        baseline, candidate = documents
+        assert main([
+            "bench", "diff", str(baseline), str(candidate),
+            "--metric", "completeness=0.9", "--fail-on-regression",
+        ]) == 0
+
+    def test_malformed_metric_flag_rejected(self, documents):
+        baseline, _ = documents
+        with pytest.raises(SystemExit, match="NAME=REL"):
+            main(["bench", "diff", str(baseline), str(baseline),
+                  "--metric", "completeness"])
+        with pytest.raises(SystemExit, match="not a number"):
+            main(["bench", "diff", str(baseline), str(baseline),
+                  "--metric", "completeness=abc"])
+
+
+class TestCheckInvariantsFlag:
+    def test_query_with_check_invariants_runs_clean(self, capsys):
+        assert main([
+            "query", "--n", "10", "--churn-rate", "2.0", "--horizon", "100",
+            "--check-invariants", "--trials", "1",
+        ]) == 0
+        assert "one-time query" in capsys.readouterr().out

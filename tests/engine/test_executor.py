@@ -126,3 +126,44 @@ class TestRunPlan:
     def test_jobs_shortcut(self):
         store = run_plan(QUERY_PLAN, jobs=1)
         assert len(store) == len(QUERY_PLAN)
+
+
+class TestProgressPrinter:
+    """The CLI's progress hook: live ETA, final per-status counts."""
+
+    def _run(self, plan):
+        import io
+
+        from repro.cli import _ProgressPrinter
+
+        stream = io.StringIO()
+        printer = _ProgressPrinter(jobs=1, stream=stream)
+        store = run_plan(plan, executor=SerialExecutor(), progress=printer)
+        return printer, stream.getvalue(), store
+
+    def test_final_line_reports_per_status_counts(self):
+        plan = build_plan(
+            "progress-mixed", kind="query",
+            grid={"churn_rate": [0.0, 8.0]},
+            base={"n": 8, "topology": "er", "aggregate": "COUNT",
+                  "horizon": 100.0},
+            trials=2, root_seed=13,
+        )
+        printer, output, store = self._run(plan)
+        assert printer.ok + printer.failed + printer.skipped == len(plan.specs)
+        assert printer.ok == sum(1 for r in store.results
+                                 if r.terminated and r.ok)
+        assert printer.failed == sum(1 for r in store.results
+                                     if r.terminated and not r.ok)
+        assert printer.skipped == sum(1 for r in store.results
+                                      if not r.terminated)
+        final = output.strip().splitlines()[-1]
+        assert final == (f"[{len(plan.specs)}/{len(plan.specs)}] trials "
+                         f"done: {printer.summary()}")
+
+    def test_intermediate_lines_keep_the_eta(self):
+        printer, output, _ = self._run(QUERY_PLAN)
+        lines = output.strip().splitlines()
+        assert all("eta" in line for line in lines[:-1])
+        assert "eta" not in lines[-1]
+        assert f"{printer.ok} ok" in lines[-1]

@@ -179,3 +179,56 @@ class TestAnalysisConsumers:
         ]).document()
         with pytest.raises(ValueError, match="no .*pairs"):
             compare_documents(doc_a, other)
+
+
+class TestSchemaVersioning:
+    def test_document_carries_repro_version(self):
+        from repro.version import package_version
+
+        document = _store().document()
+        assert document["repro_version"] == package_version()
+
+    def test_v1_document_loads_with_empty_metrics(self, tmp_path):
+        from repro.engine.results import load_document
+
+        store = _store()
+        document = json.loads(store.to_json())
+        document["version"] = 1
+        for entry in document["points"]:
+            for trial in entry["trials"]:
+                trial.pop("metrics", None)
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        loaded = load_document(str(path))
+        assert loaded["version"] == 1
+        rehydrated = ResultStore.load(str(path))
+        assert all(r.metrics == {} for r in rehydrated.results)
+
+    def test_v2_document_loads_verbatim(self, tmp_path):
+        from repro.engine.results import load_document
+
+        path = tmp_path / "v2.json"
+        _store().write(str(path))
+        loaded = load_document(str(path))
+        assert loaded["version"] == SCHEMA_VERSION
+
+    def test_unknown_version_raises_typed_error_naming_range(self, tmp_path):
+        from repro.engine.results import (
+            SUPPORTED_VERSIONS,
+            SchemaVersionError,
+            load_document,
+        )
+
+        document = json.loads(_store().to_json())
+        document["version"] = 3
+        path = tmp_path / "v3.json"
+        path.write_text(json.dumps(document), encoding="utf-8")
+        with pytest.raises(SchemaVersionError) as excinfo:
+            load_document(str(path))
+        error = excinfo.value
+        assert error.version == 3
+        assert error.supported == SUPPORTED_VERSIONS
+        assert "3" in str(error)
+        assert f"{SUPPORTED_VERSIONS[0]}..{SUPPORTED_VERSIONS[-1]}" in str(error)
+        # The typed error still satisfies broad ConfigurationError handlers.
+        assert isinstance(error, ConfigurationError)
