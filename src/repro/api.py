@@ -31,6 +31,11 @@ The surface groups into:
 * **Regression gating** — :func:`diff_files` / :func:`diff_documents`
   compare two result documents (or BENCH payloads) with per-metric
   relative thresholds; ``repro bench diff`` is the CLI face.
+* **Faults** — the deterministic fault-injection plane
+  (:class:`FaultPlan` / :class:`FaultSpec`, the builtin
+  :data:`FAULT_PRESETS`, and :class:`FaultInjector` for driving a raw
+  simulator), selected per trial via the ``faults=...`` config field or
+  ``--fault-plan`` on the CLI.
 * **Model** — the paper's formal layer (system classes, runs, the
   one-time-query specification) plus the simulator, topology, churn and
   protocol building blocks the examples exercise.
@@ -117,6 +122,18 @@ from repro.analysis.diff import (
     diff_files,
 )
 from repro.version import package_version
+
+# --- Faults: the deterministic fault-injection plane ---------------------
+from repro.faults import (
+    FAULT_KINDS,
+    FAULT_PRESETS,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    fault_preset,
+    install_plan,
+    resolve_faults,
+)
 
 # --- Churn: declarative specs, generative models, adversaries -----------
 from repro.churn.spec import ChurnSpec, resolve_churn
@@ -270,6 +287,15 @@ __all__ = [
     "diff_documents",
     "diff_files",
     "package_version",
+    # faults
+    "FAULT_KINDS",
+    "FAULT_PRESETS",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "fault_preset",
+    "install_plan",
+    "resolve_faults",
     # churn
     "ArrivalDepartureChurn",
     "ChurnSpec",

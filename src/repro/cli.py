@@ -26,6 +26,9 @@ flag vocabulary and all run through the layered experiment engine
   identical under every sink.
 * ``--check-invariants`` runs the streaming trace invariant checkers
   (:mod:`repro.obs.check`) inside every trial.
+* ``--fault-plan PLAN`` injects a deterministic fault schedule
+  (:mod:`repro.faults`) into every trial: a builtin preset name (list them
+  with ``repro faults``) or a path to a fault-plan JSON file.
 
 Saved ``.jsonl`` traces feed the analysis commands::
 
@@ -48,9 +51,11 @@ from repro.api import (
     SINK_NAMES,
     ChurnSpec,
     ExperimentPlan,
+    FaultPlan,
     ResultStore,
     build_plan,
     execute_trial,
+    fault_preset,
     make_executor,
     run_plan,
 )
@@ -131,6 +136,11 @@ def _engine_parent(trials_default: int = 1) -> argparse.ArgumentParser:
                        action="store_true",
                        help="verify the trace invariants online; violations "
                        "are counted under check.violations in the metrics")
+    group.add_argument("--fault-plan", dest="fault_plan", default=None,
+                       metavar="PLAN",
+                       help="inject a deterministic fault schedule: a "
+                       "builtin preset name (see 'repro faults') or a path "
+                       "to a fault-plan JSON file")
     return parent
 
 
@@ -196,13 +206,41 @@ def _profile_one_trial(plan: ExperimentPlan) -> str:
     return buffer.getvalue()
 
 
+def _resolve_fault_plan(value: str) -> FaultPlan | str:
+    """Turn a ``--fault-plan`` argument into a plan (or a preset name).
+
+    A path to an existing ``.json`` file is loaded as a serialised
+    :class:`FaultPlan`; anything else must be a builtin preset name, which
+    is validated here (fail at the flag, not inside a pool worker) but
+    passed through as the string so it labels the plan readably.
+    """
+    from repro.sim.errors import ConfigurationError
+
+    if value.endswith(".json") or os.path.sep in value:
+        try:
+            with open(value, "r", encoding="utf-8") as handle:
+                return FaultPlan.from_json(handle.read())
+        except OSError as error:
+            raise SystemExit(f"--fault-plan: cannot read {value!r}: {error}")
+        except (ValueError, ConfigurationError) as error:
+            raise SystemExit(f"--fault-plan: {value!r}: {error}")
+    try:
+        fault_preset(value)
+    except ConfigurationError as error:
+        raise SystemExit(f"--fault-plan: {error}")
+    return value
+
+
 def _apply_sink_flags(args: argparse.Namespace, name: str,
                       base: dict[str, Any]) -> dict[str, Any]:
-    """Fold ``--trace-sink`` / ``--trace-dir`` into the plan's base config."""
+    """Fold ``--trace-sink`` / ``--trace-dir`` / ``--fault-plan`` into the
+    plan's base config."""
     base = dict(base)
     base["trace_sink"] = args.trace_sink
     if args.check_invariants:
         base["check_invariants"] = True
+    if getattr(args, "fault_plan", None):
+        base["faults"] = _resolve_fault_plan(args.fault_plan)
     if args.trace_sink == "jsonl":
         if not args.trace_dir:
             raise SystemExit("--trace-sink jsonl requires --trace-dir")
@@ -344,6 +382,13 @@ def _build_parser() -> argparse.ArgumentParser:
                            help="comma-separated replacement churn rates")
     sweep_cmd.add_argument("--n", type=int, default=32)
     sweep_cmd.add_argument("--topology", default="er")
+
+    faults_cmd = sub.add_parser(
+        "faults", help="list the builtin fault-plan presets"
+    )
+    faults_cmd.add_argument("--show", default=None, metavar="NAME",
+                            help="print one preset as fault-plan JSON "
+                            "(editable, reloadable via --fault-plan FILE)")
 
     trace_cmd = sub.add_parser(
         "trace", help="analyze, check or export a saved .jsonl trace"
@@ -581,6 +626,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.presets import FAULT_PRESETS
+    from repro.sim.errors import ConfigurationError
+
+    if args.show:
+        try:
+            plan = fault_preset(args.show)
+        except ConfigurationError as error:
+            raise SystemExit(str(error))
+        print(plan.to_json(), end="")
+        return 0
+    rows = []
+    for name, plan in FAULT_PRESETS.items():
+        rows.append([
+            name,
+            ", ".join(plan.kinds()),
+            len(plan),
+            plan.scheduled_count(),
+            f"{plan.end_time():.1f}",
+        ])
+    print(render_table(
+        ["preset", "fault kinds", "specs", "activations", "quiet after"],
+        rows,
+        title="builtin fault plans (use with --fault-plan NAME)",
+    ))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.causal import HappensBeforeDAG
     from repro.obs.check import check_trace
@@ -658,6 +731,7 @@ _COMMANDS = {
     "matrix": _cmd_matrix,
     "describe": _cmd_describe,
     "sweep": _cmd_sweep,
+    "faults": _cmd_faults,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
 }

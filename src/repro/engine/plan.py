@@ -23,6 +23,8 @@ from dataclasses import dataclass, fields
 from typing import Any, Callable, Mapping, Sequence
 
 from repro.churn.spec import ChurnBuilder, ChurnSpec
+from repro.faults.presets import fault_preset
+from repro.faults.spec import FaultPlan
 from repro.engine.trials import (
     DisseminationConfig,
     GossipConfig,
@@ -51,7 +53,7 @@ _CONFIG_TYPES = {
 }
 
 #: Spec keys that are translated rather than passed to the config verbatim.
-_SPECIAL_KEYS = ("churn_rate", "churn", "value_of")
+_SPECIAL_KEYS = ("churn_rate", "churn", "value_of", "faults")
 
 
 @dataclass(frozen=True)
@@ -113,6 +115,23 @@ class TrialSpec:
             # materialised inside the worker (resolve_churn), keeping the
             # spec picklable end to end.
             params["churn"] = churn_spec
+
+        faults = params.get("faults")
+        if faults is not None:
+            # Preset names stay strings in the spec (maximally picklable,
+            # and they label grid points readably); the plan object is
+            # materialised here, inside the worker.  Empty plans are
+            # dropped so they configure exactly what "no plan" configures.
+            if isinstance(faults, str):
+                params["faults"] = fault_preset(faults)
+            elif isinstance(faults, FaultPlan):
+                if not faults:
+                    params.pop("faults")
+            else:
+                raise ConfigurationError(
+                    "'faults' must be a FaultPlan or a preset name, got "
+                    f"{type(faults).__name__}"
+                )
 
         trace_path = params.get("trace_path")
         if isinstance(trace_path, str) and "{" in trace_path:

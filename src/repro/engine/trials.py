@@ -31,6 +31,8 @@ from repro.core.dissemination_spec import (
 )
 from repro.core.runs import Run
 from repro.core.spec import OneTimeQuerySpec, QueryRecord, Verdict, extract_queries
+from repro.faults.injector import install_plan
+from repro.faults.spec import FaultPlan
 from repro.obs.check import CheckingSink
 from repro.obs.sinks import TraceSink, make_sink
 from repro.protocols.base import QueryResult
@@ -94,6 +96,10 @@ class QueryConfig:
             :class:`~repro.churn.spec.ChurnSpec`, or the legacy builder
             callable receiving the process factory.
         churn_stop: freeze churn at this time (finite-arrival phases).
+        faults: optional fault plan — a declarative (picklable)
+            :class:`~repro.faults.spec.FaultPlan` or a builtin preset name
+            (see :data:`repro.faults.presets.FAULT_PRESETS`).  ``None`` and
+            ``FaultPlan.none()`` install nothing and are byte-identical.
         trace_sink: transport-event sink — a name from
             :data:`repro.obs.sinks.SINK_NAMES` (``"memory"``/``"jsonl"``/
             ``"null"``/``"counts"``) or a prebuilt sink instance.
@@ -125,6 +131,7 @@ class QueryConfig:
     loss_rate: float = 0.0
     churn: ChurnSpec | ChurnBuilder | None = None
     churn_stop: float | None = None
+    faults: FaultPlan | str | None = None
     value_of: Callable[[int], Any] = field(default=float)
     protect_querier: bool = True
     notify_leaves: bool = True
@@ -252,6 +259,11 @@ def run_query(config: QueryConfig) -> QueryOutcome:
         if config.protect_querier:
             churn_model.immortal.add(querier_pid)
         churn_model.install(sim, stop_at=config.churn_stop)
+
+    install_plan(
+        config.faults, sim, factory=factory,
+        protected=(querier_pid,) if config.protect_querier else (),
+    )
 
     issue_state: dict[str, Any] = {"reachable": frozenset(), "issued": False}
 
@@ -383,6 +395,7 @@ class GossipConfig:
     seed: int = 0
     delay: DelayModel | None = None
     churn: ChurnSpec | ChurnBuilder | None = None
+    faults: FaultPlan | str | None = None
     value_of: Callable[[int], float] = field(default=float)
     protect_reader: bool = True
     trace_sink: str | TraceSink = "memory"
@@ -436,6 +449,11 @@ def run_gossip(config: GossipConfig) -> GossipOutcome:
         if config.protect_reader:
             model.immortal.add(reader_pid)
         model.install(sim)
+
+    install_plan(
+        config.faults, sim, factory=factory,
+        protected=(reader_pid,) if config.protect_reader else (),
+    )
 
     read_time = config.rounds * config.period
     state: dict[str, float] = {"estimate": float("nan"), "truth": float("nan")}
@@ -506,6 +524,7 @@ class DisseminationConfig:
     seed: int = 0
     delay: DelayModel | None = None
     churn: ChurnSpec | ChurnBuilder | None = None
+    faults: FaultPlan | str | None = None
     protect_origin: bool = True
     value: object = "payload"
     trace_sink: str | TraceSink = "memory"
@@ -575,6 +594,11 @@ def run_dissemination(config: DisseminationConfig) -> DisseminationOutcome:
         if config.protect_origin:
             model.immortal.add(origin_pid)
         model.install(sim)
+
+    install_plan(
+        config.faults, sim, factory=factory,
+        protected=(origin_pid,) if config.protect_origin else (),
+    )
 
     def publish() -> None:
         if sim.network.is_present(origin_pid):

@@ -1,0 +1,78 @@
+"""Builtin, named fault plans.
+
+Each preset is a small, representative adversary, sized so that the stock
+E1–E21 trials (horizon ≈ 150, protocol activity concentrated in the first
+few tens of time units) actually feel it.  They are the vocabulary behind
+``--fault-plan <name>`` on the CLI and the string form of the ``faults``
+config field, and the chaos audit (``benchmarks/test_chaos_audit.py``)
+runs every one of them under the full invariant-checker battery.
+"""
+
+from __future__ import annotations
+
+from repro.faults.spec import FaultPlan, FaultSpec
+from repro.sim.errors import ConfigurationError
+
+#: The builtin plans, by name.  Plans are frozen; sharing the instances is
+#: safe, and composing them (``fault_preset("drop-storm") +
+#: fault_preset("silent-crash")``) builds fresh plans.
+FAULT_PRESETS: dict[str, FaultPlan] = {
+    # Message-level mischief: geography degrades in *quality*.
+    "drop-storm": FaultPlan.of(
+        FaultSpec("drop_burst", start=2.0, duration=10.0, probability=0.3),
+        name="drop-storm",
+    ),
+    "dup-flood": FaultPlan.of(
+        FaultSpec("duplicate", start=2.0, duration=10.0, probability=0.5,
+                  copies=2),
+        name="dup-flood",
+    ),
+    "jitter-spike": FaultPlan.of(
+        FaultSpec("delay_spike", start=2.0, duration=10.0, probability=1.0,
+                  magnitude=3.0),
+        name="jitter-spike",
+    ),
+    # Geography degrades in *reachability*.
+    "flaky-links": FaultPlan.of(
+        FaultSpec("link_flap", start=2.0, duration=1.5, probability=0.2,
+                  count=3, period=4.0),
+        name="flaky-links",
+    ),
+    "split-brain": FaultPlan.of(
+        FaultSpec("partition", start=3.0, duration=12.0, fraction=0.5),
+        name="split-brain",
+    ),
+    # The entity dimension, without the courtesy of a goodbye.
+    "silent-crash": FaultPlan.of(
+        FaultSpec("crash", start=3.0, count=2),
+        name="silent-crash",
+    ),
+    "amnesia": FaultPlan.of(
+        FaultSpec("crash_rejoin", start=3.0, count=1, rejoin_after=5.0),
+        name="amnesia",
+    ),
+    # Everything at once: the paper's adversary on a bad day.
+    "chaos-mix": FaultPlan.of(
+        FaultSpec("drop_burst", start=2.0, duration=8.0, probability=0.2),
+        FaultSpec("delay_spike", start=6.0, duration=8.0, probability=0.5,
+                  magnitude=2.0),
+        FaultSpec("link_flap", start=4.0, duration=1.0, probability=0.15,
+                  count=2, period=6.0),
+        FaultSpec("crash", start=5.0, count=1),
+        name="chaos-mix",
+    ),
+}
+
+#: Preset names in a stable, documented order.
+PRESET_NAMES = tuple(FAULT_PRESETS)
+
+
+def fault_preset(name: str) -> FaultPlan:
+    """Look up a builtin plan by name (``ConfigurationError`` if unknown)."""
+    try:
+        return FAULT_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown fault preset {name!r}; builtin presets: "
+            f"{', '.join(PRESET_NAMES)}"
+        ) from None

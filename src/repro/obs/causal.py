@@ -17,8 +17,10 @@ The DAG is built from two edge families:
   neighbors it attaches to, because those processes observe the arrival
   (the ``on_neighbor_join`` callback); ``edge_up``/``edge_down`` events
   thread into both endpoints for the same reason.
-* **message order** — every ``deliver`` (and ``drop``) is preceded by its
-  ``send``, matched on the trace's per-simulation ``msg_id``.
+* **message order** — every ``deliver`` (and ``drop`` / ``msg_lost``) is
+  preceded by its ``send``, matched on the trace's per-simulation
+  ``msg_id``, so a message lost in transit still appears in its sender's
+  causal structure — distinguishable from one that was never sent.
 
 Both families only ever point from earlier record positions to later ones,
 so the result is a DAG and longest-path depths are a single forward pass.
@@ -191,7 +193,7 @@ class HappensBeforeDAG:
                 msg_id = event.get("msg_id")
                 if msg_id is not None:
                     send_index[msg_id] = i
-            elif event.kind in (tr.DELIVER, tr.DROP):
+            elif event.kind in (tr.DELIVER, tr.DROP, tr.MSG_LOST):
                 src = send_index.get(event.get("msg_id"))
                 if src is not None:
                     self._add_edge(src, i)

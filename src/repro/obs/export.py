@@ -45,6 +45,9 @@ SYMBOLS: tuple[tuple[str, str], ...] = (
     ("bcast_issued", "B"),
     ("join", "J"),
     ("leave", "L"),
+    ("fault_injected", "F"),
+    ("fault_cleared", "f"),
+    ("msg_lost", "!"),
     ("drop", "x"),
     ("deliver", "d"),
     ("send", "s"),

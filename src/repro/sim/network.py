@@ -62,6 +62,12 @@ class Network:
         #: would reorder them.
         self.fifo = fifo
         self._last_delivery: dict[tuple[int, int], float] = {}
+        #: The fault plane's single interposition point: when set (by
+        #: :meth:`repro.faults.injector.FaultInjector.install`), every
+        #: accepted message is offered to ``fault_injector.send_effect``,
+        #: which may drop, delay or duplicate it.  ``None`` means faults
+        #: are structurally absent — no extra branches, draws or events.
+        self.fault_injector = None
         self._processes: dict[int, Process] = {}
         self._adjacency: dict[int, set[int]] = {}
         self._edge_delays: dict[tuple[int, int], DelayModel] = {}
@@ -230,17 +236,59 @@ class Network:
         )
         rng = self._sim.rng_for("transport")
         if self.loss_model.is_lost(rng):
-            self._sim.metrics.inc("net.dropped.loss")
-            self._sim.trace.record(
-                now, tr.DROP, msg_id=msg_id, msg_kind=message.kind,
-                sender=sender, receiver=receiver, reason="loss",
+            self._lose(message, msg_id, "loss", counter="net.dropped.loss")
+            return
+        effect = (
+            self.fault_injector.send_effect(message)
+            if self.fault_injector is not None
+            else None
+        )
+        if effect is not None and effect.drop:
+            self._lose(
+                message, msg_id, effect.reason or "fault",
+                counter="net.dropped.fault",
             )
             return
         delay = self._delay_for(sender, receiver).sample(rng)
         self._sim.metrics.observe("net.delivery_delay", delay)
-        deliver_at = now + delay
+        if effect is not None and effect.extra_delay > 0.0:
+            delay += effect.extra_delay
+            self._sim.metrics.observe("faults.extra_delay", effect.extra_delay)
+        self._schedule_delivery(message, msg_id, delay)
+        if effect is not None and effect.copies > 0:
+            # Duplicates reuse the original msg_id (they *are* the same
+            # message, redelivered) and draw their delays from the fault
+            # stream so transport randomness is untouched.
+            fault_rng = self._sim.rng_for("faults")
+            self._sim.metrics.inc("faults.duplicates", effect.copies)
+            for _ in range(effect.copies):
+                copy_delay = self._delay_for(sender, receiver).sample(fault_rng)
+                self._schedule_delivery(message, msg_id, copy_delay)
+
+    def _lose(
+        self, message: Message, msg_id: int, reason: str, counter: str
+    ) -> None:
+        """Record a message lost in transit: the classic ``drop`` plus a
+        ``msg_lost`` event owned by the sender, so causal analysis can tell
+        "sent and lost" apart from "never sent"."""
+        now = self._sim.now
+        self._sim.metrics.inc(counter)
+        self._sim.trace.record(
+            now, tr.DROP, msg_id=msg_id, msg_kind=message.kind,
+            sender=message.sender, receiver=message.receiver, reason=reason,
+        )
+        self._sim.trace.record(
+            now, tr.MSG_LOST, msg_id=msg_id, msg_kind=message.kind,
+            entity=message.sender, sender=message.sender,
+            receiver=message.receiver, reason=reason,
+        )
+
+    def _schedule_delivery(
+        self, message: Message, msg_id: int, delay: float
+    ) -> None:
+        deliver_at = self._sim.now + delay
         if self.fifo:
-            channel = (sender, receiver)
+            channel = (message.sender, message.receiver)
             deliver_at = max(deliver_at, self._last_delivery.get(channel, 0.0))
             self._last_delivery[channel] = deliver_at
         self._sim.at(

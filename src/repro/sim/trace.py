@@ -36,6 +36,15 @@ SEND = "send"
 DELIVER = "deliver"
 DROP = "drop"
 TIMER = "timer"
+# A message that *was* sent but never reached its receiver — emitted next
+# to the drop record on the loss and fault paths so causal analysis can
+# distinguish "never sent" from "sent and lost in transit".
+MSG_LOST = "msg_lost"
+# Fault-plane activations (repro.faults): every scheduled fault activation
+# records one fault_injected; window closes / link restores record
+# fault_cleared.
+FAULT_INJECTED = "fault_injected"
+FAULT_CLEARED = "fault_cleared"
 
 
 @dataclass(frozen=True)

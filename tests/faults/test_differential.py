@@ -1,0 +1,68 @@
+"""Differential conformance: an empty fault plan is exactly no plan.
+
+``FaultPlan.none()`` (and ``faults=None``) must not install an injector,
+draw from any RNG stream, schedule any event, or touch any metric — so a
+trial configured with it produces a **byte-identical** result document to
+the same trial with no ``faults`` key at all.  This is the conformance
+contract that lets every existing experiment adopt the fault plane without
+re-baselining.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.executor import ParallelExecutor, SerialExecutor, run_plan
+from repro.engine.plan import build_plan
+from repro.faults.spec import FaultPlan
+
+KIND_BASES = {
+    "query": {
+        "n": 10, "topology": "er", "aggregate": "COUNT", "horizon": 120.0,
+    },
+    "gossip": {
+        "n": 8, "topology": "er", "mode": "avg", "rounds": 15,
+    },
+    "dissemination": {
+        "n": 8, "topology": "er", "audit_at": 40.0,
+    },
+}
+
+
+def _doc(kind, *, faults="absent", executor=None, trials=2):
+    base = dict(KIND_BASES[kind])
+    if faults != "absent":
+        base["faults"] = faults
+    plan = build_plan(
+        f"differential-{kind}", kind=kind,
+        grid={"churn_rate": [0.0, 2.0]}, base=base,
+        trials=trials, root_seed=41,
+    )
+    store = run_plan(plan, executor=executor or SerialExecutor())
+    return store.to_json()
+
+
+class TestEmptyPlanIsNoPlan:
+    @pytest.mark.parametrize("kind", sorted(KIND_BASES))
+    def test_none_plan_documents_byte_identical(self, kind):
+        assert _doc(kind, faults=FaultPlan.none()) == _doc(kind)
+
+    @pytest.mark.parametrize("kind", sorted(KIND_BASES))
+    def test_none_value_documents_byte_identical(self, kind):
+        assert _doc(kind, faults=None) == _doc(kind)
+
+    def test_holds_under_the_parallel_executor(self):
+        parallel = ParallelExecutor(jobs=2)
+        with_plan = _doc("query", faults=FaultPlan.none(), executor=parallel)
+        without = _doc("query", executor=ParallelExecutor(jobs=2))
+        assert with_plan == without
+
+
+class TestNonEmptyPlanDiverges:
+    def test_a_real_plan_changes_the_document(self):
+        """Sanity guard: the identity above is not vacuous."""
+        faulted = _doc("query", faults="drop-storm", trials=1)
+        clean = _doc("query", trials=1)
+        assert faulted != clean
+        assert '"faults.injected"' in faulted
+        assert '"faults.injected"' not in clean

@@ -161,6 +161,31 @@ class TestTransport:
         assert b.received == []
         assert sim.trace.events("drop")[0]["reason"] == "loss"
 
+    def test_loss_emits_msg_lost_alongside_drop(self):
+        """Causal analysis needs "sent and lost" distinguishable from
+        "never sent": every transport loss records a ``msg_lost`` event
+        owned by the *sender*, mirroring the ``drop`` bookkeeping."""
+        sim = Simulator(seed=0, loss_model=BernoulliLoss(1.0))
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        a.send(b.pid, "PING")
+        sim.run()
+        drops = sim.trace.events("drop")
+        lost = sim.trace.events("msg_lost")
+        assert len(drops) == len(lost) == 1
+        assert lost[0]["msg_id"] == drops[0]["msg_id"]
+        assert lost[0]["reason"] == "loss"
+        assert lost[0]["sender"] == a.pid
+        assert lost[0]["receiver"] == b.pid
+        assert lost[0]["entity"] == a.pid
+
+    def test_clean_delivery_emits_no_msg_lost(self, sim):
+        a = sim.spawn(Recorder())
+        b = sim.spawn(Recorder(), neighbors=[a.pid])
+        a.send(b.pid, "PING")
+        sim.run()
+        assert sim.trace.events("msg_lost") == []
+
     def test_send_traced(self, sim):
         a = sim.spawn(Recorder())
         b = sim.spawn(Recorder(), neighbors=[a.pid])
