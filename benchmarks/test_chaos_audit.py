@@ -8,6 +8,13 @@ stressing the protocol (which is its job).  The audit also pins the
 scheduling ledger: the ``faults.injected`` counter must equal the plan's
 own ``scheduled_count()``, so no activation is lost or double-fired.
 
+The resilience companions re-run the chaos-mix trials with the recovery
+layer installed (``resilience="arq"`` / ``"full"``): the invariants must
+stay clean — retransmission is not a licence to deliver to the dead — and
+the layer's own accountability ledger must balance (every retransmission
+timer that fires ends in exactly one counted outcome, and no message is
+acknowledged more often than it was sent).
+
 The E19 companion check re-runs the fault-tolerant wave — silent
 departures, no perfect detector — under a total drop burst longer than the
 detection timeout: heartbeat silence must unblock the wave, so the query
@@ -78,6 +85,68 @@ def test_dissemination_runs_clean_under_chaos_mix():
     ))
     _assert_clean(outcome.metrics, "dissemination/chaos-mix")
     assert outcome.metrics["counters"]["faults.injected"] > 0
+
+
+def _assert_resilience_ledger(counters: dict[str, Any], label: str) -> None:
+    fired = counters.get("resilience.timer_fired", 0)
+    accounted = (
+        counters.get("resilience.retransmits", 0)
+        + counters.get("resilience.abandoned", 0)
+        + counters.get("resilience.unreachable", 0)
+        + counters.get("resilience.breaker_blocked", 0)
+    )
+    assert fired == accounted, (
+        f"{label}: resilience timer ledger {fired} != {accounted}"
+    )
+    assert counters.get("resilience.acks_received", 0) <= counters.get(
+        "resilience.sends", 0
+    ), f"{label}: more acks than sends"
+
+
+def test_query_runs_clean_with_resilience_under_chaos_mix():
+    outcome = run_query(QueryConfig(
+        n=16, topology="er", aggregate="COUNT", horizon=150.0,
+        seed=2007, faults="chaos-mix", resilience="arq",
+        check_invariants=True,
+    ))
+    _assert_clean(outcome.metrics, "query/chaos-mix+arq")
+    counters = outcome.metrics["counters"]
+    assert counters["resilience.sends"] > 0
+    _assert_resilience_ledger(counters, "query/chaos-mix+arq")
+
+
+def test_gossip_runs_clean_with_resilience_under_chaos_mix():
+    outcome = run_gossip(GossipConfig(
+        n=16, topology="er", mode="avg", rounds=40, seed=2007,
+        faults="chaos-mix", resilience="arq", check_invariants=True,
+    ))
+    _assert_clean(outcome.metrics, "gossip/chaos-mix+arq")
+    counters = outcome.metrics["counters"]
+    assert counters["resilience.sends"] > 0
+    _assert_resilience_ledger(counters, "gossip/chaos-mix+arq")
+
+
+def test_dissemination_runs_clean_with_resilience_under_chaos_mix():
+    outcome = run_dissemination(DisseminationConfig(
+        n=16, topology="er", audit_at=60.0, seed=2007,
+        faults="chaos-mix", resilience="arq", check_invariants=True,
+    ))
+    _assert_clean(outcome.metrics, "dissemination/chaos-mix+arq")
+    counters = outcome.metrics["counters"]
+    assert counters["resilience.sends"] > 0
+    _assert_resilience_ledger(counters, "dissemination/chaos-mix+arq")
+
+
+def test_breaker_preset_runs_clean_under_flaky_links():
+    outcome = run_query(QueryConfig(
+        n=16, topology="er", aggregate="COUNT", horizon=150.0,
+        seed=2007, faults="flaky-links", resilience="full",
+        protocol="ft_wave", notify_leaves=False, check_invariants=True,
+    ))
+    _assert_clean(outcome.metrics, "query/flaky-links+full")
+    _assert_resilience_ledger(
+        outcome.metrics["counters"], "query/flaky-links+full"
+    )
 
 
 def test_e19_ft_wave_terminates_under_drop_burst():

@@ -36,6 +36,12 @@ The surface groups into:
   :data:`FAULT_PRESETS`, and :class:`FaultInjector` for driving a raw
   simulator), selected per trial via the ``faults=...`` config field or
   ``--fault-plan`` on the CLI.
+* **Resilience** — the deterministic recovery plane
+  (:class:`ResilienceSpec`, the builtin :data:`RESILIENCE_PRESETS`,
+  :class:`ReliableTransport` / :func:`install_resilience` for driving a
+  raw simulator, and :class:`CoverageReport` for graceful degradation),
+  selected per trial via the ``resilience=...`` config field or
+  ``--resilience`` on the CLI.
 * **Model** — the paper's formal layer (system classes, runs, the
   one-time-query specification) plus the simulator, topology, churn and
   protocol building blocks the examples exercise.
@@ -133,6 +139,18 @@ from repro.faults import (
     fault_preset,
     install_plan,
     resolve_faults,
+)
+
+# --- Resilience: the deterministic recovery plane ------------------------
+from repro.resilience import (
+    RESILIENCE_PRESETS,
+    CoverageReport,
+    ReliableTransport,
+    ResilienceSpec,
+    backoff_schedule,
+    install_resilience,
+    resilience_preset,
+    resolve_resilience,
 )
 
 # --- Churn: declarative specs, generative models, adversaries -----------
@@ -296,6 +314,15 @@ __all__ = [
     "fault_preset",
     "install_plan",
     "resolve_faults",
+    # resilience
+    "CoverageReport",
+    "RESILIENCE_PRESETS",
+    "ReliableTransport",
+    "ResilienceSpec",
+    "backoff_schedule",
+    "install_resilience",
+    "resilience_preset",
+    "resolve_resilience",
     # churn
     "ArrivalDepartureChurn",
     "ChurnSpec",

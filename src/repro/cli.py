@@ -29,6 +29,12 @@ flag vocabulary and all run through the layered experiment engine
 * ``--fault-plan PLAN`` injects a deterministic fault schedule
   (:mod:`repro.faults`) into every trial: a builtin preset name (list them
   with ``repro faults``) or a path to a fault-plan JSON file.
+* ``--resilience SPEC`` installs the deterministic recovery layer
+  (:mod:`repro.resilience`) in every trial: a builtin preset name (list
+  them with ``repro resilience``) or a path to a resilience-spec JSON file.
+* ``--watchdog SECONDS`` guards every trial with a wall-clock timeout
+  (``--trial-retries N`` re-runs an overrunning trial before quarantining
+  it; quarantined trials appear in the ``--progress`` status counts).
 
 Saved ``.jsonl`` traces feed the analysis commands::
 
@@ -52,11 +58,13 @@ from repro.api import (
     ChurnSpec,
     ExperimentPlan,
     FaultPlan,
+    ResilienceSpec,
     ResultStore,
     build_plan,
     execute_trial,
     fault_preset,
     make_executor,
+    resilience_preset,
     run_plan,
 )
 from repro.churn.models import ReplacementChurn
@@ -141,6 +149,18 @@ def _engine_parent(trials_default: int = 1) -> argparse.ArgumentParser:
                        help="inject a deterministic fault schedule: a "
                        "builtin preset name (see 'repro faults') or a path "
                        "to a fault-plan JSON file")
+    group.add_argument("--resilience", default=None, metavar="SPEC",
+                       help="install the deterministic recovery layer: a "
+                       "builtin preset name (see 'repro resilience') or a "
+                       "path to a resilience-spec JSON file")
+    group.add_argument("--watchdog", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-trial wall-clock timeout; overrunning "
+                       "trials are retried then quarantined")
+    group.add_argument("--trial-retries", dest="trial_retries", type=int,
+                       default=0, metavar="N",
+                       help="watchdog retries per trial before quarantine "
+                       "(only meaningful with --watchdog)")
     return parent
 
 
@@ -150,8 +170,10 @@ class _ProgressPrinter:
     Invoked by the executor in completion order; the ETA divides the mean
     observed trial wall time by the worker count, so it stays meaningful
     under ``--jobs N``.  The final line reports per-status counts: ``ok``
-    (spec satisfied), ``failed`` (terminated but spec violated) and
-    ``skipped`` (never reached a verdict — e.g. the query never returned).
+    (spec satisfied), ``failed`` (terminated but spec violated), ``skipped``
+    (never reached a verdict — e.g. the query never returned) and — only
+    when the ``--watchdog`` guard tripped — ``quarantined`` (every watchdog
+    attempt overran the wall-clock budget).
     """
 
     def __init__(self, jobs: int = 1, stream: Any = None) -> None:
@@ -161,9 +183,12 @@ class _ProgressPrinter:
         self.ok = 0
         self.failed = 0
         self.skipped = 0
+        self.quarantined = 0
 
     def _classify(self, result: Any) -> None:
-        if not getattr(result, "terminated", True):
+        if getattr(result, "status", "") == "quarantined":
+            self.quarantined += 1
+        elif not getattr(result, "terminated", True):
             self.skipped += 1
         elif getattr(result, "ok", False):
             self.ok += 1
@@ -171,7 +196,10 @@ class _ProgressPrinter:
             self.failed += 1
 
     def summary(self) -> str:
-        return f"{self.ok} ok, {self.failed} failed, {self.skipped} skipped"
+        line = f"{self.ok} ok, {self.failed} failed, {self.skipped} skipped"
+        if self.quarantined:
+            line += f", {self.quarantined} quarantined"
+        return line
 
     def __call__(self, done: int, total: int, result: Any) -> None:
         self._walls.append(float(getattr(result, "wall_time", 0.0)))
@@ -231,6 +259,30 @@ def _resolve_fault_plan(value: str) -> FaultPlan | str:
     return value
 
 
+def _resolve_resilience(value: str) -> ResilienceSpec | str:
+    """Turn a ``--resilience`` argument into a spec (or a preset name).
+
+    Mirrors :func:`_resolve_fault_plan`: a ``.json`` path loads a
+    serialised :class:`ResilienceSpec`; anything else must be a builtin
+    preset name, validated here but passed through as the string.
+    """
+    from repro.sim.errors import ConfigurationError
+
+    if value.endswith(".json") or os.path.sep in value:
+        try:
+            with open(value, "r", encoding="utf-8") as handle:
+                return ResilienceSpec.from_json(handle.read())
+        except OSError as error:
+            raise SystemExit(f"--resilience: cannot read {value!r}: {error}")
+        except (ValueError, ConfigurationError) as error:
+            raise SystemExit(f"--resilience: {value!r}: {error}")
+    try:
+        resilience_preset(value)
+    except ConfigurationError as error:
+        raise SystemExit(f"--resilience: {error}")
+    return value
+
+
 def _apply_sink_flags(args: argparse.Namespace, name: str,
                       base: dict[str, Any]) -> dict[str, Any]:
     """Fold ``--trace-sink`` / ``--trace-dir`` / ``--fault-plan`` into the
@@ -241,6 +293,8 @@ def _apply_sink_flags(args: argparse.Namespace, name: str,
         base["check_invariants"] = True
     if getattr(args, "fault_plan", None):
         base["faults"] = _resolve_fault_plan(args.fault_plan)
+    if getattr(args, "resilience", None):
+        base["resilience"] = _resolve_resilience(args.resilience)
     if args.trace_sink == "jsonl":
         if not args.trace_dir:
             raise SystemExit("--trace-sink jsonl requires --trace-dir")
@@ -273,7 +327,12 @@ def _engine_run(
 
     progress = _ProgressPrinter(jobs=args.jobs) if args.progress else None
     start = time.perf_counter()
-    store = run_plan(plan, executor=make_executor(args.jobs), progress=progress)
+    executor = make_executor(
+        args.jobs,
+        watchdog=getattr(args, "watchdog", None),
+        retries=getattr(args, "trial_retries", 0),
+    )
+    store = run_plan(plan, executor=executor, progress=progress)
     timings["execute"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -389,6 +448,14 @@ def _build_parser() -> argparse.ArgumentParser:
     faults_cmd.add_argument("--show", default=None, metavar="NAME",
                             help="print one preset as fault-plan JSON "
                             "(editable, reloadable via --fault-plan FILE)")
+
+    resilience_cmd = sub.add_parser(
+        "resilience", help="list the builtin resilience presets"
+    )
+    resilience_cmd.add_argument("--show", default=None, metavar="NAME",
+                                help="print one preset as resilience-spec "
+                                "JSON (editable, reloadable via "
+                                "--resilience FILE)")
 
     trace_cmd = sub.add_parser(
         "trace", help="analyze, check or export a saved .jsonl trace"
@@ -654,6 +721,37 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_resilience(args: argparse.Namespace) -> int:
+    from repro.resilience.presets import RESILIENCE_PRESETS
+    from repro.sim.errors import ConfigurationError
+
+    if args.show:
+        try:
+            spec = resilience_preset(args.show)
+        except ConfigurationError as error:
+            raise SystemExit(str(error))
+        print(spec.to_json(), end="")
+        return 0
+    rows = []
+    for name, spec in RESILIENCE_PRESETS.items():
+        rows.append([
+            name,
+            spec.max_retries,
+            f"{spec.base_rto:.1f}",
+            "adaptive" if spec.adaptive_rto else "static",
+            spec.breaker_threshold if spec.breaker_threshold else "off",
+            "adaptive" if spec.adaptive_detector else "static",
+            "yes" if spec.partial_results else "no",
+        ])
+    print(render_table(
+        ["preset", "retries", "base rto", "rto", "breaker", "detector",
+         "partial results"],
+        rows,
+        title="builtin resilience specs (use with --resilience NAME)",
+    ))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.causal import HappensBeforeDAG
     from repro.obs.check import check_trace
@@ -732,6 +830,7 @@ _COMMANDS = {
     "describe": _cmd_describe,
     "sweep": _cmd_sweep,
     "faults": _cmd_faults,
+    "resilience": _cmd_resilience,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
 }

@@ -15,8 +15,10 @@ time, never results.
 from __future__ import annotations
 
 import abc
+import functools
 import math
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import as_completed
@@ -77,6 +79,7 @@ def _summarise(spec: TrialSpec, outcome: Any, wall: float) -> TrialResult:
         "metrics": outcome.metrics,
     }
     if isinstance(outcome, QueryOutcome):
+        report = getattr(outcome, "coverage_report", None)
         return TrialResult(
             ok=outcome.ok,
             terminated=outcome.terminated,
@@ -86,6 +89,7 @@ def _summarise(spec: TrialSpec, outcome: Any, wall: float) -> TrialResult:
             completeness=outcome.completeness,
             latency=outcome.latency,
             core_size=len(outcome.verdict.stable_core),
+            coverage=report.to_dict() if report is not None else None,
             **common,
         )
     if isinstance(outcome, GossipOutcome):
@@ -117,11 +121,97 @@ def _summarise(spec: TrialSpec, outcome: Any, wall: float) -> TrialResult:
     )
 
 
+def execute_trial_guarded(
+    spec: TrialSpec, watchdog: float | None = None, retries: int = 0
+) -> TrialResult:
+    """Run :func:`execute_trial` under a wall-clock watchdog.
+
+    The trial runs on a daemon thread with ``watchdog`` seconds per
+    attempt.  A trial that overruns is retried from scratch (determinism
+    makes retries exact re-runs, so they only help against *environmental*
+    stalls — an overloaded worker, a paging storm — never against a
+    genuinely divergent simulation).  After ``retries + 1`` overruns the
+    trial is **quarantined**: a schema-compatible failure record with
+    ``status="quarantined"`` takes its place, the hung thread is abandoned
+    (daemon threads die with the worker process), and the rest of the plan
+    proceeds.  A trial that *errors* re-raises immediately — the watchdog
+    guards time, not correctness.
+
+    With ``watchdog=None`` this is exactly :func:`execute_trial`.
+    """
+    if watchdog is None:
+        return execute_trial(spec)
+    if watchdog <= 0:
+        raise ConfigurationError(f"watchdog must be > 0 seconds, got {watchdog}")
+    if retries < 0:
+        raise ConfigurationError(f"retries must be >= 0, got {retries}")
+    attempts = retries + 1
+    for _ in range(attempts):
+        box: dict[str, Any] = {}
+
+        def attempt() -> None:
+            try:
+                box["result"] = execute_trial(spec)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                box["error"] = exc
+
+        thread = threading.Thread(
+            target=attempt, name=f"trial-{spec.index}", daemon=True
+        )
+        thread.start()
+        thread.join(watchdog)
+        if "error" in box:
+            raise box["error"]
+        if "result" in box:
+            return box["result"]
+        # Timed out: the daemon thread is abandoned and the attempt retried.
+    return _quarantined_result(spec, watchdog, attempts)
+
+
+def _quarantined_result(
+    spec: TrialSpec, watchdog: float, attempts: int
+) -> TrialResult:
+    """The placeholder record for a trial every watchdog attempt lost."""
+    return TrialResult(
+        index=spec.index,
+        kind=spec.kind,
+        seed=spec.seed,
+        trial=spec.trial,
+        point=tuple(spec.point_dict().items()),
+        ok=False,
+        terminated=False,
+        result=None,
+        truth=None,
+        error=float("inf"),
+        completeness=0.0,
+        latency=float("inf"),
+        messages=0,
+        core_size=0,
+        events_executed=0,
+        wall_time=watchdog * attempts,
+        metrics={},
+        status="quarantined",
+    )
+
+
 class TrialExecutor(abc.ABC):
     """Runs a plan's trial specs; backends differ only in *where* they run."""
 
     #: Worker count the backend will use (1 for serial).
     jobs: int = 1
+    #: Per-trial wall-clock timeout in seconds (``None`` disables the
+    #: watchdog entirely — the historical code path, byte-identical).
+    watchdog: float | None = None
+    #: Watchdog retries per trial before quarantining it.
+    retries: int = 0
+
+    def _trial_fn(self) -> Callable[[TrialSpec], TrialResult]:
+        """The per-spec work function, honouring the watchdog settings."""
+        if self.watchdog is None:
+            return execute_trial
+        return functools.partial(
+            execute_trial_guarded, watchdog=self.watchdog, retries=self.retries
+        )
 
     def run(
         self,
@@ -141,7 +231,7 @@ class TrialExecutor(abc.ABC):
         progress: Optional[ProgressFn] = None,
     ) -> list[TrialResult]:
         """Execute an explicit spec list, preserving input order."""
-        return self.map(execute_trial, list(specs), progress=progress)
+        return self.map(self._trial_fn(), list(specs), progress=progress)
 
     @abc.abstractmethod
     def map(
@@ -162,6 +252,12 @@ class SerialExecutor(TrialExecutor):
     """In-process, strictly sequential execution (the reference backend)."""
 
     jobs = 1
+
+    def __init__(
+        self, watchdog: float | None = None, retries: int = 0
+    ) -> None:
+        self.watchdog = watchdog
+        self.retries = retries
 
     def map(
         self,
@@ -190,10 +286,17 @@ class ParallelExecutor(TrialExecutor):
     time).  ``jobs`` defaults to the machine's CPU count.
     """
 
-    def __init__(self, jobs: int | None = None) -> None:
+    def __init__(
+        self,
+        jobs: int | None = None,
+        watchdog: float | None = None,
+        retries: int = 0,
+    ) -> None:
         if jobs is not None and jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
+        self.watchdog = watchdog
+        self.retries = retries
 
     def map(
         self,
@@ -224,12 +327,18 @@ class ParallelExecutor(TrialExecutor):
         return f"ParallelExecutor(jobs={self.jobs})"
 
 
-def make_executor(jobs: int | None) -> TrialExecutor:
+def make_executor(
+    jobs: int | None,
+    watchdog: float | None = None,
+    retries: int = 0,
+) -> TrialExecutor:
     """``jobs`` semantics shared by the CLI and scripts: ``None``/``0``/``1``
-    mean serial; anything larger selects the process-pool backend."""
+    mean serial; anything larger selects the process-pool backend.
+    ``watchdog``/``retries`` configure the per-trial wall-clock guard (see
+    :func:`execute_trial_guarded`)."""
     if jobs is None or jobs <= 1:
-        return SerialExecutor()
-    return ParallelExecutor(jobs)
+        return SerialExecutor(watchdog=watchdog, retries=retries)
+    return ParallelExecutor(jobs, watchdog=watchdog, retries=retries)
 
 
 def run_plan(

@@ -25,6 +25,8 @@ from typing import Any, Callable, Mapping, Sequence
 from repro.churn.spec import ChurnBuilder, ChurnSpec
 from repro.faults.presets import fault_preset
 from repro.faults.spec import FaultPlan
+from repro.resilience.presets import resilience_preset
+from repro.resilience.spec import ResilienceSpec
 from repro.engine.trials import (
     DisseminationConfig,
     GossipConfig,
@@ -53,7 +55,7 @@ _CONFIG_TYPES = {
 }
 
 #: Spec keys that are translated rather than passed to the config verbatim.
-_SPECIAL_KEYS = ("churn_rate", "churn", "value_of", "faults")
+_SPECIAL_KEYS = ("churn_rate", "churn", "value_of", "faults", "resilience")
 
 
 @dataclass(frozen=True)
@@ -131,6 +133,22 @@ class TrialSpec:
                 raise ConfigurationError(
                     "'faults' must be a FaultPlan or a preset name, got "
                     f"{type(faults).__name__}"
+                )
+
+        resilience = params.get("resilience")
+        if resilience is not None:
+            # Mirrors the faults translation: preset names stay strings in
+            # the spec; disabled specs are dropped so they configure exactly
+            # what "no resilience" configures (byte-identical documents).
+            if isinstance(resilience, str):
+                params["resilience"] = resilience_preset(resilience)
+            elif isinstance(resilience, ResilienceSpec):
+                if not resilience.enabled:
+                    params.pop("resilience")
+            else:
+                raise ConfigurationError(
+                    "'resilience' must be a ResilienceSpec or a preset "
+                    f"name, got {type(resilience).__name__}"
                 )
 
         trace_path = params.get("trace_path")

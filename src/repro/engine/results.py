@@ -109,6 +109,13 @@ class TrialResult:
     events_executed: int
     wall_time: float
     metrics: Mapping[str, Any] = field(default_factory=dict)
+    #: Non-empty only for exceptional dispositions (``"quarantined"`` when
+    #: every watchdog attempt timed out); the empty default is omitted from
+    #: records, keeping documents byte-identical when the watchdog is off.
+    status: str = ""
+    #: The query's coverage report (dict form), present only when a
+    #: resilience layer with ``partial_results`` ran the trial.
+    coverage: Mapping[str, Any] | None = None
 
     def point_dict(self) -> dict[str, Any]:
         return dict(self.point)
@@ -132,6 +139,13 @@ class TrialResult:
             "events_executed": self.events_executed,
             "metrics": jsonable(strip_timings(self.metrics)),
         }
+        # Optional members, emitted only when set: absent watchdog and
+        # absent resilience keep the record layout (and bytes) unchanged,
+        # so no schema version bump is needed.
+        if self.status:
+            record["status"] = self.status
+        if self.coverage is not None:
+            record["coverage"] = jsonable(self.coverage)
         if include_timing:
             record["wall_time"] = self.wall_time
             timings = dict(self.metrics or {}).get("timings")
@@ -162,6 +176,8 @@ class TrialResult:
             events_executed=record["events_executed"],
             wall_time=record.get("wall_time", 0.0),
             metrics=record.get("metrics", {}),
+            status=record.get("status", ""),
+            coverage=record.get("coverage"),
         )
 
 

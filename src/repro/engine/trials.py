@@ -41,6 +41,9 @@ from repro.protocols.ft_wave import FaultTolerantWaveNode
 from repro.protocols.gossip import PushSumNode
 from repro.protocols.one_time_query import WaveNode
 from repro.protocols.request_collect import RequestCollectNode
+from repro.resilience.degradation import CoverageReport
+from repro.resilience.spec import ResilienceSpec
+from repro.resilience.transport import install_resilience
 from repro.sim import trace as tr
 from repro.sim.errors import ConfigurationError
 from repro.sim.latency import BernoulliLoss, DelayModel, UniformDelay
@@ -100,6 +103,11 @@ class QueryConfig:
             :class:`~repro.faults.spec.FaultPlan` or a builtin preset name
             (see :data:`repro.faults.presets.FAULT_PRESETS`).  ``None`` and
             ``FaultPlan.none()`` install nothing and are byte-identical.
+        resilience: optional recovery layer — a declarative (picklable)
+            :class:`~repro.resilience.spec.ResilienceSpec` or a builtin
+            preset name (see
+            :data:`repro.resilience.presets.RESILIENCE_PRESETS`).  ``None``
+            and a disabled spec install nothing and are byte-identical.
         trace_sink: transport-event sink — a name from
             :data:`repro.obs.sinks.SINK_NAMES` (``"memory"``/``"jsonl"``/
             ``"null"``/``"counts"``) or a prebuilt sink instance.
@@ -132,6 +140,7 @@ class QueryConfig:
     churn: ChurnSpec | ChurnBuilder | None = None
     churn_stop: float | None = None
     faults: FaultPlan | str | None = None
+    resilience: ResilienceSpec | str | None = None
     value_of: Callable[[int], Any] = field(default=float)
     protect_querier: bool = True
     notify_leaves: bool = True
@@ -161,6 +170,9 @@ class QueryOutcome:
     reachable_at_issue: frozenset[int]
     events_executed: int = 0
     metrics: dict[str, Any] = field(default_factory=dict)
+    #: Set when a resilience layer with ``partial_results`` ran: the
+    #: explicit statement of what the (possibly partial) answer covers.
+    coverage_report: CoverageReport | None = None
 
     @property
     def terminated(self) -> bool:
@@ -264,6 +276,7 @@ def run_query(config: QueryConfig) -> QueryOutcome:
         config.faults, sim, factory=factory,
         protected=(querier_pid,) if config.protect_querier else (),
     )
+    transport = install_resilience(config.resilience, sim)
 
     issue_state: dict[str, Any] = {"reachable": frozenset(), "issued": False}
 
@@ -311,6 +324,16 @@ def run_query(config: QueryConfig) -> QueryOutcome:
             config, run, trace, record, issue_state["reachable"]
         )
 
+    coverage_report = None
+    if (
+        transport is not None
+        and transport.spec.partial_results
+        and issue_state["issued"]
+    ):
+        coverage_report = CoverageReport.from_query(
+            trace, record, issue_state["reachable"]
+        )
+
     querier_proc = (
         sim.network.process(querier_pid)
         if sim.network.is_present(querier_pid)
@@ -334,6 +357,7 @@ def run_query(config: QueryConfig) -> QueryOutcome:
         reachable_at_issue=issue_state["reachable"],
         events_executed=sim.events_executed,
         metrics=sim.metrics_snapshot(include_timing=True),
+        coverage_report=coverage_report,
     )
 
 
@@ -396,6 +420,7 @@ class GossipConfig:
     delay: DelayModel | None = None
     churn: ChurnSpec | ChurnBuilder | None = None
     faults: FaultPlan | str | None = None
+    resilience: ResilienceSpec | str | None = None
     value_of: Callable[[int], float] = field(default=float)
     protect_reader: bool = True
     trace_sink: str | TraceSink = "memory"
@@ -454,6 +479,7 @@ def run_gossip(config: GossipConfig) -> GossipOutcome:
         config.faults, sim, factory=factory,
         protected=(reader_pid,) if config.protect_reader else (),
     )
+    install_resilience(config.resilience, sim)
 
     read_time = config.rounds * config.period
     state: dict[str, float] = {"estimate": float("nan"), "truth": float("nan")}
@@ -525,6 +551,7 @@ class DisseminationConfig:
     delay: DelayModel | None = None
     churn: ChurnSpec | ChurnBuilder | None = None
     faults: FaultPlan | str | None = None
+    resilience: ResilienceSpec | str | None = None
     protect_origin: bool = True
     value: object = "payload"
     trace_sink: str | TraceSink = "memory"
@@ -599,6 +626,7 @@ def run_dissemination(config: DisseminationConfig) -> DisseminationOutcome:
         config.faults, sim, factory=factory,
         protected=(origin_pid,) if config.protect_origin else (),
     )
+    install_resilience(config.resilience, sim)
 
     def publish() -> None:
         if sim.network.is_present(origin_pid):

@@ -102,25 +102,50 @@ class HeartbeatNode(AggregatingProcess):
         # entry is precisely how its silence is noticed.
         for target in sorted(self._last_heard):
             heard = self._last_heard[target]
-            if target not in self._suspected and self.now - heard > self.timeout:
+            if target not in self._suspected and self.now - heard > self._timeout_for(target):
                 self._suspected.add(target)
                 self.suspicions_raised += 1
                 self.sim.metrics.inc("detector.suspicions")
                 self.record(SUSPECT, target=target)
                 self.on_suspect(target)
 
+    def _timeout_for(self, target: int) -> float:
+        """The silence threshold for ``target``.
+
+        With a resilience layer in adaptive-detector mode the threshold is
+        derived from the link's RTT estimate (see
+        :meth:`repro.resilience.transport.ReliableTransport.detector_timeout`);
+        otherwise the static ``timeout`` applies.
+        """
+        transport = getattr(self.sim.network, "resilience", None)
+        if transport is not None and transport.spec.adaptive_detector:
+            return transport.detector_timeout(
+                self.pid, target, fallback=self.timeout, period=self.period
+            )
+        return self.timeout
+
+    def _restore(self, pid: int) -> None:
+        """Retract a suspicion on ``pid`` (no-op if not suspected)."""
+        if pid not in self._suspected:
+            return
+        self._suspected.discard(pid)
+        self.suspicions_retracted += 1
+        self.sim.metrics.inc("detector.restorals")
+        self.record(RESTORE, target=pid)
+        self.on_restore(pid)
+
     def on_message(self, message: Message) -> None:
         if message.kind == HEARTBEAT:
             self._last_heard[message.sender] = self.now
-            if message.sender in self._suspected:
-                self._suspected.discard(message.sender)
-                self.suspicions_retracted += 1
-                self.sim.metrics.inc("detector.restorals")
-                self.record(RESTORE, target=message.sender)
-                self.on_restore(message.sender)
+            self._restore(message.sender)
 
     def on_neighbor_join(self, pid: int) -> None:
         self._last_heard[pid] = self.now
+        # A rejoining entity (crash_rejoin under the same pid) is live by
+        # definition: clear any standing suspicion immediately rather than
+        # waiting for its first heartbeat, so coverage reports never
+        # permanently exclude entities that came back.
+        self._restore(pid)
 
     def on_neighbor_leave(self, pid: int) -> None:
         # The perfect notification clears detector state; heartbeat-only

@@ -41,7 +41,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trace -> sinks)
 #: breaking the specification checker.  Everything else (membership,
 #: protocol milestones, detector output, topology changes) is low-volume
 #: and always retained by the TraceLog.
-TRANSPORT_KINDS = frozenset({"send", "deliver", "drop", "timer", "msg_lost"})
+TRANSPORT_KINDS = frozenset(
+    {"send", "deliver", "drop", "timer", "msg_lost", "retransmit"}
+)
 
 
 class TraceSink(abc.ABC):

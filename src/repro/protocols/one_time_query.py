@@ -197,6 +197,16 @@ class WaveNode(AggregatingProcess):
             if state.deadline_timer is not None:
                 self.cancel_timer(state.deadline_timer)
                 state.deadline_timer = None
+            unreachable = state.extra.get("unreachable")
+            if unreachable:
+                # Degraded completion: the delivery layer gave up on some
+                # children, so this answer is explicitly partial.  The
+                # engine pairs this with a full CoverageReport.
+                self.record(
+                    "query_partial",
+                    qid=state.qid,
+                    unreachable=tuple(sorted(unreachable)),
+                )
             state.on_complete(dict(state.contributions))
             return
         if state.parent is not None and state.parent in self.neighbors():
@@ -237,3 +247,28 @@ class WaveNode(AggregatingProcess):
                 # it had folded any) are lost — count it as answered-empty.
                 state.pending.discard(pid)
                 self._check_complete(state)
+
+    def on_delivery_abandoned(self, message: Message) -> None:
+        # The resilience layer gave up on one of our wave messages: stop
+        # waiting on the unreachable peer instead of hanging.  Only the
+        # *sender* learns of abandonment; a peer stuck waiting on us is
+        # unblocked by its own failure detector, never by this hook.
+        qid = message.payload.get("qid")
+        if qid is None:
+            return
+        state = self._states.get(qid)
+        if state is None:
+            return
+        if message.kind == WAVE_ECHO:
+            # Our folded subtree never reached the parent — the same loss
+            # mode as a parent departure, discovered the slow way.
+            self.orphaned_subtrees += 1
+            self.record("orphaned_echo", qid=qid, lost=len(state.contributions))
+            return
+        if state.closed:
+            return
+        if message.kind == WAVE_QUERY and message.receiver in state.pending:
+            state.pending.discard(message.receiver)
+            state.extra.setdefault("unreachable", set()).add(message.receiver)
+            self.record("wave_unreachable", qid=qid, target=message.receiver)
+            self._check_complete(state)

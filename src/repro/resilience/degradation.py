@@ -1,0 +1,132 @@
+"""Graceful degradation: explicit coverage reports for partial answers.
+
+The paper's escape hatch from unsolvability is *weakening the guarantee*:
+when the communication layer cannot promise that every entity is reachable,
+the one-time query is still solvable if the initiator may answer over the
+subset it could reach — provided the answer says so.  A
+:class:`CoverageReport` is that statement, assembled from the trial trace
+after the fact: which entities were expected (reachable from the querier at
+issue time), which actually contributed, which the failure detector still
+suspected when the query returned, and which the reliable-delivery layer
+explicitly gave up on (``delivery_abandoned``).  The ``missing`` set is the
+honest witness — the analogue of the paper's ``outside_causal_past``
+justification: entities the answer does not cover, each one accounted for
+by suspicion, abandonment, or silence.
+
+Reports ride on :class:`repro.engine.trials.QueryOutcome` (as
+``coverage_report``) and into result documents (as the trial record's
+``coverage`` mapping) whenever a resilience layer with
+``partial_results=True`` is installed; without one, nothing is emitted and
+documents stay byte-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.sim import trace as tr
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.spec import QueryRecord
+
+#: Trace kinds the report reads (all low-volume: retained by every sink).
+_SUSPECT = "suspect"
+_RESTORE = "restore"
+
+
+@dataclass(frozen=True)
+class CoverageReport:
+    """What a (possibly partial) query answer actually covers.
+
+    Attributes:
+        qid: the query this report describes.
+        expected: entities reachable from the querier at issue time — the
+            set a complete answer would cover.
+        reached: entities whose values the answer aggregates.
+        missing: ``expected - reached`` — what the answer does not cover.
+        suspected: expected entities some live detector still suspected
+            when the query returned (net of retractions).
+        unreachable: expected entities the delivery layer explicitly
+            abandoned a query message to (``delivery_abandoned``).
+    """
+
+    qid: int
+    expected: tuple[int, ...]
+    reached: tuple[int, ...]
+    missing: tuple[int, ...]
+    suspected: tuple[int, ...]
+    unreachable: tuple[int, ...]
+
+    @property
+    def complete(self) -> bool:
+        """``True`` iff the answer covers every expected entity."""
+        return not self.missing
+
+    @property
+    def coverage_ratio(self) -> float:
+        """``len(reached & expected) / len(expected)`` (1.0 when vacuous)."""
+        if not self.expected:
+            return 1.0
+        expected = set(self.expected)
+        return len(expected.intersection(self.reached)) / len(expected)
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-JSON form, embedded in result documents."""
+        return {
+            "qid": self.qid,
+            "complete": self.complete,
+            "coverage_ratio": self.coverage_ratio,
+            "expected": list(self.expected),
+            "reached": list(self.reached),
+            "missing": list(self.missing),
+            "suspected": list(self.suspected),
+            "unreachable": list(self.unreachable),
+        }
+
+    @classmethod
+    def from_query(
+        cls,
+        trace: tr.TraceLog,
+        record: "QueryRecord",
+        expected: Iterable[int],
+    ) -> "CoverageReport":
+        """Assemble the report for ``record`` from the trial trace.
+
+        Suspicions are netted per ``(monitor, target)`` pair — a
+        ``restore`` (e.g. a ``crash_rejoin`` entity resuming heartbeats)
+        clears the matching ``suspect`` — and only events up to the query's
+        return time count, so a late recovery does not rewrite what the
+        initiator knew when it answered.
+        """
+        expected_set = frozenset(expected)
+        reached = frozenset(record.contributors)
+        end = record.return_time
+        suspected_pairs: set[tuple[int, int]] = set()
+        unreachable: set[int] = set()
+        for event in trace:
+            if end is not None and event.time > end:
+                break
+            if event.kind == _SUSPECT:
+                monitor = event.get("entity")
+                target = event.get("target")
+                if target is not None:
+                    suspected_pairs.add((monitor, target))
+            elif event.kind == _RESTORE:
+                monitor = event.get("entity")
+                target = event.get("target")
+                suspected_pairs.discard((monitor, target))
+            elif event.kind == tr.DELIVERY_ABANDONED:
+                if event.get("qid") == record.qid:
+                    receiver = event.get("receiver")
+                    if receiver is not None:
+                        unreachable.add(receiver)
+        suspected = {target for _, target in suspected_pairs} & expected_set
+        return cls(
+            qid=record.qid,
+            expected=tuple(sorted(expected_set)),
+            reached=tuple(sorted(reached)),
+            missing=tuple(sorted(expected_set - reached)),
+            suspected=tuple(sorted(suspected)),
+            unreachable=tuple(sorted(unreachable & expected_set)),
+        )

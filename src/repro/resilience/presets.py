@@ -1,0 +1,46 @@
+"""Builtin, named resilience policies.
+
+Each preset is one point on the recovery spectrum, sized so the stock
+trials (UniformDelay RTTs around 2 time units, horizons of a few hundred)
+actually benefit: the default ``base_rto`` of 3.0 sits just above the
+round-trip ceiling, so loss-free runs never retransmit spuriously.  They
+are the vocabulary behind ``--resilience <name>`` on the CLI and the
+string form of the ``resilience`` config field; the E22 recovery audit
+(``benchmarks/test_e22_recovery_audit.py``) measures what each buys back
+under every fault preset.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.spec import ResilienceSpec
+from repro.sim.errors import ConfigurationError
+
+#: The builtin policies, by name.  Specs are frozen; sharing the instances
+#: is safe.
+RESILIENCE_PRESETS: dict[str, ResilienceSpec] = {
+    # Reliable delivery with adaptive (Jacobson) retransmission timers.
+    "arq": ResilienceSpec(name="arq"),
+    # The same ARQ with a fixed base_rto timer — the ablation arm that
+    # shows what RTT estimation buys under jitter.
+    "arq-static": ResilienceSpec(name="arq-static", adaptive_rto=False),
+    # ARQ plus a per-link circuit breaker (pairs with link_flap faults).
+    "breaker": ResilienceSpec(name="breaker", breaker_threshold=3),
+    # Everything on: breaker + RTT-adaptive failure-detector timeouts.
+    "full": ResilienceSpec(
+        name="full", breaker_threshold=3, adaptive_detector=True
+    ),
+}
+
+#: Preset names in a stable, documented order.
+PRESET_NAMES = tuple(RESILIENCE_PRESETS)
+
+
+def resilience_preset(name: str) -> ResilienceSpec:
+    """Look up a builtin policy by name (``ConfigurationError`` if unknown)."""
+    try:
+        return RESILIENCE_PRESETS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown resilience preset {name!r}; builtin presets: "
+            f"{', '.join(PRESET_NAMES)}"
+        ) from None

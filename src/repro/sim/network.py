@@ -68,6 +68,13 @@ class Network:
         #: which may drop, delay or duplicate it.  ``None`` means faults
         #: are structurally absent — no extra branches, draws or events.
         self.fault_injector = None
+        #: The resilience plane's interposition point: when set (by
+        #: :meth:`repro.resilience.transport.ReliableTransport.install`),
+        #: outbound messages may be wrapped with a session id and armed
+        #: with retransmission timers, and inbound messages are
+        #: acknowledged and deduplicated before the protocol sees them.
+        #: ``None`` means the recovery layer is structurally absent.
+        self.resilience = None
         self._processes: dict[int, Process] = {}
         self._adjacency: dict[int, set[int]] = {}
         self._edge_delays: dict[tuple[int, int], DelayModel] = {}
@@ -226,6 +233,11 @@ class Network:
             )
         if self.complete and (receiver == sender or receiver not in self._processes):
             raise TopologyError(f"process {sender} cannot reach {receiver}")
+        if self.resilience is not None:
+            # The recovery layer may wrap the message (session id payload
+            # key) and register it for acknowledgement tracking; control
+            # traffic and retransmissions pass through unchanged.
+            message = self.resilience.outbound(message)
         now = self._sim.now
         msg_id = next(self._msg_ids)
         self._sim.metrics.inc("net.sent")
@@ -317,4 +329,11 @@ class Network:
             now, tr.DELIVER, msg_id=msg_id, msg_kind=message.kind,
             sender=message.sender, receiver=message.receiver,
         )
+        if self.resilience is not None:
+            # Acks are consumed and data is acknowledged + deduplicated
+            # here, after the delivery is traced (the network did deliver
+            # it) but before the protocol sees it.
+            message = self.resilience.inbound(message)
+            if message is None:
+                return
         receiver.on_message(message)

@@ -151,5 +151,12 @@ class Process:
     def on_neighbor_leave(self, pid: int) -> None:
         """Called when neighbor ``pid`` leaves the system."""
 
+    def on_delivery_abandoned(self, message: Message) -> None:
+        """Called when the resilience layer gives up on a message this
+        process sent (see :mod:`repro.resilience.transport`).  ``message``
+        is the original, unwrapped message.  Only ever invoked when a
+        reliable transport is installed; protocols that can degrade
+        gracefully override this to stop waiting on the receiver."""
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(pid={self.pid}, value={self.value!r})"

@@ -45,6 +45,13 @@ MSG_LOST = "msg_lost"
 # fault_cleared.
 FAULT_INJECTED = "fault_injected"
 FAULT_CLEARED = "fault_cleared"
+# Resilience-plane events (repro.resilience): each retransmission of an
+# unacknowledged message (high-volume: treated as a transport kind by the
+# space-saving sinks), and the bounded give-up after the retry budget is
+# exhausted (low-volume: retained by every sink so coverage reports can
+# read it back).
+RETRANSMIT = "retransmit"
+DELIVERY_ABANDONED = "delivery_abandoned"
 
 
 @dataclass(frozen=True)

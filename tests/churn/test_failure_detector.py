@@ -109,6 +109,66 @@ class TestDetection:
         assert count(8.0) <= count(2.0)
 
 
+class TestRejoinClearsSuspicion:
+    """Regression: a ``crash_rejoin`` entity returning under its old pid
+    must be unsuspected at the join itself, not at its next heartbeat —
+    otherwise coverage reports keep excluding entities that are back."""
+
+    def _silent_pair(self):
+        sim = Simulator(
+            seed=1, delay_model=ConstantDelay(0.2), notify_leaves=False,
+        )
+        a = sim.spawn(HeartbeatNode(period=1.0, timeout=3.0))
+        b = sim.spawn(HeartbeatNode(period=1.0, timeout=3.0), neighbors=[a.pid])
+        return sim, a, b
+
+    def test_rejoin_retracts_before_any_heartbeat(self):
+        sim, a, b = self._silent_pair()
+        sim.run(until=10)
+        sim.kill(b.pid)  # silent: no on_neighbor_leave callback fires
+        sim.run(until=20)
+        assert b.pid in a.suspects()
+        restores_before = mistake_recovery_count(sim.trace)
+        sim.spawn(
+            HeartbeatNode(period=1.0, timeout=3.0),
+            neighbors=[a.pid], pid=b.pid,
+        )
+        # No simulation time has passed since the respawn: the retraction
+        # happened at the join callback, before the newcomer's first beat.
+        assert b.pid not in a.suspects()
+        assert a.suspicions_retracted >= 1
+        assert mistake_recovery_count(sim.trace) == restores_before + 1
+
+    def test_restore_trace_names_monitor_and_target(self):
+        sim, a, b = self._silent_pair()
+        sim.run(until=10)
+        sim.kill(b.pid)
+        sim.run(until=20)
+        sim.spawn(
+            HeartbeatNode(period=1.0, timeout=3.0),
+            neighbors=[a.pid], pid=b.pid,
+        )
+        restores = [e for e in sim.trace if e.kind == "restore"]
+        assert restores
+        assert restores[-1]["entity"] == a.pid
+        assert restores[-1]["target"] == b.pid
+
+    def test_detection_still_works_after_a_rejoin(self):
+        sim, a, b = self._silent_pair()
+        sim.run(until=10)
+        sim.kill(b.pid)
+        sim.run(until=20)
+        sim.spawn(
+            HeartbeatNode(period=1.0, timeout=3.0),
+            neighbors=[a.pid], pid=b.pid,
+        )
+        sim.run(until=30)
+        assert b.pid not in a.suspects()
+        sim.kill(b.pid)  # crashes again; silence must still be noticed
+        sim.run(until=45)
+        assert b.pid in a.suspects()
+
+
 class TestMetrics:
     def test_detection_latency_none_when_never_suspected(self):
         sim, a, b = pair()

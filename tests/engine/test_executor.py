@@ -9,7 +9,9 @@ import pytest
 from repro.engine.executor import (
     ParallelExecutor,
     SerialExecutor,
+    _quarantined_result,
     execute_trial,
+    execute_trial_guarded,
     make_executor,
     run_plan,
 )
@@ -128,6 +130,95 @@ class TestRunPlan:
         assert len(store) == len(QUERY_PLAN)
 
 
+class TestWatchdog:
+    """The per-trial wall-clock guard (execute_trial_guarded)."""
+
+    def test_no_watchdog_is_plain_execute_trial(self):
+        spec = QUERY_PLAN.specs[0]
+        guarded = execute_trial_guarded(spec)
+        assert guarded.to_record() == execute_trial(spec).to_record()
+        assert guarded.status == ""
+
+    def test_fast_trial_passes_within_the_budget(self):
+        result = execute_trial_guarded(QUERY_PLAN.specs[0], watchdog=60.0)
+        assert result.ok and result.status == ""
+        assert result.to_record() == execute_trial(QUERY_PLAN.specs[0]).to_record()
+
+    def test_invalid_watchdog_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execute_trial_guarded(QUERY_PLAN.specs[0], watchdog=0.0)
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ConfigurationError):
+            execute_trial_guarded(QUERY_PLAN.specs[0], watchdog=1.0, retries=-1)
+
+    def test_hung_trial_quarantined_after_retries(self, monkeypatch):
+        import time as time_module
+
+        import repro.engine.executor as executor_module
+
+        calls = []
+
+        def hang(spec):
+            calls.append(spec.index)
+            time_module.sleep(2.0)
+
+        monkeypatch.setattr(executor_module, "execute_trial", hang)
+        result = execute_trial_guarded(
+            QUERY_PLAN.specs[0], watchdog=0.05, retries=1,
+        )
+        assert len(calls) == 2  # the overrun really was retried
+        assert result.status == "quarantined"
+        assert not result.ok and not result.terminated
+        assert result.index == QUERY_PLAN.specs[0].index
+        assert result.error == float("inf")
+        assert result.wall_time == pytest.approx(0.05 * 2)
+
+    def test_erroring_trial_reraises_immediately(self, monkeypatch):
+        import repro.engine.executor as executor_module
+
+        def boom(spec):
+            raise ValueError("boom")
+
+        monkeypatch.setattr(executor_module, "execute_trial", boom)
+        with pytest.raises(ValueError, match="boom"):
+            execute_trial_guarded(QUERY_PLAN.specs[0], watchdog=5.0)
+
+    def test_quarantined_record_round_trips(self):
+        result = _quarantined_result(QUERY_PLAN.specs[0], 1.0, 2)
+        record = result.to_record()
+        assert record["status"] == "quarantined"
+        rebuilt = TrialResult.from_record(record, dict(result.point))
+        assert rebuilt.status == "quarantined"
+
+    def test_ordinary_records_omit_the_status_key(self):
+        record = execute_trial(QUERY_PLAN.specs[0]).to_record()
+        assert "status" not in record
+
+    def test_make_executor_threads_the_settings(self):
+        serial = make_executor(None, watchdog=5.0, retries=2)
+        assert isinstance(serial, SerialExecutor)
+        assert serial.watchdog == 5.0 and serial.retries == 2
+        parallel = make_executor(3, watchdog=7.0, retries=1)
+        assert isinstance(parallel, ParallelExecutor)
+        assert parallel.watchdog == 7.0 and parallel.retries == 1
+
+    def test_watchdogged_run_matches_plain_run(self):
+        plain = SerialExecutor().run(QUERY_PLAN)
+        guarded = SerialExecutor(watchdog=60.0).run(QUERY_PLAN)
+        assert [r.to_record() for r in plain] == [
+            r.to_record() for r in guarded
+        ]
+
+    def test_watchdog_survives_the_process_pool(self):
+        # functools.partial(execute_trial_guarded, ...) must pickle.
+        plain = SerialExecutor().run(QUERY_PLAN)
+        pooled = ParallelExecutor(jobs=2, watchdog=60.0).run(QUERY_PLAN)
+        assert [r.to_record() for r in plain] == [
+            r.to_record() for r in pooled
+        ]
+
+
 class TestProgressPrinter:
     """The CLI's progress hook: live ETA, final per-status counts."""
 
@@ -167,3 +258,23 @@ class TestProgressPrinter:
         assert all("eta" in line for line in lines[:-1])
         assert "eta" not in lines[-1]
         assert f"{printer.ok} ok" in lines[-1]
+
+    def test_quarantined_counted_and_reported(self):
+        import io
+
+        from repro.cli import _ProgressPrinter
+
+        printer = _ProgressPrinter(jobs=1, stream=io.StringIO())
+        printer(1, 2, _quarantined_result(QUERY_PLAN.specs[0], 1.0, 1))
+        printer(2, 2, execute_trial(QUERY_PLAN.specs[0]))
+        assert printer.quarantined == 1 and printer.ok == 1
+        assert printer.summary().endswith(", 1 quarantined")
+
+    def test_quarantine_summary_suffix_absent_when_clean(self):
+        import io
+
+        from repro.cli import _ProgressPrinter
+
+        printer = _ProgressPrinter(jobs=1, stream=io.StringIO())
+        printer(1, 1, execute_trial(QUERY_PLAN.specs[0]))
+        assert "quarantined" not in printer.summary()

@@ -1,0 +1,122 @@
+"""Tests for graceful degradation (repro.resilience.degradation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.spec import QueryRecord
+from repro.resilience.degradation import CoverageReport
+from repro.sim.trace import DELIVERY_ABANDONED, TraceLog
+
+
+def make_record(qid=1, contributors=(0, 1), return_time=20.0):
+    return QueryRecord(
+        qid=qid, querier=0, aggregate="COUNT", issue_time=1.0,
+        return_time=return_time, result=len(contributors),
+        contributors=tuple(contributors),
+    )
+
+
+class TestReportShape:
+    def test_complete_when_nothing_missing(self):
+        report = CoverageReport.from_query(
+            TraceLog(), make_record(contributors=(0, 1, 2)), expected=[0, 1, 2],
+        )
+        assert report.complete
+        assert report.coverage_ratio == 1.0
+        assert report.missing == ()
+
+    def test_missing_is_expected_minus_reached(self):
+        report = CoverageReport.from_query(
+            TraceLog(), make_record(contributors=(0, 1)), expected=[0, 1, 2, 3],
+        )
+        assert not report.complete
+        assert report.missing == (2, 3)
+        assert report.coverage_ratio == pytest.approx(0.5)
+
+    def test_vacuous_expectation_is_fully_covered(self):
+        report = CoverageReport.from_query(
+            TraceLog(), make_record(contributors=()), expected=[],
+        )
+        assert report.complete and report.coverage_ratio == 1.0
+
+    def test_to_dict_is_json_plain(self):
+        report = CoverageReport.from_query(
+            TraceLog(), make_record(contributors=(0,)), expected=[0, 2],
+        )
+        record = report.to_dict()
+        assert record["complete"] is False
+        assert record["missing"] == [2]
+        assert isinstance(record["expected"], list)
+        assert record["coverage_ratio"] == pytest.approx(0.5)
+
+
+class TestSuspicionNetting:
+    def test_suspect_counts_restore_clears(self):
+        log = TraceLog()
+        log.record(5.0, "suspect", entity=0, target=2)
+        log.record(6.0, "suspect", entity=0, target=3)
+        log.record(7.0, "restore", entity=0, target=3)
+        report = CoverageReport.from_query(
+            log, make_record(contributors=(0, 1)), expected=[0, 1, 2, 3],
+        )
+        assert report.suspected == (2,)
+
+    def test_any_remaining_monitor_keeps_the_suspicion(self):
+        log = TraceLog()
+        log.record(5.0, "suspect", entity=0, target=2)
+        log.record(5.5, "suspect", entity=1, target=2)
+        log.record(6.0, "restore", entity=0, target=2)
+        report = CoverageReport.from_query(
+            log, make_record(contributors=(0, 1)), expected=[0, 1, 2],
+        )
+        assert report.suspected == (2,)
+
+    def test_events_after_return_time_ignored(self):
+        log = TraceLog()
+        log.record(5.0, "suspect", entity=0, target=2)
+        log.record(25.0, "restore", entity=0, target=2)  # after the answer
+        report = CoverageReport.from_query(
+            log, make_record(contributors=(0, 1), return_time=20.0),
+            expected=[0, 1, 2],
+        )
+        assert report.suspected == (2,)
+
+    def test_suspicions_outside_expected_dropped(self):
+        log = TraceLog()
+        log.record(5.0, "suspect", entity=0, target=99)
+        report = CoverageReport.from_query(
+            log, make_record(contributors=(0, 1)), expected=[0, 1],
+        )
+        assert report.suspected == ()
+
+
+class TestUnreachableWitness:
+    def test_abandoned_query_messages_recorded(self):
+        log = TraceLog()
+        log.record(9.0, DELIVERY_ABANDONED, rid=0, msg_kind="WAVE_QUERY",
+                   sender=0, receiver=2, attempts=5, reason="max_retries",
+                   qid=1)
+        report = CoverageReport.from_query(
+            log, make_record(contributors=(0, 1)), expected=[0, 1, 2],
+        )
+        assert report.unreachable == (2,)
+
+    def test_other_queries_abandonments_ignored(self):
+        log = TraceLog()
+        log.record(9.0, DELIVERY_ABANDONED, rid=0, msg_kind="WAVE_QUERY",
+                   sender=0, receiver=2, attempts=5, reason="max_retries",
+                   qid=77)
+        report = CoverageReport.from_query(
+            log, make_record(qid=1, contributors=(0, 1)), expected=[0, 1, 2],
+        )
+        assert report.unreachable == ()
+
+    def test_non_query_abandonments_have_no_qid(self):
+        log = TraceLog()
+        log.record(9.0, DELIVERY_ABANDONED, rid=0, msg_kind="DATA",
+                   sender=0, receiver=2, attempts=5, reason="max_retries")
+        report = CoverageReport.from_query(
+            log, make_record(contributors=(0, 1)), expected=[0, 1, 2],
+        )
+        assert report.unreachable == ()

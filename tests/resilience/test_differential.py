@@ -1,0 +1,92 @@
+"""Differential conformance: a disabled resilience spec is exactly no spec.
+
+``ResilienceSpec.disabled()`` (and ``resilience=None``) must not install a
+transport, draw from any RNG stream, schedule any timer, or touch any
+metric — so a trial configured with it produces a **byte-identical** result
+document to the same trial with no ``resilience`` key at all.  This is the
+conformance contract that lets every existing experiment adopt the recovery
+plane without re-baselining.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.executor import ParallelExecutor, SerialExecutor, run_plan
+from repro.engine.plan import build_plan
+from repro.resilience.spec import ResilienceSpec
+
+KIND_BASES = {
+    "query": {
+        "n": 10, "topology": "er", "aggregate": "COUNT", "horizon": 120.0,
+    },
+    "gossip": {
+        "n": 8, "topology": "er", "mode": "avg", "rounds": 15,
+    },
+    "dissemination": {
+        "n": 8, "topology": "er", "audit_at": 40.0,
+    },
+}
+
+
+def _doc(kind, *, resilience="absent", executor=None, trials=2):
+    base = dict(KIND_BASES[kind])
+    if resilience != "absent":
+        base["resilience"] = resilience
+    plan = build_plan(
+        f"differential-{kind}", kind=kind,
+        grid={"churn_rate": [0.0, 2.0]}, base=base,
+        trials=trials, root_seed=41,
+    )
+    store = run_plan(plan, executor=executor or SerialExecutor())
+    return store.to_json()
+
+
+class TestDisabledSpecIsNoSpec:
+    @pytest.mark.parametrize("kind", sorted(KIND_BASES))
+    def test_disabled_spec_documents_byte_identical(self, kind):
+        assert _doc(kind, resilience=ResilienceSpec.disabled()) == _doc(kind)
+
+    @pytest.mark.parametrize("kind", sorted(KIND_BASES))
+    def test_none_value_documents_byte_identical(self, kind):
+        assert _doc(kind, resilience=None) == _doc(kind)
+
+    def test_holds_under_the_parallel_executor(self):
+        parallel = ParallelExecutor(jobs=2)
+        with_spec = _doc(
+            "query", resilience=ResilienceSpec.disabled(), executor=parallel,
+        )
+        without = _doc("query", executor=ParallelExecutor(jobs=2))
+        assert with_spec == without
+
+
+class TestEnabledSpecDiverges:
+    def test_a_real_spec_changes_the_document(self):
+        """Sanity guard: the identity above is not vacuous."""
+        resilient = _doc("query", resilience="arq", trials=1)
+        plain = _doc("query", trials=1)
+        assert resilient != plain
+        assert '"resilience.sends"' in resilient
+        assert '"resilience.sends"' not in plain
+
+    def test_coverage_rides_only_on_resilient_records(self):
+        resilient = _doc("query", resilience="arq", trials=1)
+        plain = _doc("query", trials=1)
+        assert '"coverage"' in resilient
+        assert '"coverage"' not in plain
+
+    def test_composes_with_faults_byte_identically_when_disabled(self):
+        """The two planes are independent: adding a disabled recovery spec
+        to a faulted trial changes nothing either."""
+        base = dict(KIND_BASES["query"])
+        base["faults"] = "drop-storm"
+
+        def doc(extra):
+            plan = build_plan(
+                "differential-both", kind="query",
+                grid={"churn_rate": [0.0]}, base={**base, **extra},
+                trials=1, root_seed=41,
+            )
+            return run_plan(plan, executor=SerialExecutor()).to_json()
+
+        assert doc({"resilience": ResilienceSpec.disabled()}) == doc({})

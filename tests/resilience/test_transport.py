@@ -1,0 +1,427 @@
+"""Tests for the reliable-delivery layer (repro.resilience.transport)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.spec import ResilienceSpec
+from repro.resilience.transport import (
+    ACK,
+    BREAKER_CLOSE,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    RID_KEY,
+    CircuitBreaker,
+    LinkRtt,
+    ReliableTransport,
+    install_resilience,
+)
+from repro.sim.errors import ConfigurationError
+from repro.sim.latency import ConstantDelay
+from repro.sim.messages import Message
+from repro.sim.node import Process
+from repro.sim.scheduler import Simulator
+from repro.sim.trace import DELIVERY_ABANDONED, RETRANSMIT
+
+
+class Recorder(Process):
+    """Captures delivered messages and abandonment callbacks."""
+
+    def __init__(self, value=None):
+        super().__init__(value)
+        self.got = []
+        self.abandoned = []
+
+    def on_message(self, message):
+        self.got.append(message)
+
+    def on_delivery_abandoned(self, message):
+        self.abandoned.append(message)
+
+
+class ScriptedLoss:
+    """Drop the first ``n`` accepted sends, then deliver everything."""
+
+    def __init__(self, n):
+        self.remaining = n
+
+    def is_lost(self, rng):
+        if self.remaining > 0:
+            self.remaining -= 1
+            return True
+        return False
+
+
+class SwitchableLoss:
+    """A loss tap the test flips on and off mid-run."""
+
+    def __init__(self, lose=True):
+        self.lose = lose
+
+    def is_lost(self, rng):
+        return self.lose
+
+
+#: jitter=0 keeps timings exact; adaptive off keeps RTOs at base_rto.
+PLAIN = ResilienceSpec(jitter=0.0, adaptive_rto=False, base_rto=2.0,
+                       min_rto=0.5, max_rto=20.0, max_retries=2)
+
+
+def make_pair(spec=PLAIN, *, loss=None, delay=0.1, seed=0):
+    sim = Simulator(seed=seed, delay_model=ConstantDelay(delay),
+                    loss_model=loss)
+    a = sim.spawn(Recorder())
+    b = sim.spawn(Recorder(), neighbors=[a.pid])
+    transport = ReliableTransport(spec).install(sim)
+    return sim, a, b, transport
+
+
+def counters(sim):
+    return sim.metrics_snapshot()["counters"]
+
+
+def assert_ledger(sim):
+    c = counters(sim)
+    assert c.get("resilience.timer_fired", 0) == (
+        c.get("resilience.retransmits", 0)
+        + c.get("resilience.abandoned", 0)
+        + c.get("resilience.unreachable", 0)
+        + c.get("resilience.breaker_blocked", 0)
+    )
+    assert c.get("resilience.acks_received", 0) <= c.get("resilience.sends", 0)
+
+
+class TestInstallation:
+    def test_disabled_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReliableTransport(ResilienceSpec.disabled())
+
+    def test_double_install_rejected(self):
+        sim, *_ = make_pair()
+        with pytest.raises(ConfigurationError):
+            ReliableTransport(PLAIN).install(sim)
+
+    def test_install_resilience_none_installs_nothing(self):
+        sim = Simulator(seed=0)
+        assert install_resilience(None, sim) is None
+        assert sim.network.resilience is None
+
+    def test_install_resilience_preset_name(self):
+        sim = Simulator(seed=0)
+        transport = install_resilience("arq", sim)
+        assert sim.network.resilience is transport
+        assert transport.spec.name == "arq"
+
+
+class TestCleanPath:
+    def test_ack_cancels_timer_no_retransmit(self):
+        sim, a, b, transport = make_pair()
+        a.send(b.pid, "DATA", x=1)
+        sim.run(until=50)
+        c = counters(sim)
+        assert c["resilience.sends"] == 1
+        assert c["resilience.delivered"] == 1
+        assert c["resilience.acks_sent"] == 1
+        assert c["resilience.acks_received"] == 1
+        assert "resilience.timer_fired" not in c
+        assert "resilience.retransmits" not in c
+        assert transport.pending_count == 0
+        assert_ledger(sim)
+
+    def test_protocol_sees_unwrapped_payload(self):
+        sim, a, b, _ = make_pair()
+        a.send(b.pid, "DATA", x=1)
+        sim.run(until=10)
+        [message] = b.got
+        assert message.kind == "DATA"
+        assert message.payload == {"x": 1}
+        assert RID_KEY not in message.payload
+
+    def test_excluded_kinds_pass_untracked(self):
+        spec = ResilienceSpec(jitter=0.0, exclude_kinds=("BEAT",))
+        sim, a, b, transport = make_pair(spec)
+        a.send(b.pid, "BEAT")
+        sim.run(until=10)
+        [message] = b.got
+        assert RID_KEY not in message.payload
+        assert "resilience.sends" not in counters(sim)
+        assert transport.pending_count == 0
+
+    def test_rtt_sample_from_clean_exchange(self):
+        sim, a, b, transport = make_pair(delay=0.1)
+        a.send(b.pid, "DATA")
+        sim.run(until=10)
+        estimator = transport.link_rtt(a.pid, b.pid)
+        assert estimator is not None and estimator.samples == 1
+        assert estimator.srtt == pytest.approx(0.2)  # there and back
+        assert estimator.rttvar == pytest.approx(0.1)
+
+
+class TestRetransmission:
+    def test_lost_first_copy_recovered(self):
+        sim, a, b, transport = make_pair(loss=ScriptedLoss(1))
+        a.send(b.pid, "DATA", x=7)
+        sim.run(until=50)
+        c = counters(sim)
+        assert c["resilience.sends"] == 1
+        assert c["resilience.timer_fired"] == 1
+        assert c["resilience.retransmits"] == 1
+        assert c["resilience.delivered"] == 1
+        assert len(b.got) == 1 and b.got[0].payload == {"x": 7}
+        assert transport.pending_count == 0
+        assert sim.trace.count(RETRANSMIT) == 1
+        assert_ledger(sim)
+
+    def test_karns_rule_no_sample_after_retransmit(self):
+        sim, a, b, transport = make_pair(loss=ScriptedLoss(1))
+        a.send(b.pid, "DATA")
+        sim.run(until=50)
+        # The exchange was acknowledged, but only via a retransmission:
+        # the RTT is ambiguous, so no estimator exists for the link.
+        assert counters(sim)["resilience.acks_received"] == 1
+        assert transport.link_rtt(a.pid, b.pid) is None
+
+    def test_duplicate_delivery_suppressed(self):
+        sim, a, b, _ = make_pair()
+        a.send(b.pid, "DATA")
+        sim.run(until=10)
+        wrapped = Message(sender=a.pid, receiver=b.pid, kind="DATA",
+                          payload={RID_KEY: 0})
+        # Redeliver the same session id straight through the inbound path.
+        assert sim.network.resilience.inbound(wrapped) is None
+        c = counters(sim)
+        assert c["resilience.duplicates_suppressed"] == 1
+        assert c["resilience.delivered"] == 1
+        assert len(b.got) == 1
+
+    def test_duplicate_ack_counted_not_crashing(self):
+        sim, a, b, transport = make_pair()
+        a.send(b.pid, "DATA")
+        sim.run(until=10)
+        ack = Message(sender=b.pid, receiver=a.pid, kind=ACK,
+                      payload={RID_KEY: 0})
+        assert transport.inbound(ack) is None
+        assert counters(sim)["resilience.acks_duplicate"] == 1
+
+
+class TestAbandonment:
+    def test_total_loss_abandons_after_budget(self):
+        sim, a, b, transport = make_pair(loss=SwitchableLoss(True))
+        a.send(b.pid, "DATA", qid=3)
+        sim.run(until=200)
+        c = counters(sim)
+        # max_retries=2: three transmissions, then give up.
+        assert c["resilience.timer_fired"] == 3
+        assert c["resilience.retransmits"] == 2
+        assert c["resilience.abandoned"] == 1
+        assert transport.abandoned == 1
+        assert transport.pending_count == 0
+        assert len(b.got) == 0
+        assert_ledger(sim)
+
+    def test_sender_hook_gets_the_original_message(self):
+        sim, a, b, _ = make_pair(loss=SwitchableLoss(True))
+        a.send(b.pid, "DATA", qid=3)
+        sim.run(until=200)
+        [message] = a.abandoned
+        assert message.kind == "DATA"
+        assert message.receiver == b.pid
+        assert RID_KEY not in message.payload
+        assert b.abandoned == []  # strictly sender-side knowledge
+
+    def test_abandon_trace_carries_reason_and_qid(self):
+        sim, a, b, _ = make_pair(loss=SwitchableLoss(True))
+        a.send(b.pid, "DATA", qid=3)
+        sim.run(until=200)
+        [event] = [e for e in sim.trace if e.kind == DELIVERY_ABANDONED]
+        assert event["reason"] == "max_retries"
+        assert event["qid"] == 3
+        assert event["receiver"] == b.pid
+        assert event["attempts"] == 3
+
+    def test_departed_receiver_counts_unreachable(self):
+        sim, a, b, _ = make_pair()
+        a.send(b.pid, "DATA")
+        sim.kill(b.pid)
+        sim.run(until=200)
+        c = counters(sim)
+        # Every timer finds the link gone; the budget drains without a
+        # single retransmission hitting the wire.
+        assert c["resilience.unreachable"] == 2
+        assert c["resilience.abandoned"] == 1
+        assert "resilience.retransmits" not in c
+        assert [m.kind for m in a.abandoned] == ["DATA"]
+        assert_ledger(sim)
+
+    def test_departed_sender_abandons_without_hook(self):
+        sim, a, b, _ = make_pair(loss=SwitchableLoss(True))
+        a.send(b.pid, "DATA")
+        sim.kill(a.pid)
+        sim.run(until=200)
+        [event] = [e for e in sim.trace if e.kind == DELIVERY_ABANDONED]
+        assert event["reason"] == "sender_departed"
+        assert a.abandoned == []
+        assert_ledger(sim)
+
+
+class TestLinkRtt:
+    def test_first_sample_initialises(self):
+        rtt = LinkRtt()
+        rtt.sample(1.0)
+        assert rtt.srtt == 1.0 and rtt.rttvar == 0.5
+        assert rtt.rto() == pytest.approx(3.0)
+
+    def test_ewma_converges_towards_stable_rtt(self):
+        rtt = LinkRtt()
+        for _ in range(200):
+            rtt.sample(2.0)
+        assert rtt.srtt == pytest.approx(2.0)
+        assert rtt.rttvar == pytest.approx(0.0, abs=1e-6)
+
+    def test_no_samples_no_rto(self):
+        assert LinkRtt().rto() is None
+
+    def test_adaptive_rto_feeds_the_timer(self):
+        spec = ResilienceSpec(jitter=0.0, adaptive_rto=True, base_rto=5.0,
+                              min_rto=0.1, max_rto=50.0)
+        sim, a, b, transport = make_pair(spec, delay=0.1)
+        a.send(b.pid, "DATA")
+        sim.run(until=10)
+        state_cls = type("S", (), {})  # duck-typed _Pending stand-in
+        state = state_cls()
+        state.original = Message(sender=a.pid, receiver=b.pid, kind="DATA",
+                                 payload={})
+        # srtt=0.2, rttvar=0.1 -> rto = 0.2 + 4*0.1 = 0.6, not base 5.0.
+        assert transport._rto_for(state) == pytest.approx(0.6)
+
+    def test_static_rto_ignores_estimator(self):
+        sim, a, b, transport = make_pair(PLAIN, delay=0.1)
+        a.send(b.pid, "DATA")
+        sim.run(until=10)
+        state_cls = type("S", (), {})
+        state = state_cls()
+        state.original = Message(sender=a.pid, receiver=b.pid, kind="DATA",
+                                 payload={})
+        assert transport._rto_for(state) == PLAIN.base_rto
+
+
+class TestCircuitBreaker:
+    def test_state_machine_trip_and_close(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=5.0)
+        assert not breaker.record_failure(1.0)
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.record_failure(2.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert breaker.blocked_for(3.0) == pytest.approx(4.0)
+        assert breaker.record_success()
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert breaker.failures == 0
+
+    def test_failed_half_open_probe_reopens(self):
+        breaker = CircuitBreaker(threshold=1, cooldown=5.0)
+        breaker.record_failure(0.0)
+        breaker.state = CircuitBreaker.HALF_OPEN
+        assert breaker.record_failure(10.0)
+        assert breaker.state == CircuitBreaker.OPEN
+        assert breaker.opened_at == 10.0
+        assert breaker.trips == 2
+
+    def test_success_in_closed_state_reports_no_transition(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=5.0)
+        assert not breaker.record_success()
+
+    def test_breaker_trips_blocks_and_recovers_end_to_end(self):
+        spec = ResilienceSpec(jitter=0.0, adaptive_rto=False, base_rto=1.0,
+                              min_rto=0.5, max_rto=20.0, max_retries=6,
+                              breaker_threshold=1, breaker_cooldown=3.0)
+        loss = SwitchableLoss(True)
+        sim, a, b, transport = make_pair(spec, loss=loss)
+        a.send(b.pid, "DATA", x=1)
+        sim.run(until=2.5)  # first timeout trips the breaker open
+        breaker = transport.breaker(a.pid, b.pid)
+        assert breaker is not None and breaker.state == CircuitBreaker.OPEN
+        loss.lose = False  # the link heals while the breaker cools down
+        sim.run(until=50)
+        c = counters(sim)
+        assert c["resilience.breaker_opened"] >= 1
+        assert c["resilience.breaker_blocked"] >= 1
+        assert c["resilience.breaker_half_open"] >= 1
+        assert c["resilience.breaker_closed"] == 1
+        assert breaker.state == CircuitBreaker.CLOSED
+        assert len(b.got) == 1  # the half-open probe got through
+        assert sim.trace.count(BREAKER_OPEN) >= 1
+        assert sim.trace.count(BREAKER_HALF_OPEN) >= 1
+        assert sim.trace.count(BREAKER_CLOSE) == 1
+        assert_ledger(sim)
+
+    def test_breaker_disabled_by_default(self):
+        sim, a, b, transport = make_pair(loss=SwitchableLoss(True))
+        a.send(b.pid, "DATA")
+        sim.run(until=200)
+        assert transport.breaker(a.pid, b.pid) is None
+        assert "resilience.breaker_blocked" not in counters(sim)
+
+    def test_blocked_timers_spare_the_retry_budget(self):
+        spec = ResilienceSpec(jitter=0.0, adaptive_rto=False, base_rto=1.0,
+                              min_rto=0.5, max_rto=20.0, max_retries=2,
+                              breaker_threshold=1, breaker_cooldown=100.0)
+        sim, a, b, transport = make_pair(spec, loss=SwitchableLoss(True))
+        a.send(b.pid, "DATA")
+        sim.run(until=60)
+        # With the breaker holding the link, the message is still pending:
+        # cooldown holds never consume transmissions.
+        assert transport.pending_count == 1
+        assert counters(sim).get("resilience.abandoned", 0) == 0
+        assert_ledger(sim)
+
+
+class TestDetectorTimeout:
+    def test_fallback_without_samples(self):
+        sim, a, b, transport = make_pair()
+        assert transport.detector_timeout(
+            a.pid, b.pid, fallback=3.0, period=1.0
+        ) == 3.0
+
+    def test_adaptive_threshold_from_estimate(self):
+        spec = ResilienceSpec(jitter=0.0, detector_beta=4.0, min_rto=0.5)
+        sim, a, b, transport = make_pair(spec, delay=0.5)
+        a.send(b.pid, "DATA")
+        sim.run(until=10)
+        # srtt=1.0, rttvar=0.5: period + srtt/2 + 4*rttvar = 1 + .5 + 2.
+        assert transport.detector_timeout(
+            a.pid, b.pid, fallback=9.0, period=1.0
+        ) == pytest.approx(3.5)
+
+    def test_floored_at_period_plus_min_rto(self):
+        spec = ResilienceSpec(jitter=0.0, detector_beta=1.0, min_rto=2.0,
+                              base_rto=3.0)
+        sim, a, b, transport = make_pair(spec, delay=0.01)
+        a.send(b.pid, "DATA")
+        sim.run(until=10)
+        assert transport.detector_timeout(
+            a.pid, b.pid, fallback=9.0, period=1.0
+        ) == pytest.approx(3.0)  # period + min_rto floor
+
+
+class TestEndToEndQuery:
+    def test_resilient_query_recovers_under_drop_storm(self):
+        from repro.engine.trials import QueryConfig, run_query
+
+        base = dict(n=12, topology="er", aggregate="COUNT", horizon=150.0,
+                    seed=2007, faults="drop-storm")
+        resilient = run_query(QueryConfig(**base, resilience="arq"))
+        assert resilient.terminated
+        assert resilient.metrics["counters"]["resilience.sends"] > 0
+        report = resilient.coverage_report
+        assert report is not None
+        assert report.qid == resilient.record.qid
+        assert set(report.reached) == set(resilient.record.contributors)
+
+    def test_no_resilience_means_no_report(self):
+        from repro.engine.trials import QueryConfig, run_query
+
+        outcome = run_query(QueryConfig(
+            n=8, topology="er", aggregate="COUNT", horizon=100.0, seed=1,
+        ))
+        assert outcome.coverage_report is None
