@@ -56,6 +56,30 @@ BENCH_THRESHOLDS: dict[str, tuple[float, bool]] = {
     "events_executed_total": (0.0, False),
 }
 
+#: Prefix/suffix rules for BENCH payload metrics with no exact entry above.
+#: ``emit_scale.py`` emits one ``events_per_sec_n<N>`` / ``peak_rss_kb_n<N>``
+#: pair per population size, so the gate matches metric *families* by
+#: shape: throughput is higher-better, memory and wall time lower-better,
+#: all with the 50% machine-noise slack.
+_BENCH_PREFIX_RULES: tuple[tuple[str, tuple[float, bool]], ...] = (
+    ("events_per_sec", (0.50, True)),
+    ("peak_rss", (0.50, False)),
+)
+
+
+def _bench_rule(name: str) -> tuple[float, bool] | None:
+    """The (threshold, higher_is_better) rule for a BENCH metric name,
+    or ``None`` when the metric is not gated (plain descriptive fields
+    like ``n`` or ``trials``)."""
+    if name in BENCH_THRESHOLDS:
+        return BENCH_THRESHOLDS[name]
+    for prefix, rule in _BENCH_PREFIX_RULES:
+        if name.startswith(prefix):
+            return rule
+    if name.endswith("_wall_s"):
+        return (0.50, False)
+    return None
+
 
 @dataclass(frozen=True)
 class MetricDiff:
@@ -242,14 +266,38 @@ def diff_bench_payloads(
 
     Wall-clock fields use generous lower-is-better thresholds; the
     deterministic ``events_executed_total`` and every ``metrics_totals``
-    counter are held to exact agreement unless overridden.
+    counter are held to exact agreement unless overridden.  Metric
+    *families* — ``events_per_sec_*`` (higher-better), ``peak_rss*`` and
+    ``*_wall_s`` (lower-better) — are gated by shape, so scale-curve
+    payloads with one entry per population size need no per-size
+    configuration.  Metrics absent from either payload are skipped.
     """
-    merged = _merge_thresholds(BENCH_THRESHOLDS, thresholds)
+    overrides = dict(thresholds or {})
+    for name, rel in overrides.items():
+        if rel < 0:
+            raise ConfigurationError(
+                f"threshold for {name!r} must be >= 0, got {rel}"
+            )
     label = str(baseline.get("benchmark", "bench"))
     diff = BenchDiff()
-    for metric, (threshold, higher) in merged.items():
+
+    def numeric_names(payload: Mapping[str, Any]) -> set[str]:
+        return {
+            name for name, value in payload.items()
+            if isinstance(value, (int, float)) and not isinstance(value, bool)
+        }
+
+    for metric in sorted(numeric_names(baseline) | numeric_names(candidate)):
+        rule = _bench_rule(metric)
+        if metric in overrides:
+            # An override adjusts the slack; the direction still comes
+            # from the rule (default lower-is-better for unknown names).
+            rule = (overrides[metric], rule[1] if rule else False)
+        if rule is None:
+            continue
         if metric not in baseline or metric not in candidate:
             continue
+        threshold, higher = rule
         diff.entries.append(_compare(
             label, metric,
             float(baseline[metric]), float(candidate[metric]),
@@ -261,7 +309,8 @@ def diff_bench_payloads(
         if name not in cand_totals:
             diff.missing.append(f"metrics_totals.{name}")
             continue
-        threshold, higher = merged.get(f"metrics_totals.{name}", (0.0, False))
+        threshold = overrides.get(f"metrics_totals.{name}", 0.0)
+        higher = False
         diff.entries.append(_compare(
             label, f"metrics_totals.{name}",
             float(base_totals[name]), float(cand_totals[name]),
@@ -280,6 +329,16 @@ def load_comparable(path: str | Path) -> Mapping[str, Any]:
     """
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
+        first_line = handle.readline()
+        try:
+            header = json.loads(first_line)
+        except json.JSONDecodeError:
+            header = None
+        if isinstance(header, Mapping) and header.get("format") == "jsonl-stream":
+            # A StreamingResultStore stream; load_document reassembles
+            # the canonical document from it.
+            return load_document(str(path))
+        handle.seek(0)
         document = json.load(handle)
     if isinstance(document, Mapping) and document.get("schema") == SCHEMA_NAME:
         return load_document(str(path))

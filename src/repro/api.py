@@ -51,6 +51,7 @@ from __future__ import annotations
 
 # --- Trials: one scenario in, one checked outcome out -------------------
 from repro.engine.trials import (
+    LARGE_TRIAL_THRESHOLD,
     DisseminationConfig,
     DisseminationOutcome,
     GossipConfig,
@@ -73,6 +74,7 @@ from repro.engine.executor import (
     execute_trial,
     make_executor,
     run_plan,
+    stream_plan,
 )
 from repro.engine.plan import (
     VALUE_FUNCTIONS,
@@ -85,6 +87,7 @@ from repro.engine.results import (
     SCHEMA_VERSION,
     ResultStore,
     SchemaVersionError,
+    StreamingResultStore,
     TrialResult,
     load_document,
     summarize_point,
@@ -255,12 +258,14 @@ __all__ = [
     "run_query",
     # engine
     "ExperimentPlan",
+    "LARGE_TRIAL_THRESHOLD",
     "ParallelExecutor",
     "ProgressFn",
     "ResultStore",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
     "SerialExecutor",
+    "StreamingResultStore",
     "TrialExecutor",
     "TrialResult",
     "TrialSpec",
@@ -270,6 +275,7 @@ __all__ = [
     "load_document",
     "make_executor",
     "run_plan",
+    "stream_plan",
     "summarize_point",
     "validate_document",
     # observability

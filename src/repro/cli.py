@@ -54,6 +54,7 @@ from typing import Any, Mapping, Sequence
 
 from repro.analysis.tables import render_matrix, render_result_document, render_table
 from repro.api import (
+    LARGE_TRIAL_THRESHOLD,
     SINK_NAMES,
     ChurnSpec,
     ExperimentPlan,
@@ -66,6 +67,7 @@ from repro.api import (
     make_executor,
     resilience_preset,
     run_plan,
+    stream_plan,
 )
 from repro.churn.models import ReplacementChurn
 from repro.core.arrival import (
@@ -127,16 +129,18 @@ def _engine_parent(trials_default: int = 1) -> argparse.ArgumentParser:
                        help="worker processes (1 = serial; results are "
                        "identical either way)")
     group.add_argument("--output", default=None,
-                       help="write the engine's JSON result document to "
-                       "this file")
+                       help="write the engine's result document to this "
+                       "file; a .jsonl suffix streams each trial as it "
+                       "finishes (memory-flat, same document on load)")
     group.add_argument("--progress", action="store_true",
                        help="print live done/total progress with an ETA")
     group.add_argument("--profile", action="store_true",
                        help="print phase timings and a cProfile of one trial")
-    group.add_argument("--trace-sink", dest="trace_sink", default="memory",
+    group.add_argument("--trace-sink", dest="trace_sink", default=None,
                        choices=list(SINK_NAMES),
                        help="transport-event sink (documents are identical "
-                       "under every sink)")
+                       "under every sink; default: memory, or counts when "
+                       f"n >= {LARGE_TRIAL_THRESHOLD})")
     group.add_argument("--trace-dir", dest="trace_dir", default=None,
                        help="directory for per-trial .jsonl event streams "
                        "(required by --trace-sink jsonl)")
@@ -283,19 +287,44 @@ def _resolve_resilience(value: str) -> ResilienceSpec | str:
     return value
 
 
+def _resolve_trace_sink(args: argparse.Namespace,
+                        base: Mapping[str, Any]) -> str:
+    """Pick the trace sink when ``--trace-sink`` was not given.
+
+    Small runs keep the historical in-memory default.  At
+    ``LARGE_TRIAL_THRESHOLD``-plus entities the retained trace events
+    would dominate memory, so large runs default to the ``counts`` sink
+    (kind counters only — verdicts and documents are identical) with a
+    one-line notice; ``--trace-sink memory`` restores the old behaviour
+    explicitly.
+    """
+    if args.trace_sink is not None:
+        return args.trace_sink
+    n = base.get("n", 0)
+    if isinstance(n, int) and n >= LARGE_TRIAL_THRESHOLD:
+        print(
+            f"note: n={n} >= {LARGE_TRIAL_THRESHOLD}; defaulting "
+            "--trace-sink to 'counts' (pass --trace-sink memory to retain "
+            "every trace event)",
+            file=sys.stderr,
+        )
+        return "counts"
+    return "memory"
+
+
 def _apply_sink_flags(args: argparse.Namespace, name: str,
                       base: dict[str, Any]) -> dict[str, Any]:
     """Fold ``--trace-sink`` / ``--trace-dir`` / ``--fault-plan`` into the
     plan's base config."""
     base = dict(base)
-    base["trace_sink"] = args.trace_sink
+    base["trace_sink"] = _resolve_trace_sink(args, base)
     if args.check_invariants:
         base["check_invariants"] = True
     if getattr(args, "fault_plan", None):
         base["faults"] = _resolve_fault_plan(args.fault_plan)
     if getattr(args, "resilience", None):
         base["resilience"] = _resolve_resilience(args.resilience)
-    if args.trace_sink == "jsonl":
+    if base["trace_sink"] == "jsonl":
         if not args.trace_dir:
             raise SystemExit("--trace-sink jsonl requires --trace-dir")
         os.makedirs(args.trace_dir, exist_ok=True)
@@ -332,7 +361,15 @@ def _engine_run(
         watchdog=getattr(args, "watchdog", None),
         retries=getattr(args, "trial_retries", 0),
     )
-    store = run_plan(plan, executor=executor, progress=progress)
+    if args.output and args.output.endswith(".jsonl"):
+        # Stream each trial to the output file the moment it finishes —
+        # peak memory during execution is one window of in-flight trials,
+        # not the whole plan.  The store is reloaded from the stream only
+        # to render the summary tables below.
+        stream_plan(plan, args.output, executor=executor, progress=progress)
+        store = ResultStore.load(args.output)
+    else:
+        store = run_plan(plan, executor=executor, progress=progress)
     timings["execute"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -349,8 +386,12 @@ def _engine_finish(
 ) -> None:
     """Post-table chores shared by the engine commands: output + profile."""
     if args.output:
-        store.write(args.output)
-        print(f"result document written to {args.output}")
+        if args.output.endswith(".jsonl"):
+            # Already streamed during execution by _engine_run.
+            print(f"result stream written to {args.output}")
+        else:
+            store.write(args.output)
+            print(f"result document written to {args.output}")
     if args.profile:
         print(render_table(
             ["phase", "wall time"],

@@ -16,16 +16,23 @@ from __future__ import annotations
 
 import abc
 import functools
+import itertools
 import math
 import os
 import threading
 import time
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import as_completed
 from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.engine.plan import ExperimentPlan, TrialSpec
-from repro.engine.results import ResultStore, TrialResult, jsonable
+from repro.engine.results import (
+    ResultStore,
+    StreamingResultStore,
+    TrialResult,
+    jsonable,
+)
 from repro.engine.trials import (
     DisseminationOutcome,
     GossipOutcome,
@@ -45,11 +52,25 @@ R = TypeVar("R")
 ProgressFn = Callable[[int, int, Any], None]
 
 
+def _peak_rss_kb() -> float:
+    """Peak resident set size of this process in KB (0.0 where the
+    ``resource`` module is unavailable)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        return 0.0
+    return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+
+
 def execute_trial(spec: TrialSpec) -> TrialResult:
     """Run one trial spec to completion and summarise it.
 
     Wall time covers config materialisation plus the whole simulation;
-    ``events_executed`` comes straight from the simulator.
+    ``events_executed`` comes straight from the simulator.  Two perf
+    metrics join the trial's (timing-quarantined) ``timings`` section:
+    ``events_per_sec`` — events executed over the ``simulate`` phase wall
+    time — and ``peak_rss_kb``, the worker's peak resident set.  Both are
+    wall-clock-derived, so canonical documents stay byte-identical.
     """
     start = time.perf_counter()
     config = spec.to_config()
@@ -62,6 +83,14 @@ def execute_trial(spec: TrialSpec) -> TrialResult:
     else:  # pragma: no cover - to_config already rejects unknown kinds
         raise ConfigurationError(f"unknown trial kind {spec.kind!r}")
     wall = time.perf_counter() - start
+    timings = (
+        outcome.metrics.get("timings") if isinstance(outcome.metrics, dict) else None
+    )
+    if isinstance(timings, dict):
+        simulate = timings.get("simulate", 0.0)
+        if simulate > 0.0:
+            timings["events_per_sec"] = outcome.events_executed / simulate
+        timings["peak_rss_kb"] = _peak_rss_kb()
     return _summarise(spec, outcome, wall)
 
 
@@ -247,6 +276,28 @@ class TrialExecutor(abc.ABC):
         parallel backend, ``fn`` and every item must be picklable.
         """
 
+    def stream(
+        self,
+        specs: Sequence[TrialSpec],
+        consume: Callable[[TrialResult], None],
+        progress: Optional[ProgressFn] = None,
+    ) -> int:
+        """Execute specs and hand each result to ``consume`` in plan order,
+        retaining nothing — the memory-flat path behind
+        :func:`stream_plan`.  Returns how many trials ran.  ``progress``
+        fires as results are consumed (plan order here, unlike :meth:`map`).
+        """
+        fn = self._trial_fn()
+        specs = list(specs)
+        done = 0
+        for spec in specs:
+            result = fn(spec)
+            done += 1
+            consume(result)
+            if progress is not None:
+                progress(done, len(specs), result)
+        return done
+
 
 class SerialExecutor(TrialExecutor):
     """In-process, strictly sequential execution (the reference backend)."""
@@ -323,6 +374,43 @@ class ParallelExecutor(TrialExecutor):
             # into the result list.
             return [future.result() for future in futures]
 
+    def stream(
+        self,
+        specs: Sequence[TrialSpec],
+        consume: Callable[[TrialResult], None],
+        progress: Optional[ProgressFn] = None,
+    ) -> int:
+        """Streaming over the process pool with windowed submission.
+
+        At most ``jobs * 4`` trials are in flight or awaiting consumption
+        at any moment, so memory stays flat no matter how long the plan
+        is.  Results are consumed strictly in plan order (the stream file
+        then matches the serial backend's byte for byte).
+        """
+        specs = list(specs)
+        if not specs:
+            return 0
+        workers = min(self.jobs, len(specs))
+        if workers == 1:
+            return super().stream(specs, consume, progress=progress)
+        fn = self._trial_fn()
+        window = workers * 4
+        pending: deque = deque()
+        done = 0
+        with _ProcessPool(max_workers=workers) as pool:
+            spec_iter = iter(specs)
+            for spec in itertools.islice(spec_iter, window):
+                pending.append(pool.submit(fn, spec))
+            while pending:
+                result = pending.popleft().result()
+                done += 1
+                consume(result)
+                if progress is not None:
+                    progress(done, len(specs), result)
+                for spec in itertools.islice(spec_iter, 1):
+                    pending.append(pool.submit(fn, spec))
+        return done
+
     def __repr__(self) -> str:
         return f"ParallelExecutor(jobs={self.jobs})"
 
@@ -353,3 +441,29 @@ def run_plan(
         raise ConfigurationError("give either 'executor' or 'jobs', not both")
     backend = executor if executor is not None else make_executor(jobs)
     return ResultStore.from_run(plan, backend.run(plan, progress=progress))
+
+
+def stream_plan(
+    plan: ExperimentPlan,
+    path: str,
+    executor: TrialExecutor | None = None,
+    jobs: int | None = None,
+    progress: Optional[ProgressFn] = None,
+    include_timing: bool = False,
+) -> int:
+    """Execute ``plan`` straight into a JSONL stream at ``path``.
+
+    The memory-flat counterpart of :func:`run_plan`: each trial is written
+    by :class:`~repro.engine.results.StreamingResultStore` the moment it
+    finishes, so peak memory is one window of in-flight trials rather than
+    the whole plan.  ``load_document(path)`` later reassembles the exact
+    canonical document.  Returns the number of trials written.
+    """
+    if executor is not None and jobs is not None:
+        raise ConfigurationError("give either 'executor' or 'jobs', not both")
+    backend = executor if executor is not None else make_executor(jobs)
+    meta = plan.meta() if hasattr(plan, "meta") else {}
+    with StreamingResultStore(
+        path, plan=meta, include_timing=include_timing
+    ) as store:
+        return backend.stream(plan.specs, store.append, progress=progress)

@@ -308,19 +308,130 @@ class ResultStore:
 
     @classmethod
     def load(cls, path: str) -> "ResultStore":
-        with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_document(json.load(handle))
+        return cls.from_document(load_document(path))
+
+
+class StreamingResultStore:
+    """Append-only JSONL result store for sweeps too large to buffer.
+
+    The in-memory :class:`ResultStore` holds every :class:`TrialResult`
+    until the end of the run; at 10⁴⁺ trials that is the engine's peak
+    memory.  This store writes each trial the moment it finishes and keeps
+    nothing:
+
+    * line 1 — a header with the schema-v2 envelope (``schema``,
+      ``version``, ``repro_version``, ``plan``) plus ``format:
+      "jsonl-stream"`` so readers can sniff the container;
+    * every further line — one trial, ``{"point": {...}, "record":
+      {...}}``, with the identical record layout the canonical document
+      uses.
+
+    :func:`load_document` reassembles the exact canonical v2 document from
+    the stream (summaries recomputed per point), so downstream consumers
+    cannot tell which container produced a run.  Usable as a context
+    manager; :meth:`append` matches the executor's streaming consumer
+    signature.
+    """
+
+    FORMAT = "jsonl-stream"
+
+    def __init__(
+        self,
+        path: str,
+        plan: Mapping[str, Any] | None = None,
+        include_timing: bool = False,
+    ) -> None:
+        self.path = str(path)
+        self.plan: dict[str, Any] = dict(plan or {})
+        self.include_timing = include_timing
+        self.count = 0
+        self._handle: Any = None
+
+    def open(self) -> "StreamingResultStore":
+        """Create the file and write the header line (idempotent)."""
+        if self._handle is None:
+            self._handle = open(self.path, "w", encoding="utf-8")
+            header = {
+                "schema": SCHEMA_NAME,
+                "version": SCHEMA_VERSION,
+                "format": self.FORMAT,
+                "repro_version": package_version(),
+                "plan": jsonable(self.plan),
+            }
+            self._handle.write(json.dumps(header, sort_keys=True) + "\n")
+        return self
+
+    def append(self, result: TrialResult) -> None:
+        """Write one trial line; opens the store on first use."""
+        if self._handle is None:
+            self.open()
+        entry = {
+            "point": jsonable(result.point_dict()),
+            "record": result.to_record(self.include_timing),
+        }
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "StreamingResultStore":
+        return self.open()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def _assemble_stream_document(
+    header: Mapping[str, Any], lines: Iterable[str]
+) -> dict[str, Any]:
+    """Rebuild the canonical document from a jsonl-stream body."""
+    if header.get("schema") != SCHEMA_NAME:
+        raise ConfigurationError(
+            f"not a {SCHEMA_NAME} stream (schema={header.get('schema')!r})"
+        )
+    if header.get("version") not in SUPPORTED_VERSIONS:
+        raise SchemaVersionError(header.get("version"), SUPPORTED_VERSIONS)
+    results = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        entry = json.loads(line)
+        results.append(TrialResult.from_record(entry["record"], entry["point"]))
+    store = ResultStore(plan=header.get("plan", {}), results=results)
+    return store.document()
 
 
 def load_document(path: str) -> dict[str, Any]:
     """Load and validate a result document, returning the raw JSON object.
+
+    Reads both containers: the canonical JSON file written by
+    :meth:`ResultStore.write` and the JSONL stream written by
+    :class:`StreamingResultStore` (sniffed from the header line).  Either
+    way the returned object has the same schema-v2 document shape.
 
     Use :meth:`ResultStore.load` to rehydrate :class:`TrialResult`s instead;
     this helper is for consumers that want the document verbatim (tables,
     comparisons, archival checks) with the schema guarantee up front.
     """
     with open(path, "r", encoding="utf-8") as handle:
-        document = json.load(handle)
+        first_line = handle.readline()
+        header: Any = None
+        try:
+            header = json.loads(first_line)
+        except json.JSONDecodeError:
+            header = None
+        if (
+            isinstance(header, Mapping)
+            and header.get("format") == StreamingResultStore.FORMAT
+        ):
+            document = _assemble_stream_document(header, handle)
+        else:
+            handle.seek(0)
+            document = json.load(handle)
     validate_document(document)
     return document
 

@@ -34,7 +34,7 @@ from repro.core.spec import OneTimeQuerySpec, QueryRecord, Verdict, extract_quer
 from repro.faults.injector import install_plan
 from repro.faults.spec import FaultPlan
 from repro.obs.check import CheckingSink
-from repro.obs.sinks import TraceSink, make_sink
+from repro.obs.sinks import MemorySink, TraceSink, make_sink
 from repro.protocols.base import QueryResult
 from repro.protocols.dissemination import AntiEntropyNode, FloodNode
 from repro.protocols.ft_wave import FaultTolerantWaveNode
@@ -57,6 +57,32 @@ from repro.topology.graph import Topology
 #: so arrivals get fresh values).
 ChurnBuilder = Callable[[Callable[[], Process]], ChurnModel]
 
+#: Population size at which an in-memory trace sink becomes a memory
+#: hazard: a 10⁴-entity trial records millions of TraceEvents, and the
+#: MemorySink keeps every one.  Above this, trials warn (once per process)
+#: and the CLI defaults sweeps to the ``"counts"`` sink instead.
+LARGE_TRIAL_THRESHOLD = 10_000
+
+_warned_memory_sink_scale = False
+
+
+def _warn_memory_sink_at_scale(n: int) -> None:
+    """One-time warning for in-memory tracing at 10⁴⁺ entities."""
+    global _warned_memory_sink_scale
+    if _warned_memory_sink_scale:
+        return
+    _warned_memory_sink_scale = True
+    import warnings
+
+    warnings.warn(
+        f"in-memory trace sink with n={n} >= {LARGE_TRIAL_THRESHOLD}: every "
+        "trace event is retained, which dominates memory at this scale. "
+        "Use trace_sink='counts' (kind counters only) or 'null' for large "
+        "runs; 'repro sweep' already defaults to 'counts' at this size.",
+        ResourceWarning,
+        stacklevel=3,
+    )
+
 
 def _make_simulator(config: Any, **kwargs: Any) -> Simulator:
     """Construct the trial simulator with the configured trace sink.
@@ -68,8 +94,17 @@ def _make_simulator(config: Any, **kwargs: Any) -> Simulator:
     the sink is wrapped in a :class:`~repro.obs.check.CheckingSink`, so the
     four trace invariants are verified online and any violations are
     counted under ``check.violations`` in the trial's metrics block.
+
+    Large populations (``n >=`` :data:`LARGE_TRIAL_THRESHOLD`) with the
+    default in-memory sink trigger a one-time :class:`ResourceWarning` —
+    the run still proceeds, but peak memory will be dominated by retained
+    trace events.
     """
     sink = make_sink(config.trace_sink, path=config.trace_path)
+    if isinstance(sink, MemorySink):
+        n = getattr(config, "n", 0)
+        if isinstance(n, int) and n >= LARGE_TRIAL_THRESHOLD:
+            _warn_memory_sink_at_scale(n)
     if getattr(config, "check_invariants", False):
         sink = CheckingSink(sink)
     return Simulator(seed=config.seed, trace_sink=sink, **kwargs)

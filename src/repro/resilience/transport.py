@@ -286,10 +286,7 @@ class ReliableTransport:
 
     def _send_ack(self, acker: int, target: int, rid: int) -> None:
         network = self.sim.network
-        if network.complete:
-            reachable = network.is_present(target) and target != acker
-        else:
-            reachable = target in network._adjacency.get(acker, ())
+        reachable = network.has_edge(acker, target)
         if not network.is_present(acker) or not reachable:
             # The sender vanished (or the link did) between send and
             # delivery; its retransmission path will sort itself out.
@@ -409,12 +406,7 @@ class ReliableTransport:
             self._hold_timer(state, breaker.blocked_for(now))
             return
         receiver = state.original.receiver
-        if network.complete:
-            reachable = network.is_present(receiver) and receiver != state.original.sender
-        else:
-            reachable = receiver in network._adjacency.get(
-                state.original.sender, ()
-            )
+        reachable = network.has_edge(state.original.sender, receiver)
         if not reachable:
             # The link (or the receiver) is gone right now; it may come
             # back (link_flap, partition heal), so this consumes retry

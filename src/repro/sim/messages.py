@@ -11,7 +11,7 @@ from typing import Any
 _message_ids = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
     """An immutable protocol message.
 

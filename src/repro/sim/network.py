@@ -5,12 +5,17 @@ about: *who is present* (the entity dimension) and *who can talk to whom*
 (the geography dimension).  Processes interact with it only through
 :class:`repro.sim.node.Process` actions, so protocol code cannot cheat and
 peek at global state.
+
+State is slot-backed for scale (see ``docs/SCALING.md``): each entity
+occupies a recycled slot in parallel arrays (process object, adjacency
+set, pid), with a dense slot list for O(1) uniform sampling.  Pids remain
+globally unique and are never reused — slots are storage, not identity.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.sim import trace as tr
 from repro.sim.errors import MembershipError, TopologyError
@@ -20,6 +25,8 @@ from repro.sim.messages import Message
 from repro.sim.node import Process
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import random
+
     from repro.sim.scheduler import Simulator
 
 #: Bucket bounds for the deliveries-by-hop-count histogram (wave depths,
@@ -47,6 +54,7 @@ class Network:
         complete: bool = False,
         fifo: bool = False,
         notify_leaves: bool = True,
+        notify_joins: bool = True,
     ) -> None:
         self._sim = sim
         self.delay_model = delay_model or UniformDelay()
@@ -57,6 +65,12 @@ class Network:
         #: silence (failure detection).  This removes the perfect-detector
         #: assumption the default model makes.
         self.notify_leaves = notify_leaves
+        #: When False, joins are silent too: no ``on_neighbor_join``
+        #: callbacks fire when an entity arrives.  On complete graphs a
+        #: join otherwise notifies the *entire* population (O(n)), which
+        #: dominates at 10⁴⁺ entities; scale workloads whose protocols
+        #: poll neighbors instead of reacting to arrivals turn this off.
+        self.notify_joins = notify_joins
         #: FIFO channels: deliveries on each directed (sender, receiver)
         #: pair never overtake earlier ones, even when the sampled delays
         #: would reorder them.
@@ -75,9 +89,23 @@ class Network:
         #: acknowledged and deduplicated before the protocol sees them.
         #: ``None`` means the recovery layer is structurally absent.
         self.resilience = None
-        self._processes: dict[int, Process] = {}
-        self._adjacency: dict[int, set[int]] = {}
+        # Slot-backed entity state.  ``_slot_of`` maps pid -> slot; the
+        # parallel arrays are indexed by slot and holes are recycled
+        # through the ``_free`` stack.  ``_dense`` lists occupied slots
+        # contiguously (swap-remove) for O(1) uniform sampling.
+        self._slot_of: dict[int, int] = {}
+        self._procs: list[Process | None] = []
+        self._adj: list[set[int] | None] = []
+        self._slot_pid: list[int] = []
+        self._free: list[int] = []
+        self._dense: list[int] = []
+        self._dense_pos: list[int] = []
         self._edge_delays: dict[tuple[int, int], DelayModel] = {}
+        # Topology journals: incremental consumers (PartitionFault's
+        # watchdog) subscribe to joins and new links instead of rescanning
+        # the whole graph every tick.  Empty dict = zero hot-path cost.
+        self._journals: dict[int, list[tuple[str, int, int]]] = {}
+        self._journal_tokens = itertools.count()
         # Simulation-local message ids keep traces reproducible regardless
         # of how many messages other simulations in this Python process
         # have created.
@@ -90,17 +118,53 @@ class Network:
     def present(self) -> frozenset[int]:
         """Ids of processes currently in the system (omniscient view —
         available to the analysis layer, never to protocol code)."""
-        return frozenset(self._processes)
+        return frozenset(self._slot_of)
+
+    def population(self) -> int:
+        """Number of processes currently present (O(1))."""
+        return len(self._slot_of)
 
     def process(self, pid: int) -> Process:
         """Return the live process object for ``pid``."""
         try:
-            return self._processes[pid]
+            proc = self._procs[self._slot_of[pid]]
         except KeyError:
             raise MembershipError(f"process {pid} is not present") from None
+        assert proc is not None
+        return proc
 
     def is_present(self, pid: int) -> bool:
-        return pid in self._processes
+        return pid in self._slot_of
+
+    def _alloc_slot(self, proc: Process) -> int:
+        pid = proc.pid
+        if self._free:
+            slot = self._free.pop()
+            self._procs[slot] = proc
+            self._adj[slot] = set()
+            self._slot_pid[slot] = pid
+            self._dense_pos[slot] = len(self._dense)
+        else:
+            slot = len(self._procs)
+            self._procs.append(proc)
+            self._adj.append(set())
+            self._slot_pid.append(pid)
+            self._dense_pos.append(len(self._dense))
+        self._dense.append(slot)
+        self._slot_of[pid] = slot
+        return slot
+
+    def _release_slot(self, pid: int) -> None:
+        slot = self._slot_of.pop(pid)
+        self._procs[slot] = None
+        self._adj[slot] = None
+        # Swap-remove from the dense slot list.
+        pos = self._dense_pos[slot]
+        last = self._dense.pop()
+        if last != slot:
+            self._dense[pos] = last
+            self._dense_pos[last] = pos
+        self._free.append(slot)
 
     def add_process(self, proc: Process, neighbors: Iterable[int] = ()) -> None:
         """Insert ``proc`` and connect it to ``neighbors``.
@@ -108,18 +172,20 @@ class Network:
         The caller (simulator/churn model) must have assigned ``proc.pid``.
         """
         pid = proc.pid
-        if pid in self._processes:
+        if pid in self._slot_of:
             raise MembershipError(f"process {pid} is already present")
         neighbor_ids = set(neighbors)
-        missing = neighbor_ids - set(self._processes)
+        missing = neighbor_ids - self._slot_of.keys()
         if missing:
             raise MembershipError(
                 f"cannot attach {pid} to absent processes {sorted(missing)}"
             )
-        self._processes[pid] = proc
-        self._adjacency[pid] = set()
+        self._alloc_slot(proc)
         for other in sorted(neighbor_ids):
             self._link(pid, other)
+        if self._journals:
+            for journal in self._journals.values():
+                journal.append(("join", pid, pid))
         self._sim.metrics.inc("membership.joins")
         self._sim.trace.record(
             self._sim.now, tr.JOIN, entity=pid, degree=len(neighbor_ids),
@@ -128,34 +194,56 @@ class Network:
         )
         proc._alive = True
         proc.on_start()
+        if not self.notify_joins:
+            return
         # In complete mode every present process is a neighbor of the
         # newcomer, so everyone learns of the join.
-        to_notify = (
-            set(self._processes) - {pid} if self.complete else neighbor_ids
-        )
+        if self.complete:
+            to_notify = set(self._slot_of)
+            to_notify.discard(pid)
+        else:
+            to_notify = neighbor_ids
+        slot_of = self._slot_of
         for other in sorted(to_notify):
-            if other in self._processes:  # may have left during callbacks
-                self._processes[other].on_neighbor_join(pid)
+            other_slot = slot_of.get(other)
+            if other_slot is not None:  # may have left during callbacks
+                self._procs[other_slot].on_neighbor_join(pid)
 
     def remove_process(self, pid: int) -> Process:
-        """Remove ``pid`` from the system; in-flight messages to it drop."""
+        """Remove ``pid`` from the system; in-flight messages to it drop.
+
+        On complete graphs with silent departures (``notify_leaves=False``)
+        this is O(1): no neighbor list is materialised because nobody gets
+        notified and no adjacency needs patching.  Otherwise it is
+        O(degree) plus the notification fan-out.
+        """
         proc = self.process(pid)
         proc._alive = False
         proc.on_stop()
+        former_neighbors: list[int] = []
         if self.complete:
-            former_neighbors = sorted(set(self._processes) - {pid})
+            if self.notify_leaves:
+                former_neighbors = sorted(self._slot_of)
+                former_neighbors.remove(pid)
         else:
-            former_neighbors = sorted(self._adjacency.get(pid, ()))
-        for other in former_neighbors:
-            self._adjacency[other].discard(pid)
-        del self._adjacency[pid]
-        del self._processes[pid]
+            adj = self._adj[self._slot_of[pid]]
+            assert adj is not None
+            if self.notify_leaves:
+                former_neighbors = sorted(adj)
+            slot_of = self._slot_of
+            for other in adj:
+                other_adj = self._adj[slot_of[other]]
+                if other_adj is not None:
+                    other_adj.discard(pid)
+        self._release_slot(pid)
         self._sim.metrics.inc("membership.leaves")
         self._sim.trace.record(self._sim.now, tr.LEAVE, entity=pid)
         if self.notify_leaves:
+            slot_of = self._slot_of
             for other in former_neighbors:
-                if other in self._processes:
-                    self._processes[other].on_neighbor_leave(pid)
+                other_slot = slot_of.get(other)
+                if other_slot is not None:
+                    self._procs[other_slot].on_neighbor_leave(pid)
         return proc
 
     # ------------------------------------------------------------------
@@ -164,48 +252,139 @@ class Network:
 
     def neighbors(self, pid: int) -> frozenset[int]:
         """Current neighbor set of ``pid``."""
-        if pid not in self._processes:
+        slot = self._slot_of.get(pid)
+        if slot is None:
             raise MembershipError(f"process {pid} is not present")
         if self.complete:
-            return frozenset(p for p in self._processes if p != pid)
-        return frozenset(self._adjacency[pid])
+            return frozenset(p for p in self._slot_of if p != pid)
+        return frozenset(self._adj[slot])
+
+    def degree(self, pid: int) -> int:
+        """Current degree of ``pid`` (O(1); no neighbor set is built)."""
+        slot = self._slot_of.get(pid)
+        if slot is None:
+            raise MembershipError(f"process {pid} is not present")
+        if self.complete:
+            return len(self._slot_of) - 1
+        return len(self._adj[slot])
+
+    def has_edge(self, a: int, b: int) -> bool:
+        """True iff ``a`` and ``b`` are currently linked (``False`` when
+        either endpoint is absent).  On complete graphs every present
+        pair is linked."""
+        if self.complete:
+            return a != b and a in self._slot_of and b in self._slot_of
+        slot = self._slot_of.get(a)
+        if slot is None:
+            return False
+        return b in self._adj[slot]
 
     def _link(self, a: int, b: int) -> None:
         if a == b:
             raise TopologyError(f"self-loop on process {a}")
-        self._adjacency[a].add(b)
-        self._adjacency[b].add(a)
+        self._adj[self._slot_of[a]].add(b)
+        self._adj[self._slot_of[b]].add(a)
+        if self._journals:
+            lo, hi = (a, b) if a < b else (b, a)
+            for journal in self._journals.values():
+                journal.append(("edge", lo, hi))
 
     def add_edge(self, a: int, b: int) -> None:
         """Create a link between two present processes (dynamic topology)."""
-        if a not in self._processes or b not in self._processes:
+        slot_a = self._slot_of.get(a)
+        slot_b = self._slot_of.get(b)
+        if slot_a is None or slot_b is None:
             raise MembershipError(f"both endpoints of ({a}, {b}) must be present")
-        if b in self._adjacency[a]:
+        if b in self._adj[slot_a]:
             return
         self._link(a, b)
         self._sim.trace.record(self._sim.now, "edge_up", a=min(a, b), b=max(a, b))
-        self._processes[a].on_neighbor_join(b)
-        self._processes[b].on_neighbor_join(a)
+        self._procs[slot_a].on_neighbor_join(b)
+        self._procs[slot_b].on_neighbor_join(a)
 
     def remove_edge(self, a: int, b: int) -> None:
         """Drop the link between ``a`` and ``b`` (dynamic topology)."""
-        if a not in self._processes or b not in self._processes:
+        slot_a = self._slot_of.get(a)
+        slot_b = self._slot_of.get(b)
+        if slot_a is None or slot_b is None:
             raise MembershipError(f"both endpoints of ({a}, {b}) must be present")
-        if b not in self._adjacency[a]:
+        if b not in self._adj[slot_a]:
             return
-        self._adjacency[a].discard(b)
-        self._adjacency[b].discard(a)
+        self._adj[slot_a].discard(b)
+        self._adj[slot_b].discard(a)
         self._sim.trace.record(self._sim.now, "edge_down", a=min(a, b), b=max(a, b))
-        self._processes[a].on_neighbor_leave(b)
-        self._processes[b].on_neighbor_leave(a)
+        self._procs[slot_a].on_neighbor_leave(b)
+        self._procs[slot_b].on_neighbor_leave(a)
 
     def edges(self) -> set[tuple[int, int]]:
         """All current links as sorted pairs (analysis-layer view)."""
-        return {
-            (min(a, b), max(a, b))
-            for a, nbrs in self._adjacency.items()
-            for b in nbrs
-        }
+        result: set[tuple[int, int]] = set()
+        for slot in self._dense:
+            a = self._slot_pid[slot]
+            for b in self._adj[slot]:
+                result.add((a, b) if a < b else (b, a))
+        return result
+
+    def open_topology_journal(self) -> int:
+        """Start recording joins and new links; returns a drain token.
+
+        Incremental consumers (e.g. the partition watchdog) use this to
+        observe topology growth in O(changes) instead of rescanning the
+        whole graph.  Entries are ``("join", pid, pid)`` and
+        ``("edge", lo, hi)`` tuples.
+        """
+        token = next(self._journal_tokens)
+        self._journals[token] = []
+        return token
+
+    def drain_topology_journal(self, token: int) -> list[tuple[str, int, int]]:
+        """Return and reset the entries recorded since the last drain."""
+        entries = self._journals[token]
+        self._journals[token] = []
+        return entries
+
+    def close_topology_journal(self, token: int) -> None:
+        """Stop recording for ``token`` (idempotent)."""
+        self._journals.pop(token, None)
+
+    # ------------------------------------------------------------------
+    # Sampling (scale workloads)
+    # ------------------------------------------------------------------
+
+    def sample_present(
+        self, rng: "random.Random", exclude: int | None = None
+    ) -> int | None:
+        """Uniformly sample a present pid in O(1); ``None`` if none qualify.
+
+        Deterministic for a fixed seed and schedule: the underlying dense
+        slot order depends only on the join/leave history.
+        """
+        count = len(self._dense)
+        if exclude is not None and exclude in self._slot_of:
+            if count <= 1:
+                return None
+            slot = self._dense[rng.randrange(count - 1)]
+            pid = self._slot_pid[slot]
+            if pid == exclude:
+                pid = self._slot_pid[self._dense[count - 1]]
+            return pid
+        if count == 0:
+            return None
+        return self._slot_pid[self._dense[rng.randrange(count)]]
+
+    def sample_neighbor(self, pid: int, rng: "random.Random") -> int | None:
+        """Uniformly sample a current neighbor of ``pid`` (``None`` if it
+        has none).  O(1) on complete graphs; O(d log d) on sparse ones
+        (the neighbor set is sorted so draws are seed-deterministic)."""
+        slot = self._slot_of.get(pid)
+        if slot is None:
+            raise MembershipError(f"process {pid} is not present")
+        if self.complete:
+            return self.sample_present(rng, exclude=pid)
+        adj = self._adj[slot]
+        if not adj:
+            return None
+        return rng.choice(sorted(adj))
 
     # ------------------------------------------------------------------
     # Transport
@@ -216,6 +395,8 @@ class Network:
         self._edge_delays[(min(a, b), max(a, b))] = model
 
     def _delay_for(self, a: int, b: int) -> DelayModel:
+        if not self._edge_delays:
+            return self.delay_model
         return self._edge_delays.get((min(a, b), max(a, b)), self.delay_model)
 
     def send(self, message: Message) -> None:
@@ -225,13 +406,14 @@ class Network:
         neighbor of the sender (unless the graph is complete).
         """
         sender, receiver = message.sender, message.receiver
-        if sender not in self._processes:
+        sender_slot = self._slot_of.get(sender)
+        if sender_slot is None:
             raise MembershipError(f"sender {sender} is not present")
-        if not self.complete and receiver not in self._adjacency[sender]:
+        if not self.complete and receiver not in self._adj[sender_slot]:
             raise TopologyError(
                 f"process {sender} cannot reach {receiver}: not a neighbor"
             )
-        if self.complete and (receiver == sender or receiver not in self._processes):
+        if self.complete and (receiver == sender or receiver not in self._slot_of):
             raise TopologyError(f"process {sender} cannot reach {receiver}")
         if self.resilience is not None:
             # The recovery layer may wrap the message (session id payload
@@ -312,7 +494,8 @@ class Network:
 
     def _deliver(self, message: Message, msg_id: int) -> None:
         now = self._sim.now
-        receiver = self._processes.get(message.receiver)
+        slot = self._slot_of.get(message.receiver)
+        receiver = self._procs[slot] if slot is not None else None
         if receiver is None or not receiver._alive:
             self._sim.metrics.inc("net.dropped.receiver_absent")
             self._sim.trace.record(

@@ -29,6 +29,12 @@ class Process:
         value: the local input value aggregated by query protocols.
     """
 
+    # The base class is slotted so 10⁵-entity populations do not pay a
+    # per-process ``__dict__``.  Subclasses without ``__slots__`` still
+    # get one for their own attributes, so protocol code is unaffected.
+    __slots__ = ("pid", "value", "_sim", "_timers", "_timer_ids", "_alive",
+                 "__weakref__")
+
     def __init__(self, value: Any = None) -> None:
         self.pid: int = -1
         self.value = value
@@ -70,6 +76,21 @@ class Process:
         the geography dimension of the model.
         """
         return self.sim.network.neighbors(self.pid)
+
+    def degree(self) -> int:
+        """How many neighbors this process currently has (O(1); no
+        neighbor set is materialised)."""
+        return self.sim.network.degree(self.pid)
+
+    def random_neighbor(self) -> int | None:
+        """A uniformly random current neighbor, or ``None`` if isolated.
+
+        O(1) on complete graphs — at scale, use this instead of
+        ``self.rng.choice(sorted(self.neighbors()))``, which materialises
+        and sorts the whole population.  Draws from the per-process
+        stream, so it is deterministic for a fixed seed.
+        """
+        return self.sim.network.sample_neighbor(self.pid, self.rng)
 
     # ------------------------------------------------------------------
     # Actions

@@ -34,6 +34,9 @@ class Simulator:
         fifo: if ``True`` channels are FIFO (no per-link reordering).
         notify_leaves: if ``False`` departures are silent (no perfect
             failure detection; protocols must use timeouts/heartbeats).
+        notify_joins: if ``False`` arrivals are silent too — on complete
+            graphs a join otherwise notifies everyone (O(n)), which
+            dominates at 10⁴⁺ entities.
         trace_sink: where trace events go (default: all in memory); see
             :mod:`repro.obs.sinks` for the space-saving alternatives.
     """
@@ -46,6 +49,7 @@ class Simulator:
         complete: bool = False,
         fifo: bool = False,
         notify_leaves: bool = True,
+        notify_joins: bool = True,
         trace_sink: TraceSink | None = None,
     ) -> None:
         self.seeds = SeedSequence(seed)
@@ -57,6 +61,7 @@ class Simulator:
         self.network = Network(
             self, delay_model=delay_model, loss_model=loss_model,
             complete=complete, fifo=fifo, notify_leaves=notify_leaves,
+            notify_joins=notify_joins,
         )
         self._now = 0.0
         self._pid_counter = itertools.count()
@@ -250,6 +255,6 @@ class Simulator:
         """
         self.metrics.set_gauge("sim.time", self._now)
         self.metrics.set_gauge("sim.events_executed", self._events_executed)
-        self.metrics.set_gauge("sim.population", len(self.network.present()))
+        self.metrics.set_gauge("sim.population", self.network.population())
         self.metrics.set_gauge("sim.trace_events", len(self.trace))
         return self.metrics.snapshot(include_timing=include_timing)

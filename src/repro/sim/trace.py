@@ -54,7 +54,7 @@ RETRANSMIT = "retransmit"
 DELIVERY_ABANDONED = "delivery_abandoned"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TraceEvent:
     """One observable fact, at one instant."""
 

@@ -23,6 +23,19 @@ from repro.topology.graph import Topology
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.scheduler import Simulator
 
+#: Populations up to this size take the seed code path on every rewiring
+#: tick: enumerate all pairs and draw the absent edge from the sorted
+#: enumeration.  That path makes exactly the same RNG draws as the seed
+#: implementation, so every existing experiment (n ≤ 128) stays
+#: byte-identical.  Larger populations rejection-sample the absent edge
+#: instead — O(edges) per tick rather than O(n²).
+LEGACY_PAIR_ENUMERATION_LIMIT = 256
+
+#: Rejection-sampling attempts for an absent pair on large populations.
+#: Overlays at that scale are sparse, so acceptance is near-certain; on a
+#: pathologically dense graph the tick may skip the addition.
+_ABSENT_SAMPLE_TRIES = 64
+
 
 class EdgeRewiringChurn:
     """Rewires the communication graph at Poisson rate ``rate``.
@@ -78,9 +91,12 @@ class EdgeRewiringChurn:
 
     def _do_rewire(self) -> None:
         network = self.sim.network
-        present = sorted(network.present())
-        if len(present) < 3:
+        if network.population() < 3:
             return
+        if network.population() > LEGACY_PAIR_ENUMERATION_LIMIT:
+            self._do_rewire_sampled(network)
+            return
+        present = sorted(network.present())
         edges = sorted(network.edges())
         all_pairs = {
             (a, b) for i, a in enumerate(present) for b in present[i + 1:]
@@ -95,6 +111,33 @@ class EdgeRewiringChurn:
         if absent:
             a, b = self.rng.choice(absent)
             network.add_edge(a, b)
+        self.rewires += 1
+
+    def _do_rewire_sampled(self, network) -> None:
+        """Large-population tick: no all-pairs enumeration.
+
+        The removed edge still comes from the sorted edge list (O(E log E),
+        E ≪ n² on real overlays); the added edge is rejection-sampled
+        uniformly from the absent pairs.
+        """
+        rng = self.rng
+        edges = sorted(network.edges())
+        if edges:
+            a, b = rng.choice(edges)
+            if self.preserve_connectivity and self._is_bridge(network, a, b):
+                self.skipped_removals += 1
+            else:
+                network.remove_edge(a, b)
+        for _ in range(_ABSENT_SAMPLE_TRIES):
+            a = network.sample_present(rng)
+            b = network.sample_present(rng, exclude=a)
+            if a is None or b is None:
+                break
+            if b < a:
+                a, b = b, a
+            if not network.has_edge(a, b):
+                network.add_edge(a, b)
+                break
         self.rewires += 1
 
     @staticmethod

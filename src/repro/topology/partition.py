@@ -85,6 +85,14 @@ class PartitionFault:
         self._assignment: dict[int, int] = {}
         self._severed: list[tuple[int, int]] = []
         self.active = False
+        # Incremental watchdog state: instead of rescanning every present
+        # pid and every edge each tick (O(n + E)), the watchdog subscribes
+        # to the network's topology journal and tracks only what it has
+        # not yet resolved — unadopted newcomers and edges with at least
+        # one unassigned endpoint.
+        self._journal_token: int | None = None
+        self._pending_adoption: set[int] = set()
+        self._watch_edges: set[tuple[int, int]] = set()
 
     def install(self, sim: "Simulator") -> None:
         if self._sim is not None:
@@ -126,7 +134,20 @@ class PartitionFault:
         rng = self.sim.rng_for("partition")
         self._assignment = self.groups(present, rng)
         self.active = True
-        self._sever_cross_edges(network)
+        self._journal_token = network.open_topology_journal()
+        self._pending_adoption = {
+            pid for pid in network.present() if pid not in self._assignment
+        }
+        for a, b in sorted(network.edges()):
+            side_a = self._assignment.get(a)
+            side_b = self._assignment.get(b)
+            if side_a is None or side_b is None:
+                # An endpoint has no side yet (custom assignments may skip
+                # pids); re-examine once it gets adopted.
+                self._watch_edges.add((a, b))
+            elif side_a != side_b:
+                network.remove_edge(a, b)
+                self._severed.append((a, b))
         self.sim.trace.record(
             self.sim.now, "partition_split",
             sides=tuple(
@@ -137,22 +158,31 @@ class PartitionFault:
         self.sim.schedule(self.watchdog_period, self._watchdog,
                           label="partition:watchdog")
 
-    def _sever_cross_edges(self, network: "Network") -> None:
-        for a, b in sorted(network.edges()):
-            side_a = self._assignment.get(a)
-            side_b = self._assignment.get(b)
-            if side_a is not None and side_b is not None and side_a != side_b:
-                network.remove_edge(a, b)
-                self._severed.append((a, b))
-
     def _watchdog(self) -> None:
+        """Incremental sweep: adopt newcomers, sever new cross edges.
+
+        Cost is O(changes since the last tick + unresolved backlog), not
+        O(population + edges).  Assignments never change once made, so an
+        edge between two assigned pids needs examining exactly once; only
+        edges waiting on an adoption stay on the watch list.  The adoption
+        rule and the per-tick ordering (sorted pids, then sorted edges)
+        match the original full-scan implementation exactly.
+        """
         if not self.active:
             return
-        # Adopt newcomers into the side they attached to (their first
-        # surviving neighbor's side), then sweep any cross edges.
         network = self.sim.network
-        for pid in sorted(network.present()):
-            if pid in self._assignment:
+        if self._journal_token is not None:
+            for kind, a, b in network.drain_topology_journal(self._journal_token):
+                if kind == "join":
+                    if a not in self._assignment:
+                        self._pending_adoption.add(a)
+                else:
+                    self._watch_edges.add((a, b))
+        # Adopt newcomers into the side they attached to (their first
+        # surviving neighbor's side); ambiguous ones retry next tick.
+        for pid in sorted(self._pending_adoption):
+            if not network.is_present(pid):
+                self._pending_adoption.discard(pid)
                 continue
             sides = {
                 self._assignment[nbr]
@@ -161,7 +191,20 @@ class PartitionFault:
             }
             if len(sides) == 1:
                 self._assignment[pid] = next(iter(sides))
-        self._sever_cross_edges(network)
+                self._pending_adoption.discard(pid)
+        # Sweep the watched edges.
+        for a, b in sorted(self._watch_edges):
+            if not network.has_edge(a, b):
+                self._watch_edges.discard((a, b))
+                continue
+            side_a = self._assignment.get(a)
+            side_b = self._assignment.get(b)
+            if side_a is None or side_b is None:
+                continue  # keep watching until both endpoints take sides
+            self._watch_edges.discard((a, b))
+            if side_a != side_b:
+                network.remove_edge(a, b)
+                self._severed.append((a, b))
         self.sim.schedule(self.watchdog_period, self._watchdog,
                           label="partition:watchdog")
 
@@ -170,6 +213,11 @@ class PartitionFault:
             return
         self.active = False
         network = self.sim.network
+        if self._journal_token is not None:
+            network.close_topology_journal(self._journal_token)
+            self._journal_token = None
+        self._pending_adoption.clear()
+        self._watch_edges.clear()
         restored = 0
         for a, b in self._severed:
             if network.is_present(a) and network.is_present(b):
