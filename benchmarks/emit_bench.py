@@ -1,16 +1,22 @@
 #!/usr/bin/env python3
-"""Engine perf emitter: serial vs parallel wall-time into BENCH_engine.json.
+"""Engine perf emitter: serial vs warm-pool wall-time into BENCH_engine.json.
 
-Runs one fixed plan (the E4 churn-sweep shape) through both executor
-backends, asserts their canonical result documents are byte-identical (the
-engine's core guarantee), and records the wall-times.  The output file is
-untracked scratch — a perf snapshot of this machine, not a fixture.
+Runs one fixed plan (the E4 churn-sweep shape) three ways — the serial
+reference backend, the chunked warm-pool parallel backend, and the
+streaming (JSONL) path on the same warm pool — asserts all three produce
+the byte-identical canonical result document (the engine's core
+guarantee), and records wall-times plus the derived ``speedup`` and
+``trials_per_sec_*`` metric families that ``repro bench diff`` gates in
+CI.
 
 Run:  PYTHONPATH=src python benchmarks/emit_bench.py [--jobs N] [--output FILE]
 
-``--smoke`` shrinks the plan to a seconds-scale run for CI, which executes
-it with DeprecationWarnings promoted to errors — any internal code path
-that still routes through the `repro.bench` shims fails the build.
+The committed ``benchmarks/BENCH_engine.json`` is the regression
+baseline for these families; re-emit it (4 workers) when the engine's
+perf profile intentionally changes.  ``--smoke`` shrinks the plan to a
+seconds-scale run for CI, which executes it with DeprecationWarnings
+promoted to errors — any internal code path that still routes through a
+deprecated shim fails the build.
 """
 
 from __future__ import annotations
@@ -19,13 +25,15 @@ import argparse
 import json
 import os
 import platform
+import tempfile
 import time
 
 from repro.api import (
-    ParallelExecutor,
-    SerialExecutor,
+    ExecutorSpec,
     build_plan,
+    load_document,
     run_plan,
+    stream_plan,
 )
 
 RATES = [0.0, 0.5, 2.0, 8.0]
@@ -51,6 +59,8 @@ def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--jobs", type=int, default=os.cpu_count() or 1,
                         help="workers for the parallel backend")
+    parser.add_argument("--chunk", type=int, default=None,
+                        help="fixed trials per task (default: adaptive)")
     parser.add_argument("--output", default="BENCH_engine.json")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny plan for CI: same checks, seconds-scale")
@@ -65,22 +75,50 @@ def main() -> int:
         grid={"churn_rate": rates}, base=base,
         trials=trials, root_seed=2007,
     )
-    print(f"plan: {len(plan)} trials "
+    total = len(plan)
+    print(f"plan: {total} trials "
           f"({len(rates)} rates x {trials} trials), n={base['n']}"
           f"{' [smoke]' if args.smoke else ''}")
 
     start = time.perf_counter()
-    serial_store = run_plan(plan, executor=SerialExecutor())
+    serial_store = run_plan(plan, executor=ExecutorSpec.serial())
     serial_wall = time.perf_counter() - start
     print(f"serial   : {serial_wall:.2f}s")
 
-    start = time.perf_counter()
-    parallel_store = run_plan(plan, executor=ParallelExecutor(args.jobs))
-    parallel_wall = time.perf_counter() - start
-    print(f"parallel : {parallel_wall:.2f}s (jobs={args.jobs})")
+    # One materialised backend for both parallel runs: the pool forks and
+    # warms once, then run_plan and stream_plan reuse it.  The untimed
+    # warm-up run pays that one-time fork/import cost so the timed runs
+    # measure steady-state chunked dispatch — the regime every run after
+    # the first sees in real use.
+    spec = ExecutorSpec.parallel(jobs=args.jobs, chunk=args.chunk)
+    with spec.make() as backend:
+        run_plan(plan, executor=backend)
+        start = time.perf_counter()
+        parallel_store = run_plan(plan, executor=backend)
+        parallel_wall = time.perf_counter() - start
+        chunks = getattr(backend, "chunks_dispatched", 0)
+        print(f"parallel : {parallel_wall:.2f}s "
+              f"(jobs={args.jobs}, {chunks} chunks)")
 
-    identical = serial_store.to_json() == parallel_store.to_json()
-    print(f"documents byte-identical: {identical}")
+        with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".jsonl", delete=False
+        ) as handle:
+            stream_path = handle.name
+        try:
+            start = time.perf_counter()
+            stream_plan(plan, stream_path, executor=backend)
+            stream_wall = time.perf_counter() - start
+            stream_doc = load_document(stream_path)
+        finally:
+            os.unlink(stream_path)
+        print(f"streaming: {stream_wall:.2f}s (same pool)")
+
+    canonical = json.dumps(serial_store.document(), sort_keys=True)
+    identical = (
+        serial_store.to_json() == parallel_store.to_json()
+        and canonical == json.dumps(stream_doc, sort_keys=True)
+    )
+    print(f"documents byte-identical (serial/parallel/stream): {identical}")
     if not identical:
         raise SystemExit("executor backends disagree — engine bug")
 
@@ -97,9 +135,13 @@ def main() -> int:
             "platform": platform.platform(),
         },
         "jobs": args.jobs,
+        "chunks_dispatched": chunks,
         "serial_wall_s": round(serial_wall, 4),
         "parallel_wall_s": round(parallel_wall, 4),
+        "streaming_wall_s": round(stream_wall, 4),
         "speedup": round(serial_wall / parallel_wall, 3),
+        "trials_per_sec_serial": round(total / serial_wall, 3),
+        "trials_per_sec_parallel": round(total / parallel_wall, 3),
         "documents_identical": identical,
         "trial_wall_s": {
             "min": round(min(trial_walls), 4),

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.api import build_plan, make_executor, run_plan
+from repro.api import ExecutorSpec, build_plan, run_plan
 
 # The emit_bench.py smoke shape: seconds-scale, still exercises churn.
 RATES = [0.0, 2.0]
@@ -41,7 +41,9 @@ def main() -> int:
         grid={"churn_rate": RATES}, base=BASE,
         trials=TRIALS, root_seed=ROOT_SEED,
     )
-    store = run_plan(plan, executor=make_executor(args.jobs))
+    spec = (ExecutorSpec.parallel(jobs=args.jobs) if args.jobs > 1
+            else ExecutorSpec.serial())
+    store = run_plan(plan, executor=spec)
     store.write(args.output)
     print(f"baseline document written to {args.output} "
           f"({len(plan)} trials)")

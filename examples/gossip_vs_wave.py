@@ -16,7 +16,7 @@ Run:  python examples/gossip_vs_wave.py [--jobs N]
 
 import argparse
 
-from repro.api import build_plan, make_executor, render_table, run_plan
+from repro.api import ExecutorSpec, build_plan, render_table, run_plan
 
 N = 24
 RATES = [0.0, 0.25, 1.0, 4.0]
@@ -29,7 +29,8 @@ def main() -> None:
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes (1 = serial)")
     args = parser.parse_args()
-    executor = make_executor(args.jobs)
+    executor = (ExecutorSpec.parallel(jobs=args.jobs) if args.jobs > 1
+                else ExecutorSpec.serial())
 
     wave_plan = build_plan(
         "wave-vs-churn", kind="query",

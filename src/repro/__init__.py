@@ -35,12 +35,12 @@ Quickstart (the stable facade — :mod:`repro.api`)::
 
 Many trials at once (the engine)::
 
-    from repro.api import build_plan, run_plan
+    from repro.api import ExecutorSpec, build_plan, run_plan
 
     plan = build_plan("churn-sweep", grid={"churn_rate": [0.0, 2.0, 8.0]},
                       base={"n": 32, "aggregate": "COUNT"}, trials=8)
-    store = run_plan(plan, jobs=4)   # results independent of jobs
-    print(store.summary())
+    store = run_plan(plan, executor=ExecutorSpec.parallel(jobs=4))
+    print(store.summary())   # results independent of the executor
 """
 
 from repro.engine.trials import GossipConfig, QueryConfig, run_gossip, run_query

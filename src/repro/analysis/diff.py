@@ -58,11 +58,13 @@ BENCH_THRESHOLDS: dict[str, tuple[float, bool]] = {
 
 #: Prefix/suffix rules for BENCH payload metrics with no exact entry above.
 #: ``emit_scale.py`` emits one ``events_per_sec_n<N>`` / ``peak_rss_kb_n<N>``
-#: pair per population size, so the gate matches metric *families* by
-#: shape: throughput is higher-better, memory and wall time lower-better,
-#: all with the 50% machine-noise slack.
+#: pair per population size and ``emit_bench.py`` emits a
+#: ``trials_per_sec_<backend>`` pair, so the gate matches metric
+#: *families* by shape: throughput is higher-better, memory and wall time
+#: lower-better, all with the 50% machine-noise slack.
 _BENCH_PREFIX_RULES: tuple[tuple[str, tuple[float, bool]], ...] = (
     ("events_per_sec", (0.50, True)),
+    ("trials_per_sec", (0.50, True)),
     ("peak_rss", (0.50, False)),
 )
 

@@ -17,10 +17,15 @@ The surface groups into:
 * **Trials** — one config in, one checked outcome out
   (:class:`QueryConfig`/:func:`run_query` and the gossip / dissemination
   counterparts).
-* **Engine** — many trials: :func:`build_plan` → executor
-  (:class:`SerialExecutor`/:class:`ParallelExecutor`) →
+* **Engine** — many trials: :func:`build_plan` → executor →
   :class:`ResultStore` and its schema-versioned document
-  (:func:`load_document`).
+  (:func:`load_document`).  Execution is configured by the frozen,
+  picklable :class:`ExecutorSpec` (backend serial/parallel, workers,
+  chunking, watchdog; lossless ``repro-executor-spec`` JSON wire format,
+  builtin :data:`EXECUTOR_PRESETS`, :func:`resolve_executor`) passed as
+  ``executor=`` to :func:`run_plan` / :func:`stream_plan` or as
+  ``--executor`` on the CLI; :class:`SerialExecutor` /
+  :class:`ParallelExecutor` are the backends it materialises.
 * **Observability** — :class:`Metrics` and the pluggable trace sinks
   (:class:`MemorySink`, :class:`JsonlStreamSink`, :class:`NullSink`,
   :class:`CountingSink`) selected per trial via ``trace_sink=...``, plus
@@ -75,6 +80,12 @@ from repro.engine.executor import (
     make_executor,
     run_plan,
     stream_plan,
+)
+from repro.engine.spec import (
+    EXECUTOR_PRESETS,
+    ExecutorSpec,
+    executor_preset,
+    resolve_executor,
 )
 from repro.engine.plan import (
     VALUE_FUNCTIONS,
@@ -257,6 +268,8 @@ __all__ = [
     "run_gossip",
     "run_query",
     # engine
+    "EXECUTOR_PRESETS",
+    "ExecutorSpec",
     "ExperimentPlan",
     "LARGE_TRIAL_THRESHOLD",
     "ParallelExecutor",
@@ -272,8 +285,10 @@ __all__ = [
     "VALUE_FUNCTIONS",
     "build_plan",
     "execute_trial",
+    "executor_preset",
     "load_document",
     "make_executor",
+    "resolve_executor",
     "run_plan",
     "stream_plan",
     "summarize_point",

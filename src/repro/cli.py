@@ -13,9 +13,14 @@ The experiment commands — ``query``, ``gossip`` and ``sweep`` — share one
 flag vocabulary and all run through the layered experiment engine
 (:mod:`repro.engine`):
 
-* ``--jobs N`` fans trials out over worker processes; results are
-  independent of ``--jobs`` — parallelism changes wall-clock time, never
+* ``--executor SPEC`` selects the execution policy: a builtin
+  :class:`ExecutorSpec` preset name (list them with ``repro executor``)
+  or a path to an executor-spec JSON file.  Results are independent of
+  the executor — parallelism and chunking change wall-clock time, never
   verdicts.
+* ``--jobs N`` fans trials out over the warm worker pool (shorthand for
+  an ad-hoc parallel spec); ``--chunk N`` pins the trials-per-task batch
+  size (default: adaptive, sized from a calibration trial).
 * ``--output FILE`` writes the schema-versioned result document.
 * ``--progress`` prints live ``done/total`` progress with an ETA derived
   from the per-trial wall times observed so far.
@@ -57,14 +62,15 @@ from repro.api import (
     LARGE_TRIAL_THRESHOLD,
     SINK_NAMES,
     ChurnSpec,
+    ExecutorSpec,
     ExperimentPlan,
     FaultPlan,
     ResilienceSpec,
     ResultStore,
     build_plan,
     execute_trial,
+    executor_preset,
     fault_preset,
-    make_executor,
     resilience_preset,
     run_plan,
     stream_plan,
@@ -125,9 +131,18 @@ def _engine_parent(trials_default: int = 1) -> argparse.ArgumentParser:
                        "deterministically")
     group.add_argument("--trials", type=int, default=trials_default,
                        help="trials per grid point")
+    group.add_argument("--executor", default=None, metavar="SPEC",
+                       help="execution policy: a builtin ExecutorSpec "
+                       "preset name (see 'repro executor') or a path to "
+                       "an executor-spec JSON file; results are identical "
+                       "under every executor")
     group.add_argument("--jobs", type=int, default=1,
                        help="worker processes (1 = serial; results are "
                        "identical either way)")
+    group.add_argument("--chunk", type=int, default=None, metavar="N",
+                       help="trials per dispatched task for the parallel "
+                       "backend (default: adaptive, ~250 ms of work per "
+                       "task; results are identical at every chunk size)")
     group.add_argument("--output", default=None,
                        help="write the engine's result document to this "
                        "file; a .jsonl suffix streams each trial as it "
@@ -177,7 +192,9 @@ class _ProgressPrinter:
     (spec satisfied), ``failed`` (terminated but spec violated), ``skipped``
     (never reached a verdict — e.g. the query never returned) and — only
     when the ``--watchdog`` guard tripped — ``quarantined`` (every watchdog
-    attempt overran the wall-clock budget).
+    attempt overran the wall-clock budget).  Chunked backends additionally
+    report task batches via :meth:`chunk_update`; the summary then carries
+    ``N/M chunks`` (completed/dispatched) alongside the trial counts.
     """
 
     def __init__(self, jobs: int = 1, stream: Any = None) -> None:
@@ -188,6 +205,13 @@ class _ProgressPrinter:
         self.failed = 0
         self.skipped = 0
         self.quarantined = 0
+        self.chunks_dispatched = 0
+        self.chunks_completed = 0
+
+    def chunk_update(self, dispatched: int, completed: int) -> None:
+        """Executor hook: latest task-batch counters (chunked dispatch)."""
+        self.chunks_dispatched = dispatched
+        self.chunks_completed = completed
 
     def _classify(self, result: Any) -> None:
         if getattr(result, "status", "") == "quarantined":
@@ -203,6 +227,9 @@ class _ProgressPrinter:
         line = f"{self.ok} ok, {self.failed} failed, {self.skipped} skipped"
         if self.quarantined:
             line += f", {self.quarantined} quarantined"
+        if self.chunks_dispatched:
+            line += (f" ({self.chunks_completed}/{self.chunks_dispatched} "
+                     "chunks)")
         return line
 
     def __call__(self, done: int, total: int, result: Any) -> None:
@@ -287,6 +314,62 @@ def _resolve_resilience(value: str) -> ResilienceSpec | str:
     return value
 
 
+def _resolve_executor_flag(args: argparse.Namespace) -> ExecutorSpec:
+    """Turn the executor flags into one :class:`ExecutorSpec`.
+
+    ``--executor`` (a builtin preset name or a path to an executor-spec
+    JSON file) is the blessed form and excludes the ad-hoc flags;
+    without it, ``--jobs``/``--chunk``/``--watchdog``/``--trial-retries``
+    assemble an anonymous spec (``--jobs 1`` stays serial, matching the
+    historical default).
+    """
+    from repro.sim.errors import ConfigurationError
+
+    value = getattr(args, "executor", None)
+    if value is not None:
+        adhoc = []
+        if getattr(args, "jobs", 1) != 1:
+            adhoc.append("--jobs")
+        if getattr(args, "chunk", None) is not None:
+            adhoc.append("--chunk")
+        if getattr(args, "watchdog", None) is not None:
+            adhoc.append("--watchdog")
+        if getattr(args, "trial_retries", 0):
+            adhoc.append("--trial-retries")
+        if adhoc:
+            raise SystemExit(
+                f"--executor replaces {', '.join(adhoc)}; give one or the "
+                "other"
+            )
+        if value.endswith(".json") or os.path.sep in value:
+            try:
+                with open(value, "r", encoding="utf-8") as handle:
+                    return ExecutorSpec.from_json(handle.read())
+            except OSError as error:
+                raise SystemExit(f"--executor: cannot read {value!r}: {error}")
+            except (ValueError, ConfigurationError) as error:
+                raise SystemExit(f"--executor: {value!r}: {error}")
+        try:
+            return executor_preset(value)
+        except ConfigurationError as error:
+            raise SystemExit(f"--executor: {error}")
+    jobs = getattr(args, "jobs", 1)
+    try:
+        if jobs is None or jobs <= 1:
+            return ExecutorSpec.serial(
+                watchdog=getattr(args, "watchdog", None),
+                trial_retries=getattr(args, "trial_retries", 0),
+            )
+        return ExecutorSpec.parallel(
+            jobs=jobs,
+            chunk=getattr(args, "chunk", None),
+            watchdog=getattr(args, "watchdog", None),
+            trial_retries=getattr(args, "trial_retries", 0),
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
+
+
 def _resolve_trace_sink(args: argparse.Namespace,
                         base: Mapping[str, Any]) -> str:
     """Pick the trace sink when ``--trace-sink`` was not given.
@@ -354,13 +437,12 @@ def _engine_run(
     )
     timings["plan"] = time.perf_counter() - start
 
-    progress = _ProgressPrinter(jobs=args.jobs) if args.progress else None
-    start = time.perf_counter()
-    executor = make_executor(
-        args.jobs,
-        watchdog=getattr(args, "watchdog", None),
-        retries=getattr(args, "trial_retries", 0),
+    spec = _resolve_executor_flag(args)
+    progress = (
+        _ProgressPrinter(jobs=spec.effective_jobs()) if args.progress else None
     )
+    start = time.perf_counter()
+    executor = spec
     if args.output and args.output.endswith(".jsonl"):
         # Stream each trial to the output file the moment it finishes —
         # peak memory during execution is one window of in-flight trials,
@@ -497,6 +579,14 @@ def _build_parser() -> argparse.ArgumentParser:
                                 help="print one preset as resilience-spec "
                                 "JSON (editable, reloadable via "
                                 "--resilience FILE)")
+
+    executor_cmd = sub.add_parser(
+        "executor", help="list the builtin executor presets"
+    )
+    executor_cmd.add_argument("--show", default=None, metavar="NAME",
+                              help="print one preset as executor-spec "
+                              "JSON (editable, reloadable via "
+                              "--executor FILE)")
 
     trace_cmd = sub.add_parser(
         "trace", help="analyze, check or export a saved .jsonl trace"
@@ -724,11 +814,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     plan, store, timings = _engine_run(
         args, "churn-sweep", "query", base, grid={"churn_rate": rates}
     )
+    jobs = _resolve_executor_flag(args).effective_jobs()
     print(render_result_document(
         store.document(),
         columns=("trials", "completeness", "fully_complete", "messages"),
         title=(f"churn sweep: n={args.n}, {args.topology}, "
-               f"{args.trials} trials, jobs={args.jobs}"),
+               f"{args.trials} trials, jobs={jobs}"),
     ))
     _engine_finish(args, plan, store, timings)
     return 0
@@ -789,6 +880,35 @@ def _cmd_resilience(args: argparse.Namespace) -> int:
          "partial results"],
         rows,
         title="builtin resilience specs (use with --resilience NAME)",
+    ))
+    return 0
+
+
+def _cmd_executor(args: argparse.Namespace) -> int:
+    from repro.engine.spec import EXECUTOR_PRESETS
+    from repro.sim.errors import ConfigurationError
+
+    if args.show:
+        try:
+            spec = executor_preset(args.show)
+        except ConfigurationError as error:
+            raise SystemExit(str(error))
+        print(spec.to_json(), end="")
+        return 0
+    rows = []
+    for name, spec in EXECUTOR_PRESETS.items():
+        rows.append([
+            name,
+            spec.backend,
+            spec.jobs if spec.jobs is not None else "all cores",
+            spec.chunk if spec.chunk is not None else "adaptive",
+            f"{spec.watchdog:.0f}s" if spec.watchdog is not None else "off",
+            spec.trial_retries,
+        ])
+    print(render_table(
+        ["preset", "backend", "jobs", "chunk", "watchdog", "retries"],
+        rows,
+        title="builtin executor specs (use with --executor NAME)",
     ))
     return 0
 
@@ -872,6 +992,7 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "faults": _cmd_faults,
     "resilience": _cmd_resilience,
+    "executor": _cmd_executor,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
 }

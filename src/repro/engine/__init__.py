@@ -13,13 +13,16 @@ pattern:
   :class:`TrialResult`s into a schema-versioned, canonical JSON document
   consumed by ``repro.analysis`` and the benchmark emitters.
 
-One-call form::
+Execution is configured by the frozen, picklable
+:class:`~repro.engine.spec.ExecutorSpec` (backend, workers, chunking,
+watchdog) — the same declarative idiom as ``FaultPlan`` and
+``ResilienceSpec``.  One-call form::
 
-    from repro.engine import build_plan, run_plan
+    from repro.engine import ExecutorSpec, build_plan, run_plan
 
     plan = build_plan("churn-sweep", grid={"churn_rate": [0.0, 2.0]},
                       base={"n": 32, "aggregate": "COUNT"}, trials=8)
-    store = run_plan(plan, jobs=4)
+    store = run_plan(plan, executor=ExecutorSpec.parallel(jobs=4))
     store.write("results.json")
 
 The single-trial layer lives in :mod:`repro.engine.trials`;
@@ -34,6 +37,13 @@ from repro.engine.executor import (
     execute_trial,
     make_executor,
     run_plan,
+    stream_plan,
+)
+from repro.engine.spec import (
+    EXECUTOR_PRESETS,
+    ExecutorSpec,
+    executor_preset,
+    resolve_executor,
 )
 from repro.engine.plan import (
     VALUE_FUNCTIONS,
@@ -55,6 +65,8 @@ from repro.engine.results import (
 
 __all__ = [
     "ChurnSpec",
+    "EXECUTOR_PRESETS",
+    "ExecutorSpec",
     "ExperimentPlan",
     "ParallelExecutor",
     "ProgressFn",
@@ -69,9 +81,12 @@ __all__ = [
     "VALUE_FUNCTIONS",
     "build_plan",
     "execute_trial",
+    "executor_preset",
     "load_document",
     "make_executor",
+    "resolve_executor",
     "run_plan",
+    "stream_plan",
     "summarize_point",
     "validate_document",
 ]

@@ -2,14 +2,38 @@
 
 :func:`execute_trial` is the single unit of work — a module-level function
 taking a picklable :class:`~repro.engine.plan.TrialSpec` and returning a
-picklable :class:`~repro.engine.results.TrialResult` — which is exactly the
-shape :class:`concurrent.futures.ProcessPoolExecutor` needs.
+picklable :class:`~repro.engine.results.TrialResult`.
 
 Both backends return results **in plan order** regardless of completion
 order, so a plan's result list (and therefore its
 :class:`~repro.engine.results.ResultStore` document) is identical under
 ``SerialExecutor`` and ``ParallelExecutor``: parallelism changes wall-clock
 time, never results.
+
+The parallel hot path (rebuilt for sweep-scale plans):
+
+* **persistent warm pool** — the worker pool is created once per
+  :class:`ParallelExecutor` (lazily, at first use), pre-imports the trial
+  layer, and is reused across every ``run``/``run_specs``/``stream``/
+  ``map`` call until :meth:`~ParallelExecutor.close`; per-plan pool
+  setup is paid once, not per invocation;
+* **chunked dispatch** — trial specs are batched many-per-task
+  (:func:`_run_chunk`), either a fixed ``chunk`` size or adaptively sized
+  from one cheap calibration trial so each task carries about
+  ``chunk_target`` seconds of work, amortising task submission and result
+  pickling over dozens of ~26 ms trials;
+* **compact result transport** — workers ship back a slim positional
+  payload per trial (:func:`_pack_result`) instead of a pickled
+  :class:`TrialResult`; the parent reassembles the full result
+  deterministically from the payload plus its own copy of the spec
+  (:func:`_unpack_result`), so identity fields never cross the process
+  boundary twice.
+
+Configuration lives in the frozen, picklable
+:class:`~repro.engine.spec.ExecutorSpec` (``run_plan(plan,
+executor=ExecutorSpec.parallel(jobs=4))`` or a preset name); the
+historical :func:`make_executor` and ``jobs=`` keyword arguments remain as
+:class:`DeprecationWarning` shims.
 """
 
 from __future__ import annotations
@@ -21,6 +45,8 @@ import math
 import os
 import threading
 import time
+import warnings
+import weakref
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
 from concurrent.futures import as_completed
@@ -33,6 +59,7 @@ from repro.engine.results import (
     TrialResult,
     jsonable,
 )
+from repro.engine.spec import ExecutorSpec, resolve_executor
 from repro.engine.trials import (
     DisseminationOutcome,
     GossipOutcome,
@@ -49,6 +76,8 @@ R = TypeVar("R")
 #: Progress callback: ``(done_count, total, just_finished_result)``.
 #: Invoked in *completion* order as work drains — the returned result list
 #: is still in input order, so progress reporting never perturbs results.
+#: A callback may additionally expose a ``chunk_update(dispatched,
+#: completed)`` method; chunked backends call it as task batches move.
 ProgressFn = Callable[[int, int, Any], None]
 
 
@@ -223,6 +252,94 @@ def _quarantined_result(
     )
 
 
+# ----------------------------------------------------------------------
+# Compact result transport (worker -> parent)
+# ----------------------------------------------------------------------
+
+#: Positional payload layout shipped back per trial.  Identity fields
+#: (index / kind / seed / trial / point) are *not* transported — the
+#: parent already holds the spec and reattaches them deterministically —
+#: so the wire cost per trial is the verdict fields, the metrics block
+#: and the timings, nothing else.
+PAYLOAD_FIELDS: tuple[str, ...] = (
+    "ok",
+    "terminated",
+    "result",
+    "truth",
+    "error",
+    "completeness",
+    "latency",
+    "messages",
+    "core_size",
+    "events_executed",
+    "wall_time",
+    "metrics",
+    "status",
+    "coverage",
+)
+
+
+def _pack_result(result: TrialResult) -> tuple:
+    """Flatten a result to the slim positional wire payload."""
+    return tuple(getattr(result, name) for name in PAYLOAD_FIELDS)
+
+
+def _unpack_result(payload: Sequence[Any], spec: TrialSpec) -> TrialResult:
+    """Reassemble the full :class:`TrialResult` from a wire payload plus
+    the parent's copy of the spec.  Exactly inverts :func:`_pack_result`:
+    ``_unpack_result(_pack_result(r), spec)`` reproduces ``r`` field for
+    field whenever ``r`` came from ``spec``."""
+    if len(payload) != len(PAYLOAD_FIELDS):
+        raise ConfigurationError(
+            f"executor wire payload has {len(payload)} fields, expected "
+            f"{len(PAYLOAD_FIELDS)} — worker/parent version mismatch?"
+        )
+    values = dict(zip(PAYLOAD_FIELDS, payload))
+    return TrialResult(
+        index=spec.index,
+        kind=spec.kind,
+        seed=spec.seed,
+        trial=spec.trial,
+        point=tuple(spec.point_dict().items()),
+        **values,
+    )
+
+
+def _run_chunk(
+    specs: Sequence[TrialSpec],
+    watchdog: float | None = None,
+    retries: int = 0,
+) -> tuple[tuple, ...]:
+    """The worker-side task: run a batch of specs, return slim payloads.
+
+    One pool task per *chunk* instead of per trial: submission overhead,
+    future bookkeeping and result pickling are paid once per batch.  The
+    payloads come back in batch order (which is plan order — chunks are
+    contiguous plan slices), so the parent's merge is a zip.
+    """
+    out = []
+    for spec in specs:
+        if watchdog is None:
+            result = execute_trial(spec)
+        else:
+            result = execute_trial_guarded(spec, watchdog=watchdog, retries=retries)
+        out.append(_pack_result(result))
+    return tuple(out)
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pre-import the trial layer so the first real task
+    on every worker pays no import cost (a no-op under the ``fork`` start
+    method, where workers inherit the parent's modules; load-bearing under
+    ``spawn``/``forkserver``)."""
+    import repro.engine.trials  # noqa: F401 - imported for the side effect
+
+
+def _shutdown_pool(pool: _ProcessPool) -> None:
+    """GC-time cleanup for a pool whose executor was never closed."""
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
 class TrialExecutor(abc.ABC):
     """Runs a plan's trial specs; backends differ only in *where* they run."""
 
@@ -233,6 +350,10 @@ class TrialExecutor(abc.ABC):
     watchdog: float | None = None
     #: Watchdog retries per trial before quarantining it.
     retries: int = 0
+    #: Task batches submitted / drained during the most recent
+    #: ``run_specs``/``stream`` call (0/0 for unchunked backends).
+    chunks_dispatched: int = 0
+    chunks_completed: int = 0
 
     def _trial_fn(self) -> Callable[[TrialSpec], TrialResult]:
         """The per-spec work function, honouring the watchdog settings."""
@@ -241,6 +362,12 @@ class TrialExecutor(abc.ABC):
         return functools.partial(
             execute_trial_guarded, watchdog=self.watchdog, retries=self.retries
         )
+
+    def _notify_chunks(self, progress: Optional[ProgressFn]) -> None:
+        """Push the chunk counters to a progress callback that wants them."""
+        update = getattr(progress, "chunk_update", None)
+        if callable(update):
+            update(self.chunks_dispatched, self.chunks_completed)
 
     def run(
         self,
@@ -273,7 +400,9 @@ class TrialExecutor(abc.ABC):
 
         The generic escape hatch for harnesses (like ``repro.bench.sweep``)
         whose work units are callables rather than trial specs.  With the
-        parallel backend, ``fn`` and every item must be picklable.
+        parallel backend, ``fn`` and every item must be picklable; generic
+        items are dispatched one per task (chunking applies only to trial
+        specs, where the work function is known).
         """
 
     def stream(
@@ -297,6 +426,15 @@ class TrialExecutor(abc.ABC):
             if progress is not None:
                 progress(done, len(specs), result)
         return done
+
+    def close(self) -> None:
+        """Release backend resources (a no-op for in-process backends)."""
+
+    def __enter__(self) -> "TrialExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 class SerialExecutor(TrialExecutor):
@@ -329,12 +467,22 @@ class SerialExecutor(TrialExecutor):
 
 
 class ParallelExecutor(TrialExecutor):
-    """Fans trials out over a :class:`ProcessPoolExecutor`.
+    """Fans trials out over a persistent warm process pool.
 
     Trials are independent simulations, so process-level parallelism is
     safe; results are re-ordered to plan order, making the backend
     observationally identical to :class:`SerialExecutor` (modulo wall
     time).  ``jobs`` defaults to the machine's CPU count.
+
+    The pool is created lazily on first use and **reused across calls**
+    (``run`` / ``run_specs`` / ``stream`` / ``map``) until :meth:`close`
+    — fork once per plan, not once per invocation.  Trial specs are
+    dispatched in contiguous plan-order *chunks* (``chunk`` trials per
+    task, or adaptively sized from a calibration trial to carry about
+    ``chunk_target`` seconds each); workers return compact payloads that
+    the parent reassembles deterministically, so the canonical result
+    document is byte-identical at every chunk size, worker count and
+    backend.
     """
 
     def __init__(
@@ -342,12 +490,130 @@ class ParallelExecutor(TrialExecutor):
         jobs: int | None = None,
         watchdog: float | None = None,
         retries: int = 0,
+        chunk: int | None = None,
+        chunk_target: float = 0.25,
     ) -> None:
         if jobs is not None and jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+        if chunk is not None and chunk < 1:
+            raise ConfigurationError(
+                f"chunk must be >= 1 trials per task, got {chunk}"
+            )
+        if chunk_target <= 0.0:
+            raise ConfigurationError(
+                f"chunk_target must be > 0 seconds, got {chunk_target}"
+            )
         self.jobs = jobs if jobs is not None else (os.cpu_count() or 1)
         self.watchdog = watchdog
         self.retries = retries
+        self.chunk = chunk
+        self.chunk_target = chunk_target
+        self.chunks_dispatched = 0
+        self.chunks_completed = 0
+        self._pool: _ProcessPool | None = None
+        self._pool_finalizer: weakref.finalize | None = None
+
+    # ------------------------------------------------------------------
+    # Warm pool lifecycle
+    # ------------------------------------------------------------------
+
+    def _ensure_pool(self) -> _ProcessPool:
+        """The persistent pool, created on first use and kept warm."""
+        if self._pool is None:
+            self._pool = _ProcessPool(
+                max_workers=self.jobs, initializer=_warm_worker
+            )
+            # If the executor is dropped without close(), shut the pool
+            # down at GC instead of leaking worker processes.
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._pool
+            )
+        return self._pool
+
+    @property
+    def pool_active(self) -> bool:
+        """Whether the warm pool currently holds live workers."""
+        return self._pool is not None
+
+    def close(self) -> None:
+        """Shut the warm pool down; the next use forks a fresh one."""
+        if self._pool is not None:
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    # ------------------------------------------------------------------
+    # Chunked trial dispatch
+    # ------------------------------------------------------------------
+
+    def _chunk_size_for(self, calibration_wall: float, remaining: int) -> int:
+        """Adaptive chunk size: about ``chunk_target`` seconds per task,
+        but never so large that the plan's remainder fills fewer tasks
+        than there are workers."""
+        per_trial = max(calibration_wall, 1e-6)
+        size = max(1, round(self.chunk_target / per_trial))
+        if remaining > 0:
+            size = min(size, math.ceil(remaining / self.jobs))
+        return size
+
+    def run_specs(
+        self,
+        specs: Sequence[TrialSpec],
+        progress: Optional[ProgressFn] = None,
+    ) -> list[TrialResult]:
+        """Chunked fan-out over the warm pool, results in plan order."""
+        specs = list(specs)
+        self.chunks_dispatched = 0
+        self.chunks_completed = 0
+        if not specs:
+            return []
+        if self.jobs == 1 or len(specs) == 1:
+            return super().run_specs(specs, progress=progress)
+        pool = self._ensure_pool()
+        total = len(specs)
+        results: list[TrialResult | None] = [None] * total
+        done = 0
+        start = 0
+        if self.chunk is not None:
+            chunk = self.chunk
+        else:
+            # Calibration: run the first spec in the parent (identical
+            # result — execution is deterministic) and size chunks so each
+            # task carries about chunk_target seconds of work.
+            first = self._trial_fn()(specs[0])
+            results[0] = first
+            done = 1
+            start = 1
+            if progress is not None:
+                progress(done, total, first)
+            chunk = self._chunk_size_for(first.wall_time, total - 1)
+        pending: dict[Any, tuple[int, list[TrialSpec]]] = {}
+        for offset in range(start, total, chunk):
+            batch = specs[offset:offset + chunk]
+            future = pool.submit(
+                _run_chunk, tuple(batch), self.watchdog, self.retries
+            )
+            pending[future] = (offset, batch)
+            self.chunks_dispatched += 1
+        self._notify_chunks(progress)
+        for future in as_completed(pending):
+            offset, batch = pending[future]
+            payloads = future.result()
+            self.chunks_completed += 1
+            # Chunk counters update before the per-trial callbacks so a
+            # consumer summarising on the final trial sees them current.
+            self._notify_chunks(progress)
+            for position, (spec, payload) in enumerate(zip(batch, payloads)):
+                result = _unpack_result(payload, spec)
+                results[offset + position] = result
+                done += 1
+                if progress is not None:
+                    # Completion order, like map(); the results list is
+                    # still assembled in plan order.
+                    progress(done, total, result)
+        return list(results)  # type: ignore[arg-type]
 
     def map(
         self,
@@ -358,21 +624,20 @@ class ParallelExecutor(TrialExecutor):
         items = list(items)
         if not items:
             return []
-        workers = min(self.jobs, len(items))
-        if workers == 1:
+        if self.jobs == 1 or len(items) == 1:
             return SerialExecutor().map(fn, items, progress=progress)
-        with _ProcessPool(max_workers=workers) as pool:
-            futures = [pool.submit(fn, item) for item in items]
-            if progress is not None:
-                # Progress fires in completion order; result collection
-                # below still reads in submission order.
-                done = 0
-                for future in as_completed(futures):
-                    done += 1
-                    progress(done, len(futures), future.result())
-            # Collect in submission order: completion order never leaks
-            # into the result list.
-            return [future.result() for future in futures]
+        pool = self._ensure_pool()
+        futures = [pool.submit(fn, item) for item in items]
+        if progress is not None:
+            # Progress fires in completion order; result collection
+            # below still reads in submission order.
+            done = 0
+            for future in as_completed(futures):
+                done += 1
+                progress(done, len(futures), future.result())
+        # Collect in submission order: completion order never leaks
+        # into the result list.
+        return [future.result() for future in futures]
 
     def stream(
         self,
@@ -380,39 +645,86 @@ class ParallelExecutor(TrialExecutor):
         consume: Callable[[TrialResult], None],
         progress: Optional[ProgressFn] = None,
     ) -> int:
-        """Streaming over the process pool with windowed submission.
+        """Chunked streaming over the warm pool with windowed submission.
 
-        At most ``jobs * 4`` trials are in flight or awaiting consumption
+        At most ``jobs * 4`` chunks are in flight or awaiting consumption
         at any moment, so memory stays flat no matter how long the plan
-        is.  Results are consumed strictly in plan order (the stream file
+        is.  Chunks are contiguous plan slices submitted and drained FIFO,
+        so results are consumed strictly in plan order (the stream file
         then matches the serial backend's byte for byte).
         """
         specs = list(specs)
+        self.chunks_dispatched = 0
+        self.chunks_completed = 0
         if not specs:
             return 0
-        workers = min(self.jobs, len(specs))
-        if workers == 1:
+        if self.jobs == 1 or len(specs) == 1:
             return super().stream(specs, consume, progress=progress)
-        fn = self._trial_fn()
-        window = workers * 4
-        pending: deque = deque()
+        pool = self._ensure_pool()
+        total = len(specs)
         done = 0
-        with _ProcessPool(max_workers=workers) as pool:
-            spec_iter = iter(specs)
-            for spec in itertools.islice(spec_iter, window):
-                pending.append(pool.submit(fn, spec))
-            while pending:
-                result = pending.popleft().result()
+        start = 0
+        if self.chunk is not None:
+            chunk = self.chunk
+        else:
+            first = self._trial_fn()(specs[0])
+            done = 1
+            start = 1
+            consume(first)
+            if progress is not None:
+                progress(done, total, first)
+            chunk = self._chunk_size_for(first.wall_time, total - 1)
+        batches = (
+            specs[offset:offset + chunk]
+            for offset in range(start, total, chunk)
+        )
+        window = self.jobs * 4
+        pending: deque = deque()
+
+        def submit(batch: list[TrialSpec]) -> None:
+            pending.append((
+                pool.submit(_run_chunk, tuple(batch), self.watchdog, self.retries),
+                batch,
+            ))
+            self.chunks_dispatched += 1
+
+        for batch in itertools.islice(batches, window):
+            submit(batch)
+        self._notify_chunks(progress)
+        while pending:
+            future, batch = pending.popleft()
+            payloads = future.result()
+            self.chunks_completed += 1
+            self._notify_chunks(progress)
+            for spec, payload in zip(batch, payloads):
+                result = _unpack_result(payload, spec)
                 done += 1
                 consume(result)
                 if progress is not None:
-                    progress(done, len(specs), result)
-                for spec in itertools.islice(spec_iter, 1):
-                    pending.append(pool.submit(fn, spec))
+                    progress(done, total, result)
+            for batch in itertools.islice(batches, 1):
+                submit(batch)
+            self._notify_chunks(progress)
         return done
 
     def __repr__(self) -> str:
-        return f"ParallelExecutor(jobs={self.jobs})"
+        chunk = self.chunk if self.chunk is not None else "adaptive"
+        return (
+            f"ParallelExecutor(jobs={self.jobs}, chunk={chunk}, "
+            f"warm={self.pool_active})"
+        )
+
+
+def _executor_from_jobs(
+    jobs: int | None,
+    watchdog: float | None = None,
+    retries: int = 0,
+) -> TrialExecutor:
+    """The historical ``jobs`` convention: ``None``/``0``/``1`` mean
+    serial; anything larger selects the warm-pool backend."""
+    if jobs is None or jobs <= 1:
+        return SerialExecutor(watchdog=watchdog, retries=retries)
+    return ParallelExecutor(jobs, watchdog=watchdog, retries=retries)
 
 
 def make_executor(
@@ -420,33 +732,77 @@ def make_executor(
     watchdog: float | None = None,
     retries: int = 0,
 ) -> TrialExecutor:
-    """``jobs`` semantics shared by the CLI and scripts: ``None``/``0``/``1``
-    mean serial; anything larger selects the process-pool backend.
-    ``watchdog``/``retries`` configure the per-trial wall-clock guard (see
-    :func:`execute_trial_guarded`)."""
-    if jobs is None or jobs <= 1:
-        return SerialExecutor(watchdog=watchdog, retries=retries)
-    return ParallelExecutor(jobs, watchdog=watchdog, retries=retries)
+    """Deprecated: build an :class:`~repro.engine.spec.ExecutorSpec`
+    instead (``ExecutorSpec.parallel(jobs=4)``, or a preset name like
+    ``"parallel"``) and pass it as ``executor=`` to :func:`run_plan` /
+    :func:`stream_plan`.  This shim keeps the old ``jobs`` semantics —
+    ``None``/``0``/``1`` mean serial — and remains fully functional."""
+    warnings.warn(
+        "make_executor() is deprecated; pass an ExecutorSpec (or a preset "
+        "name like 'parallel') as executor= to run_plan/stream_plan — see "
+        "repro.api.ExecutorSpec",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _executor_from_jobs(jobs, watchdog=watchdog, retries=retries)
+
+
+def _resolve_backend(
+    executor: "TrialExecutor | ExecutorSpec | str | None",
+    jobs: int | None,
+    caller: str,
+) -> tuple[TrialExecutor, bool]:
+    """Normalise the ``executor=``/``jobs=`` arguments of :func:`run_plan`
+    and :func:`stream_plan` to a backend instance.
+
+    Returns ``(backend, owned)``: ``owned`` backends were built here from
+    a spec / preset / the default and are closed when the call finishes;
+    caller-supplied :class:`TrialExecutor` instances stay open so their
+    warm pool survives for the next plan.
+    """
+    if executor is not None and jobs is not None:
+        raise ConfigurationError("give either 'executor' or 'jobs', not both")
+    if jobs is not None:
+        warnings.warn(
+            f"{caller}(jobs=...) is deprecated; pass "
+            "executor=ExecutorSpec.parallel(jobs=N) or a preset name like "
+            "'parallel' instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return _executor_from_jobs(jobs), True
+    if isinstance(executor, TrialExecutor):
+        return executor, False
+    return resolve_executor(executor).make(), True
 
 
 def run_plan(
     plan: ExperimentPlan,
-    executor: TrialExecutor | None = None,
+    executor: "TrialExecutor | ExecutorSpec | str | None" = None,
     jobs: int | None = None,
     progress: Optional[ProgressFn] = None,
 ) -> ResultStore:
     """Execute ``plan`` and aggregate the results into a
-    :class:`ResultStore` — the one-call form of the three-layer pipeline."""
-    if executor is not None and jobs is not None:
-        raise ConfigurationError("give either 'executor' or 'jobs', not both")
-    backend = executor if executor is not None else make_executor(jobs)
-    return ResultStore.from_run(plan, backend.run(plan, progress=progress))
+    :class:`ResultStore` — the one-call form of the three-layer pipeline.
+
+    ``executor`` accepts an :class:`~repro.engine.spec.ExecutorSpec`, a
+    builtin preset name (``"serial"``, ``"parallel"``, …), an
+    already-built :class:`TrialExecutor` (whose warm pool is reused and
+    left open), or ``None`` for the serial default.  ``jobs=`` is a
+    deprecated shim.
+    """
+    backend, owned = _resolve_backend(executor, jobs, "run_plan")
+    try:
+        return ResultStore.from_run(plan, backend.run(plan, progress=progress))
+    finally:
+        if owned:
+            backend.close()
 
 
 def stream_plan(
     plan: ExperimentPlan,
     path: str,
-    executor: TrialExecutor | None = None,
+    executor: "TrialExecutor | ExecutorSpec | str | None" = None,
     jobs: int | None = None,
     progress: Optional[ProgressFn] = None,
     include_timing: bool = False,
@@ -455,15 +811,18 @@ def stream_plan(
 
     The memory-flat counterpart of :func:`run_plan`: each trial is written
     by :class:`~repro.engine.results.StreamingResultStore` the moment it
-    finishes, so peak memory is one window of in-flight trials rather than
+    finishes, so peak memory is one window of in-flight chunks rather than
     the whole plan.  ``load_document(path)`` later reassembles the exact
-    canonical document.  Returns the number of trials written.
+    canonical document.  ``executor`` accepts the same forms as
+    :func:`run_plan`.  Returns the number of trials written.
     """
-    if executor is not None and jobs is not None:
-        raise ConfigurationError("give either 'executor' or 'jobs', not both")
-    backend = executor if executor is not None else make_executor(jobs)
+    backend, owned = _resolve_backend(executor, jobs, "stream_plan")
     meta = plan.meta() if hasattr(plan, "meta") else {}
-    with StreamingResultStore(
-        path, plan=meta, include_timing=include_timing
-    ) as store:
-        return backend.stream(plan.specs, store.append, progress=progress)
+    try:
+        with StreamingResultStore(
+            path, plan=meta, include_timing=include_timing
+        ) as store:
+            return backend.stream(plan.specs, store.append, progress=progress)
+    finally:
+        if owned:
+            backend.close()

@@ -104,12 +104,18 @@ class TestBackends:
 
 
 class TestMakeExecutor:
+    """The deprecated shim still honours the historical jobs convention
+    (the warning itself is pinned in test_executor_deprecation.py)."""
+
     @pytest.mark.parametrize("jobs", [None, 0, 1])
     def test_serial_selection(self, jobs):
-        assert isinstance(make_executor(jobs), SerialExecutor)
+        with pytest.warns(DeprecationWarning):
+            executor = make_executor(jobs)
+        assert isinstance(executor, SerialExecutor)
 
     def test_parallel_selection(self):
-        executor = make_executor(3)
+        with pytest.warns(DeprecationWarning):
+            executor = make_executor(3)
         assert isinstance(executor, ParallelExecutor)
         assert executor.jobs == 3
 
@@ -126,8 +132,31 @@ class TestRunPlan:
             run_plan(QUERY_PLAN, executor=SerialExecutor(), jobs=2)
 
     def test_jobs_shortcut(self):
-        store = run_plan(QUERY_PLAN, jobs=1)
+        with pytest.warns(DeprecationWarning):
+            store = run_plan(QUERY_PLAN, jobs=1)
         assert len(store) == len(QUERY_PLAN)
+
+    def test_spec_accepted(self):
+        from repro.engine.spec import ExecutorSpec
+
+        store = run_plan(QUERY_PLAN, executor=ExecutorSpec.serial())
+        assert store.to_json() == run_plan(QUERY_PLAN).to_json()
+
+    def test_preset_name_accepted(self):
+        store = run_plan(QUERY_PLAN, executor="parallel-unchunked")
+        assert store.to_json() == run_plan(QUERY_PLAN).to_json()
+
+    def test_passed_backend_stays_open(self):
+        executor = ParallelExecutor(jobs=2)
+        try:
+            run_plan(QUERY_PLAN, executor=executor)
+            assert executor.pool_active
+            # Second plan reuses the same warm pool.
+            run_plan(QUERY_PLAN, executor=executor)
+            assert executor.pool_active
+        finally:
+            executor.close()
+        assert not executor.pool_active
 
 
 class TestWatchdog:
@@ -196,10 +225,12 @@ class TestWatchdog:
         assert "status" not in record
 
     def test_make_executor_threads_the_settings(self):
-        serial = make_executor(None, watchdog=5.0, retries=2)
+        with pytest.warns(DeprecationWarning):
+            serial = make_executor(None, watchdog=5.0, retries=2)
         assert isinstance(serial, SerialExecutor)
         assert serial.watchdog == 5.0 and serial.retries == 2
-        parallel = make_executor(3, watchdog=7.0, retries=1)
+        with pytest.warns(DeprecationWarning):
+            parallel = make_executor(3, watchdog=7.0, retries=1)
         assert isinstance(parallel, ParallelExecutor)
         assert parallel.watchdog == 7.0 and parallel.retries == 1
 
@@ -278,3 +309,47 @@ class TestProgressPrinter:
         printer = _ProgressPrinter(jobs=1, stream=io.StringIO())
         printer(1, 1, execute_trial(QUERY_PLAN.specs[0]))
         assert "quarantined" not in printer.summary()
+
+    def test_chunk_counts_reported_when_chunked(self):
+        import io
+
+        from repro.cli import _ProgressPrinter
+
+        printer = _ProgressPrinter(jobs=2, stream=io.StringIO())
+        printer.chunk_update(3, 2)
+        printer(1, 1, execute_trial(QUERY_PLAN.specs[0]))
+        assert printer.summary().endswith("(2/3 chunks)")
+
+    def test_chunk_suffix_absent_for_unchunked_backends(self):
+        import io
+
+        from repro.cli import _ProgressPrinter
+
+        printer = _ProgressPrinter(jobs=1, stream=io.StringIO())
+        printer(1, 1, execute_trial(QUERY_PLAN.specs[0]))
+        assert "chunks" not in printer.summary()
+
+    def test_chunked_run_summary_has_current_counts(self):
+        """The executor must publish chunk counters before the final
+        per-trial callback, so a summary printed on the last trial is
+        not one chunk behind."""
+        import io
+
+        from repro.cli import _ProgressPrinter
+
+        final_state = {}
+
+        class Recorder(_ProgressPrinter):
+            def __call__(self, done, total, result):
+                super().__call__(done, total, result)
+                if done == total:
+                    final_state["summary"] = self.summary()
+
+        printer = Recorder(jobs=2, stream=io.StringIO())
+        executor = ParallelExecutor(jobs=2, chunk=2)
+        try:
+            run_plan(QUERY_PLAN, executor=executor, progress=printer)
+        finally:
+            executor.close()
+        assert printer.chunks_dispatched == 2
+        assert final_state["summary"].endswith("(2/2 chunks)")

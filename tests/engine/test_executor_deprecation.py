@@ -1,0 +1,100 @@
+"""The executor deprecation shims: old entry points warn but keep working.
+
+CI runs this module with ``-W error::DeprecationWarning`` (the
+differential-contracts step), so these tests double as proof that
+``pytest.warns`` captures every warning the shims emit — none may escape
+to fail the build — and that no *internal* code path still routes
+through a shim.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.engine.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+    run_plan,
+    stream_plan,
+)
+from repro.engine.plan import build_plan
+from repro.engine.results import load_document
+from repro.engine.spec import ExecutorSpec
+from repro.sim.errors import ConfigurationError
+
+PLAN = build_plan(
+    "dep-plan", kind="query",
+    grid={"churn_rate": [0.0]},
+    base={"n": 8, "topology": "er", "aggregate": "COUNT", "horizon": 150.0},
+    trials=2, root_seed=13,
+)
+
+
+class TestMakeExecutorShim:
+    def test_warns_and_names_the_replacement(self):
+        with pytest.warns(DeprecationWarning, match="ExecutorSpec"):
+            make_executor(None)
+
+    def test_still_honours_the_jobs_convention(self):
+        with pytest.warns(DeprecationWarning):
+            assert isinstance(make_executor(1), SerialExecutor)
+        with pytest.warns(DeprecationWarning):
+            executor = make_executor(2)
+        assert isinstance(executor, ParallelExecutor) and executor.jobs == 2
+
+    def test_results_match_the_spec_path(self):
+        with pytest.warns(DeprecationWarning):
+            executor = make_executor(None)
+        shim_doc = run_plan(PLAN, executor=executor).to_json()
+        spec_doc = run_plan(PLAN, executor=ExecutorSpec.serial()).to_json()
+        assert shim_doc == spec_doc
+
+
+class TestJobsKwargShim:
+    def test_run_plan_jobs_warns_and_names_the_caller(self):
+        with pytest.warns(DeprecationWarning, match="run_plan"):
+            store = run_plan(PLAN, jobs=1)
+        assert len(store) == len(PLAN)
+
+    def test_stream_plan_jobs_warns_and_names_the_caller(self, tmp_path):
+        path = str(tmp_path / "dep.jsonl")
+        with pytest.warns(DeprecationWarning, match="stream_plan"):
+            written = stream_plan(PLAN, path, jobs=1)
+        assert written == len(PLAN)
+        assert load_document(path)["plan"]["name"] == "dep-plan"
+
+    def test_jobs_results_match_the_spec_path(self):
+        with pytest.warns(DeprecationWarning):
+            shim_doc = run_plan(PLAN, jobs=2).to_json()
+        spec_doc = run_plan(
+            PLAN, executor=ExecutorSpec.parallel(jobs=2)
+        ).to_json()
+        assert shim_doc == spec_doc
+
+    def test_executor_and_jobs_still_conflict(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            run_plan(PLAN, executor="serial", jobs=2)
+
+
+class TestNoInternalShimUse:
+    """The blessed paths emit no deprecation warnings at all."""
+
+    @pytest.mark.parametrize("executor", [
+        None,
+        "serial",
+        "parallel-unchunked",
+        ExecutorSpec.parallel(jobs=2, chunk=2),
+    ])
+    def test_run_plan_spec_paths_are_clean(self, executor):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            run_plan(PLAN, executor=executor)
+
+    def test_stream_plan_spec_path_is_clean(self, tmp_path):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            stream_plan(PLAN, str(tmp_path / "clean.jsonl"),
+                        executor=ExecutorSpec.parallel(jobs=2))

@@ -1,0 +1,187 @@
+"""Tests for the declarative execution policy (repro.engine.spec)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.engine.executor import ParallelExecutor, SerialExecutor, run_plan
+from repro.engine.plan import build_plan
+from repro.engine.spec import (
+    BACKENDS,
+    EXECUTOR_PRESETS,
+    SPEC_SCHEMA,
+    SPEC_VERSION,
+    ExecutorSpec,
+    executor_preset,
+    resolve_executor,
+)
+from repro.sim.errors import ConfigurationError
+
+PLAN = build_plan(
+    "spec-plan", kind="query",
+    grid={"churn_rate": [0.0, 2.0]},
+    base={"n": 8, "topology": "er", "aggregate": "COUNT", "horizon": 150.0},
+    trials=2, root_seed=13,
+)
+
+
+class TestValidation:
+    def test_defaults_are_serial(self):
+        spec = ExecutorSpec()
+        assert spec.backend == "serial"
+        assert spec.effective_jobs() == 1
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="backend"):
+            ExecutorSpec(backend="threads")
+
+    @pytest.mark.parametrize("field,value", [
+        ("jobs", 0),
+        ("jobs", -2),
+        ("chunk", 0),
+        ("chunk_target", 0.0),
+        ("chunk_target", -1.0),
+        ("watchdog", 0.0),
+        ("trial_retries", -1),
+    ])
+    def test_out_of_range_fields_rejected(self, field, value):
+        with pytest.raises(ConfigurationError):
+            ExecutorSpec(backend="parallel", **{field: value})
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ExecutorSpec().backend = "parallel"  # type: ignore[misc]
+
+    def test_picklable(self):
+        spec = ExecutorSpec.parallel(jobs=3, chunk=7, watchdog=30.0)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestConstructionHelpers:
+    def test_serial_classmethod(self):
+        assert ExecutorSpec.serial().backend == "serial"
+
+    def test_parallel_classmethod(self):
+        spec = ExecutorSpec.parallel(jobs=4)
+        assert spec.backend == "parallel" and spec.jobs == 4
+
+    def test_parallel_default_jobs_is_cpu_count(self):
+        import os
+
+        spec = ExecutorSpec.parallel()
+        assert spec.jobs is None
+        assert spec.effective_jobs() == (os.cpu_count() or 1)
+
+    def test_serial_effective_jobs_ignores_machine(self):
+        assert ExecutorSpec.serial().effective_jobs() == 1
+
+
+class TestMake:
+    def test_serial_spec_makes_serial_backend(self):
+        backend = ExecutorSpec.serial(watchdog=9.0, trial_retries=2).make()
+        assert isinstance(backend, SerialExecutor)
+        assert backend.watchdog == 9.0 and backend.retries == 2
+
+    def test_parallel_spec_makes_warm_pool_backend(self):
+        backend = ExecutorSpec.parallel(jobs=3, chunk=5).make()
+        try:
+            assert isinstance(backend, ParallelExecutor)
+            assert backend.jobs == 3 and backend.chunk == 5
+            assert not backend.pool_active  # lazy: no fork until first use
+        finally:
+            backend.close()
+
+    def test_one_job_parallel_degrades_to_serial(self):
+        backend = ExecutorSpec.parallel(jobs=1).make()
+        assert isinstance(backend, SerialExecutor)
+
+
+class TestSerialisation:
+    def test_round_trip_lossless(self):
+        spec = ExecutorSpec.parallel(
+            jobs=4, chunk=7, chunk_target=0.5, watchdog=60.0,
+            trial_retries=1, name="mine",
+        )
+        assert ExecutorSpec.from_json(spec.to_json()) == spec
+
+    def test_wire_format_header(self):
+        record = ExecutorSpec().to_dict()
+        assert record["schema"] == SPEC_SCHEMA
+        assert record["version"] == SPEC_VERSION
+
+    def test_json_is_canonical(self):
+        text = ExecutorSpec().to_json()
+        assert text.endswith("\n")
+        assert json.dumps(json.loads(text), indent=2, sort_keys=True) + "\n" == text
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ConfigurationError, match="repro-executor-spec"):
+            ExecutorSpec.from_dict({"schema": "something-else"})
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ConfigurationError, match="version"):
+            ExecutorSpec.from_dict({"schema": SPEC_SCHEMA, "version": 99})
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ConfigurationError, match="threads"):
+            ExecutorSpec.from_dict(
+                {"schema": SPEC_SCHEMA, "version": 1, "threads": 8}
+            )
+
+
+class TestPresets:
+    def test_every_preset_names_itself(self):
+        for name, spec in EXECUTOR_PRESETS.items():
+            assert spec.name == name
+            assert spec.backend in BACKENDS
+
+    def test_lookup(self):
+        assert executor_preset("parallel").backend == "parallel"
+        assert executor_preset("parallel-unchunked").chunk == 1
+        guarded = executor_preset("guarded")
+        assert guarded.watchdog == 300.0 and guarded.trial_retries == 1
+
+    def test_unknown_preset_lists_the_builtins(self):
+        with pytest.raises(ConfigurationError, match="parallel-unchunked"):
+            executor_preset("nope")
+
+    def test_presets_round_trip_through_json(self):
+        for spec in EXECUTOR_PRESETS.values():
+            assert ExecutorSpec.from_json(spec.to_json()) == spec
+
+
+class TestResolveExecutor:
+    def test_none_is_serial(self):
+        assert resolve_executor(None) == EXECUTOR_PRESETS["serial"]
+
+    def test_preset_name(self):
+        assert resolve_executor("guarded") == EXECUTOR_PRESETS["guarded"]
+
+    def test_spec_passes_through(self):
+        spec = ExecutorSpec.parallel(jobs=2)
+        assert resolve_executor(spec) is spec
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(ConfigurationError, match="ExecutorSpec"):
+            resolve_executor(42)  # type: ignore[arg-type]
+
+
+class TestRunPlanIntegration:
+    def test_spec_and_preset_and_default_agree(self):
+        default = run_plan(PLAN).to_json()
+        assert run_plan(PLAN, executor=ExecutorSpec.serial()).to_json() == default
+        assert run_plan(PLAN, executor="serial").to_json() == default
+        assert run_plan(
+            PLAN, executor=ExecutorSpec.parallel(jobs=2)
+        ).to_json() == default
+
+    def test_api_exports_the_spec_surface(self):
+        import repro.api as api
+
+        for name in ("ExecutorSpec", "EXECUTOR_PRESETS", "executor_preset",
+                     "resolve_executor"):
+            assert name in api.__all__
+            assert hasattr(api, name)
