@@ -32,7 +32,18 @@ The surface groups into:
   the causal analysis layer: :class:`HappensBeforeDAG` /
   :class:`InfluenceReport`, the streaming invariant checkers behind
   :class:`CheckingSink` / :func:`check_trace`, and the timeline exporters
-  (:func:`write_chrome_trace`, :func:`ascii_timeline`).
+  (:func:`write_chrome_trace`, :func:`ascii_timeline`,
+  :func:`write_engine_trace` for merged engine + simulation views).
+* **Engine telemetry** — the harness observing itself: pass
+  ``telemetry=...`` to :func:`run_plan` / :func:`stream_plan` (or
+  ``--telemetry`` on the CLI) to record a :class:`RunManifest`,
+  hierarchical :class:`Span` records (run → dispatch → chunk → trial) and
+  per-worker health into an append-only ``repro-run-telemetry`` stream —
+  tail it live with :class:`TelemetryTail` (``repro top``), browse the
+  ledger with :func:`scan_runs` / :func:`find_run`
+  (``repro runs list|show``), re-profile the slowest trials with
+  :func:`profile_slowest`.  Result documents are byte-identical with
+  telemetry on or off.
 * **Regression gating** — :func:`diff_files` / :func:`diff_documents`
   compare two result documents (or BENCH payloads) with per-metric
   relative thresholds; ``repro bench diff`` is the CLI face.
@@ -104,10 +115,27 @@ from repro.engine.results import (
     summarize_point,
     validate_document,
 )
+from repro.engine.telemetry import (
+    DEFAULT_RUNS_DIR,
+    TELEMETRY_SUFFIX,
+    RunManifest,
+    TelemetryRecorder,
+    TelemetryTail,
+    WorkerHealth,
+    find_run,
+    load_telemetry,
+    plan_digest,
+    profile_slowest,
+    render_profiles,
+    scan_runs,
+)
 
 # --- Observability: metrics, sinks, causality, checking, export ---------
 from repro.obs import (
     SINK_NAMES,
+    SPAN_KINDS,
+    TELEMETRY_SCHEMA,
+    TELEMETRY_VERSION,
     TRANSPORT_KINDS,
     CheckingSink,
     Counter,
@@ -121,15 +149,21 @@ from repro.obs import (
     MemorySink,
     Metrics,
     NullSink,
+    Span,
+    SpanTracer,
     TraceSink,
     Violation,
     ascii_timeline,
     check_trace,
     default_checkers,
     make_sink,
+    merge_engine_trace,
     owners_of,
+    read_telemetry,
+    span_tree,
     to_chrome_trace,
     write_chrome_trace,
+    write_engine_trace,
 )
 
 # --- Regression gating: compare result documents ------------------------
@@ -293,6 +327,26 @@ __all__ = [
     "stream_plan",
     "summarize_point",
     "validate_document",
+    # engine telemetry
+    "DEFAULT_RUNS_DIR",
+    "RunManifest",
+    "SPAN_KINDS",
+    "Span",
+    "SpanTracer",
+    "TELEMETRY_SCHEMA",
+    "TELEMETRY_SUFFIX",
+    "TELEMETRY_VERSION",
+    "TelemetryRecorder",
+    "TelemetryTail",
+    "WorkerHealth",
+    "find_run",
+    "load_telemetry",
+    "plan_digest",
+    "profile_slowest",
+    "read_telemetry",
+    "render_profiles",
+    "scan_runs",
+    "span_tree",
     # observability
     "CheckingSink",
     "Counter",
@@ -314,9 +368,11 @@ __all__ = [
     "check_trace",
     "default_checkers",
     "make_sink",
+    "merge_engine_trace",
     "owners_of",
     "to_chrome_trace",
     "write_chrome_trace",
+    "write_engine_trace",
     # regression gating & provenance
     "BENCH_THRESHOLDS",
     "BenchDiff",

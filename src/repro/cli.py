@@ -24,8 +24,13 @@ flag vocabulary and all run through the layered experiment engine
 * ``--output FILE`` writes the schema-versioned result document.
 * ``--progress`` prints live ``done/total`` progress with an ETA derived
   from the per-trial wall times observed so far.
-* ``--profile`` prints a plan/execute/aggregate phase-timing table plus a
-  ``cProfile`` breakdown of one representative trial.
+* ``--telemetry [PATH]`` records the run's ``repro-run-telemetry`` stream
+  (manifest, hierarchical spans, worker health) — the run ledger behind
+  ``repro top``, ``repro runs list|show`` and
+  ``repro trace export --engine``; result documents are byte-identical
+  with telemetry on or off.
+* ``--profile-trials K`` cProfiles the K slowest trials by deterministic
+  re-execution after the run (``--profile`` is the deprecated spelling).
 * ``--trace-sink {memory,jsonl,null,counts}`` selects the transport-event
   sink (``jsonl`` needs ``--trace-dir``); verdicts and documents are
   identical under every sink.
@@ -41,11 +46,15 @@ flag vocabulary and all run through the layered experiment engine
   (``--trial-retries N`` re-runs an overrunning trial before quarantining
   it; quarantined trials appear in the ``--progress`` status counts).
 
-Saved ``.jsonl`` traces feed the analysis commands::
+Saved ``.jsonl`` traces and telemetry streams feed the analysis commands::
 
     python -m repro trace analyze trial.jsonl        # causal influence
     python -m repro trace check   trial.jsonl        # invariant audit
     python -m repro trace export  trial.jsonl --format chrome -o t.json
+    python -m repro top run.telemetry.jsonl          # live sweep view
+    python -m repro runs list                        # the run ledger
+    python -m repro trace export --engine run.telemetry.jsonl \
+        trial.jsonl --format chrome -o merged.json   # engine + sim view
     python -m repro bench diff BASELINE.json candidate.json --fail-on-regression
 """
 
@@ -59,20 +68,28 @@ from typing import Any, Mapping, Sequence
 
 from repro.analysis.tables import render_matrix, render_result_document, render_table
 from repro.api import (
+    DEFAULT_RUNS_DIR,
     LARGE_TRIAL_THRESHOLD,
     SINK_NAMES,
+    TELEMETRY_SUFFIX,
     ChurnSpec,
     ExecutorSpec,
     ExperimentPlan,
     FaultPlan,
     ResilienceSpec,
     ResultStore,
+    TelemetryRecorder,
+    TelemetryTail,
     build_plan,
-    execute_trial,
     executor_preset,
     fault_preset,
+    find_run,
+    package_version,
+    profile_slowest,
+    render_profiles,
     resilience_preset,
     run_plan,
+    scan_runs,
     stream_plan,
 )
 from repro.churn.models import ReplacementChurn
@@ -149,8 +166,25 @@ def _engine_parent(trials_default: int = 1) -> argparse.ArgumentParser:
                        "finishes (memory-flat, same document on load)")
     group.add_argument("--progress", action="store_true",
                        help="print live done/total progress with an ETA")
+    group.add_argument("--telemetry", nargs="?", const="auto", default=None,
+                       metavar="PATH",
+                       help="record the run's telemetry stream "
+                       "(repro-run-telemetry v1): manifest, hierarchical "
+                       "spans, per-worker health; tail it live with "
+                       "'repro top'. With PATH omitted the stream lands "
+                       "beside --output, else under .repro/runs/. Result "
+                       "documents are byte-identical with telemetry on "
+                       "or off")
+    group.add_argument("--profile-trials", dest="profile_trials", type=int,
+                       default=None, metavar="K",
+                       help="after the run, cProfile the K slowest trials "
+                       "by deterministic re-execution; with --telemetry "
+                       "the hottest functions are embedded in the summary "
+                       "record")
     group.add_argument("--profile", action="store_true",
-                       help="print phase timings and a cProfile of one trial")
+                       help="deprecated: use --profile-trials K (and "
+                       "--telemetry for a durable record); prints phase "
+                       "timings plus a profile of the slowest trial")
     group.add_argument("--trace-sink", dest="trace_sink", default=None,
                        choices=list(SINK_NAMES),
                        help="transport-event sink (documents are identical "
@@ -249,20 +283,32 @@ class _ProgressPrinter:
         self.stream.flush()
 
 
-def _profile_one_trial(plan: ExperimentPlan) -> str:
-    """cProfile a single representative trial (the plan's first spec)."""
-    import cProfile
-    import io
-    import pstats
+def _telemetry_recorder(args: argparse.Namespace) -> "TelemetryRecorder | None":
+    """Build the run's :class:`TelemetryRecorder` from ``--telemetry``.
 
-    profiler = cProfile.Profile()
-    profiler.enable()
-    execute_trial(plan.specs[0])
-    profiler.disable()
-    buffer = io.StringIO()
-    stats = pstats.Stats(profiler, stream=buffer)
-    stats.sort_stats("cumulative").print_stats(12)
-    return buffer.getvalue()
+    The sentinel ``"auto"`` (bare ``--telemetry``) anchors the stream
+    beside ``--output`` when one was given (``results.json`` →
+    ``results.telemetry.jsonl``), else files it under the default ledger
+    directory ``.repro/runs/``.  The manifest's ``cli`` block carries the
+    ``repro --version`` banner and the invoking argv.
+    """
+    value = getattr(args, "telemetry", None)
+    if value is None:
+        return None
+    cli_info = {
+        "version": f"repro {package_version()}",
+        "argv": list(getattr(args, "_argv", sys.argv[1:])),
+    }
+    if value != "auto":
+        return TelemetryRecorder(path=value, cli=cli_info)
+    if args.output:
+        base = args.output
+        for suffix in (".jsonl", ".json"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+                break
+        return TelemetryRecorder(path=base + TELEMETRY_SUFFIX, cli=cli_info)
+    return TelemetryRecorder(cli=cli_info)
 
 
 def _resolve_fault_plan(value: str) -> FaultPlan | str:
@@ -426,7 +472,8 @@ def _engine_run(
     kind: str,
     base: Mapping[str, Any],
     grid: Mapping[str, Sequence[Any]] | None = None,
-) -> tuple[ExperimentPlan, ResultStore, dict[str, float]]:
+) -> tuple[ExperimentPlan, ResultStore, dict[str, float],
+           "TelemetryRecorder | None"]:
     """The shared plan → execute → aggregate path, timed per phase."""
     timings: dict[str, float] = {}
     start = time.perf_counter()
@@ -441,6 +488,7 @@ def _engine_run(
     progress = (
         _ProgressPrinter(jobs=spec.effective_jobs()) if args.progress else None
     )
+    recorder = _telemetry_recorder(args)
     start = time.perf_counter()
     executor = spec
     if args.output and args.output.endswith(".jsonl"):
@@ -448,16 +496,18 @@ def _engine_run(
         # peak memory during execution is one window of in-flight trials,
         # not the whole plan.  The store is reloaded from the stream only
         # to render the summary tables below.
-        stream_plan(plan, args.output, executor=executor, progress=progress)
+        stream_plan(plan, args.output, executor=executor, progress=progress,
+                    telemetry=recorder)
         store = ResultStore.load(args.output)
     else:
-        store = run_plan(plan, executor=executor, progress=progress)
+        store = run_plan(plan, executor=executor, progress=progress,
+                         telemetry=recorder)
     timings["execute"] = time.perf_counter() - start
 
     start = time.perf_counter()
     store.document()
     timings["aggregate"] = time.perf_counter() - start
-    return plan, store, timings
+    return plan, store, timings, recorder
 
 
 def _engine_finish(
@@ -465,8 +515,12 @@ def _engine_finish(
     plan: ExperimentPlan,
     store: ResultStore,
     timings: dict[str, float],
+    recorder: "TelemetryRecorder | None" = None,
 ) -> None:
-    """Post-table chores shared by the engine commands: output + profile."""
+    """Post-table chores shared by the engine commands: output, profiling,
+    telemetry close-out."""
+    import warnings
+
     if args.output:
         if args.output.endswith(".jsonl"):
             # Already streamed during execution by _engine_run.
@@ -474,15 +528,38 @@ def _engine_finish(
         else:
             store.write(args.output)
             print(f"result document written to {args.output}")
+    profile_k = getattr(args, "profile_trials", None)
     if args.profile:
+        warnings.warn(
+            "--profile is deprecated; use --profile-trials K (add "
+            "--telemetry to keep the profile in the run's summary record)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if profile_k is None:
+            profile_k = 1
         print(render_table(
             ["phase", "wall time"],
             [[phase, f"{timings[phase]:.3f}s"]
              for phase in ("plan", "execute", "aggregate")],
             title="phase timing",
         ))
-        print("cProfile of one trial (top 12 by cumulative time):")
-        print(_profile_one_trial(plan))
+    if profile_k:
+        # Deterministic re-execution: profiling the K slowest trials
+        # after the fact reproduces their work exactly without having
+        # perturbed the recorded run.
+        profiles = profile_slowest(plan.specs, store.results, k=profile_k)
+        if recorder is not None:
+            recorder.record_profiles(profiles)
+        print(render_profiles(profiles))
+    if recorder is not None:
+        recorder.close()
+        if args.progress:
+            print(f"run {recorder.run_id} · telemetry {recorder.path}",
+                  file=sys.stderr)
+        else:
+            print(f"telemetry written to {recorder.path} "
+                  f"(run {recorder.run_id})")
 
 
 # ----------------------------------------------------------------------
@@ -580,6 +657,39 @@ def _build_parser() -> argparse.ArgumentParser:
                                 "JSON (editable, reloadable via "
                                 "--resilience FILE)")
 
+    top = sub.add_parser(
+        "top", help="live view of a (possibly running) sweep's telemetry"
+    )
+    top.add_argument("target",
+                     help="telemetry .jsonl path, or a run-id prefix "
+                     "looked up in the ledger directory")
+    top.add_argument("--interval", type=float, default=1.0,
+                     metavar="SECONDS",
+                     help="refresh period while the run is live")
+    top.add_argument("--once", action="store_true",
+                     help="render a single frame and exit")
+    top.add_argument("--dir", dest="runs_dir", default=None,
+                     help="ledger directory for run-id lookup "
+                     f"(default: {DEFAULT_RUNS_DIR})")
+
+    runs_cmd = sub.add_parser(
+        "runs", help="the run ledger: recorded telemetry streams"
+    )
+    runs_sub = runs_cmd.add_subparsers(dest="runs_command", required=True)
+    runs_list = runs_sub.add_parser("list", help="list recorded runs")
+    runs_list.add_argument("--dir", dest="runs_dir", default=None,
+                           help="ledger directory to scan "
+                           f"(default: {DEFAULT_RUNS_DIR})")
+    runs_show = runs_sub.add_parser(
+        "show", help="show one run: manifest, progress, worker health"
+    )
+    runs_show.add_argument("run_id",
+                           help="run-id prefix (unique in the ledger) or "
+                           "a telemetry .jsonl path")
+    runs_show.add_argument("--dir", dest="runs_dir", default=None,
+                           help="ledger directory for run-id lookup "
+                           f"(default: {DEFAULT_RUNS_DIR})")
+
     executor_cmd = sub.add_parser(
         "executor", help="list the builtin executor presets"
     )
@@ -610,7 +720,16 @@ def _build_parser() -> argparse.ArgumentParser:
     export = trace_sub.add_parser(
         "export", help="export per-node timelines (Chrome trace or ASCII)"
     )
-    export.add_argument("path", help="JSONL trace file to export")
+    export.add_argument("path", nargs="?", default=None,
+                        help="JSONL trace file to export (optional when "
+                        "--engine exports telemetry alone)")
+    export.add_argument("--engine", dest="engine", default=None,
+                        metavar="TELEMETRY",
+                        help="merge an engine telemetry stream into the "
+                        "export: run → dispatch → chunk → trial spans as "
+                        "their own process track, with a flow arrow down "
+                        "to the sim trace when one is given (chrome "
+                        "format only)")
     export.add_argument("--format", dest="format", default="ascii",
                         choices=["ascii", "chrome"],
                         help="ascii prints a terminal timeline; chrome "
@@ -657,7 +776,9 @@ def _cmd_query(args: argparse.Namespace) -> int:
     }
     if args.churn_rate > 0:
         base["churn"] = ChurnSpec(kind="replacement", rate=args.churn_rate)
-    plan, store, timings = _engine_run(args, "cli-query", "query", base)
+    plan, store, timings, recorder = _engine_run(
+        args, "cli-query", "query", base
+    )
     rows = []
     for result in store.results:
         rows.append([
@@ -675,7 +796,7 @@ def _cmd_query(args: argparse.Namespace) -> int:
         title=(f"one-time query: n={args.n}, {args.topology}, "
                f"{args.protocol}, {args.aggregate}, churn={args.churn_rate}"),
     ))
-    _engine_finish(args, plan, store, timings)
+    _engine_finish(args, plan, store, timings, recorder)
     return 0
 
 
@@ -686,14 +807,16 @@ def _cmd_gossip(args: argparse.Namespace) -> int:
     }
     if args.churn_rate > 0:
         base["churn"] = ChurnSpec(kind="replacement", rate=args.churn_rate)
-    plan, store, timings = _engine_run(args, "cli-gossip", "gossip", base)
+    plan, store, timings, recorder = _engine_run(
+        args, "cli-gossip", "gossip", base
+    )
     for result in store.results:
         print(f"push-sum {args.mode} (seed {result.seed % 100_000}): "
               f"estimate {float(result.result):.4g}, "
               f"truth {float(result.truth):.4g}, "
               f"relative error {result.error:.4g}, "
               f"{result.messages} messages")
-    _engine_finish(args, plan, store, timings)
+    _engine_finish(args, plan, store, timings, recorder)
     return 0
 
 
@@ -811,7 +934,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         "n": args.n, "topology": args.topology,
         "aggregate": "COUNT", "horizon": 300.0,
     }
-    plan, store, timings = _engine_run(
+    plan, store, timings, recorder = _engine_run(
         args, "churn-sweep", "query", base, grid={"churn_rate": rates}
     )
     jobs = _resolve_executor_flag(args).effective_jobs()
@@ -821,7 +944,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         title=(f"churn sweep: n={args.n}, {args.topology}, "
                f"{args.trials} trials, jobs={jobs}"),
     ))
-    _engine_finish(args, plan, store, timings)
+    _engine_finish(args, plan, store, timings, recorder)
     return 0
 
 
@@ -913,10 +1036,114 @@ def _cmd_executor(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_run_target(target: str, runs_dir: str | None) -> str:
+    """A telemetry path argument: an existing file, or a run-id prefix
+    resolved through the ledger."""
+    from repro.sim.errors import ConfigurationError
+
+    if os.path.exists(target):
+        return target
+    try:
+        entry = find_run(target, runs_dir or DEFAULT_RUNS_DIR)
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
+    return entry["path"]
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    path = _resolve_run_target(args.target, args.runs_dir)
+    tail = TelemetryTail(path)
+    live_tty = sys.stdout.isatty() and not args.once
+    try:
+        while True:
+            tail.poll()
+            frame = tail.render()
+            if live_tty:
+                # Full-screen refresh, top-left anchored.
+                sys.stdout.write("\x1b[2J\x1b[H" + frame + "\n")
+            else:
+                print(frame)
+            sys.stdout.flush()
+            if args.once or tail.finished:
+                return 0
+            time.sleep(max(0.05, args.interval))
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_runs(args: argparse.Namespace) -> int:
+    if args.runs_command == "list":
+        entries = scan_runs(args.runs_dir or DEFAULT_RUNS_DIR)
+        if not entries:
+            print(f"no runs recorded under "
+                  f"{args.runs_dir or DEFAULT_RUNS_DIR!r} "
+                  "(record one with --telemetry)")
+            return 0
+        rows = []
+        for entry in entries:
+            manifest, summary = entry["manifest"], entry["summary"]
+            counts = summary["counts"] if summary else {}
+            rows.append([
+                manifest.run_id,
+                manifest.plan.get("name", "?"),
+                manifest.plan.get("n_trials", "?"),
+                manifest.executor.get("backend", "?"),
+                f"{summary['wall_s']:.1f}s" if summary else "running",
+                counts.get("ok", "-"),
+                counts.get("failed", "-"),
+                counts.get("quarantined", "-"),
+            ])
+        print(render_table(
+            ["run id", "plan", "trials", "backend", "wall", "ok",
+             "failed", "quar"],
+            rows,
+            title=f"run ledger ({args.runs_dir or DEFAULT_RUNS_DIR})",
+        ))
+        return 0
+
+    # show
+    path = _resolve_run_target(args.run_id, args.runs_dir)
+    tail = TelemetryTail(path)
+    tail.poll()
+    manifest = tail.manifest
+    if manifest is None:
+        raise SystemExit(f"{path}: telemetry stream has no manifest")
+    print(tail.render())
+    print()
+    rows = [
+        ["path", path],
+        ["started", manifest.to_record()["started_iso"]],
+        ["plan digest", manifest.plan.get("digest", "-")],
+        ["executor", str(dict(manifest.executor))],
+        ["host", "{hostname} · {platform} · python {python} · "
+         "{cpu_count} cpus".format(**{
+             key: manifest.host.get(key, "?")
+             for key in ("hostname", "platform", "python", "cpu_count")
+         })],
+        ["repro", manifest.repro_version],
+        ["result schema", "{name} v{version}".format(
+            **dict(manifest.result_schema))],
+    ]
+    if manifest.cli:
+        rows.append(["cli", "{version}: {argv}".format(
+            version=manifest.cli.get("version", "?"),
+            argv=" ".join(manifest.cli.get("argv", [])),
+        )])
+    print(render_table(["field", "value"], rows, title="manifest"))
+    if tail.summary and tail.summary.get("profile"):
+        print()
+        print(render_profiles(tail.summary["profile"]))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.obs.causal import HappensBeforeDAG
     from repro.obs.check import check_trace
-    from repro.obs.export import ascii_timeline, write_chrome_trace
+    from repro.obs.export import (
+        ascii_timeline,
+        write_chrome_trace,
+        write_engine_trace,
+    )
     from repro.sim.trace import TraceLog
 
     if args.trace_command == "analyze":
@@ -945,6 +1172,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         return 1
 
     # export
+    if getattr(args, "engine", None):
+        if args.format != "chrome":
+            raise SystemExit("--engine requires --format chrome")
+        if not args.output:
+            raise SystemExit("--format chrome requires --output FILE")
+        sim_events = None
+        sim_seed = None
+        if args.path:
+            sim_events = TraceLog.load_jsonl(args.path)
+            # Per-trial traces are saved as {name}-trial{i}-seed{seed}.jsonl;
+            # the seed picks the matching engine trial span for the flow
+            # arrow when it is recoverable from the filename.
+            import re
+
+            match = re.search(r"seed(\d+)", os.path.basename(args.path))
+            if match:
+                sim_seed = int(match.group(1))
+        written = write_engine_trace(
+            args.engine, args.output, sim_events=sim_events,
+            sim_seed=sim_seed,
+        )
+        print(f"{written} events (engine spans"
+              + (" + sim trace" if args.path else "")
+              + f") written to {args.output} "
+              "(open in Perfetto or chrome://tracing)")
+        return 0
+    if not args.path:
+        raise SystemExit("trace export needs a trace PATH "
+                         "(or --engine TELEMETRY)")
     log = TraceLog.load_jsonl(args.path)
     if args.format == "chrome":
         if not args.output:
@@ -993,6 +1249,8 @@ _COMMANDS = {
     "faults": _cmd_faults,
     "resilience": _cmd_resilience,
     "executor": _cmd_executor,
+    "top": _cmd_top,
+    "runs": _cmd_runs,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
 }
@@ -1001,6 +1259,8 @@ _COMMANDS = {
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = _build_parser().parse_args(argv)
+    # The manifest's cli block records exactly what was invoked.
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     return _COMMANDS[args.command](args)
 
 

@@ -27,6 +27,13 @@ watchdog) — the same declarative idiom as ``FaultPlan`` and
 
 The single-trial layer lives in :mod:`repro.engine.trials`;
 ``repro.bench.runner`` re-exports it for compatibility.
+
+:mod:`repro.engine.telemetry` makes the engine itself observable: pass
+``telemetry="run.telemetry.jsonl"`` to :func:`run_plan` /
+:func:`stream_plan` to record a :class:`RunManifest`, hierarchical spans
+(run → dispatch → chunk → trial) and per-worker health into an
+append-only stream that ``repro top`` tails live — without changing a
+byte of the result document.
 """
 
 from repro.engine.executor import (
@@ -62,30 +69,56 @@ from repro.engine.results import (
     summarize_point,
     validate_document,
 )
+from repro.engine.telemetry import (
+    DEFAULT_RUNS_DIR,
+    TELEMETRY_SUFFIX,
+    RunManifest,
+    TelemetryRecorder,
+    TelemetryTail,
+    WorkerHealth,
+    find_run,
+    load_telemetry,
+    plan_digest,
+    profile_slowest,
+    render_profiles,
+    scan_runs,
+)
 
 __all__ = [
     "ChurnSpec",
+    "DEFAULT_RUNS_DIR",
     "EXECUTOR_PRESETS",
     "ExecutorSpec",
     "ExperimentPlan",
     "ParallelExecutor",
     "ProgressFn",
     "ResultStore",
+    "RunManifest",
     "SCHEMA_NAME",
     "SCHEMA_VERSION",
     "SUPPORTED_VERSIONS",
     "SerialExecutor",
+    "TELEMETRY_SUFFIX",
+    "TelemetryRecorder",
+    "TelemetryTail",
     "TrialExecutor",
     "TrialResult",
     "TrialSpec",
     "VALUE_FUNCTIONS",
+    "WorkerHealth",
     "build_plan",
     "execute_trial",
     "executor_preset",
+    "find_run",
     "load_document",
+    "load_telemetry",
     "make_executor",
+    "plan_digest",
+    "profile_slowest",
+    "render_profiles",
     "resolve_executor",
     "run_plan",
+    "scan_runs",
     "stream_plan",
     "summarize_point",
     "validate_document",

@@ -60,6 +60,7 @@ from repro.engine.results import (
     jsonable,
 )
 from repro.engine.spec import ExecutorSpec, resolve_executor
+from repro.engine.telemetry import TelemetryRecorder, resolve_recorder
 from repro.engine.trials import (
     DisseminationOutcome,
     GossipOutcome,
@@ -309,22 +310,41 @@ def _run_chunk(
     specs: Sequence[TrialSpec],
     watchdog: float | None = None,
     retries: int = 0,
-) -> tuple[tuple, ...]:
+) -> tuple[tuple[tuple, ...], dict[str, Any]]:
     """The worker-side task: run a batch of specs, return slim payloads.
 
     One pool task per *chunk* instead of per trial: submission overhead,
     future bookkeeping and result pickling are paid once per batch.  The
     payloads come back in batch order (which is plan order — chunks are
     contiguous plan slices), so the parent's merge is a zip.
+
+    Alongside the payloads, every chunk ships a small telemetry ``meta``
+    dict — worker pid, chunk endpoints, per-trial endpoints (Unix epoch
+    seconds, comparable across same-host processes) and the worker's peak
+    RSS.  It is always measured (a handful of clock reads per chunk) and
+    simply discarded by the parent when no telemetry recorder is
+    attached; it never reaches result documents, so it cannot perturb
+    byte-identity.
     """
+    t0 = time.time()
     out = []
+    trial_times: list[tuple[float, float]] = []
     for spec in specs:
+        trial_start = time.time()
         if watchdog is None:
             result = execute_trial(spec)
         else:
             result = execute_trial_guarded(spec, watchdog=watchdog, retries=retries)
+        trial_times.append((trial_start, time.time()))
         out.append(_pack_result(result))
-    return tuple(out)
+    meta = {
+        "pid": os.getpid(),
+        "t0": t0,
+        "t1": time.time(),
+        "trials": trial_times,
+        "rss_kb": _peak_rss_kb(),
+    }
+    return tuple(out), meta
 
 
 def _warm_worker() -> None:
@@ -354,6 +374,12 @@ class TrialExecutor(abc.ABC):
     #: ``run_specs``/``stream`` call (0/0 for unchunked backends).
     chunks_dispatched: int = 0
     chunks_completed: int = 0
+    #: Telemetry recorder for the current plan, attached by
+    #: :func:`run_plan` / :func:`stream_plan` (``telemetry=...``) and
+    #: detached when the call finishes.  ``None`` — the default — is the
+    #: historical code path; attaching a recorder adds wall-clock span
+    #: records to a side stream and never touches results.
+    telemetry: "TelemetryRecorder | None" = None
 
     def _trial_fn(self) -> Callable[[TrialSpec], TrialResult]:
         """The per-spec work function, honouring the watchdog settings."""
@@ -362,6 +388,23 @@ class TrialExecutor(abc.ABC):
         return functools.partial(
             execute_trial_guarded, watchdog=self.watchdog, retries=self.retries
         )
+
+    def _instrumented_trial_fn(self) -> Callable[[TrialSpec], TrialResult]:
+        """The work function, wrapped to emit one ``trial`` span per call
+        when a telemetry recorder is attached (parent-side execution:
+        the serial backend and degraded 1-job parallel paths)."""
+        fn = self._trial_fn()
+        tel = self.telemetry
+        if tel is None:
+            return fn
+
+        def timed(spec: TrialSpec) -> TrialResult:
+            t0 = time.time()
+            result = fn(spec)
+            tel.record_trial(spec, result, t0, time.time())
+            return result
+
+        return timed
 
     def _notify_chunks(self, progress: Optional[ProgressFn]) -> None:
         """Push the chunk counters to a progress callback that wants them."""
@@ -387,7 +430,9 @@ class TrialExecutor(abc.ABC):
         progress: Optional[ProgressFn] = None,
     ) -> list[TrialResult]:
         """Execute an explicit spec list, preserving input order."""
-        return self.map(self._trial_fn(), list(specs), progress=progress)
+        return self.map(
+            self._instrumented_trial_fn(), list(specs), progress=progress
+        )
 
     @abc.abstractmethod
     def map(
@@ -416,7 +461,7 @@ class TrialExecutor(abc.ABC):
         :func:`stream_plan`.  Returns how many trials ran.  ``progress``
         fires as results are consumed (plan order here, unlike :meth:`map`).
         """
-        fn = self._trial_fn()
+        fn = self._instrumented_trial_fn()
         specs = list(specs)
         done = 0
         for spec in specs:
@@ -520,6 +565,7 @@ class ParallelExecutor(TrialExecutor):
     def _ensure_pool(self) -> _ProcessPool:
         """The persistent pool, created on first use and kept warm."""
         if self._pool is None:
+            warm_start = time.time()
             self._pool = _ProcessPool(
                 max_workers=self.jobs, initializer=_warm_worker
             )
@@ -528,6 +574,10 @@ class ParallelExecutor(TrialExecutor):
             self._pool_finalizer = weakref.finalize(
                 self, _shutdown_pool, self._pool
             )
+            if self.telemetry is not None:
+                self.telemetry.record_warmup(
+                    warm_start, time.time(), jobs=self.jobs
+                )
         return self._pool
 
     @property
@@ -571,6 +621,7 @@ class ParallelExecutor(TrialExecutor):
             return []
         if self.jobs == 1 or len(specs) == 1:
             return super().run_specs(specs, progress=progress)
+        tel = self.telemetry
         pool = self._ensure_pool()
         total = len(specs)
         results: list[TrialResult | None] = [None] * total
@@ -582,37 +633,52 @@ class ParallelExecutor(TrialExecutor):
             # Calibration: run the first spec in the parent (identical
             # result — execution is deterministic) and size chunks so each
             # task carries about chunk_target seconds of work.
+            calib_start = time.time()
             first = self._trial_fn()(specs[0])
+            if tel is not None:
+                tel.record_trial(
+                    specs[0], first, calib_start, time.time(),
+                    calibration=True,
+                )
             results[0] = first
             done = 1
             start = 1
             if progress is not None:
                 progress(done, total, first)
             chunk = self._chunk_size_for(first.wall_time, total - 1)
-        pending: dict[Any, tuple[int, list[TrialSpec]]] = {}
+        dispatch = tel.begin_dispatch(total, chunk) if tel is not None else None
+        pending: dict[Any, tuple[int, list[TrialSpec], float]] = {}
         for offset in range(start, total, chunk):
             batch = specs[offset:offset + chunk]
             future = pool.submit(
                 _run_chunk, tuple(batch), self.watchdog, self.retries
             )
-            pending[future] = (offset, batch)
+            pending[future] = (offset, batch, time.time())
             self.chunks_dispatched += 1
         self._notify_chunks(progress)
         for future in as_completed(pending):
-            offset, batch = pending[future]
-            payloads = future.result()
+            offset, batch, submitted = pending[future]
+            payloads, meta = future.result()
             self.chunks_completed += 1
             # Chunk counters update before the per-trial callbacks so a
             # consumer summarising on the final trial sees them current.
             self._notify_chunks(progress)
+            batch_results: list[TrialResult] = []
             for position, (spec, payload) in enumerate(zip(batch, payloads)):
                 result = _unpack_result(payload, spec)
                 results[offset + position] = result
+                batch_results.append(result)
                 done += 1
                 if progress is not None:
                     # Completion order, like map(); the results list is
                     # still assembled in plan order.
                     progress(done, total, result)
+            if tel is not None:
+                tel.record_chunk(
+                    batch, batch_results, meta, submitted, parent=dispatch
+                )
+        if tel is not None:
+            tel.end_dispatch(dispatch, chunks=self.chunks_completed)
         return list(results)  # type: ignore[arg-type]
 
     def map(
@@ -660,6 +726,7 @@ class ParallelExecutor(TrialExecutor):
             return 0
         if self.jobs == 1 or len(specs) == 1:
             return super().stream(specs, consume, progress=progress)
+        tel = self.telemetry
         pool = self._ensure_pool()
         total = len(specs)
         done = 0
@@ -667,13 +734,20 @@ class ParallelExecutor(TrialExecutor):
         if self.chunk is not None:
             chunk = self.chunk
         else:
+            calib_start = time.time()
             first = self._trial_fn()(specs[0])
+            if tel is not None:
+                tel.record_trial(
+                    specs[0], first, calib_start, time.time(),
+                    calibration=True,
+                )
             done = 1
             start = 1
             consume(first)
             if progress is not None:
                 progress(done, total, first)
             chunk = self._chunk_size_for(first.wall_time, total - 1)
+        dispatch = tel.begin_dispatch(total, chunk) if tel is not None else None
         batches = (
             specs[offset:offset + chunk]
             for offset in range(start, total, chunk)
@@ -685,6 +759,7 @@ class ParallelExecutor(TrialExecutor):
             pending.append((
                 pool.submit(_run_chunk, tuple(batch), self.watchdog, self.retries),
                 batch,
+                time.time(),
             ))
             self.chunks_dispatched += 1
 
@@ -692,19 +767,27 @@ class ParallelExecutor(TrialExecutor):
             submit(batch)
         self._notify_chunks(progress)
         while pending:
-            future, batch = pending.popleft()
-            payloads = future.result()
+            future, batch, submitted = pending.popleft()
+            payloads, meta = future.result()
             self.chunks_completed += 1
             self._notify_chunks(progress)
+            batch_results: list[TrialResult] = []
             for spec, payload in zip(batch, payloads):
                 result = _unpack_result(payload, spec)
+                batch_results.append(result)
                 done += 1
                 consume(result)
                 if progress is not None:
                     progress(done, total, result)
+            if tel is not None:
+                tel.record_chunk(
+                    batch, batch_results, meta, submitted, parent=dispatch
+                )
             for batch in itertools.islice(batches, 1):
                 submit(batch)
             self._notify_chunks(progress)
+        if tel is not None:
+            tel.end_dispatch(dispatch, chunks=self.chunks_completed)
         return done
 
     def __repr__(self) -> str:
@@ -747,18 +830,36 @@ def make_executor(
     return _executor_from_jobs(jobs, watchdog=watchdog, retries=retries)
 
 
+def _describe_backend(backend: TrialExecutor) -> dict[str, Any]:
+    """A manifest-ready description of a hand-built backend instance."""
+    desc: dict[str, Any] = {
+        "backend": "parallel" if isinstance(backend, ParallelExecutor)
+        else "serial",
+        "jobs": backend.jobs,
+        "watchdog": backend.watchdog,
+        "trial_retries": backend.retries,
+    }
+    if isinstance(backend, ParallelExecutor):
+        desc["chunk"] = backend.chunk
+        desc["chunk_target"] = backend.chunk_target
+    return desc
+
+
 def _resolve_backend(
     executor: "TrialExecutor | ExecutorSpec | str | None",
     jobs: int | None,
     caller: str,
-) -> tuple[TrialExecutor, bool]:
+) -> tuple[TrialExecutor, bool, dict[str, Any]]:
     """Normalise the ``executor=``/``jobs=`` arguments of :func:`run_plan`
     and :func:`stream_plan` to a backend instance.
 
-    Returns ``(backend, owned)``: ``owned`` backends were built here from
-    a spec / preset / the default and are closed when the call finishes;
-    caller-supplied :class:`TrialExecutor` instances stay open so their
-    warm pool survives for the next plan.
+    Returns ``(backend, owned, description)``: ``owned`` backends were
+    built here from a spec / preset / the default and are closed when the
+    call finishes; caller-supplied :class:`TrialExecutor` instances stay
+    open so their warm pool survives for the next plan.  ``description``
+    is the executor block of the run manifest — the spec's lossless wire
+    dict when a spec/preset selected the backend, or a best-effort
+    instance description otherwise.
     """
     if executor is not None and jobs is not None:
         raise ConfigurationError("give either 'executor' or 'jobs', not both")
@@ -770,10 +871,12 @@ def _resolve_backend(
             DeprecationWarning,
             stacklevel=3,
         )
-        return _executor_from_jobs(jobs), True
+        backend = _executor_from_jobs(jobs)
+        return backend, True, _describe_backend(backend)
     if isinstance(executor, TrialExecutor):
-        return executor, False
-    return resolve_executor(executor).make(), True
+        return executor, False, _describe_backend(executor)
+    spec = resolve_executor(executor)
+    return spec.make(), True, spec.to_dict()
 
 
 def run_plan(
@@ -781,6 +884,7 @@ def run_plan(
     executor: "TrialExecutor | ExecutorSpec | str | None" = None,
     jobs: int | None = None,
     progress: Optional[ProgressFn] = None,
+    telemetry: "TelemetryRecorder | str | None" = None,
 ) -> ResultStore:
     """Execute ``plan`` and aggregate the results into a
     :class:`ResultStore` — the one-call form of the three-layer pipeline.
@@ -790,11 +894,25 @@ def run_plan(
     already-built :class:`TrialExecutor` (whose warm pool is reused and
     left open), or ``None`` for the serial default.  ``jobs=`` is a
     deprecated shim.
+
+    ``telemetry`` accepts a :class:`~repro.engine.telemetry.TelemetryRecorder`
+    (left open for the caller to close) or a path string (a recorder is
+    opened there and closed when the run finishes).  Telemetry observes
+    the run but never alters it: the result document is byte-identical
+    with telemetry on or off.
     """
-    backend, owned = _resolve_backend(executor, jobs, "run_plan")
+    backend, owned, desc = _resolve_backend(executor, jobs, "run_plan")
+    recorder, tel_owned = resolve_recorder(telemetry)
+    if recorder is not None:
+        recorder.open_run(plan, executor=desc)
+        backend.telemetry = recorder
     try:
         return ResultStore.from_run(plan, backend.run(plan, progress=progress))
     finally:
+        if recorder is not None:
+            backend.telemetry = None
+            if tel_owned:
+                recorder.close()
         if owned:
             backend.close()
 
@@ -806,6 +924,7 @@ def stream_plan(
     jobs: int | None = None,
     progress: Optional[ProgressFn] = None,
     include_timing: bool = False,
+    telemetry: "TelemetryRecorder | str | None" = None,
 ) -> int:
     """Execute ``plan`` straight into a JSONL stream at ``path``.
 
@@ -813,16 +932,24 @@ def stream_plan(
     by :class:`~repro.engine.results.StreamingResultStore` the moment it
     finishes, so peak memory is one window of in-flight chunks rather than
     the whole plan.  ``load_document(path)`` later reassembles the exact
-    canonical document.  ``executor`` accepts the same forms as
-    :func:`run_plan`.  Returns the number of trials written.
+    canonical document.  ``executor`` and ``telemetry`` accept the same
+    forms as :func:`run_plan`.  Returns the number of trials written.
     """
-    backend, owned = _resolve_backend(executor, jobs, "stream_plan")
+    backend, owned, desc = _resolve_backend(executor, jobs, "stream_plan")
+    recorder, tel_owned = resolve_recorder(telemetry)
     meta = plan.meta() if hasattr(plan, "meta") else {}
+    if recorder is not None:
+        recorder.open_run(plan, executor=desc)
+        backend.telemetry = recorder
     try:
         with StreamingResultStore(
             path, plan=meta, include_timing=include_timing
         ) as store:
             return backend.stream(plan.specs, store.append, progress=progress)
     finally:
+        if recorder is not None:
+            backend.telemetry = None
+            if tel_owned:
+                recorder.close()
         if owned:
             backend.close()

@@ -16,7 +16,11 @@
 * :mod:`repro.obs.check` — streaming trace invariant checkers and the
   :class:`~repro.obs.check.CheckingSink` decorator;
 * :mod:`repro.obs.export` — Chrome Trace Format (Perfetto) and ASCII
-  timeline exporters.
+  timeline exporters, including the engine-span merge behind
+  ``repro trace export --engine``;
+* :mod:`repro.obs.spans` — hierarchical wall-clock spans of the harness
+  itself and the ``repro-run-telemetry`` v1 wire format (the substrate of
+  :mod:`repro.engine.telemetry`).
 
 Import the blessed names from :mod:`repro.api`.
 """
@@ -58,8 +62,20 @@ from repro.obs.check import (
 )
 from repro.obs.export import (
     ascii_timeline,
+    merge_engine_trace,
     to_chrome_trace,
     write_chrome_trace,
+    write_engine_trace,
+)
+from repro.obs.spans import (
+    SPAN_KINDS,
+    TELEMETRY_SCHEMA,
+    TELEMETRY_VERSION,
+    Span,
+    SpanTracer,
+    read_telemetry,
+    span_tree,
+    validate_manifest,
 )
 
 __all__ = [
@@ -79,7 +95,12 @@ __all__ = [
     "NullSink",
     "QueryQuiescenceChecker",
     "SINK_NAMES",
+    "SPAN_KINDS",
     "SendLivenessChecker",
+    "Span",
+    "SpanTracer",
+    "TELEMETRY_SCHEMA",
+    "TELEMETRY_VERSION",
     "TRANSPORT_KINDS",
     "TimeMonotonicityChecker",
     "TraceSink",
@@ -88,9 +109,14 @@ __all__ = [
     "check_trace",
     "default_checkers",
     "make_sink",
+    "merge_engine_trace",
     "owners_of",
+    "read_telemetry",
+    "span_tree",
     "strip_timings",
     "threads_of",
     "to_chrome_trace",
+    "validate_manifest",
     "write_chrome_trace",
+    "write_engine_trace",
 ]

@@ -174,6 +174,161 @@ def write_chrome_trace(
     return sum(1 for e in document["traceEvents"] if e.get("ph") != "M")
 
 
+#: Chrome-trace process id for engine telemetry tracks (the simulation's
+#: tracks live on pid 0, see :func:`to_chrome_trace`).
+ENGINE_PID = 1
+
+#: Track id for parent-process engine spans (run / dispatch / warm_pool).
+COORDINATOR_LANE = 0
+
+
+def merge_engine_trace(
+    manifest: Any,
+    spans: Iterable[Any],
+    sim_events: "Iterable[TraceEvent] | None" = None,
+    sim_seed: int | None = None,
+    time_scale: float = 1000.0,
+) -> dict[str, Any]:
+    """Merge engine telemetry spans into a Chrome Trace Format object.
+
+    Engine spans (run → dispatch → chunk → trial, wall-clock epoch
+    seconds) become slices on process ``repro engine`` (pid
+    :data:`ENGINE_PID`), one track per worker pid plus a ``coordinator``
+    track for parent-side spans.  When ``sim_events`` is given (one
+    trial's saved trace), its simulation-time tracks are laid alongside on
+    pid 0, shifted so the trial starts under its engine ``trial`` span —
+    the span whose ``seed`` attr equals ``sim_seed`` when given, else the
+    first trial span — and a flow arrow connects the engine span down to
+    the simulation's first event.
+    """
+    spans = list(spans)
+    if not spans:
+        raise ConfigurationError("telemetry stream holds no spans to export")
+    base = getattr(manifest, "started", None)
+    if base is None:
+        base = min(span.t0 for span in spans)
+
+    def lane_of(span: Any) -> int:
+        worker = span.attrs.get("worker")
+        if worker is not None and span.name in ("chunk", "trial"):
+            return int(worker)
+        return COORDINATOR_LANE
+
+    trace_events: list[dict[str, Any]] = []
+    lanes: set[int] = set()
+    anchor: Any = None
+    for span in spans:
+        lane = lane_of(span)
+        lanes.add(lane)
+        args = {key: encode_value(value) for key, value in span.attrs.items()}
+        args["span_id"] = span.span_id
+        label = span.name
+        if span.name == "trial" and "index" in span.attrs:
+            label = f"trial {span.attrs['index']}"
+        elif span.name == "chunk" and "trials" in span.attrs:
+            label = f"chunk x{span.attrs['trials']}"
+        trace_events.append({
+            "name": label,
+            "cat": f"engine:{span.name}",
+            "ph": "X",
+            "ts": (span.t0 - base) * 1e6,
+            "dur": max(span.duration * 1e6, 1.0),
+            "pid": ENGINE_PID,
+            "tid": lane,
+            "args": args,
+        })
+        if span.name == "trial":
+            if anchor is None or (
+                sim_seed is not None and span.attrs.get("seed") == sim_seed
+                and anchor.attrs.get("seed") != sim_seed
+            ):
+                anchor = span
+
+    metadata: list[dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": ENGINE_PID,
+        "args": {"name": "repro engine"},
+    }]
+    for lane in sorted(lanes):
+        label = "coordinator" if lane == COORDINATOR_LANE else f"worker {lane}"
+        metadata.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": ENGINE_PID,
+            "tid": lane,
+            "args": {"name": label},
+        })
+
+    if sim_events is not None:
+        sim_doc = to_chrome_trace(sim_events, time_scale=time_scale)
+        offset = 0.0
+        if anchor is not None:
+            offset = (anchor.t0 - base) * 1e6
+        first_sim: dict[str, Any] | None = None
+        for event in sim_doc["traceEvents"]:
+            if event.get("ph") == "M":
+                metadata.append(event)
+                continue
+            event = dict(event)
+            event["ts"] = event["ts"] + offset
+            trace_events.append(event)
+            if first_sim is None and event["ph"] == "X":
+                first_sim = event
+        if anchor is not None and first_sim is not None:
+            # Flow arrow: the engine trial span caused this sim trace.
+            flow_id = f"engine-trial-{anchor.attrs.get('index', '?')}"
+            trace_events.append({
+                "name": "trial trace",
+                "cat": "engine-flow",
+                "ph": "s",
+                "id": flow_id,
+                "ts": (anchor.t0 - base) * 1e6,
+                "pid": ENGINE_PID,
+                "tid": lane_of(anchor),
+            })
+            trace_events.append({
+                "name": "trial trace",
+                "cat": "engine-flow",
+                "ph": "f",
+                "bp": "e",
+                "id": flow_id,
+                "ts": first_sim["ts"],
+                "pid": first_sim["pid"],
+                "tid": first_sim["tid"],
+            })
+
+    return {
+        "traceEvents": metadata + trace_events,
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_engine_trace(
+    telemetry_path: str | Path,
+    path: str | Path,
+    sim_events: "Iterable[TraceEvent] | None" = None,
+    sim_seed: int | None = None,
+    time_scale: float = 1000.0,
+) -> int:
+    """Load a telemetry stream, merge (optionally with one trial's sim
+    trace) via :func:`merge_engine_trace`, write the JSON; returns the
+    event count written (metadata records excluded)."""
+    from repro.engine.telemetry import load_telemetry
+
+    manifest, spans, _ = load_telemetry(str(telemetry_path))
+    document = merge_engine_trace(
+        manifest, spans, sim_events=sim_events, sim_seed=sim_seed,
+        time_scale=time_scale,
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=None, separators=(",", ":"))
+        handle.write("\n")
+    return sum(1 for e in document["traceEvents"] if e.get("ph") != "M")
+
+
 def ascii_timeline(
     events: Iterable[TraceEvent],
     width: int = 72,

@@ -1,0 +1,154 @@
+"""Tests for repro.obs.spans: span records, the tracer, the wire format."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.spans import (
+    SPAN_KINDS,
+    TELEMETRY_SCHEMA,
+    TELEMETRY_VERSION,
+    OpenSpan,
+    Span,
+    SpanTracer,
+    read_telemetry,
+    span_id_of,
+    span_tree,
+    validate_manifest,
+)
+from repro.sim.errors import ConfigurationError
+
+MANIFEST = {
+    "type": "manifest",
+    "schema": TELEMETRY_SCHEMA,
+    "version": TELEMETRY_VERSION,
+    "run_id": "r1",
+}
+
+
+def make_tracer() -> tuple[SpanTracer, list[Span]]:
+    sink: list[Span] = []
+    clock_state = {"t": 100.0}
+
+    def clock() -> float:
+        clock_state["t"] += 1.0
+        return clock_state["t"]
+
+    return SpanTracer(sink.append, clock=clock), sink
+
+
+class TestSpan:
+    def test_record_round_trip(self):
+        span = Span("trial", "s3", "s1", 10.0, 12.5, {"index": 4, "ok": True})
+        rebuilt = Span.from_record(span.to_record())
+        assert rebuilt == span
+        assert rebuilt.duration == pytest.approx(2.5)
+
+    def test_empty_attrs_omitted_from_wire(self):
+        record = Span("run", "s1", None, 0.0, 1.0).to_record()
+        assert "attrs" not in record
+        assert Span.from_record(record).attrs == {}
+
+    def test_from_record_rejects_other_types(self):
+        with pytest.raises(ConfigurationError, match="not a span"):
+            Span.from_record({"type": "summary"})
+
+    def test_engine_kinds_are_declared(self):
+        for kind in ("run", "dispatch", "chunk", "trial"):
+            assert kind in SPAN_KINDS
+
+
+class TestSpanTracer:
+    def test_ids_are_sequential_from_s1(self):
+        tracer, sink = make_tracer()
+        root = tracer.begin("run")
+        tracer.finish(root)
+        child = tracer.emit("trial", 0.0, 1.0, parent=root)
+        assert root.span_id == "s1"
+        assert child.span_id == "s2"
+        assert [s.span_id for s in sink] == ["s1", "s2"]
+
+    def test_begin_finish_uses_clock_and_merges_attrs(self):
+        tracer, sink = make_tracer()
+        open_span = tracer.begin("dispatch", trials=10)
+        span = tracer.finish(open_span, chunks=2)
+        assert span.t1 > span.t0
+        assert span.attrs == {"trials": 10, "chunks": 2}
+        assert sink == [span]
+
+    def test_explicit_timestamps_pass_through(self):
+        tracer, sink = make_tracer()
+        span = tracer.emit("chunk", 5.0, 9.0, worker=42)
+        assert (span.t0, span.t1) == (5.0, 9.0)
+        assert span.attrs["worker"] == 42
+
+    def test_context_manager_finishes_on_exit(self):
+        tracer, sink = make_tracer()
+        with tracer.span("run") as open_span:
+            assert isinstance(open_span, OpenSpan)
+            assert sink == []
+        assert [s.name for s in sink] == ["run"]
+
+    def test_parent_forms(self):
+        tracer, _ = make_tracer()
+        root = tracer.begin("run")
+        sealed = tracer.finish(root)
+        assert span_id_of(None) is None
+        assert span_id_of("s9") == "s9"
+        assert span_id_of(root) == root.span_id
+        assert span_id_of(sealed) == sealed.span_id
+
+
+class TestSpanTree:
+    def test_groups_children_by_parent(self):
+        spans = [
+            Span("run", "s1", None, 0.0, 9.0),
+            Span("dispatch", "s2", "s1", 1.0, 8.0),
+            Span("chunk", "s3", "s2", 2.0, 4.0),
+            Span("chunk", "s4", "s2", 4.0, 6.0),
+        ]
+        tree = span_tree(spans)
+        assert [s.name for s in tree[None]] == ["run"]
+        assert [s.span_id for s in tree["s2"]] == ["s3", "s4"]
+
+
+class TestWireFormat:
+    def write(self, path, records, torn: str = ""):
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+            handle.write(torn)
+
+    def test_reads_records_in_order(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        span = Span("run", "s1", None, 0.0, 1.0).to_record()
+        self.write(path, [MANIFEST, span, {"type": "summary"}])
+        kinds = [r["type"] for r in read_telemetry(path)]
+        assert kinds == ["manifest", "span", "summary"]
+
+    def test_torn_trailing_line_is_ignored(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        self.write(path, [MANIFEST], torn='{"type": "span", "na')
+        assert [r["type"] for r in read_telemetry(path)] == ["manifest"]
+
+    def test_non_telemetry_file_rejected(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        self.write(path, [{"type": "span", "name": "run"}])
+        with pytest.raises(ConfigurationError, match="manifest"):
+            list(read_telemetry(path))
+
+    def test_bad_first_line_rejected(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json\n")
+        with pytest.raises(ConfigurationError, match="bad first line"):
+            list(read_telemetry(path))
+
+    def test_validate_manifest_checks_schema_and_version(self):
+        validate_manifest(MANIFEST)
+        with pytest.raises(ConfigurationError, match="schema"):
+            validate_manifest(dict(MANIFEST, schema="other"))
+        with pytest.raises(ConfigurationError, match="version"):
+            validate_manifest(dict(MANIFEST, version=99))
