@@ -25,10 +25,12 @@ from __future__ import annotations
 
 import json
 import math
+import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
+from repro.analysis.stats import bootstrap_mean_ci, paired_differences
 from repro.analysis.tables import render_table
 from repro.engine.results import SCHEMA_NAME, load_document, validate_document
 from repro.sim.errors import ConfigurationError
@@ -89,7 +91,14 @@ def _bench_rule(name: str) -> tuple[float, bool] | None:
 
 @dataclass(frozen=True)
 class MetricDiff:
-    """One baseline-vs-candidate comparison of a single metric."""
+    """One baseline-vs-candidate comparison of a single metric.
+
+    When the comparison ran with ``bootstrap`` resamples, ``ci_low`` /
+    ``ci_high`` bound the mean per-seed *worsening* (positive = candidate
+    worse, same sign convention as ``rel_change``) and the regression
+    verdict additionally requires the interval to exclude zero — point
+    noise within the seed pairing can no longer flip the gate.
+    """
 
     label: str
     metric: str
@@ -98,13 +107,28 @@ class MetricDiff:
     rel_change: float  # positive = worse, in units of |baseline|
     threshold: float
     regressed: bool
+    ci_low: float | None = None
+    ci_high: float | None = None
+    ci_confidence: float | None = None
+    n_pairs: int | None = None
+
+    @property
+    def significant(self) -> bool:
+        """The worsening CI excludes zero (only when bootstrapped)."""
+        return self.ci_low is not None and self.ci_low > 0.0
 
     def __str__(self) -> str:
         flag = "REGRESSED" if self.regressed else "ok"
+        ci = ""
+        if self.ci_low is not None and self.ci_high is not None:
+            ci = (
+                f" delta CI [{self.ci_low:+g}, {self.ci_high:+g}]"
+                f"@{self.ci_confidence:.0%}"
+            )
         return (
             f"{self.label} {self.metric}: {self.baseline:g} -> "
             f"{self.candidate:g} ({self.rel_change:+.2%} vs "
-            f"threshold {self.threshold:.2%}) {flag}"
+            f"threshold {self.threshold:.2%}){ci} {flag}"
         )
 
 
@@ -126,21 +150,47 @@ class BenchDiff:
         (new candidate-only points are fine — grids may grow)."""
         return not self.regressions and not self.missing
 
+    @property
+    def exit_code(self) -> int:
+        """The gate's process exit code under ``--fail-on-regression``.
+
+        ``0`` clean, ``1`` regression, ``2`` comparison-shape problems —
+        a baseline point or gated metric missing (schema drift), which
+        dominates because a drifted comparison proves nothing about
+        performance either way.
+        """
+        if self.missing:
+            return 2
+        if self.regressions:
+            return 1
+        return 0
+
     def render(self, only_regressions: bool = False) -> str:
         """A human-readable comparison table."""
         rows = []
         shown = self.regressions if only_regressions else self.entries
+        with_ci = any(entry.ci_low is not None for entry in shown)
         for entry in shown:
-            rows.append([
+            row = [
                 entry.label,
                 entry.metric,
                 f"{entry.baseline:g}",
                 f"{entry.candidate:g}",
                 f"{entry.rel_change:+.2%}",
-                "REGRESSED" if entry.regressed else "ok",
-            ])
+            ]
+            if with_ci:
+                row.append(
+                    f"[{entry.ci_low:+g}, {entry.ci_high:+g}]"
+                    if entry.ci_low is not None else "-"
+                )
+            row.append("REGRESSED" if entry.regressed else "ok")
+            rows.append(row)
+        header = ["point", "metric", "baseline", "candidate", "change"]
+        if with_ci:
+            header.append("delta CI")
+        header.append("verdict")
         table = render_table(
-            ["point", "metric", "baseline", "candidate", "change", "verdict"],
+            header,
             rows,
             title=(f"bench diff: {len(self.entries)} comparisons, "
                    f"{len(self.regressions)} regression(s)"),
@@ -192,6 +242,59 @@ def _compare(
     )
 
 
+#: Per-trial value of each summary metric, for seed-paired bootstraps.
+#: Mirrors :func:`repro.engine.results.summarize_point` (``ok`` and
+#: ``fully_complete`` are per-trial indicator variables whose means are
+#: the summary fractions).
+_TRIAL_EXTRACTORS: dict[str, Callable[[Mapping[str, Any]], float]] = {
+    "ok": lambda t: 1.0 if t.get("ok") else 0.0,
+    "completeness": lambda t: float(t.get("completeness", 0.0)),
+    "fully_complete": lambda t: 1.0 if t.get("completeness") == 1.0 else 0.0,
+    "error": lambda t: float(t.get("error", 0.0)),
+    "latency": lambda t: float(t.get("latency", 0.0)),
+    "messages": lambda t: float(t.get("messages", 0)),
+    "events_executed": lambda t: float(t.get("events_executed", 0)),
+}
+
+
+def _ci_seed(label: str, metric: str) -> int:
+    """Deterministic bootstrap seed per (point, metric) comparison."""
+    return zlib.crc32(f"{label}|{metric}".encode("utf-8"))
+
+
+def _paired_worsening(
+    base_trials: list[Mapping[str, Any]],
+    cand_trials: list[Mapping[str, Any]],
+    metric: str,
+    higher_is_better: bool,
+    label: str,
+) -> list[float]:
+    """Per-seed worsening deltas (positive = candidate worse).
+
+    Both arms of an engine comparison run the same plan, so trial ``t``
+    of a point carries the same seed in both documents; the pairing keys
+    on ``(trial, seed)`` and refuses mismatched arms — a comparison whose
+    seed fan-outs differ is not the paired experiment the CI describes.
+    """
+    extract = _TRIAL_EXTRACTORS[metric]
+
+    def keyed(trials: list[Mapping[str, Any]]) -> dict[tuple, float]:
+        return {
+            (int(t.get("trial", i)), int(t.get("seed", 0))): extract(t)
+            for i, t in enumerate(trials)
+        }
+
+    try:
+        deltas = paired_differences(keyed(base_trials), keyed(cand_trials))
+    except ValueError as error:
+        raise ConfigurationError(
+            f"{label} {metric}: arms are not seed-paired — {error}"
+        ) from None
+    if higher_is_better:
+        return [-d for d in deltas]
+    return deltas
+
+
 def _point_label(point: Mapping[str, Any]) -> str:
     if not point:
         return "(base)"
@@ -217,6 +320,8 @@ def diff_documents(
     baseline: Mapping[str, Any],
     candidate: Mapping[str, Any],
     thresholds: Mapping[str, float] | None = None,
+    bootstrap: int = 0,
+    confidence: float = 0.95,
 ) -> BenchDiff:
     """Compare two schema-versioned result documents point by point.
 
@@ -224,42 +329,83 @@ def diff_documents(
     (direction stays as in :data:`DOCUMENT_THRESHOLDS`).  Baseline points
     absent from the candidate count against :attr:`BenchDiff.ok`;
     candidate-only points are reported but tolerated.
+
+    With ``bootstrap`` > 0, every comparison also pairs the two arms'
+    trials by seed, bootstraps the mean per-seed worsening with that many
+    resamples (deterministically — the bootstrap seed is derived from the
+    point label and metric name), and attaches the ``confidence`` interval
+    to the entry.  The regression verdict then requires both the relative
+    threshold *and* the interval to exclude zero, so a single noisy seed
+    cannot fail the gate on its own.
     """
     validate_document(baseline)
     validate_document(candidate)
     merged = _merge_thresholds(DOCUMENT_THRESHOLDS, thresholds)
+    if bootstrap < 0:
+        raise ConfigurationError(
+            f"bootstrap resamples must be >= 0, got {bootstrap}"
+        )
 
-    def summaries(doc: Mapping[str, Any]) -> dict[tuple, tuple[str, Mapping[str, Any]]]:
-        out: dict[tuple, tuple[str, Mapping[str, Any]]] = {}
+    def summaries(
+        doc: Mapping[str, Any],
+    ) -> dict[tuple, tuple[str, Mapping[str, Any], list[Mapping[str, Any]]]]:
+        out: dict[tuple, tuple[str, Mapping[str, Any], list[Mapping[str, Any]]]] = {}
         for entry in doc["points"]:
             point = entry["point"]
             key = tuple(sorted((str(k), repr(v)) for k, v in point.items()))
-            out[key] = (_point_label(point), entry.get("summary", {}))
+            out[key] = (
+                _point_label(point),
+                entry.get("summary", {}),
+                entry.get("trials", []),
+            )
         return out
 
     base_points = summaries(baseline)
     cand_points = summaries(candidate)
     diff = BenchDiff()
     diff.missing = [
-        label for key, (label, _) in base_points.items()
+        label for key, (label, _, _) in base_points.items()
         if key not in cand_points
     ]
     diff.extra = [
-        label for key, (label, _) in cand_points.items()
+        label for key, (label, _, _) in cand_points.items()
         if key not in base_points
     ]
-    for key, (label, base_summary) in base_points.items():
+    for key, (label, base_summary, base_trials) in base_points.items():
         if key not in cand_points:
             continue
-        _, cand_summary = cand_points[key]
+        _, cand_summary, cand_trials = cand_points[key]
         for metric, (threshold, higher) in merged.items():
             if metric not in base_summary or metric not in cand_summary:
                 continue
-            diff.entries.append(_compare(
+            entry = _compare(
                 label, metric,
                 float(base_summary[metric]), float(cand_summary[metric]),
                 threshold, higher,
-            ))
+            )
+            if bootstrap and metric in _TRIAL_EXTRACTORS \
+                    and base_trials and cand_trials:
+                deltas = _paired_worsening(
+                    base_trials, cand_trials, metric, higher, label,
+                )
+                ci = bootstrap_mean_ci(
+                    deltas, confidence=confidence, resamples=bootstrap,
+                    seed=_ci_seed(label, metric),
+                )
+                entry = MetricDiff(
+                    label=entry.label,
+                    metric=entry.metric,
+                    baseline=entry.baseline,
+                    candidate=entry.candidate,
+                    rel_change=entry.rel_change,
+                    threshold=entry.threshold,
+                    regressed=entry.regressed and ci.low > 0.0,
+                    ci_low=ci.low,
+                    ci_high=ci.high,
+                    ci_confidence=confidence,
+                    n_pairs=ci.n,
+                )
+            diff.entries.append(entry)
     return diff
 
 
@@ -301,7 +447,17 @@ def diff_bench_payloads(
             rule = (overrides[metric], rule[1] if rule else False)
         if rule is None:
             continue
-        if metric not in baseline or metric not in candidate:
+        if metric not in baseline:
+            # A gated metric the candidate emits but the committed
+            # baseline lacks is schema drift, not a perf verdict: the
+            # gate cannot have been protecting it.  Surface it as
+            # missing (exit code 2) instead of silently skipping.
+            diff.missing.append(f"baseline:{metric}")
+            continue
+        if metric not in candidate:
+            # Baseline-only gated metrics stay tolerated: smoke payloads
+            # legitimately emit a subset of the committed curve (e.g. the
+            # scale gate's per-size families).
             continue
         threshold, higher = rule
         diff.entries.append(_compare(
@@ -360,8 +516,14 @@ def diff_files(
     baseline_path: str | Path,
     candidate_path: str | Path,
     thresholds: Mapping[str, float] | None = None,
+    bootstrap: int = 0,
+    confidence: float = 0.95,
 ) -> BenchDiff:
-    """Load two files (result documents or BENCH payloads) and diff them."""
+    """Load two files (result documents or BENCH payloads) and diff them.
+
+    ``bootstrap``/``confidence`` apply to result documents only (BENCH
+    payloads are flat scalars with no per-trial samples to pair).
+    """
     baseline = load_comparable(baseline_path)
     candidate = load_comparable(candidate_path)
     base_is_doc = baseline.get("schema") == SCHEMA_NAME
@@ -372,5 +534,8 @@ def diff_files(
             "pass two files of the same shape"
         )
     if base_is_doc:
-        return diff_documents(baseline, candidate, thresholds)
+        return diff_documents(
+            baseline, candidate, thresholds,
+            bootstrap=bootstrap, confidence=confidence,
+        )
     return diff_bench_payloads(baseline, candidate, thresholds)

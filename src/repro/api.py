@@ -46,7 +46,17 @@ The surface groups into:
   telemetry on or off.
 * **Regression gating** — :func:`diff_files` / :func:`diff_documents`
   compare two result documents (or BENCH payloads) with per-metric
-  relative thresholds; ``repro bench diff`` is the CLI face.
+  relative thresholds; ``repro bench diff`` is the CLI face.  With
+  ``bootstrap=N`` the arms' trials are paired by seed and every verdict
+  carries a deterministic bootstrap confidence interval
+  (:func:`bootstrap_mean_ci`, :func:`paired_seed_compare`).
+* **Declarative experiments** — the ``repro-experiment`` v1 YAML format
+  (:class:`ExperimentDef`, :func:`load_experiment` /
+  :func:`dump_experiment`) lowers to the engine plan byte-identically to
+  the equivalent ``build_plan`` call; :func:`run_experiment` executes it
+  (with ``expect`` verdict checks) and :func:`refine_experiment` bisects
+  solvability boundaries named by the ``refine:`` block;
+  ``repro experiment run|show|validate`` is the CLI face.
 * **Faults** — the deterministic fault-injection plane
   (:class:`FaultPlan` / :class:`FaultSpec`, the builtin
   :data:`FAULT_PRESETS`, and :class:`FaultInjector` for driving a raw
@@ -175,7 +185,34 @@ from repro.analysis.diff import (
     diff_documents,
     diff_files,
 )
+from repro.analysis.stats import (
+    BOOTSTRAP_METHODS,
+    BootstrapCI,
+    PairedComparison,
+    bootstrap_mean_ci,
+    paired_differences,
+    paired_seed_compare,
+)
 from repro.version import package_version
+
+# --- Declarative experiments: YAML in, canonical plans out ---------------
+from repro.experiments import (
+    EXPERIMENT_SCHEMA,
+    EXPERIMENT_VERSION,
+    ExpectSpec,
+    ExperimentDef,
+    ExperimentRun,
+    RefineSpec,
+    VerdictCheck,
+    dump_experiment,
+    experiment_digest,
+    experiment_plan_digest,
+    load_experiment,
+    loads_experiment,
+    refine_experiment,
+    run_experiment,
+    save_experiment,
+)
 
 # --- Faults: the deterministic fault-injection plane ---------------------
 from repro.faults import (
@@ -375,13 +412,35 @@ __all__ = [
     "write_engine_trace",
     # regression gating & provenance
     "BENCH_THRESHOLDS",
+    "BOOTSTRAP_METHODS",
     "BenchDiff",
+    "BootstrapCI",
     "DOCUMENT_THRESHOLDS",
     "MetricDiff",
+    "PairedComparison",
     "SchemaVersionError",
+    "bootstrap_mean_ci",
     "diff_documents",
     "diff_files",
     "package_version",
+    "paired_differences",
+    "paired_seed_compare",
+    # declarative experiments
+    "EXPERIMENT_SCHEMA",
+    "EXPERIMENT_VERSION",
+    "ExpectSpec",
+    "ExperimentDef",
+    "ExperimentRun",
+    "RefineSpec",
+    "VerdictCheck",
+    "dump_experiment",
+    "experiment_digest",
+    "experiment_plan_digest",
+    "load_experiment",
+    "loads_experiment",
+    "refine_experiment",
+    "run_experiment",
+    "save_experiment",
     # faults
     "FAULT_KINDS",
     "FAULT_PRESETS",

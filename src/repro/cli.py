@@ -755,10 +755,62 @@ def _build_parser() -> argparse.ArgumentParser:
                       metavar="NAME=REL",
                       help="override a metric's relative threshold, e.g. "
                       "--metric latency=0.10 (repeatable)")
+    diff.add_argument("--bootstrap", type=int, default=0, metavar="N",
+                      help="pair the arms' trials by seed and bootstrap a "
+                      "confidence interval for each metric's mean worsening "
+                      "with N resamples (result documents only); regression "
+                      "then additionally requires the CI to exclude zero")
+    diff.add_argument("--ci", type=float, default=0.95, metavar="LEVEL",
+                      help="confidence level for --bootstrap intervals "
+                      "(default 0.95)")
     diff.add_argument("--fail-on-regression", dest="fail_on_regression",
                       action="store_true",
-                      help="exit non-zero if any metric regressed beyond "
-                      "its threshold")
+                      help="exit non-zero on failure: 1 for a regression, "
+                      "2 for a missing baseline point or gated metric "
+                      "(schema drift)")
+
+    experiment_cmd = sub.add_parser(
+        "experiment",
+        help="declarative YAML experiments (repro-experiment v1)",
+    )
+    exp_sub = experiment_cmd.add_subparsers(dest="experiment_command",
+                                            required=True)
+
+    exp_run = exp_sub.add_parser(
+        "run", help="run a YAML experiment through the engine"
+    )
+    exp_run.add_argument("path", help="experiment YAML file")
+    exp_run.add_argument("--executor", default=None, metavar="SPEC",
+                         help="override the experiment's executor block: a "
+                         "preset name (repro executor) or an executor-spec "
+                         "JSON file")
+    exp_run.add_argument("--jobs", type=int, default=None,
+                         help="fan trials out over N workers (ignored when "
+                         "--executor or the YAML pins a policy)")
+    exp_run.add_argument("--output", default=None, metavar="FILE",
+                         help="write the result document (.json) or stream "
+                         "trials to append-only JSONL (.jsonl)")
+    exp_run.add_argument("--telemetry", default=None, metavar="FILE",
+                         help="record the repro-run-telemetry stream")
+    exp_run.add_argument("--progress", action="store_true",
+                         help="live done/total progress with ETA")
+    exp_run.add_argument("--no-refine", dest="refine", action="store_false",
+                         default=True,
+                         help="skip the experiment's refine: block")
+    exp_run.add_argument("--boundary-output", default=None, metavar="FILE",
+                         help="write the repro-solvability-boundary "
+                         "document produced by the refine: block")
+
+    exp_show = exp_sub.add_parser(
+        "show", help="print an experiment's canonical YAML and digests"
+    )
+    exp_show.add_argument("path", help="experiment YAML file")
+
+    exp_validate = exp_sub.add_parser(
+        "validate", help="validate experiment YAML files"
+    )
+    exp_validate.add_argument("paths", nargs="+",
+                              help="experiment YAML files")
 
     return parser
 
@@ -1215,6 +1267,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.analysis.diff import diff_files
+    from repro.sim.errors import ConfigurationError
 
     thresholds: dict[str, float] = {}
     for spec in args.metric:
@@ -1227,14 +1280,148 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             thresholds[name] = float(value)
         except ValueError:
             raise SystemExit(f"--metric {spec!r}: {value!r} is not a number")
-    diff = diff_files(args.baseline, args.candidate, thresholds or None)
+    try:
+        diff = diff_files(
+            args.baseline, args.candidate, thresholds or None,
+            bootstrap=args.bootstrap, confidence=args.ci,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
     print(diff.render())
     if diff.ok:
         print("no regressions")
         return 0
     print(f"{len(diff.regressions)} regression(s), "
-          f"{len(diff.missing)} missing point(s)")
-    return 1 if args.fail_on_regression else 0
+          f"{len(diff.missing)} missing point(s)/metric(s)")
+    # 1 = regression, 2 = comparison-shape drift (missing dominates: a
+    # drifted comparison proves nothing about performance either way).
+    return diff.exit_code if args.fail_on_regression else 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        dump_experiment,
+        experiment_digest,
+        experiment_plan_digest,
+        load_experiment,
+        refine_experiment,
+        run_experiment,
+    )
+    from repro.sim.errors import ConfigurationError
+
+    if args.experiment_command == "validate":
+        failures = 0
+        for path in args.paths:
+            try:
+                exp = load_experiment(path)
+            except ConfigurationError as error:
+                print(f"FAIL {path}: {error}")
+                failures += 1
+                continue
+            plan = exp.to_plan()
+            print(f"ok   {path}: {exp.name} ({exp.kind}), "
+                  f"{len(exp.points())} point(s) x {exp.trials} trial(s) = "
+                  f"{len(plan.specs)} spec(s), "
+                  f"digest {experiment_digest(exp)}, "
+                  f"plan {experiment_plan_digest(exp)}")
+        return 1 if failures else 0
+
+    try:
+        exp = load_experiment(args.path)
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
+
+    if args.experiment_command == "show":
+        print(dump_experiment(exp), end="")
+        print(f"# experiment digest: {experiment_digest(exp)}")
+        print(f"# plan digest:       {experiment_plan_digest(exp)}")
+        print(f"# trial specs:       {len(exp.to_plan().specs)}")
+        return 0
+
+    # run
+    executor: Any = None
+    if args.executor:
+        if args.executor.endswith(".json") or os.path.sep in args.executor:
+            try:
+                with open(args.executor, "r", encoding="utf-8") as handle:
+                    executor = ExecutorSpec.from_json(handle.read())
+            except OSError as error:
+                raise SystemExit(
+                    f"--executor: cannot read {args.executor!r}: {error}")
+            except (ValueError, ConfigurationError) as error:
+                raise SystemExit(f"--executor: {args.executor!r}: {error}")
+        else:
+            try:
+                executor = executor_preset(args.executor)
+            except ConfigurationError as error:
+                raise SystemExit(f"--executor: {error}")
+    progress = (
+        _ProgressPrinter(jobs=args.jobs or 1) if args.progress else None
+    )
+    stream_path = (
+        args.output if args.output and args.output.endswith(".jsonl")
+        else None
+    )
+    try:
+        run = run_experiment(
+            exp, executor=executor, jobs=args.jobs, progress=progress,
+            telemetry=args.telemetry, stream_path=stream_path,
+        )
+    except ConfigurationError as error:
+        raise SystemExit(str(error))
+    if run.store is not None:
+        print(render_result_document(
+            run.store.document(),
+            title=(f"experiment {exp.name} ({exp.kind}): "
+                   f"{len(exp.points())} point(s) x {exp.trials} trial(s), "
+                   f"plan {run.plan_digest}"),
+        ))
+        if args.output:
+            run.store.write(args.output)
+            print(f"result document written to {args.output}")
+    else:
+        print(f"{run.streamed} trial(s) streamed to {run.stream_path} "
+              f"(plan {run.plan_digest})")
+    for check in run.verdicts:
+        print(check)
+    if exp.refine is not None and args.refine:
+        import json as _json
+
+        try:
+            boundary = refine_experiment(
+                exp, executor=executor, jobs=args.jobs, base_run=run,
+            )
+        except ConfigurationError as error:
+            raise SystemExit(str(error))
+        total = sum(
+            len(ctx["brackets"]) for ctx in boundary["contexts"]
+        )
+        converged = sum(
+            1 for ctx in boundary["contexts"]
+            for bracket in ctx["brackets"] if bracket["converged"]
+        )
+        print(f"refine: {total} boundary bracket(s), {converged} converged, "
+              f"{boundary['refined_trials']} refined trial(s) on top of "
+              f"{boundary['base_trials']}")
+        for ctx in boundary["contexts"]:
+            label = ", ".join(
+                f"{k}={v}" for k, v in sorted(ctx["context"].items())
+            ) or "(all)"
+            for bracket in ctx["brackets"]:
+                print(f"  {label}: {boundary['axis']} flips "
+                      f"{boundary['metric']} {boundary['op']} "
+                      f"{boundary['threshold']:g} in "
+                      f"[{bracket['low']:g}, {bracket['high']:g}]"
+                      + (" (converged)" if bracket["converged"] else ""))
+        if args.boundary_output:
+            with open(args.boundary_output, "w", encoding="utf-8") as handle:
+                _json.dump(boundary, handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            print(f"boundary document written to {args.boundary_output}")
+    if not run.passed:
+        print(f"{len(run.failures)} expectation(s) failed")
+        return 1
+    return 0
 
 
 _COMMANDS = {
@@ -1253,6 +1440,7 @@ _COMMANDS = {
     "runs": _cmd_runs,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
+    "experiment": _cmd_experiment,
 }
 
 

@@ -1,0 +1,71 @@
+"""Declarative experiments: YAML in, canonical engine plans out.
+
+The ``repro-experiment`` v1 format makes an experiment *data* — grid
+axes, trial kind, seed fan-out, fault/resilience/churn specs, execution
+policy, expected verdicts and an optional adaptive ``refine:`` block —
+and guarantees that the lowered engine plan (and therefore the result
+document) is byte-identical to the equivalent Python ``build_plan`` call.
+
+Typical use::
+
+    from repro.experiments import load_experiment, run_experiment
+
+    exp = load_experiment("examples/experiments/e4_churn_sweep.yaml")
+    run = run_experiment(exp, executor="parallel")
+    assert run.passed, run.failures
+
+or from the command line::
+
+    repro experiment validate examples/experiments/*.yaml
+    repro experiment run examples/experiments/e4_churn_sweep.yaml
+"""
+
+from repro.experiments.loader import (
+    dump_experiment,
+    experiment_digest,
+    experiment_plan_digest,
+    load_experiment,
+    loads_experiment,
+    save_experiment,
+)
+from repro.experiments.runner import (
+    ExperimentRun,
+    VerdictCheck,
+    check_expectations,
+    refine_experiment,
+    run_experiment,
+)
+from repro.experiments.schema import (
+    BOUNDARY_SCHEMA,
+    BOUNDARY_VERSION,
+    EXPERIMENT_KINDS,
+    EXPERIMENT_SCHEMA,
+    EXPERIMENT_VERSION,
+    ExpectSpec,
+    ExperimentDef,
+    RefineSpec,
+    evaluate_verdict,
+)
+
+__all__ = [
+    "BOUNDARY_SCHEMA",
+    "BOUNDARY_VERSION",
+    "EXPERIMENT_KINDS",
+    "EXPERIMENT_SCHEMA",
+    "EXPERIMENT_VERSION",
+    "ExpectSpec",
+    "ExperimentDef",
+    "ExperimentRun",
+    "RefineSpec",
+    "VerdictCheck",
+    "check_expectations",
+    "dump_experiment",
+    "evaluate_verdict",
+    "experiment_digest",
+    "experiment_plan_digest",
+    "load_experiment",
+    "loads_experiment",
+    "refine_experiment",
+    "run_experiment",
+    "save_experiment",
+]

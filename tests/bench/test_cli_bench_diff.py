@@ -1,0 +1,196 @@
+"""`repro bench diff` exit paths and bootstrap confidence intervals.
+
+The gate distinguishes three outcomes under ``--fail-on-regression``:
+
+* ``0`` — clean comparison;
+* ``1`` — a genuine performance regression beyond threshold;
+* ``2`` — comparison-shape drift: a baseline point missing from the
+  candidate, or a gated metric the baseline never carried.  Drift
+  dominates a simultaneous regression, because a drifted comparison
+  proves nothing about performance either way.
+
+Without the flag the command always exits 0 (reporting-only mode), which
+existing callers rely on.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def documents(tmp_path):
+    """A baseline document plus helpers to derive drifted candidates."""
+    baseline = tmp_path / "baseline.json"
+    assert main([
+        "query", "--n", "8", "--horizon", "80", "--seed", "3",
+        "--trials", "2", "--output", str(baseline),
+    ]) == 0
+
+    def derive(name, mutate):
+        doc = json.loads(baseline.read_text(encoding="utf-8"))
+        mutate(doc)
+        path = tmp_path / name
+        path.write_text(json.dumps(doc), encoding="utf-8")
+        return path
+
+    return baseline, derive
+
+
+def _regress_latency(doc):
+    for point in doc["points"]:
+        point["summary"]["latency"] += 5.0
+        for trial in point["trials"]:
+            trial["latency"] += 5.0
+
+
+def _drop_all_points(doc):
+    doc["points"] = []
+
+
+class TestExitPaths:
+    def test_clean_comparison_exits_zero(self, documents, capsys):
+        baseline, _ = documents
+        assert main(["bench", "diff", str(baseline), str(baseline),
+                     "--fail-on-regression"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, documents):
+        baseline, derive = documents
+        candidate = derive("regressed.json", _regress_latency)
+        assert main(["bench", "diff", str(baseline), str(candidate),
+                     "--fail-on-regression"]) == 1
+
+    def test_missing_point_exits_two(self, documents):
+        baseline, derive = documents
+        candidate = derive("empty.json", _drop_all_points)
+        assert main(["bench", "diff", str(baseline), str(candidate),
+                     "--fail-on-regression"]) == 2
+
+    def test_missing_dominates_regression(self, documents, tmp_path):
+        # Candidate with one point dropped AND the rest regressed: the
+        # comparison is drifted first, regressed second.
+        baseline = tmp_path / "two-point.json"
+        assert main([
+            "sweep", "--rates", "0,2.0", "--n", "8", "--trials", "1",
+            "--output", str(baseline),
+        ]) == 0
+        doc = json.loads(baseline.read_text(encoding="utf-8"))
+        doc["points"] = doc["points"][:1]
+        _regress_latency(doc)
+        candidate = tmp_path / "drifted-and-slow.json"
+        candidate.write_text(json.dumps(doc), encoding="utf-8")
+        assert main(["bench", "diff", str(baseline), str(candidate),
+                     "--fail-on-regression"]) == 2
+
+    def test_without_flag_always_exits_zero(self, documents):
+        baseline, derive = documents
+        regressed = derive("r.json", _regress_latency)
+        empty = derive("e.json", _drop_all_points)
+        assert main(["bench", "diff", str(baseline), str(regressed)]) == 0
+        assert main(["bench", "diff", str(baseline), str(empty)]) == 0
+
+
+class TestBenchPayloadMetricDrift:
+    """The BENCH-payload shape of exit 2: gated metrics the baseline
+    never carried (the 'metric missing from baseline' case that used to
+    be silently skipped)."""
+
+    def write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_candidate_only_gated_metric_exits_two(self, tmp_path, capsys):
+        baseline = self.write(tmp_path, "base.json", {
+            "benchmark": "engine", "serial_wall_s": 1.0,
+        })
+        candidate = self.write(tmp_path, "cand.json", {
+            "benchmark": "engine", "serial_wall_s": 1.0,
+            "trials_per_sec_parallel": 10.0,
+        })
+        assert main(["bench", "diff", str(baseline), str(candidate),
+                     "--fail-on-regression"]) == 2
+        assert "baseline:trials_per_sec_parallel" in capsys.readouterr().out
+
+    def test_baseline_only_gated_metric_is_tolerated(self, tmp_path):
+        # The committed scale curve carries per-size families a smoke
+        # candidate legitimately lacks; those must never fail the gate.
+        baseline = self.write(tmp_path, "base.json", {
+            "benchmark": "scale", "events_per_sec_n32": 100.0,
+            "events_per_sec_n100000": 500.0,
+        })
+        candidate = self.write(tmp_path, "cand.json", {
+            "benchmark": "scale", "events_per_sec_n32": 100.0,
+        })
+        assert main(["bench", "diff", str(baseline), str(candidate),
+                     "--fail-on-regression"]) == 0
+
+    def test_ungated_candidate_only_fields_stay_ignored(self, tmp_path):
+        baseline = self.write(tmp_path, "base.json", {
+            "benchmark": "engine", "serial_wall_s": 1.0,
+        })
+        candidate = self.write(tmp_path, "cand.json", {
+            "benchmark": "engine", "serial_wall_s": 1.0,
+            "n": 32, "trials": 8, "some_new_note": 3,
+        })
+        assert main(["bench", "diff", str(baseline), str(candidate),
+                     "--fail-on-regression"]) == 0
+
+
+class TestBootstrapFlags:
+    def test_bootstrap_prints_ci_column(self, documents, capsys):
+        baseline, _ = documents
+        assert main(["bench", "diff", str(baseline), str(baseline),
+                     "--bootstrap", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "delta CI" in out
+        # Identical arms: every per-seed delta is zero, so the interval
+        # collapses exactly.
+        assert "[+0, +0]" in out
+
+    def test_bootstrapped_regression_still_exits_one(self, documents):
+        baseline, derive = documents
+        candidate = derive("regressed.json", _regress_latency)
+        assert main(["bench", "diff", str(baseline), str(candidate),
+                     "--bootstrap", "200", "--fail-on-regression"]) == 1
+
+    def test_summary_only_drift_is_not_significant_under_bootstrap(
+        self, documents
+    ):
+        # Perturbing only the summary (not the per-trial records) is how
+        # aggregation bugs look; the seed-paired CI is [0, 0] so the
+        # CI-gated verdict clears it while the point verdict would not.
+        baseline, derive = documents
+
+        def summary_only(doc):
+            for point in doc["points"]:
+                point["summary"]["latency"] += 5.0
+
+        candidate = derive("summary-only.json", summary_only)
+        assert main(["bench", "diff", str(baseline), str(candidate),
+                     "--fail-on-regression"]) == 1
+        assert main(["bench", "diff", str(baseline), str(candidate),
+                     "--bootstrap", "200", "--fail-on-regression"]) == 0
+
+    def test_mismatched_seeds_are_a_loud_error(self, documents):
+        baseline, derive = documents
+
+        def reseed(doc):
+            for point in doc["points"]:
+                for trial in point["trials"]:
+                    trial["seed"] += 1
+
+        candidate = derive("reseeded.json", reseed)
+        with pytest.raises(SystemExit, match="seed-paired"):
+            main(["bench", "diff", str(baseline), str(candidate),
+                  "--bootstrap", "200"])
+
+    def test_ci_level_flag_is_accepted(self, documents):
+        baseline, _ = documents
+        assert main(["bench", "diff", str(baseline), str(baseline),
+                     "--bootstrap", "100", "--ci", "0.9"]) == 0

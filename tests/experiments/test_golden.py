@@ -1,0 +1,93 @@
+"""Golden-file pins for the shipped experiments.
+
+Each shipped YAML under ``examples/experiments/`` has two committed
+anchors:
+
+* its **canonical form** (``tests/experiments/golden/*.canonical.yaml``)
+  — what ``dump_experiment`` emits after a lossless load, byte for byte;
+* its **digests** — the canonical-text digest and the engine
+  ``plan_digest`` of the lowered trial specs.
+
+Any schema change, canonicalisation change, or edit to a shipped
+experiment that alters what actually runs fails here loudly, instead of
+silently re-baselining downstream result comparisons.  When a change is
+*intentional*, regenerate the golden files::
+
+    PYTHONPATH=src python -c "
+    from pathlib import Path
+    from repro.experiments import load_experiment, dump_experiment
+    for stem in ('e4_churn_sweep', 'e22_recovery_audit', 'refine_demo'):
+        exp = load_experiment(f'examples/experiments/{stem}.yaml')
+        Path(f'tests/experiments/golden/{stem}.canonical.yaml').write_text(
+            dump_experiment(exp), encoding='utf-8')
+    "
+
+and update the digest table below to the values the failure message
+prints.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    dump_experiment,
+    experiment_digest,
+    experiment_plan_digest,
+    load_experiment,
+    loads_experiment,
+)
+
+ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = ROOT / "examples" / "experiments"
+GOLDEN = Path(__file__).resolve().parent / "golden"
+
+#: stem -> (canonical-text digest, engine plan digest)
+EXPECTED_DIGESTS = {
+    "e4_churn_sweep": ("52395a6e18e52d40", "1efedb196e0c7594"),
+    "e22_recovery_audit": ("58b43f602e953a2e", "ff21d8ce78aa7e3e"),
+    "refine_demo": ("5cb1fb444c1858e8", "2cfd918e3cbea970"),
+}
+
+STEMS = sorted(EXPECTED_DIGESTS)
+
+
+@pytest.mark.parametrize("stem", STEMS)
+def test_canonical_form_matches_committed_golden(stem):
+    exp = load_experiment(EXAMPLES / f"{stem}.yaml")
+    golden = (GOLDEN / f"{stem}.canonical.yaml").read_text(encoding="utf-8")
+    assert dump_experiment(exp) == golden, (
+        f"{stem}: canonical YAML drifted from the committed golden file "
+        "(see module docstring to regenerate intentionally)"
+    )
+
+
+@pytest.mark.parametrize("stem", STEMS)
+def test_digests_match_committed_values(stem):
+    exp = load_experiment(EXAMPLES / f"{stem}.yaml")
+    expected_text, expected_plan = EXPECTED_DIGESTS[stem]
+    assert (experiment_digest(exp), experiment_plan_digest(exp)) == (
+        expected_text, expected_plan,
+    ), (
+        f"{stem}: digests drifted — canonical text "
+        f"{experiment_digest(exp)}, plan {experiment_plan_digest(exp)}"
+    )
+
+
+@pytest.mark.parametrize("stem", STEMS)
+def test_golden_file_is_itself_canonical(stem):
+    """The committed golden file round-trips to itself — it *is* the
+    canonical form, not merely some equivalent spelling."""
+    golden = (GOLDEN / f"{stem}.canonical.yaml").read_text(encoding="utf-8")
+    assert dump_experiment(loads_experiment(golden)) == golden
+
+
+@pytest.mark.parametrize("stem", STEMS)
+def test_example_and_golden_are_the_same_experiment(stem):
+    example = load_experiment(EXAMPLES / f"{stem}.yaml")
+    golden = loads_experiment(
+        (GOLDEN / f"{stem}.canonical.yaml").read_text(encoding="utf-8")
+    )
+    assert example == golden

@@ -1,0 +1,172 @@
+"""Schema validation and canonicalisation of ``repro-experiment`` v1."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    ExpectSpec,
+    ExperimentDef,
+    RefineSpec,
+    dump_experiment,
+    evaluate_verdict,
+    loads_experiment,
+)
+from repro.sim.errors import ConfigurationError
+
+MINIMAL = {"name": "t", "grid": {"churn_rate": [0.0, 1.0]}, "base": {"n": 8}}
+
+
+def make(**overrides) -> ExperimentDef:
+    record = dict(MINIMAL)
+    record.update(overrides)
+    return ExperimentDef.from_dict(record)
+
+
+class TestValidation:
+    def test_minimal_document_loads(self):
+        exp = make()
+        assert exp.name == "t"
+        assert exp.kind == "query"
+        assert exp.trials == 5
+        assert exp.root_seed == 2007
+
+    def test_schema_and_version_are_checked(self):
+        with pytest.raises(ConfigurationError, match="not a repro-experiment"):
+            make(schema="something-else")
+        with pytest.raises(ConfigurationError, match="version"):
+            make(version=99)
+
+    def test_unknown_fields_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown experiment"):
+            make(grdi={"x": [1]})
+
+    def test_name_is_required(self):
+        with pytest.raises(ConfigurationError, match="name"):
+            ExperimentDef.from_dict({"grid": {"x": [1]}})
+
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="kind"):
+            make(kind="frobnicate")
+
+    def test_trials_and_seeds_are_exclusive(self):
+        with pytest.raises(ConfigurationError, match="not both"):
+            make(trials=3, seeds=[1, 2])
+
+    def test_explicit_seeds_set_trial_count(self):
+        exp = make(seeds=[11, 22, 33])
+        assert exp.trials == 3
+        assert exp.seeds == (11, 22, 33)
+
+    def test_grid_and_base_must_not_overlap(self):
+        with pytest.raises(ConfigurationError, match="both 'grid' and 'base'"):
+            ExperimentDef.from_dict({
+                "name": "t", "grid": {"n": [8, 16]}, "base": {"n": 8},
+            })
+
+    def test_reserved_base_fields_are_rejected(self):
+        for reserved in ("churn", "faults", "resilience", "seed"):
+            with pytest.raises(ConfigurationError, match="top-level"):
+                ExperimentDef.from_dict({
+                    "name": "t", "grid": {"x": [1]},
+                    "base": {reserved: "anything"},
+                })
+
+    def test_non_scalar_grid_values_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="scalar"):
+            make(grid={"churn_rate": [[0.0, 1.0]]})
+
+    def test_unknown_preset_names_fail_at_load_time(self):
+        with pytest.raises(ConfigurationError):
+            make(faults="no-such-preset")
+        with pytest.raises(ConfigurationError):
+            make(resilience="no-such-preset")
+        with pytest.raises(ConfigurationError):
+            make(executor="no-such-preset")
+
+    def test_expect_where_must_name_a_grid_axis(self):
+        with pytest.raises(ConfigurationError, match="not a grid axis"):
+            make(expect=[{
+                "where": {"bogus": 1}, "metric": "ok", "op": ">=", "value": 1,
+            }])
+
+    def test_refine_axis_must_be_numeric_grid_axis(self):
+        with pytest.raises(ConfigurationError, match="not a grid axis"):
+            make(refine={"axis": "bogus"})
+        with pytest.raises(ConfigurationError, match="numeric"):
+            ExperimentDef.from_dict({
+                "name": "t", "grid": {"topology": ["er", "ring"]},
+                "refine": {"axis": "topology"},
+            })
+        with pytest.raises(ConfigurationError, match="at least two"):
+            ExperimentDef.from_dict({
+                "name": "t", "grid": {"churn_rate": [1.0]},
+                "refine": {"axis": "churn_rate"},
+            })
+
+
+class TestVerdicts:
+    def test_all_operators(self):
+        assert evaluate_verdict(1.0, ">=", 1.0)
+        assert evaluate_verdict(2.0, ">", 1.0)
+        assert evaluate_verdict(0.5, "<=", 1.0)
+        assert evaluate_verdict(0.5, "<", 1.0)
+        assert evaluate_verdict(1.0, "==", 1.0)
+        assert evaluate_verdict(0.0, "!=", 1.0)
+        with pytest.raises(ConfigurationError, match="operator"):
+            evaluate_verdict(1.0, "~=", 1.0)
+
+    def test_expect_spec_matching_is_subset_match(self):
+        rule = ExpectSpec(metric="ok", op=">=", value=1.0,
+                          where=(("churn_rate", 0.0),))
+        assert rule.matches({"churn_rate": 0.0, "n": 8})
+        assert not rule.matches({"churn_rate": 1.0, "n": 8})
+
+    def test_refine_spec_defaults_round_trip(self):
+        spec = RefineSpec(axis="churn_rate")
+        assert RefineSpec.from_dict(spec.to_dict()) == spec
+        custom = RefineSpec(axis="churn_rate", op="<", threshold=0.5,
+                            max_depth=2, min_gap=0.25)
+        assert RefineSpec.from_dict(custom.to_dict()) == custom
+
+
+class TestCanonicalisation:
+    def test_base_is_sorted_by_key(self):
+        exp = ExperimentDef.from_dict({
+            "name": "t", "grid": {"x": [1]},
+            "base": {"zeta": 1, "alpha": 2},
+        })
+        assert [key for key, _ in exp.base] == ["alpha", "zeta"]
+
+    def test_grid_axis_order_is_preserved(self):
+        exp = ExperimentDef.from_dict({
+            "name": "t",
+            "grid": {"zeta": [1], "alpha": [2]},
+        })
+        assert [key for key, _ in exp.grid] == ["zeta", "alpha"]
+
+    def test_dump_is_idempotent(self):
+        text = """
+        name: t
+        grid: {churn_rate: [0.0, 1.0]}
+        base: {n: 8}
+        expect:
+          - {where: {churn_rate: 0.0}, metric: ok, op: '>=', value: 1.0}
+        refine: {axis: churn_rate}
+        """
+        exp = loads_experiment(text)
+        once = dump_experiment(exp)
+        assert dump_experiment(loads_experiment(once)) == once
+
+    def test_points_enumerates_the_cartesian_product_in_order(self):
+        exp = ExperimentDef.from_dict({
+            "name": "t", "grid": {"a": [1, 2], "b": ["x", "y"]},
+        })
+        assert exp.points() == [
+            {"a": 1, "b": "x"}, {"a": 1, "b": "y"},
+            {"a": 2, "b": "x"}, {"a": 2, "b": "y"},
+        ]
+
+    def test_gridless_experiment_has_one_point(self):
+        exp = ExperimentDef.from_dict({"name": "t", "base": {"n": 8}})
+        assert exp.points() == [{}]

@@ -58,3 +58,116 @@ def test_summary_duplication_narrows_ci(vs):
     narrow = summarize(vs * 4)
     wide = summarize(vs)
     assert (narrow.ci_high - narrow.ci_low) <= (wide.ci_high - wide.ci_low) + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Bootstrap confidence intervals (repro.analysis.stats.bootstrap_mean_ci)
+# ---------------------------------------------------------------------------
+
+import pytest
+import yaml
+
+from repro.analysis.stats import bootstrap_mean_ci, paired_differences
+from repro.experiments import dump_experiment, loads_experiment
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+samples = st.lists(finite, min_size=2, max_size=30)
+
+
+@given(samples, st.integers(min_value=0, max_value=2**32 - 1))
+def test_bootstrap_ci_is_deterministic_under_fixed_seed(vs, seed):
+    a = bootstrap_mean_ci(vs, seed=seed, resamples=200)
+    b = bootstrap_mean_ci(vs, seed=seed, resamples=200)
+    assert (a.low, a.point, a.high) == (b.low, b.point, b.high)
+
+
+@given(samples)
+def test_bootstrap_ci_contains_the_point_estimate(vs):
+    ci = bootstrap_mean_ci(vs, seed=0, resamples=200)
+    assert ci.low <= ci.point <= ci.high
+    assert ci.point == pytest.approx(mean(vs))
+
+
+@given(st.lists(finite, min_size=2, max_size=12))
+def test_bootstrap_ci_narrows_with_replication(vs):
+    # Replicating every sample 9x shrinks the standard error of the
+    # mean 3x; the resampled interval must not widen.
+    small = bootstrap_mean_ci(vs, seed=1, resamples=400)
+    large = bootstrap_mean_ci(vs * 9, seed=1, resamples=400)
+    assert large.width <= small.width + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Paired differences: a permutation-invariant bijection on the key set
+# ---------------------------------------------------------------------------
+
+pairing = st.dictionaries(
+    st.tuples(st.integers(0, 50), st.integers(0, 50)),
+    st.tuples(finite, finite),
+    min_size=1, max_size=20,
+)
+
+
+@given(pairing, st.randoms(use_true_random=False))
+def test_pairing_is_permutation_invariant(arms, rng):
+    baseline = {k: b for k, (b, _) in arms.items()}
+    candidate = {k: c for k, (_, c) in arms.items()}
+    keys = list(arms)
+    rng.shuffle(keys)
+    shuffled_base = {k: baseline[k] for k in keys}
+    rng.shuffle(keys)
+    shuffled_cand = {k: candidate[k] for k in keys}
+    assert paired_differences(shuffled_base, shuffled_cand) == \
+        paired_differences(baseline, candidate)
+
+
+@given(pairing, st.tuples(st.integers(51, 99), st.integers(0, 50)))
+def test_pairing_rejects_any_key_mismatch(arms, extra_key):
+    baseline = {k: b for k, (b, _) in arms.items()}
+    candidate = {k: c for k, (_, c) in arms.items()}
+    candidate[extra_key] = 0.0
+    with pytest.raises(ValueError):
+        paired_differences(baseline, candidate)
+    del candidate[extra_key]
+    baseline[extra_key] = 0.0
+    with pytest.raises(ValueError):
+        paired_differences(baseline, candidate)
+
+
+# ---------------------------------------------------------------------------
+# Canonical YAML round-trips losslessly
+# ---------------------------------------------------------------------------
+
+axis_name = st.sampled_from(
+    ["churn_rate", "n", "horizon", "rate", "fanout", "period"]
+)
+scalar = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(min_value=-1e3, max_value=1e3,
+              allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.text(
+        st.characters(whitelist_categories=("Ll", "Lu", "Nd"), max_codepoint=127),
+        min_size=1, max_size=12,
+    ),
+)
+
+
+@given(
+    st.dictionaries(axis_name, st.lists(scalar, min_size=1, max_size=4,
+                                        unique_by=repr),
+                    min_size=1, max_size=3),
+    st.integers(1, 20),
+    st.integers(0, 2**31 - 1),
+)
+def test_experiment_yaml_round_trips(grid, trials, root_seed):
+    exp = loads_experiment(yaml.safe_dump({
+        "name": "prop", "kind": "query", "grid": grid,
+        "trials": trials, "root_seed": root_seed,
+    }))
+    text = dump_experiment(exp)
+    again = loads_experiment(text)
+    assert again == exp
+    assert dump_experiment(again) == text
