@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Engine perf emitter: serial vs warm-pool wall-time into BENCH_engine.json.
 
-Runs one fixed plan (the E4 churn-sweep shape) four ways — the serial
+Runs one fixed plan (the E4 churn-sweep shape) five ways — the serial
 reference backend, the same backend with a telemetry recorder attached,
-the chunked warm-pool parallel backend, and the streaming (JSONL) path
-on the same warm pool — asserts all four produce the byte-identical
-canonical result document (the engine's core guarantee), and records
-wall-times plus the derived ``speedup``, ``trials_per_sec_*`` and
-``telemetry_overhead_ratio`` metrics that ``repro bench diff`` gates in
-CI (telemetry must stay under 5% overhead).
+the same backend with a checkpoint journal attached, the chunked
+warm-pool parallel backend, and the streaming (JSONL) path on the same
+warm pool — asserts all five produce the byte-identical canonical
+result document (the engine's core guarantee), and records wall-times
+plus the derived ``speedup``, ``trials_per_sec_*``,
+``telemetry_overhead_ratio`` and ``checkpoint_overhead_ratio`` metrics
+that ``repro bench diff`` gates in CI (telemetry and checkpoint
+journalling must each stay under 5% overhead).
 
 Run:  PYTHONPATH=src python benchmarks/emit_bench.py [--jobs N] [--output FILE]
 
@@ -92,9 +94,12 @@ def main() -> int:
                          telemetry=telemetry)
         return store, time.perf_counter() - start
 
-    # Median-of-3 for the serial/telemetry pair: the overhead gate is a
-    # tight 5%, so the two arms must be measured above run-to-run noise.
-    serial_walls, telemetry_walls = [], []
+    # Median-of-3 for the serial/telemetry/checkpoint trio: the overhead
+    # gates are a tight 5%, so the arms must be measured above
+    # run-to-run noise.  Each checkpoint arm gets a fresh journal path —
+    # an existing same-plan journal would auto-resume and execute
+    # nothing, timing the no-op instead of the journalling cost.
+    serial_walls, telemetry_walls, checkpoint_walls = [], [], []
     for _ in range(3):
         serial_store, wall = timed_serial()
         serial_walls.append(wall)
@@ -107,8 +112,23 @@ def main() -> int:
         finally:
             os.unlink(telemetry_path)
         telemetry_walls.append(wall)
+        with tempfile.NamedTemporaryFile(
+            mode="w", suffix=".checkpoint.jsonl", delete=False
+        ) as handle:
+            checkpoint_path = handle.name
+        os.unlink(checkpoint_path)
+        try:
+            start = time.perf_counter()
+            checkpoint_store = run_plan(plan, executor=ExecutorSpec.serial(),
+                                        checkpoint=checkpoint_path)
+            wall = time.perf_counter() - start
+        finally:
+            if os.path.exists(checkpoint_path):
+                os.unlink(checkpoint_path)
+        checkpoint_walls.append(wall)
     serial_wall = sorted(serial_walls)[1]
     telemetry_wall = sorted(telemetry_walls)[1]
+    checkpoint_wall = sorted(checkpoint_walls)[1]
     print(f"serial   : {serial_wall:.2f}s (median of 3)")
     # Overhead below 1.0 is timing noise, not a speedup: clamp so the
     # committed baseline is a stable 1.0 and the diff gate's 5% budget
@@ -116,6 +136,9 @@ def main() -> int:
     telemetry_overhead = max(1.0, telemetry_wall / serial_wall)
     print(f"telemetry: {telemetry_wall:.2f}s "
           f"({telemetry_overhead:.3f}x serial, median of 3)")
+    checkpoint_overhead = max(1.0, checkpoint_wall / serial_wall)
+    print(f"checkpoint: {checkpoint_wall:.2f}s "
+          f"({checkpoint_overhead:.3f}x serial, median of 3)")
 
     # One materialised backend for both parallel runs: the pool forks and
     # warms once, then run_plan and stream_plan reuse it.  The untimed
@@ -149,10 +172,11 @@ def main() -> int:
     identical = (
         serial_store.to_json() == parallel_store.to_json()
         and serial_store.to_json() == telemetry_store.to_json()
+        and serial_store.to_json() == checkpoint_store.to_json()
         and canonical == json.dumps(stream_doc, sort_keys=True)
     )
     print("documents byte-identical "
-          f"(serial/telemetry/parallel/stream): {identical}")
+          f"(serial/telemetry/checkpoint/parallel/stream): {identical}")
     if not identical:
         raise SystemExit("executor backends disagree — engine bug")
 
@@ -172,9 +196,11 @@ def main() -> int:
         "chunks_dispatched": chunks,
         "serial_wall_s": round(serial_wall, 4),
         "telemetry_wall_s": round(telemetry_wall, 4),
+        "checkpoint_wall_s": round(checkpoint_wall, 4),
         "parallel_wall_s": round(parallel_wall, 4),
         "streaming_wall_s": round(stream_wall, 4),
         "telemetry_overhead_ratio": round(telemetry_overhead, 4),
+        "checkpoint_overhead_ratio": round(checkpoint_overhead, 4),
         "speedup": round(serial_wall / parallel_wall, 3),
         "trials_per_sec_serial": round(total / serial_wall, 3),
         "trials_per_sec_parallel": round(total / parallel_wall, 3),

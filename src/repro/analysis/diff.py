@@ -63,15 +63,16 @@ BENCH_THRESHOLDS: dict[str, tuple[float, bool]] = {
 #: pair per population size and ``emit_bench.py`` emits a
 #: ``trials_per_sec_<backend>`` pair, so the gate matches metric
 #: *families* by shape: throughput is higher-better, memory and wall time
-#: lower-better, all with the 50% machine-noise slack.  Telemetry overhead
-#: is a same-box wall-time *ratio* (recorder on / recorder off), so the
-#: machine noise largely cancels and the budget is the tight 5% the
-#: observability contract promises.
+#: lower-better, all with the 50% machine-noise slack.  Telemetry and
+#: checkpoint overheads are same-box wall-time *ratios* (feature on /
+#: feature off), so the machine noise largely cancels and the budget is
+#: the tight 5% the observability and crash-safety contracts promise.
 _BENCH_PREFIX_RULES: tuple[tuple[str, tuple[float, bool]], ...] = (
     ("events_per_sec", (0.50, True)),
     ("trials_per_sec", (0.50, True)),
     ("peak_rss", (0.50, False)),
     ("telemetry_overhead", (0.05, False)),
+    ("checkpoint_overhead", (0.05, False)),
 )
 
 

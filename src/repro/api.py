@@ -44,6 +44,17 @@ The surface groups into:
   (``repro runs list|show``), re-profile the slowest trials with
   :func:`profile_slowest`.  Result documents are byte-identical with
   telemetry on or off.
+* **Crash safety** — ``checkpoint=`` / ``resume_from=`` on
+  :func:`run_plan` / :func:`stream_plan` / ``run_experiment`` journal
+  every completed trial to a ``repro-run-checkpoint`` file
+  (:class:`CheckpointWriter` / :func:`load_checkpoint`) so an
+  interrupted sweep resumes byte-identically (``repro resume``); the
+  parallel backend self-heals worker death (respawn + redispatch,
+  poison-trial quarantine, :class:`WorkerPoolError` as the bounded
+  backstop); the chaos injectors (:class:`SigintAfter`,
+  :class:`KillWorkerAtChunk`, :class:`ENOSPCAfter`,
+  :func:`tear_file_tail`) make those failures reproducible in tests.
+  See ``docs/RECOVERY.md``.
 * **Regression gating** — :func:`diff_files` / :func:`diff_documents`
   compare two result documents (or BENCH payloads) with per-metric
   relative thresholds; ``repro bench diff`` is the CLI face.  With
@@ -137,7 +148,24 @@ from repro.engine.telemetry import (
     plan_digest,
     profile_slowest,
     render_profiles,
+    run_status,
     scan_runs,
+)
+
+# --- Crash safety: checkpoint/resume, self-healing pool, chaos -----------
+from repro.engine.recovery import (
+    CHECKPOINT_SCHEMA,
+    CHECKPOINT_VERSION,
+    ChaosInterrupt,
+    CheckpointError,
+    CheckpointState,
+    CheckpointWriter,
+    ENOSPCAfter,
+    KillWorkerAtChunk,
+    SigintAfter,
+    WorkerPoolError,
+    load_checkpoint,
+    tear_file_tail,
 )
 
 # --- Observability: metrics, sinks, causality, checking, export ---------
@@ -382,8 +410,22 @@ __all__ = [
     "profile_slowest",
     "read_telemetry",
     "render_profiles",
+    "run_status",
     "scan_runs",
     "span_tree",
+    # crash safety: checkpoint/resume, self-healing pool, chaos
+    "CHECKPOINT_SCHEMA",
+    "CHECKPOINT_VERSION",
+    "ChaosInterrupt",
+    "CheckpointError",
+    "CheckpointState",
+    "CheckpointWriter",
+    "ENOSPCAfter",
+    "KillWorkerAtChunk",
+    "SigintAfter",
+    "WorkerPoolError",
+    "load_checkpoint",
+    "tear_file_tail",
     # observability
     "CheckingSink",
     "Counter",

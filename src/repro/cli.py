@@ -175,6 +175,16 @@ def _engine_parent(trials_default: int = 1) -> argparse.ArgumentParser:
                        "beside --output, else under .repro/runs/. Result "
                        "documents are byte-identical with telemetry on "
                        "or off")
+    group.add_argument("--checkpoint", nargs="?", const="auto", default=None,
+                       metavar="PATH",
+                       help="journal every completed trial to a crash-safe "
+                       "repro-run-checkpoint file; re-running the same "
+                       "command resumes it, re-executing only the missing "
+                       "trials (byte-identical document). With PATH "
+                       "omitted the journal lands beside --output, else "
+                       "under .repro/runs/ keyed by the plan digest")
+    group.add_argument("--resumed-from", dest="resumed_from", default=None,
+                       help=argparse.SUPPRESS)
     group.add_argument("--profile-trials", dest="profile_trials", type=int,
                        default=None, metavar="K",
                        help="after the run, cProfile the K slowest trials "
@@ -299,16 +309,47 @@ def _telemetry_recorder(args: argparse.Namespace) -> "TelemetryRecorder | None":
         "version": f"repro {package_version()}",
         "argv": list(getattr(args, "_argv", sys.argv[1:])),
     }
+    resumed_from = getattr(args, "resumed_from", None)
     if value != "auto":
-        return TelemetryRecorder(path=value, cli=cli_info)
+        return TelemetryRecorder(path=value, cli=cli_info,
+                                 resumed_from=resumed_from)
     if args.output:
         base = args.output
         for suffix in (".jsonl", ".json"):
             if base.endswith(suffix):
                 base = base[: -len(suffix)]
                 break
-        return TelemetryRecorder(path=base + TELEMETRY_SUFFIX, cli=cli_info)
-    return TelemetryRecorder(cli=cli_info)
+        return TelemetryRecorder(path=base + TELEMETRY_SUFFIX, cli=cli_info,
+                                 resumed_from=resumed_from)
+    return TelemetryRecorder(cli=cli_info, resumed_from=resumed_from)
+
+
+def _checkpoint_path(args: argparse.Namespace,
+                     plan: ExperimentPlan) -> str | None:
+    """Resolve ``--checkpoint`` to a journal path.
+
+    The sentinel ``"auto"`` (bare ``--checkpoint``) anchors the journal
+    beside ``--output`` when one was given (``results.json`` →
+    ``results.checkpoint.jsonl``); otherwise it is keyed by the plan
+    digest under the ledger directory, so the *same command re-run* finds
+    the same journal and resumes it — no path bookkeeping required.
+    """
+    value = getattr(args, "checkpoint", None)
+    if value is None:
+        return None
+    if value != "auto":
+        return value
+    if args.output:
+        base = args.output
+        for suffix in (".jsonl", ".json"):
+            if base.endswith(suffix):
+                base = base[: -len(suffix)]
+                break
+        return base + ".checkpoint.jsonl"
+    from repro.engine.telemetry import plan_digest
+
+    return os.path.join(DEFAULT_RUNS_DIR,
+                        f"checkpoint-{plan_digest(plan)}.jsonl")
 
 
 def _resolve_fault_plan(value: str) -> FaultPlan | str:
@@ -489,19 +530,34 @@ def _engine_run(
         _ProgressPrinter(jobs=spec.effective_jobs()) if args.progress else None
     )
     recorder = _telemetry_recorder(args)
+    checkpoint = _checkpoint_path(args, plan)
     start = time.perf_counter()
     executor = spec
-    if args.output and args.output.endswith(".jsonl"):
-        # Stream each trial to the output file the moment it finishes —
-        # peak memory during execution is one window of in-flight trials,
-        # not the whole plan.  The store is reloaded from the stream only
-        # to render the summary tables below.
-        stream_plan(plan, args.output, executor=executor, progress=progress,
-                    telemetry=recorder)
-        store = ResultStore.load(args.output)
-    else:
-        store = run_plan(plan, executor=executor, progress=progress,
-                         telemetry=recorder)
+    try:
+        if args.output and args.output.endswith(".jsonl"):
+            # Stream each trial to the output file the moment it finishes —
+            # peak memory during execution is one window of in-flight
+            # trials, not the whole plan.  The store is reloaded from the
+            # stream only to render the summary tables below.
+            stream_plan(plan, args.output, executor=executor,
+                        progress=progress, telemetry=recorder,
+                        checkpoint=checkpoint)
+            store = ResultStore.load(args.output)
+        else:
+            store = run_plan(plan, executor=executor, progress=progress,
+                             telemetry=recorder, checkpoint=checkpoint)
+    except BaseException:
+        if recorder is not None:
+            # Close the stream without a summary: the ledger reports the
+            # run as interrupted, and `repro resume` can finish it.
+            recorder.abort()
+        if checkpoint is not None and isinstance(
+            sys.exc_info()[1], KeyboardInterrupt
+        ):
+            print(f"checkpoint journal kept at {checkpoint}; re-run the "
+                  "same command (or `repro resume`) to finish the sweep",
+                  file=sys.stderr)
+        raise
     timings["execute"] = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -689,6 +745,17 @@ def _build_parser() -> argparse.ArgumentParser:
     runs_show.add_argument("--dir", dest="runs_dir", default=None,
                            help="ledger directory for run-id lookup "
                            f"(default: {DEFAULT_RUNS_DIR})")
+
+    resume_cmd = sub.add_parser(
+        "resume", help="re-run an interrupted run's exact command; its "
+        "checkpoint journal skips the completed trials"
+    )
+    resume_cmd.add_argument("run_id",
+                            help="run-id prefix (unique in the ledger) or "
+                            "a telemetry .jsonl path of the interrupted run")
+    resume_cmd.add_argument("--dir", dest="runs_dir", default=None,
+                            help="ledger directory for run-id lookup "
+                            f"(default: {DEFAULT_RUNS_DIR})")
 
     executor_cmd = sub.add_parser(
         "executor", help="list the builtin executor presets"
@@ -1140,13 +1207,14 @@ def _cmd_runs(args: argparse.Namespace) -> int:
                 manifest.plan.get("name", "?"),
                 manifest.plan.get("n_trials", "?"),
                 manifest.executor.get("backend", "?"),
-                f"{summary['wall_s']:.1f}s" if summary else "running",
+                entry.get("status", "?"),
+                f"{summary['wall_s']:.1f}s" if summary else "-",
                 counts.get("ok", "-"),
                 counts.get("failed", "-"),
                 counts.get("quarantined", "-"),
             ])
         print(render_table(
-            ["run id", "plan", "trials", "backend", "wall", "ok",
+            ["run id", "plan", "trials", "backend", "status", "wall", "ok",
              "failed", "quar"],
             rows,
             title=f"run ledger ({args.runs_dir or DEFAULT_RUNS_DIR})",
@@ -1186,6 +1254,52 @@ def _cmd_runs(args: argparse.Namespace) -> int:
         print()
         print(render_profiles(tail.summary["profile"]))
     return 0
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    """Re-invoke an interrupted run's recorded argv with ``--resumed-from``.
+
+    The manifest's ``cli.argv`` block is the exact command line; replaying
+    it re-resolves the same ``--checkpoint`` journal (plan-digest keyed
+    when the path was implicit), so completed trials are skipped and the
+    finished document is byte-identical to an uninterrupted run's.
+    """
+    path = _resolve_run_target(args.run_id, args.runs_dir)
+    tail = TelemetryTail(path)
+    tail.poll()
+    manifest = tail.manifest
+    if manifest is None:
+        raise SystemExit(f"{path}: telemetry stream has no manifest")
+    argv = list(manifest.cli.get("argv", [])) if manifest.cli else []
+    if not argv:
+        raise SystemExit(
+            f"run {manifest.run_id}: manifest records no command line; "
+            "resume only works for runs started through the repro CLI "
+            "with --telemetry"
+        )
+    # Strip any prior --resumed-from so resume chains don't accumulate.
+    cleaned: list[str] = []
+    skip = False
+    for token in argv:
+        if skip:
+            skip = False
+            continue
+        if token == "--resumed-from":
+            skip = True
+            continue
+        if token.startswith("--resumed-from="):
+            continue
+        cleaned.append(token)
+    if not any(token.split("=", 1)[0] == "--checkpoint"
+               for token in cleaned):
+        print(f"note: run {manifest.run_id} recorded no --checkpoint; "
+              "every trial will re-execute", file=sys.stderr)
+    if tail.summary is not None:
+        print(f"note: run {manifest.run_id} already finished; re-running "
+              "is an idempotent re-verification", file=sys.stderr)
+    print(f"resuming run {manifest.run_id}: repro {' '.join(cleaned)}",
+          file=sys.stderr)
+    return main(cleaned + ["--resumed-from", manifest.run_id])
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -1438,6 +1552,7 @@ _COMMANDS = {
     "executor": _cmd_executor,
     "top": _cmd_top,
     "runs": _cmd_runs,
+    "resume": _cmd_resume,
     "trace": _cmd_trace,
     "bench": _cmd_bench,
     "experiment": _cmd_experiment,
@@ -1449,7 +1564,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     # The manifest's cli block records exactly what was invoked.
     args._argv = list(argv) if argv is not None else sys.argv[1:]
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except KeyboardInterrupt:
+        # 130 = 128 + SIGINT, the conventional interrupted-by-Ctrl-C code.
+        # Telemetry/checkpoint state was already flushed line-by-line, so
+        # an interrupted sweep is resumable via `repro resume`.
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

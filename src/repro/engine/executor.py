@@ -43,16 +43,33 @@ import functools
 import itertools
 import math
 import os
+import shutil
+import tempfile
 import threading
 import time
 import warnings
 import weakref
 from collections import deque
+from concurrent.futures import FIRST_COMPLETED
 from concurrent.futures import ProcessPoolExecutor as _ProcessPool
-from concurrent.futures import as_completed
+from concurrent.futures import as_completed, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional, Sequence, TypeVar
 
 from repro.engine.plan import ExperimentPlan, TrialSpec
+from repro.engine.recovery.checkpoint import (
+    CheckpointState,
+    CheckpointWriter,
+    resolve_checkpoint,
+)
+from repro.engine.recovery.healing import (
+    SPLIT_AFTER_DEATHS,
+    WorkerPoolError,
+    max_consecutive_respawns,
+    quarantine_threshold,
+    respawn_backoff,
+)
 from repro.engine.results import (
     ResultStore,
     StreamingResultStore,
@@ -253,6 +270,55 @@ def _quarantined_result(
     )
 
 
+def _poison_result(spec: TrialSpec, kills: int) -> TrialResult:
+    """The placeholder record for a poison trial — one that killed
+    ``kills`` workers outright (segfault, OOM kill) and was quarantined
+    by the self-healing pool.  Shares the watchdog quarantine's schema
+    (``status="quarantined"``) so downstream consumers need no new case;
+    ``wall_time`` is pinned to 0.0 — the trial never finished, and a
+    deterministic value keeps ``include_timing`` documents reproducible.
+    """
+    return TrialResult(
+        index=spec.index,
+        kind=spec.kind,
+        seed=spec.seed,
+        trial=spec.trial,
+        point=tuple(spec.point_dict().items()),
+        ok=False,
+        terminated=False,
+        result=None,
+        truth=None,
+        error=float("inf"),
+        completeness=0.0,
+        latency=float("inf"),
+        messages=0,
+        core_size=0,
+        events_executed=0,
+        wall_time=0.0,
+        metrics={},
+        status="quarantined",
+    )
+
+
+@dataclass
+class _ChunkTask:
+    """Parent-side bookkeeping for one in-flight worker task.
+
+    ``offsets`` aligns with ``batch``: the position of each spec in the
+    spec list the caller submitted (needed to place results after a
+    redispatch splits the original contiguous chunk).  ``deaths`` counts
+    how many pool breaks this task has been in flight for; ``solo`` marks
+    a suspect task that must run with nothing else in flight so a further
+    break attributes precisely.
+    """
+
+    offsets: tuple[int, ...]
+    batch: tuple[TrialSpec, ...]
+    submitted: float = 0.0
+    deaths: int = 0
+    solo: bool = False
+
+
 # ----------------------------------------------------------------------
 # Compact result transport (worker -> parent)
 # ----------------------------------------------------------------------
@@ -306,10 +372,27 @@ def _unpack_result(payload: Sequence[Any], spec: TrialSpec) -> TrialResult:
     )
 
 
+def _mark_heartbeat(directory: str, index: int) -> None:
+    """Worker-side heartbeat: atomically record "this worker is about to
+    run trial ``index``" in a per-pid file.  After a pool break the parent
+    reads the dead workers' last marks to attribute the break to specific
+    in-flight trials (poison-trial detection); a failed write only costs
+    attribution precision, never correctness, so errors are swallowed."""
+    path = os.path.join(directory, f"{os.getpid()}.hb")
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(str(index))
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - heartbeat loss degrades gracefully
+        pass
+
+
 def _run_chunk(
     specs: Sequence[TrialSpec],
     watchdog: float | None = None,
     retries: int = 0,
+    heartbeat: str | None = None,
 ) -> tuple[tuple[tuple, ...], dict[str, Any]]:
     """The worker-side task: run a batch of specs, return slim payloads.
 
@@ -325,11 +408,17 @@ def _run_chunk(
     simply discarded by the parent when no telemetry recorder is
     attached; it never reaches result documents, so it cannot perturb
     byte-identity.
+
+    ``heartbeat`` (a directory path) enables the self-healing pool's
+    death-attribution channel: the worker marks each trial it is about to
+    run (:func:`_mark_heartbeat`), so a crash points at its trial.
     """
     t0 = time.time()
     out = []
     trial_times: list[tuple[float, float]] = []
     for spec in specs:
+        if heartbeat is not None:
+            _mark_heartbeat(heartbeat, spec.index)
         trial_start = time.time()
         if watchdog is None:
             result = execute_trial(spec)
@@ -555,8 +644,15 @@ class ParallelExecutor(TrialExecutor):
         self.chunk_target = chunk_target
         self.chunks_dispatched = 0
         self.chunks_completed = 0
+        #: Worker pools respawned during the most recent run_specs/stream
+        #: call (0 on a healthy run).
+        self.respawns = 0
         self._pool: _ProcessPool | None = None
         self._pool_finalizer: weakref.finalize | None = None
+        self._heartbeat_dir: str | None = None
+        self._hb_finalizer: weakref.finalize | None = None
+        self._kills: dict[int, int] = {}
+        self._respawn_streak = 0
 
     # ------------------------------------------------------------------
     # Warm pool lifecycle
@@ -585,6 +681,15 @@ class ParallelExecutor(TrialExecutor):
         """Whether the warm pool currently holds live workers."""
         return self._pool is not None
 
+    def worker_pids(self) -> list[int]:
+        """Pids of the current pool's live worker processes (sorted;
+        empty when no pool is warm).  The chaos suite uses this to pick a
+        victim; operators can use it to correlate with ``ps``."""
+        if self._pool is None:
+            return []
+        processes = getattr(self._pool, "_processes", None) or {}
+        return sorted(processes)
+
     def close(self) -> None:
         """Shut the warm pool down; the next use forks a fresh one."""
         if self._pool is not None:
@@ -593,6 +698,168 @@ class ParallelExecutor(TrialExecutor):
                 self._pool_finalizer = None
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._heartbeat_dir is not None:
+            if self._hb_finalizer is not None:
+                self._hb_finalizer.detach()
+                self._hb_finalizer = None
+            shutil.rmtree(self._heartbeat_dir, ignore_errors=True)
+            self._heartbeat_dir = None
+
+    # ------------------------------------------------------------------
+    # Self-healing (worker death mid-chunk) — see docs/RECOVERY.md
+    # ------------------------------------------------------------------
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool without waiting on its corpse."""
+        if self._pool is not None:
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _ensure_heartbeat_dir(self) -> str:
+        """The per-executor directory workers write trial heartbeats to."""
+        if self._heartbeat_dir is None:
+            self._heartbeat_dir = tempfile.mkdtemp(prefix="repro-hb-")
+            self._hb_finalizer = weakref.finalize(
+                self, shutil.rmtree, self._heartbeat_dir, True
+            )
+        return self._heartbeat_dir
+
+    def _read_heartbeats(self) -> dict[int, int]:
+        """Consume every worker heartbeat mark: pid → last started trial.
+
+        Files are deleted as they are read so each pool break sees only
+        marks written since the last one; read errors simply lose a mark
+        (attribution then falls back to whole-task death counting).
+        """
+        marks: dict[int, int] = {}
+        directory = self._heartbeat_dir
+        if directory is None:
+            return marks
+        try:
+            names = os.listdir(directory)
+        except OSError:  # pragma: no cover - directory vanished
+            return marks
+        for name in names:
+            path = os.path.join(directory, name)
+            if name.endswith(".hb"):
+                try:
+                    with open(path, "r", encoding="utf-8") as handle:
+                        marks[int(name[:-3])] = int(handle.read().strip())
+                except (OSError, ValueError):  # pragma: no cover - torn mark
+                    pass
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - already gone
+                pass
+        return marks
+
+    def _respawn_pool(self, incomplete: Iterable[int]) -> set[int]:
+        """Absorb one pool break: discard the corpse, back off, fork a
+        fresh pool, and return the *suspect* trial indices.
+
+        Attribution: with exactly one trial in flight the break is
+        precisely attributed — its kill count increments (and only such
+        isolated kills ever count toward quarantine).  Otherwise the dead
+        workers' heartbeat marks name the trials that were running; those
+        suspects are re-run in isolation so a repeat offence *is* precise.
+        Raises :class:`WorkerPoolError` after
+        :func:`max_consecutive_respawns` breaks with no completed chunk in
+        between (the streak resets on every healthy chunk).
+        """
+        broke = time.time()
+        self._discard_pool()
+        self.respawns += 1
+        self._respawn_streak += 1
+        limit = max_consecutive_respawns(self.retries)
+        if self._respawn_streak > limit:
+            raise WorkerPoolError(
+                f"worker pool broke {self._respawn_streak} consecutive "
+                f"times with no completed chunk in between; giving up "
+                f"after {limit} respawns (see docs/RECOVERY.md)"
+            )
+        incomplete_set = set(incomplete)
+        marks = self._read_heartbeats()
+        if len(incomplete_set) == 1:
+            lone = next(iter(incomplete_set))
+            self._kills[lone] = self._kills.get(lone, 0) + 1
+            suspects = {lone}
+        else:
+            suspects = {i for i in marks.values() if i in incomplete_set}
+        delay = respawn_backoff(self._respawn_streak)
+        time.sleep(delay)
+        self._ensure_pool()
+        if self.telemetry is not None:
+            self.telemetry.record_respawn(
+                broke,
+                time.time(),
+                jobs=self.jobs,
+                backoff_s=delay,
+                consecutive=self._respawn_streak,
+            )
+        return suspects
+
+    def _partition(
+        self, task: _ChunkTask, suspects: set[int]
+    ) -> list[tuple[Any, ...]]:
+        """Decide a dead task's fate trial by trial, preserving order.
+
+        Returns an ordered entry list: ``("done", offset, spec, result)``
+        for trials quarantined as poison (kill count reached
+        :func:`quarantine_threshold`), ``("run", _ChunkTask)`` for
+        everything that re-executes — suspects as isolated single-trial
+        tasks, clean trials regrouped into contiguous runs.  A task that
+        has been in flight for :data:`SPLIT_AFTER_DEATHS` breaks splits
+        entirely into isolated singles (the heartbeat-less fallback).
+        """
+        threshold = quarantine_threshold(self.retries)
+        task.deaths += 1
+        split_all = len(task.batch) > 1 and task.deaths >= SPLIT_AFTER_DEATHS
+        entries: list[tuple[Any, ...]] = []
+        group_offsets: list[int] = []
+        group_specs: list[TrialSpec] = []
+
+        def flush() -> None:
+            if group_specs:
+                entries.append(("run", _ChunkTask(
+                    offsets=tuple(group_offsets),
+                    batch=tuple(group_specs),
+                    deaths=task.deaths,
+                )))
+                group_offsets.clear()
+                group_specs.clear()
+
+        for offset, spec in zip(task.offsets, task.batch):
+            kills = self._kills.get(spec.index, 0)
+            if kills >= threshold:
+                flush()
+                entries.append(
+                    ("done", offset, spec, _poison_result(spec, kills))
+                )
+            elif split_all or spec.index in suspects:
+                flush()
+                entries.append(("run", _ChunkTask(
+                    offsets=(offset,),
+                    batch=(spec,),
+                    deaths=task.deaths,
+                    solo=True,
+                )))
+            else:
+                group_offsets.append(offset)
+                group_specs.append(spec)
+        flush()
+        if self.telemetry is not None:
+            for entry in entries:
+                if entry[0] == "run":
+                    redispatched: _ChunkTask = entry[1]
+                    self.telemetry.record_redispatch(
+                        len(redispatched.batch),
+                        redispatched.deaths,
+                        split=redispatched.solo,
+                    )
+        return entries
 
     # ------------------------------------------------------------------
     # Chunked trial dispatch
@@ -613,16 +880,25 @@ class ParallelExecutor(TrialExecutor):
         specs: Sequence[TrialSpec],
         progress: Optional[ProgressFn] = None,
     ) -> list[TrialResult]:
-        """Chunked fan-out over the warm pool, results in plan order."""
+        """Chunked fan-out over the warm pool, results in plan order.
+
+        Worker death mid-chunk (``BrokenProcessPool``) is absorbed, not
+        raised: the pool respawns with exponential backoff, lost chunks
+        re-dispatch, and a trial that repeatedly kills isolated workers is
+        quarantined in place (see docs/RECOVERY.md).
+        """
         specs = list(specs)
         self.chunks_dispatched = 0
         self.chunks_completed = 0
+        self.respawns = 0
+        self._kills = {}
+        self._respawn_streak = 0
         if not specs:
             return []
         if self.jobs == 1 or len(specs) == 1:
             return super().run_specs(specs, progress=progress)
         tel = self.telemetry
-        pool = self._ensure_pool()
+        self._ensure_pool()
         total = len(specs)
         results: list[TrialResult | None] = [None] * total
         done = 0
@@ -647,27 +923,35 @@ class ParallelExecutor(TrialExecutor):
                 progress(done, total, first)
             chunk = self._chunk_size_for(first.wall_time, total - 1)
         dispatch = tel.begin_dispatch(total, chunk) if tel is not None else None
-        pending: dict[Any, tuple[int, list[TrialSpec], float]] = {}
-        for offset in range(start, total, chunk):
-            batch = specs[offset:offset + chunk]
-            future = pool.submit(
-                _run_chunk, tuple(batch), self.watchdog, self.retries
+        heartbeat = self._ensure_heartbeat_dir()
+        pending: dict[Any, _ChunkTask] = {}
+        deferred: deque[_ChunkTask] = deque()
+
+        def submit(task: _ChunkTask) -> None:
+            task.submitted = time.time()
+            future = self._ensure_pool().submit(
+                _run_chunk, task.batch, self.watchdog, self.retries, heartbeat
             )
-            pending[future] = (offset, batch, time.time())
+            pending[future] = task
             self.chunks_dispatched += 1
-        self._notify_chunks(progress)
-        for future in as_completed(pending):
-            offset, batch, submitted = pending[future]
-            payloads, meta = future.result()
+
+        def finish(
+            task: _ChunkTask, payloads: Sequence[tuple], meta: dict[str, Any]
+        ) -> None:
+            nonlocal done
             self.chunks_completed += 1
+            self._respawn_streak = 0
             # Chunk counters update before the per-trial callbacks so a
             # consumer summarising on the final trial sees them current.
             self._notify_chunks(progress)
             batch_results: list[TrialResult] = []
-            for position, (spec, payload) in enumerate(zip(batch, payloads)):
+            for offset, spec, payload in zip(
+                task.offsets, task.batch, payloads
+            ):
                 result = _unpack_result(payload, spec)
-                results[offset + position] = result
+                results[offset] = result
                 batch_results.append(result)
+                self._kills.pop(spec.index, None)
                 done += 1
                 if progress is not None:
                     # Completion order, like map(); the results list is
@@ -675,8 +959,75 @@ class ParallelExecutor(TrialExecutor):
                     progress(done, total, result)
             if tel is not None:
                 tel.record_chunk(
-                    batch, batch_results, meta, submitted, parent=dispatch
+                    task.batch, batch_results, meta, task.submitted,
+                    parent=dispatch,
                 )
+
+        def settle(offset: int, spec: TrialSpec, result: TrialResult) -> None:
+            nonlocal done
+            results[offset] = result
+            done += 1
+            if tel is not None:
+                tel.record_poison(spec.index, self._kills.get(spec.index, 0))
+                now = time.time()
+                tel.record_trial(spec, result, now, now)
+            if progress is not None:
+                progress(done, total, result)
+
+        for offset in range(start, total, chunk):
+            batch = tuple(specs[offset:offset + chunk])
+            submit(_ChunkTask(
+                offsets=tuple(range(offset, offset + len(batch))),
+                batch=batch,
+            ))
+        self._notify_chunks(progress)
+        while pending or deferred:
+            if not pending:
+                # Suspect isolation: exactly one single-trial task in
+                # flight, so a further break attributes precisely.
+                submit(deferred.popleft())
+            ready, _ = wait(set(pending), return_when=FIRST_COMPLETED)
+            dead: list[_ChunkTask] = []
+            broke = False
+            for future in ready:
+                task = pending.pop(future)
+                try:
+                    payloads, meta = future.result()
+                except BrokenProcessPool:
+                    broke = True
+                    dead.append(task)
+                    continue
+                finish(task, payloads, meta)
+            if not broke:
+                continue
+            # The pool died: every task still in flight is lost with it,
+            # but a chunk that finished *before* the break still has its
+            # result — harvest those rather than re-running them.
+            for future, task in list(pending.items()):
+                if future.done():
+                    try:
+                        payloads, meta = future.result()
+                        finish(task, payloads, meta)
+                        continue
+                    except BrokenProcessPool:
+                        pass
+                else:
+                    future.cancel()
+                dead.append(task)
+            pending.clear()
+            dead.sort(key=lambda t: t.offsets[0])
+            suspects = self._respawn_pool(
+                spec.index for t in dead for spec in t.batch
+            )
+            for task in dead:
+                for entry in self._partition(task, suspects):
+                    if entry[0] == "done":
+                        settle(entry[1], entry[2], entry[3])
+                    elif entry[1].solo:
+                        deferred.append(entry[1])
+                    else:
+                        submit(entry[1])
+            self._notify_chunks(progress)
         if tel is not None:
             tel.end_dispatch(dispatch, chunks=self.chunks_completed)
         return list(results)  # type: ignore[arg-type]
@@ -718,16 +1069,25 @@ class ParallelExecutor(TrialExecutor):
         is.  Chunks are contiguous plan slices submitted and drained FIFO,
         so results are consumed strictly in plan order (the stream file
         then matches the serial backend's byte for byte).
+
+        A pool break flips the drain into **cautious mode**: the lost
+        window re-executes one task at a time, in plan order (suspects as
+        isolated singles, repeat offenders quarantined in place), before
+        windowed submission resumes — plan-order consumption is preserved
+        across any number of worker deaths.
         """
         specs = list(specs)
         self.chunks_dispatched = 0
         self.chunks_completed = 0
+        self.respawns = 0
+        self._kills = {}
+        self._respawn_streak = 0
         if not specs:
             return 0
         if self.jobs == 1 or len(specs) == 1:
             return super().stream(specs, consume, progress=progress)
         tel = self.telemetry
-        pool = self._ensure_pool()
+        self._ensure_pool()
         total = len(specs)
         done = 0
         start = 0
@@ -748,44 +1108,136 @@ class ParallelExecutor(TrialExecutor):
                 progress(done, total, first)
             chunk = self._chunk_size_for(first.wall_time, total - 1)
         dispatch = tel.begin_dispatch(total, chunk) if tel is not None else None
+        heartbeat = self._ensure_heartbeat_dir()
         batches = (
-            specs[offset:offset + chunk]
+            _ChunkTask(
+                offsets=tuple(range(offset, min(offset + chunk, total))),
+                batch=tuple(specs[offset:offset + chunk]),
+            )
             for offset in range(start, total, chunk)
         )
         window = self.jobs * 4
         pending: deque = deque()
+        cautious: deque = deque()
 
-        def submit(batch: list[TrialSpec]) -> None:
-            pending.append((
-                pool.submit(_run_chunk, tuple(batch), self.watchdog, self.retries),
-                batch,
-                time.time(),
-            ))
+        def submit(task: _ChunkTask) -> Any:
+            task.submitted = time.time()
+            future = self._ensure_pool().submit(
+                _run_chunk, task.batch, self.watchdog, self.retries, heartbeat
+            )
             self.chunks_dispatched += 1
+            return future
 
-        for batch in itertools.islice(batches, window):
-            submit(batch)
-        self._notify_chunks(progress)
-        while pending:
-            future, batch, submitted = pending.popleft()
-            payloads, meta = future.result()
+        def enqueue(task: _ChunkTask) -> None:
+            pending.append((submit(task), task))
+
+        def finish(
+            task: _ChunkTask, payloads: Sequence[tuple], meta: dict[str, Any]
+        ) -> None:
+            nonlocal done
             self.chunks_completed += 1
+            self._respawn_streak = 0
             self._notify_chunks(progress)
             batch_results: list[TrialResult] = []
-            for spec, payload in zip(batch, payloads):
+            for spec, payload in zip(task.batch, payloads):
                 result = _unpack_result(payload, spec)
                 batch_results.append(result)
+                self._kills.pop(spec.index, None)
                 done += 1
                 consume(result)
                 if progress is not None:
                     progress(done, total, result)
             if tel is not None:
                 tel.record_chunk(
-                    batch, batch_results, meta, submitted, parent=dispatch
+                    task.batch, batch_results, meta, task.submitted,
+                    parent=dispatch,
                 )
-            for batch in itertools.islice(batches, 1):
-                submit(batch)
+
+        def settle(spec: TrialSpec, result: TrialResult) -> None:
+            nonlocal done
+            done += 1
+            if tel is not None:
+                tel.record_poison(spec.index, self._kills.get(spec.index, 0))
+                now = time.time()
+                tel.record_trial(spec, result, now, now)
+            consume(result)
+            if progress is not None:
+                progress(done, total, result)
+
+        def absorb_break(first_dead: _ChunkTask) -> None:
+            """Convert the whole in-flight window into cautious entries,
+            in plan order, harvesting chunks that finished pre-break."""
+            tail: list[tuple[str, Any, Any]] = [("dead", first_dead, None)]
+            for future2, task2 in pending:
+                outcome = None
+                if future2.done():
+                    try:
+                        outcome = future2.result()
+                    except BrokenProcessPool:
+                        outcome = None
+                else:
+                    future2.cancel()
+                if outcome is not None:
+                    tail.append(("ready", task2, outcome))
+                else:
+                    tail.append(("dead", task2, None))
+            pending.clear()
+            suspects = self._respawn_pool(
+                spec.index
+                for kind, task2, _ in tail if kind == "dead"
+                for spec in task2.batch
+            )
+            for kind, task2, outcome in reversed(tail):
+                if kind == "ready":
+                    cautious.appendleft(("ready", task2, outcome))
+                else:
+                    for entry in reversed(self._partition(task2, suspects)):
+                        cautious.appendleft(entry)
             self._notify_chunks(progress)
+
+        for task in itertools.islice(batches, window):
+            enqueue(task)
+        self._notify_chunks(progress)
+        while pending or cautious:
+            if pending:
+                future, task = pending.popleft()
+                try:
+                    payloads, meta = future.result()
+                except BrokenProcessPool:
+                    absorb_break(task)
+                    continue
+                finish(task, payloads, meta)
+                for task in itertools.islice(batches, 1):
+                    enqueue(task)
+                self._notify_chunks(progress)
+                continue
+            # Cautious mode: replay the lost window strictly one entry at
+            # a time — order is consumption order, isolation is precise
+            # attribution for any further break.
+            entry = cautious.popleft()
+            if entry[0] == "done":
+                settle(entry[2], entry[3])
+            elif entry[0] == "ready":
+                finish(entry[1], *entry[2])
+            else:
+                task = entry[1]
+                future = submit(task)
+                try:
+                    payloads, meta = future.result()
+                except BrokenProcessPool:
+                    suspects = self._respawn_pool(
+                        spec.index for spec in task.batch
+                    )
+                    for part in reversed(self._partition(task, suspects)):
+                        cautious.appendleft(part)
+                    self._notify_chunks(progress)
+                    continue
+                finish(task, payloads, meta)
+            if not cautious:
+                # Lost window fully replayed: back to full speed.
+                for task in itertools.islice(batches, window):
+                    enqueue(task)
+                self._notify_chunks(progress)
         if tel is not None:
             tel.end_dispatch(dispatch, chunks=self.chunks_completed)
         return done
@@ -879,12 +1331,74 @@ def _resolve_backend(
     return spec.make(), True, spec.to_dict()
 
 
+class _CheckpointProgress:
+    """Progress-hook wrapper: journal each completed trial *before*
+    forwarding to the caller's hook, so an interrupt raised by the hook
+    (Ctrl-C landing between trials) never loses the trial that just
+    finished.  Forwards ``chunk_update`` so chunk-aware consumers keep
+    working through the wrapper."""
+
+    def __init__(
+        self, writer: CheckpointWriter, progress: Optional[ProgressFn]
+    ) -> None:
+        self.writer = writer
+        self.progress = progress
+
+    def __call__(self, done: int, total: int, result: TrialResult) -> None:
+        self.writer.append(result)
+        if self.progress is not None:
+            self.progress(done, total, result)
+
+    def chunk_update(self, dispatched: int, completed: int) -> None:
+        update = getattr(self.progress, "chunk_update", None)
+        if callable(update):
+            update(dispatched, completed)
+
+
+class _ResumeEmitter:
+    """Interleaves preloaded (journalled) results with freshly executed
+    ones so a downstream consumer sees strict plan order — the resumed
+    stream file is then byte-identical to an uninterrupted run's.
+
+    Fresh results arrive in plan order restricted to the missing indices
+    (the executor's streaming contract), so emitting each fresh result
+    then draining any journalled successors restores the full order.
+    """
+
+    def __init__(
+        self,
+        specs: Sequence[TrialSpec],
+        preloaded: dict[int, TrialResult],
+        emit: Callable[[TrialResult], None],
+    ) -> None:
+        self.order = [spec.index for spec in specs]
+        self.preloaded = dict(preloaded)
+        self.emit = emit
+        self.cursor = 0
+        self._drain()
+
+    def _drain(self) -> None:
+        while self.cursor < len(self.order):
+            index = self.order[self.cursor]
+            if index not in self.preloaded:
+                break
+            self.emit(self.preloaded.pop(index))
+            self.cursor += 1
+
+    def __call__(self, result: TrialResult) -> None:
+        self.emit(result)
+        self.cursor += 1
+        self._drain()
+
+
 def run_plan(
     plan: ExperimentPlan,
     executor: "TrialExecutor | ExecutorSpec | str | None" = None,
     jobs: int | None = None,
     progress: Optional[ProgressFn] = None,
     telemetry: "TelemetryRecorder | str | None" = None,
+    checkpoint: "CheckpointWriter | str | None" = None,
+    resume_from: "CheckpointState | str | None" = None,
 ) -> ResultStore:
     """Execute ``plan`` and aggregate the results into a
     :class:`ResultStore` — the one-call form of the three-layer pipeline.
@@ -900,19 +1414,56 @@ def run_plan(
     opened there and closed when the run finishes).  Telemetry observes
     the run but never alters it: the result document is byte-identical
     with telemetry on or off.
+
+    ``checkpoint`` (a path or :class:`CheckpointWriter`) journals every
+    completed trial to a crash-safe ``repro-run-checkpoint`` file as the
+    run progresses; ``resume_from`` (a path or loaded
+    :class:`CheckpointState`) preloads completed trials from such a
+    journal so only the missing ones re-execute.  A resumed run's
+    document is byte-identical to an uninterrupted one.  Passing the same
+    path as ``checkpoint=`` across invocations is the idempotent resume
+    idiom (an existing journal for the same plan auto-resumes).
     """
     backend, owned, desc = _resolve_backend(executor, jobs, "run_plan")
     recorder, tel_owned = resolve_recorder(telemetry)
+    writer, preloaded, ckpt_path = resolve_checkpoint(
+        checkpoint, resume_from, plan, executor=desc,
+        run_id=recorder.run_id if recorder is not None else None,
+    )
+    todo = [spec for spec in plan.specs if spec.index not in preloaded]
     if recorder is not None:
-        recorder.open_run(plan, executor=desc)
+        recorder.open_run(
+            plan, executor=desc, checkpoint=ckpt_path,
+            resumed_trials=len(preloaded) or None,
+        )
         backend.telemetry = recorder
+    hook: Optional[ProgressFn] = progress
+    if writer is not None:
+        hook = _CheckpointProgress(writer, progress)
+    failed = False
     try:
-        return ResultStore.from_run(plan, backend.run(plan, progress=progress))
+        fresh = backend.run_specs(todo, progress=hook) if todo else []
+        merged = dict(preloaded)
+        for result in fresh:
+            merged[result.index] = result
+        return ResultStore.from_run(
+            plan, [merged[spec.index] for spec in plan.specs]
+        )
+    except BaseException:
+        failed = True
+        raise
     finally:
+        if writer is not None:
+            writer.close()
         if recorder is not None:
             backend.telemetry = None
             if tel_owned:
-                recorder.close()
+                if failed:
+                    # No summary line: the run ledger reports the stream
+                    # as "interrupted", and `repro resume` can finish it.
+                    recorder.abort()
+                else:
+                    recorder.close()
         if owned:
             backend.close()
 
@@ -925,6 +1476,8 @@ def stream_plan(
     progress: Optional[ProgressFn] = None,
     include_timing: bool = False,
     telemetry: "TelemetryRecorder | str | None" = None,
+    checkpoint: "CheckpointWriter | str | None" = None,
+    resume_from: "CheckpointState | str | None" = None,
 ) -> int:
     """Execute ``plan`` straight into a JSONL stream at ``path``.
 
@@ -934,22 +1487,62 @@ def stream_plan(
     the whole plan.  ``load_document(path)`` later reassembles the exact
     canonical document.  ``executor`` and ``telemetry`` accept the same
     forms as :func:`run_plan`.  Returns the number of trials written.
+
+    ``checkpoint`` / ``resume_from`` follow :func:`run_plan`'s contract.
+    On resume the stream file is rewritten from the start — journalled
+    results are interleaved with fresh ones in plan order, so the
+    finished file is byte-identical to an uninterrupted run's.  Each
+    trial is journalled *before* it is streamed: a crash between the two
+    writes loses stream bytes (rewritten on resume), never journal state.
     """
     backend, owned, desc = _resolve_backend(executor, jobs, "stream_plan")
     recorder, tel_owned = resolve_recorder(telemetry)
+    writer, preloaded, ckpt_path = resolve_checkpoint(
+        checkpoint, resume_from, plan, executor=desc,
+        run_id=recorder.run_id if recorder is not None else None,
+    )
+    todo = [spec for spec in plan.specs if spec.index not in preloaded]
     meta = plan.meta() if hasattr(plan, "meta") else {}
     if recorder is not None:
-        recorder.open_run(plan, executor=desc)
+        recorder.open_run(
+            plan, executor=desc, checkpoint=ckpt_path,
+            resumed_trials=len(preloaded) or None,
+        )
         backend.telemetry = recorder
+    failed = False
     try:
         with StreamingResultStore(
             path, plan=meta, include_timing=include_timing
         ) as store:
-            return backend.stream(plan.specs, store.append, progress=progress)
+            emit: Callable[[TrialResult], None] = store.append
+            if preloaded:
+                emit = _ResumeEmitter(plan.specs, preloaded, store.append)
+            if writer is not None:
+                journal = writer
+
+                def consume(
+                    result: TrialResult, _emit: Any = emit
+                ) -> None:
+                    # Journal first: the checkpoint is the durable record,
+                    # the stream is reconstructable from it.
+                    journal.append(result)
+                    _emit(result)
+            else:
+                consume = emit
+            ran = backend.stream(todo, consume, progress=progress)
+            return ran + len(preloaded)
+    except BaseException:
+        failed = True
+        raise
     finally:
+        if writer is not None:
+            writer.close()
         if recorder is not None:
             backend.telemetry = None
             if tel_owned:
-                recorder.close()
+                if failed:
+                    recorder.abort()
+                else:
+                    recorder.close()
         if owned:
             backend.close()

@@ -1,0 +1,385 @@
+"""The ``repro-run-checkpoint`` v1 journal: durable per-trial run state.
+
+Layout (JSONL, every line flushed the moment it is written):
+
+* line 1 — the header: ``{"type": "checkpoint", "schema":
+  "repro-run-checkpoint", "version": 1, "plan": {...}, "plan_digest":
+  "...", "executor": {...}, "n_trials": N, ...}``.  ``plan_digest`` is
+  :func:`repro.engine.telemetry.plan_digest` over the full spec list, so
+  a checkpoint can never be resumed against a different plan.
+* every further line — one completed trial: ``{"type": "trial",
+  "index": i, "digest": "...", "record": {...}}``.  ``record`` is the
+  trial's full document record (timing included, so both canonical and
+  ``include_timing`` documents can be reassembled); ``digest`` is
+  :func:`record_digest` over it, catching on-disk corruption.
+
+Recovery rules (what makes the journal crash-safe):
+
+* a **torn final line** (crash mid-append) is detected, warned about and
+  truncated away before appending resumes — the journal is always a
+  valid prefix plus the new lines;
+* a complete line that fails to parse or fails its digest stops the scan
+  there (the valid prefix is kept, the suspect tail re-executes);
+* trial identity fields are **not trusted from disk**: a resumed
+  :class:`~repro.engine.results.TrialResult` is rebuilt from the
+  journal's payload fields plus the *parent's* copy of the spec, exactly
+  like the executor's wire transport, so the reassembled document is
+  byte-identical to an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+import warnings
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro.engine.results import TrialResult, jsonable
+from repro.engine.telemetry import plan_digest
+from repro.sim.errors import ConfigurationError
+from repro.version import package_version
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.plan import ExperimentPlan, TrialSpec
+
+#: Journal schema identifier and version; bump on any layout change.
+CHECKPOINT_SCHEMA = "repro-run-checkpoint"
+CHECKPOINT_VERSION = 1
+
+#: Versions this engine can still resume from.
+SUPPORTED_CHECKPOINT_VERSIONS = (1,)
+
+
+class CheckpointError(ConfigurationError):
+    """A checkpoint journal cannot be used: wrong schema, a plan-digest
+    mismatch, or a missing file named by ``resume_from=``.  Subclasses
+    :class:`~repro.sim.errors.ConfigurationError` so existing broad
+    handlers keep working."""
+
+
+def record_digest(record: Mapping[str, Any]) -> str:
+    """Integrity digest of one trial record (canonical JSON, sha256/16)."""
+    blob = json.dumps(record, sort_keys=True)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def result_from_record(
+    record: Mapping[str, Any], spec: "TrialSpec"
+) -> TrialResult:
+    """Rebuild a full :class:`TrialResult` from a journal record plus the
+    parent's spec.  Identity fields (index / kind / seed / trial / point)
+    come from the spec — never from disk — mirroring the executor's
+    ``_unpack_result``, so rehydrated results group and serialise exactly
+    like freshly executed ones."""
+    return TrialResult(
+        index=spec.index,
+        kind=spec.kind,
+        seed=spec.seed,
+        trial=spec.trial,
+        point=tuple(spec.point_dict().items()),
+        ok=record["ok"],
+        terminated=record["terminated"],
+        result=record["result"],
+        truth=record["truth"],
+        error=record["error"],
+        completeness=record["completeness"],
+        latency=record["latency"],
+        messages=record["messages"],
+        core_size=record["core_size"],
+        events_executed=record["events_executed"],
+        wall_time=record.get("wall_time", 0.0),
+        metrics=record.get("metrics", {}),
+        status=record.get("status", ""),
+        coverage=record.get("coverage"),
+    )
+
+
+@dataclass
+class CheckpointState:
+    """The loaded contents of a checkpoint journal.
+
+    ``records`` maps plan index → trial record for every valid journal
+    line; ``valid_bytes`` is the byte length of the valid prefix (a
+    writer truncates to it before appending, discarding any torn tail).
+    """
+
+    path: str
+    header: dict[str, Any]
+    records: dict[int, dict[str, Any]] = field(default_factory=dict)
+    valid_bytes: int = 0
+
+    @property
+    def plan_digest(self) -> str:
+        return str(self.header.get("plan_digest", ""))
+
+    @property
+    def n_trials(self) -> int:
+        return int(self.header.get("n_trials", 0))
+
+    @property
+    def completed(self) -> set[int]:
+        return set(self.records)
+
+    def verify_plan(self, plan: "ExperimentPlan") -> None:
+        """Raise :class:`CheckpointError` unless this journal belongs to
+        ``plan`` (same digest — same grid, seeds, order)."""
+        digest = plan_digest(plan)
+        if digest != self.plan_digest:
+            raise CheckpointError(
+                f"{self.path}: checkpoint belongs to a different plan "
+                f"(journal digest {self.plan_digest!r}, plan digest "
+                f"{digest!r}); refusing to resume"
+            )
+
+    def results_for(self, plan: "ExperimentPlan") -> dict[int, TrialResult]:
+        """Rehydrate every journalled trial against ``plan``'s specs."""
+        self.verify_plan(plan)
+        by_index = {spec.index: spec for spec in plan.specs}
+        out: dict[int, TrialResult] = {}
+        for index, record in self.records.items():
+            spec = by_index.get(index)
+            if spec is None:  # pragma: no cover - digest match prevents this
+                raise CheckpointError(
+                    f"{self.path}: journalled trial index {index} is not in "
+                    f"the plan"
+                )
+            out[index] = result_from_record(record, spec)
+        return out
+
+
+def load_checkpoint(
+    path: str, plan: "ExperimentPlan | None" = None
+) -> CheckpointState:
+    """Load a checkpoint journal, tolerating a torn tail.
+
+    Scans complete lines only (a trailing line without its newline —
+    a crash mid-append — is dropped with a warning); the scan also stops,
+    with a warning, at the first complete line that fails to parse or
+    fails its integrity digest, keeping the valid prefix.  With ``plan``
+    given, the journal's plan digest is verified up front.
+    """
+    if not os.path.exists(path):
+        raise CheckpointError(f"no checkpoint journal at {path!r}")
+    state: CheckpointState | None = None
+    with open(path, "r", encoding="utf-8") as handle:
+        while True:
+            start = handle.tell()
+            line = handle.readline()
+            if not line:
+                break
+            if not line.endswith("\n"):
+                warnings.warn(
+                    f"{path}: torn final checkpoint line dropped "
+                    "(crash mid-append); the trial will re-execute",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            stripped = line.strip()
+            if not stripped:
+                continue
+            try:
+                entry = json.loads(stripped)
+            except json.JSONDecodeError:
+                if state is None:
+                    raise CheckpointError(
+                        f"{path}: not a {CHECKPOINT_SCHEMA} journal "
+                        "(unparseable header line)"
+                    )
+                warnings.warn(
+                    f"{path}: corrupt checkpoint line at byte {start} "
+                    "dropped along with everything after it",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            if state is None:
+                if entry.get("schema") != CHECKPOINT_SCHEMA:
+                    raise CheckpointError(
+                        f"{path}: not a {CHECKPOINT_SCHEMA} journal "
+                        f"(schema={entry.get('schema')!r})"
+                    )
+                if entry.get("version") not in SUPPORTED_CHECKPOINT_VERSIONS:
+                    raise CheckpointError(
+                        f"{path}: unsupported checkpoint version "
+                        f"{entry.get('version')!r}; this engine resumes "
+                        f"versions {SUPPORTED_CHECKPOINT_VERSIONS}"
+                    )
+                state = CheckpointState(
+                    path=str(path), header=entry, valid_bytes=handle.tell()
+                )
+                continue
+            if entry.get("type") != "trial":
+                warnings.warn(
+                    f"{path}: unexpected checkpoint entry type "
+                    f"{entry.get('type')!r} at byte {start}; scan stopped",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            record = entry.get("record")
+            if (
+                not isinstance(record, dict)
+                or entry.get("digest") != record_digest(record)
+            ):
+                warnings.warn(
+                    f"{path}: checkpoint entry for trial "
+                    f"{entry.get('index')!r} failed its integrity digest; "
+                    "it and everything after it will re-execute",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            index = int(entry["index"])
+            if index in state.records:
+                warnings.warn(
+                    f"{path}: duplicate checkpoint entry for trial {index} "
+                    "ignored",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                state.records[index] = record
+            state.valid_bytes = handle.tell()
+    if state is None:
+        raise CheckpointError(f"{path}: empty checkpoint journal")
+    if plan is not None:
+        state.verify_plan(plan)
+    return state
+
+
+class CheckpointWriter:
+    """Appends completed trials to a checkpoint journal, flushed per line.
+
+    Opening a path that already holds a valid journal for the same plan
+    **auto-resumes**: the torn tail (if any) is truncated away, the
+    completed set is preloaded (:attr:`preloaded`), and new appends land
+    after the valid prefix.  A journal for a *different* plan raises
+    :class:`CheckpointError` — a checkpoint is never silently clobbered.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        plan: "ExperimentPlan",
+        executor: Mapping[str, Any] | None = None,
+        run_id: str | None = None,
+    ) -> None:
+        self.path = str(path)
+        self.plan = plan
+        self.resumed = False
+        self.preloaded: dict[int, TrialResult] = {}
+        self._completed: set[int] = set()
+        self._handle: Any = None
+        existing = os.path.exists(self.path) and os.path.getsize(self.path) > 0
+        if existing:
+            state = load_checkpoint(self.path, plan=plan)
+            self.preloaded = state.results_for(plan)
+            self._completed = set(self.preloaded)
+            self.resumed = True
+            with open(self.path, "r+b") as tail:
+                tail.truncate(state.valid_bytes)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        else:
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            self._handle = open(self.path, "w", encoding="utf-8")
+            header = {
+                "type": "checkpoint",
+                "schema": CHECKPOINT_SCHEMA,
+                "version": CHECKPOINT_VERSION,
+                "created": time.time(),
+                "plan": jsonable(plan.meta() if hasattr(plan, "meta") else {}),
+                "plan_digest": plan_digest(plan),
+                "executor": dict(executor or {}),
+                "n_trials": len(plan.specs),
+                "repro_version": package_version(),
+            }
+            if run_id is not None:
+                header["run_id"] = run_id
+            self._write_line(header)
+
+    def _write_line(self, entry: Mapping[str, Any]) -> None:
+        # One write + flush per line: a crash between appends loses
+        # nothing, a crash mid-append leaves a torn tail the loader
+        # truncates away.
+        self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    @property
+    def completed(self) -> set[int]:
+        return set(self._completed)
+
+    def append(self, result: TrialResult) -> None:
+        """Journal one completed trial (idempotent per plan index)."""
+        if self._handle is None:
+            raise CheckpointError(f"{self.path}: checkpoint writer is closed")
+        if result.index in self._completed:
+            return
+        record = result.to_record(include_timing=True)
+        self._write_line({
+            "type": "trial",
+            "index": result.index,
+            "digest": record_digest(record),
+            "record": record,
+        })
+        self._completed.add(result.index)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CheckpointWriter":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
+def resolve_checkpoint(
+    checkpoint: "CheckpointWriter | str | None",
+    resume_from: "CheckpointState | str | None",
+    plan: "ExperimentPlan",
+    executor: Mapping[str, Any] | None = None,
+    run_id: str | None = None,
+) -> tuple["CheckpointWriter | None", dict[int, TrialResult], str | None]:
+    """Normalise the ``checkpoint=`` / ``resume_from=`` run arguments.
+
+    Returns ``(writer, preloaded, path)``: ``writer`` journals the run's
+    new trials (``None`` when no checkpoint was requested), ``preloaded``
+    maps plan index → already-completed result (from ``resume_from``, the
+    auto-resumed ``checkpoint`` journal, or both), and ``path`` is the
+    journal path for the run manifest.  Both sources are plan-digest
+    verified; giving the *same* path as ``checkpoint=`` and running the
+    command twice is the idempotent resume idiom.
+    """
+    preloaded: dict[int, TrialResult] = {}
+    if resume_from is not None:
+        if isinstance(resume_from, CheckpointState):
+            state = resume_from
+            state.verify_plan(plan)
+        else:
+            state = load_checkpoint(str(resume_from), plan=plan)
+        preloaded.update(state.results_for(plan))
+    writer: CheckpointWriter | None = None
+    if checkpoint is not None:
+        if isinstance(checkpoint, CheckpointWriter):
+            writer = checkpoint
+        else:
+            writer = CheckpointWriter(
+                str(checkpoint), plan, executor=executor, run_id=run_id
+            )
+        preloaded.update(writer.preloaded)
+        # Trials resumed from elsewhere still belong in this journal so
+        # it becomes self-contained for the *next* resume.
+        for result in preloaded.values():
+            writer.append(result)
+    path = writer.path if writer is not None else (
+        str(resume_from) if isinstance(resume_from, str) else None
+    )
+    return writer, preloaded, path

@@ -369,7 +369,11 @@ class StreamingResultStore:
             "point": jsonable(result.point_dict()),
             "record": result.to_record(self.include_timing),
         }
+        # One write + flush per trial: a crash between appends loses
+        # nothing, and a crash mid-append leaves only a torn final line,
+        # which load_document tolerates (warn + recover).
         self._handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._handle.flush()
         self.count += 1
 
     def close(self) -> None:
@@ -385,21 +389,47 @@ class StreamingResultStore:
 
 
 def _assemble_stream_document(
-    header: Mapping[str, Any], lines: Iterable[str]
+    header: Mapping[str, Any], lines: Iterable[str], path: str = "<stream>"
 ) -> dict[str, Any]:
-    """Rebuild the canonical document from a jsonl-stream body."""
+    """Rebuild the canonical document from a jsonl-stream body.
+
+    A torn **final** line — the aftermath of a crash mid-append — is
+    dropped with a :class:`RuntimeWarning` instead of raising, mirroring
+    :func:`repro.obs.spans.read_telemetry`; the trial it held simply
+    isn't in the document (a checkpointed run re-executes it on resume).
+    A bad line *followed by good ones* is genuine corruption and still
+    raises.
+    """
     if header.get("schema") != SCHEMA_NAME:
         raise ConfigurationError(
             f"not a {SCHEMA_NAME} stream (schema={header.get('schema')!r})"
         )
     if header.get("version") not in SUPPORTED_VERSIONS:
         raise SchemaVersionError(header.get("version"), SUPPORTED_VERSIONS)
+    body = [line.strip() for line in lines]
+    while body and not body[-1]:
+        body.pop()
     results = []
-    for line in lines:
-        line = line.strip()
+    for position, line in enumerate(body):
         if not line:
             continue
-        entry = json.loads(line)
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            if position == len(body) - 1:
+                import warnings
+
+                warnings.warn(
+                    f"{path}: torn final stream line dropped "
+                    "(crash mid-append?); the document omits that trial",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise ConfigurationError(
+                f"{path}: corrupt stream line {position + 2} "
+                "(not the final line, so not a torn append)"
+            )
         results.append(TrialResult.from_record(entry["record"], entry["point"]))
     store = ResultStore(plan=header.get("plan", {}), results=results)
     return store.document()
@@ -428,7 +458,7 @@ def load_document(path: str) -> dict[str, Any]:
             isinstance(header, Mapping)
             and header.get("format") == StreamingResultStore.FORMAT
         ):
-            document = _assemble_stream_document(header, handle)
+            document = _assemble_stream_document(header, handle, path=path)
         else:
             handle.seek(0)
             document = json.load(handle)

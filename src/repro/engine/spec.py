@@ -67,7 +67,12 @@ class ExecutorSpec:
             disables the guard — the historical code path).
         trial_retries: watchdog retries per trial before the trial is
             quarantined (see
-            :func:`repro.engine.executor.execute_trial_guarded`).
+            :func:`repro.engine.executor.execute_trial_guarded`).  The
+            same knob scales the self-healing pool's patience with trials
+            that *kill* their worker outright: a suspect trial gets
+            ``trial_retries + 1`` isolated re-runs before being declared
+            poison and quarantined in place (see
+            :mod:`repro.engine.recovery.healing` and docs/RECOVERY.md).
     """
 
     name: str = ""

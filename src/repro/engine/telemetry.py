@@ -121,6 +121,12 @@ class RunManifest:
     repro_version: str
     result_schema: Mapping[str, Any]
     cli: Mapping[str, Any] | None = None
+    #: Path of the run's ``repro-run-checkpoint`` journal, when one was
+    #: written — what ``repro resume`` follows.
+    checkpoint: str | None = None
+    #: The run id this run resumed (``repro resume``); ``None`` for
+    #: first attempts.
+    resumed_from: str | None = None
 
     def to_record(self) -> dict[str, Any]:
         record: dict[str, Any] = {
@@ -140,6 +146,10 @@ class RunManifest:
         }
         if self.cli is not None:
             record["cli"] = dict(self.cli)
+        if self.checkpoint is not None:
+            record["checkpoint"] = self.checkpoint
+        if self.resumed_from is not None:
+            record["resumed_from"] = self.resumed_from
         return record
 
     @classmethod
@@ -153,6 +163,8 @@ class RunManifest:
             repro_version=record.get("repro_version", ""),
             result_schema=dict(record.get("result_schema", {})),
             cli=dict(record["cli"]) if record.get("cli") else None,
+            checkpoint=record.get("checkpoint"),
+            resumed_from=record.get("resumed_from"),
         )
 
 
@@ -247,6 +259,7 @@ class TelemetryRecorder:
         directory: str | None = None,
         run_id: str | None = None,
         cli: Mapping[str, Any] | None = None,
+        resumed_from: str | None = None,
     ) -> None:
         if path is not None and directory is not None:
             raise ConfigurationError(
@@ -254,6 +267,7 @@ class TelemetryRecorder:
             )
         self.run_id = run_id if run_id is not None else new_run_id()
         self._cli = dict(cli) if cli is not None else None
+        self._resumed_from = resumed_from
         if path is None:
             base = directory if directory is not None else DEFAULT_RUNS_DIR
             path = os.path.join(base, f"run-{self.run_id}{TELEMETRY_SUFFIX}")
@@ -267,6 +281,13 @@ class TelemetryRecorder:
         self._trials = 0
         self._workers: dict[int, WorkerHealth] = {}
         self._profiles: list[dict[str, Any]] = []
+        self._recovery = {
+            "worker_respawns": 0,
+            "chunks_redispatched": 0,
+            "trials_redispatched": 0,
+            "poison_quarantined": 0,
+        }
+        self._resumed_trials: int | None = None
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -295,8 +316,16 @@ class TelemetryRecorder:
         plan: "ExperimentPlan | Mapping[str, Any]",
         executor: Mapping[str, Any] | None = None,
         cli: Mapping[str, Any] | None = None,
+        checkpoint: str | None = None,
+        resumed_trials: int | None = None,
     ) -> RunManifest:
-        """Write the manifest line and open the root ``run`` span."""
+        """Write the manifest line and open the root ``run`` span.
+
+        ``checkpoint`` records the run's journal path in the manifest
+        (what ``repro resume`` follows); ``resumed_trials`` is how many
+        trials were preloaded from a checkpoint rather than executed —
+        it lands in the summary so the ledger can mark resumed runs.
+        """
         from repro.engine.results import SCHEMA_NAME, SCHEMA_VERSION
 
         if self.manifest is not None:
@@ -306,6 +335,7 @@ class TelemetryRecorder:
             plan_meta["digest"] = plan_digest(plan)  # type: ignore[arg-type]
         else:
             plan_meta = dict(plan or {})
+        self._resumed_trials = resumed_trials
         self.manifest = RunManifest(
             run_id=self.run_id,
             started=time.time(),
@@ -315,6 +345,8 @@ class TelemetryRecorder:
             repro_version=package_version(),
             result_schema={"name": SCHEMA_NAME, "version": SCHEMA_VERSION},
             cli=cli if cli is not None else self._cli,
+            checkpoint=checkpoint,
+            resumed_from=self._resumed_from,
         )
         self._write(self.manifest.to_record())
         self._run_span = self.tracer.begin("run", run_id=self.run_id)
@@ -348,6 +380,13 @@ class TelemetryRecorder:
             summary["wall_s"] = round(
                 summary["finished"] - self.manifest.started, 6
             )
+        if self._resumed_trials is not None:
+            summary["resumed_trials"] = self._resumed_trials
+        if any(self._recovery.values()):
+            summary["recovery"] = {
+                f"engine.recovery.{key}": value
+                for key, value in self._recovery.items()
+            }
         if self._profiles:
             summary["profile"] = list(self._profiles)
         self._write(summary)
@@ -356,6 +395,23 @@ class TelemetryRecorder:
                 self._handle.close()
                 self._handle = None
         return summary
+
+    def abort(self) -> None:
+        """Close the stream *without* a summary record.
+
+        Called when the run dies (SIGINT, a crashed plan): every span
+        written so far stays durable, and the missing summary is exactly
+        what marks the ledger entry ``interrupted`` — a summary would
+        falsely declare the run complete.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._run_span = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "TelemetryRecorder":
         return self
@@ -476,6 +532,39 @@ class TelemetryRecorder:
     def record_profiles(self, profiles: Iterable[Mapping[str, Any]]) -> None:
         """Attach :func:`profile_slowest` output to the summary record."""
         self._profiles.extend(dict(p) for p in profiles)
+
+    # ------------------------------------------------------------------
+    # Self-healing hooks (engine.recovery.* counters)
+    # ------------------------------------------------------------------
+
+    def record_respawn(
+        self, t0: float, t1: float, jobs: int, backoff_s: float,
+        consecutive: int,
+    ) -> None:
+        """One warm-pool respawn after a worker death: the span covers
+        the backoff sleep plus the fresh fork."""
+        self._recovery["worker_respawns"] += 1
+        self.tracer.emit(
+            "worker_respawned", t0, t1, parent=self._run_span,
+            jobs=jobs, backoff_s=round(backoff_s, 6), consecutive=consecutive,
+        )
+
+    def record_redispatch(
+        self, trials: int, deaths: int, split: bool = False
+    ) -> None:
+        """One incomplete chunk re-submitted after a pool respawn."""
+        now = time.time()
+        self._recovery["chunks_redispatched"] += 1
+        self._recovery["trials_redispatched"] += trials
+        self.tracer.emit(
+            "chunk_redispatched", now, now, parent=self._run_span,
+            trials=trials, deaths=deaths, split=split,
+        )
+
+    def record_poison(self, index: int, kills: int) -> None:
+        """One trial quarantined for killing too many workers (the trial
+        span itself is emitted through :meth:`record_trial`)."""
+        self._recovery["poison_quarantined"] += 1
 
 
 def resolve_recorder(
@@ -705,13 +794,32 @@ def load_telemetry(
     return manifest, spans, summary
 
 
+def run_status(
+    manifest: RunManifest, summary: Mapping[str, Any] | None
+) -> str:
+    """The ledger disposition of one run.
+
+    ``"completed"`` — the summary record landed; ``"resumed"`` — completed
+    *and* this run was a ``repro resume`` of an earlier one;
+    ``"interrupted"`` — a manifest with no summary, i.e. the run died (or
+    is still live; the stream cannot tell a crash from an in-flight run,
+    so the ledger treats both as resumable).
+    """
+    if summary is None:
+        return "interrupted"
+    if manifest.resumed_from is not None:
+        return "resumed"
+    return "completed"
+
+
 def scan_runs(directory: str = DEFAULT_RUNS_DIR) -> list[dict[str, Any]]:
     """The ledger: every telemetry stream under ``directory``.
 
     Returns one entry per readable stream — ``{"path", "manifest",
-    "summary"}`` with ``summary`` ``None`` for still-running (or aborted)
-    runs — sorted by start time.  Unreadable files are skipped, so a
-    half-written stream never breaks ``repro runs list``.
+    "summary", "status"}`` with ``summary`` ``None`` (and ``status``
+    ``"interrupted"``) for runs whose summary never landed — sorted by
+    start time.  Unreadable files are skipped, so a half-written stream
+    never breaks ``repro runs list``.
     """
     entries: list[dict[str, Any]] = []
     if not os.path.isdir(directory):
@@ -726,6 +834,7 @@ def scan_runs(directory: str = DEFAULT_RUNS_DIR) -> list[dict[str, Any]]:
             continue
         entries.append({
             "path": path, "manifest": manifest, "summary": summary,
+            "status": run_status(manifest, summary),
         })
     entries.sort(key=lambda e: e["manifest"].started)
     return entries

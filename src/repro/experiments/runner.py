@@ -143,6 +143,8 @@ def run_experiment(
     progress: Callable[..., None] | None = None,
     telemetry: Any = None,
     stream_path: str | None = None,
+    checkpoint: Any = None,
+    resume_from: Any = None,
 ) -> ExperimentRun:
     """Run a declarative experiment through the engine.
 
@@ -152,6 +154,9 @@ def run_experiment(
     :func:`run_plan`.  With ``stream_path`` the trials stream to
     append-only JSONL via :func:`stream_plan` (no in-memory store) and the
     expectation checks read the per-point summaries back from the stream.
+    ``checkpoint`` / ``resume_from`` journal and resume trials exactly as
+    in :func:`run_plan` — an interrupted experiment re-executes only the
+    missing trials and its verdicts match an uninterrupted run's.
     """
     plan = experiment.to_plan()
     digest = experiment_plan_digest(experiment)
@@ -160,6 +165,7 @@ def run_experiment(
         streamed = stream_plan(
             plan, stream_path, executor=chosen, jobs=jobs,
             progress=progress, telemetry=telemetry,
+            checkpoint=checkpoint, resume_from=resume_from,
         )
         document = load_document(stream_path)
         summaries = [
@@ -175,7 +181,7 @@ def run_experiment(
         )
     store = run_plan(
         plan, executor=chosen, jobs=jobs, progress=progress,
-        telemetry=telemetry,
+        telemetry=telemetry, checkpoint=checkpoint, resume_from=resume_from,
     )
     summaries = [
         (dict(point), summary) for point, summary in store.summary().items()

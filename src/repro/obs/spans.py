@@ -60,6 +60,8 @@ SPAN_KINDS = (
     "chunk",
     "trial",
     "profile",
+    "worker_respawned",
+    "chunk_redispatched",
 )
 
 

@@ -1,0 +1,435 @@
+"""Checkpoint/resume: the ``repro-run-checkpoint`` journal contract.
+
+The crash-safety contract mirrors the chunking identity suite: a run
+interrupted at *any* point and resumed from its journal must reassemble
+the byte-identical canonical document an uninterrupted run produces —
+across the serial backend, warm-pool parallel dispatch, the streaming
+JSONL container, and plans with genuinely failed trials.  The journal
+itself must survive torn tails, corrupt lines and duplicate entries by
+keeping the valid prefix and re-executing the rest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.engine.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    run_plan,
+    stream_plan,
+)
+from repro.engine.plan import build_plan
+from repro.engine.recovery import (
+    CHECKPOINT_SCHEMA,
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    CheckpointState,
+    CheckpointWriter,
+    SigintAfter,
+    load_checkpoint,
+    record_digest,
+    result_from_record,
+    tear_file_tail,
+)
+from repro.engine.results import load_document
+from repro.engine.telemetry import (
+    TelemetryRecorder,
+    find_run,
+    load_telemetry,
+    plan_digest,
+    run_status,
+    scan_runs,
+)
+from repro.experiments.runner import run_experiment
+from repro.sim.errors import ConfigurationError
+
+# Same plan shape as tests/engine/test_chunking.py: churn_rate 8.0 yields
+# genuinely failed trials, so resume identity covers unhappy verdicts too.
+PLAN = build_plan(
+    "recovery-plan", kind="query",
+    grid={"churn_rate": [0.0, 8.0]},
+    base={"n": 8, "topology": "er", "aggregate": "COUNT", "horizon": 150.0},
+    trials=5, root_seed=13,
+)
+
+OTHER_PLAN = build_plan(
+    "other-plan", kind="query",
+    grid={"churn_rate": [0.0]},
+    base={"n": 8, "topology": "er", "aggregate": "COUNT", "horizon": 150.0},
+    trials=2, root_seed=99,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_plan(PLAN, executor=SerialExecutor())
+
+
+@pytest.fixture(scope="module")
+def baseline_json(baseline):
+    return baseline.to_json()
+
+
+def interrupt_run(plan, ckpt, after, **kwargs):
+    """Run ``plan`` with a checkpoint, chaos-SIGINT'd after ``after``
+    trial completions; returns the checkpoint path."""
+    with pytest.raises(KeyboardInterrupt):
+        run_plan(
+            plan, checkpoint=ckpt, progress=SigintAfter(after), **kwargs
+        )
+    return ckpt
+
+
+class TestJournalFormat:
+    def test_header_and_round_trip(self, baseline, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt.jsonl")
+        doc = run_plan(PLAN, checkpoint=ckpt).to_json()
+        assert doc == baseline.to_json()
+        state = load_checkpoint(ckpt, plan=PLAN)
+        header = state.header
+        assert header["schema"] == CHECKPOINT_SCHEMA
+        assert header["version"] == CHECKPOINT_VERSION
+        assert header["plan_digest"] == plan_digest(PLAN)
+        assert header["n_trials"] == len(PLAN)
+        assert state.completed == set(range(len(PLAN)))
+
+    def test_every_line_is_flushed_json(self, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt.jsonl")
+        run_plan(PLAN, checkpoint=ckpt)
+        with open(ckpt, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        assert len(lines) == 1 + len(PLAN)
+        for line in lines[1:]:
+            entry = json.loads(line)
+            assert entry["type"] == "trial"
+            assert entry["digest"] == record_digest(entry["record"])
+
+    def test_rehydrated_results_match_fresh_ones(self, tmp_path):
+        ckpt = str(tmp_path / "run.ckpt.jsonl")
+        store = run_plan(PLAN, checkpoint=ckpt)
+        state = load_checkpoint(ckpt)
+        rehydrated = state.results_for(PLAN)
+        # Compare against the *same* run: timing fields are journalled
+        # verbatim, so rehydration is lossless down to wall_time.
+        for fresh in store.results:
+            assert rehydrated[fresh.index] == fresh
+
+    def test_identity_fields_come_from_the_spec(self):
+        spec = PLAN.specs[0]
+        record = {
+            "ok": True, "terminated": True, "result": 1.0, "truth": 1.0,
+            "error": 0.0, "completeness": 1.0, "latency": 0.5,
+            "messages": 3, "core_size": 8, "events_executed": 10,
+            # Hostile identity fields on disk must be ignored.
+            "index": 999, "seed": 0, "point": [["churn_rate", 42.0]],
+        }
+        result = result_from_record(record, spec)
+        assert result.index == spec.index
+        assert result.seed == spec.seed
+        assert result.point == tuple(spec.point_dict().items())
+
+
+class TestJournalRecovery:
+    def _journal(self, tmp_path, name="run.ckpt.jsonl"):
+        ckpt = str(tmp_path / name)
+        run_plan(PLAN, checkpoint=ckpt)
+        return ckpt
+
+    def test_torn_tail_drops_last_trial_only(self, tmp_path):
+        ckpt = self._journal(tmp_path)
+        tear_file_tail(ckpt, drop_bytes=7)
+        with pytest.warns(RuntimeWarning, match="torn final checkpoint"):
+            state = load_checkpoint(ckpt, plan=PLAN)
+        assert state.completed == set(range(len(PLAN) - 1))
+
+    def test_corrupt_middle_line_keeps_valid_prefix(self, tmp_path):
+        ckpt = self._journal(tmp_path)
+        with open(ckpt, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        lines[3] = "{ not json"
+        with open(ckpt, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="corrupt checkpoint line"):
+            state = load_checkpoint(ckpt, plan=PLAN)
+        # Header + 2 trial lines survive; everything after re-executes.
+        assert state.completed == {0, 1}
+
+    def test_digest_mismatch_stops_the_scan(self, tmp_path):
+        ckpt = self._journal(tmp_path)
+        with open(ckpt, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        entry = json.loads(lines[2])
+        entry["record"]["result"] = 1e9  # flip a payload field
+        lines[2] = json.dumps(entry, sort_keys=True)
+        with open(ckpt, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.warns(RuntimeWarning, match="integrity digest"):
+            state = load_checkpoint(ckpt, plan=PLAN)
+        assert state.completed == {0}
+
+    def test_duplicate_entry_first_wins(self, tmp_path):
+        ckpt = self._journal(tmp_path)
+        with open(ckpt, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        with open(ckpt, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines + [lines[1]]) + "\n")
+        with pytest.warns(RuntimeWarning, match="duplicate checkpoint"):
+            state = load_checkpoint(ckpt, plan=PLAN)
+        assert state.completed == set(range(len(PLAN)))
+
+    def test_wrong_plan_refused(self, tmp_path):
+        ckpt = self._journal(tmp_path)
+        with pytest.raises(CheckpointError, match="different plan"):
+            load_checkpoint(ckpt, plan=OTHER_PLAN)
+        with pytest.raises(CheckpointError, match="different plan"):
+            run_plan(OTHER_PLAN, checkpoint=ckpt)
+
+    def test_missing_empty_and_foreign_files_refused(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoint journal"):
+            load_checkpoint(str(tmp_path / "absent.jsonl"))
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        with pytest.raises(CheckpointError, match="empty"):
+            load_checkpoint(str(empty))
+        foreign = tmp_path / "foreign.jsonl"
+        foreign.write_text('{"schema": "something-else"}\n')
+        with pytest.raises(CheckpointError, match="not a repro-run-checkpoint"):
+            load_checkpoint(str(foreign))
+        future = tmp_path / "future.jsonl"
+        future.write_text(json.dumps({
+            "schema": CHECKPOINT_SCHEMA, "version": CHECKPOINT_VERSION + 1,
+        }) + "\n")
+        with pytest.raises(CheckpointError, match="unsupported checkpoint"):
+            load_checkpoint(str(future))
+
+    def test_closed_writer_refuses_appends(self, baseline, tmp_path):
+        writer = CheckpointWriter(str(tmp_path / "w.jsonl"), PLAN)
+        writer.close()
+        with pytest.raises(CheckpointError, match="closed"):
+            writer.append(baseline.results[0])
+
+
+class TestResumeIdentity:
+    """Interrupt-at-every-prefix differential: resume must always
+    reassemble the baseline bytes, and re-execute only what is missing."""
+
+    def test_serial_resume_at_every_prefix(self, baseline_json, tmp_path):
+        for after in range(1, len(PLAN)):
+            ckpt = str(tmp_path / f"serial-{after}.jsonl")
+            interrupt_run(PLAN, ckpt, after)
+            assert load_checkpoint(ckpt).completed == set(range(after))
+            resumed = run_plan(PLAN, checkpoint=ckpt)
+            assert resumed.to_json() == baseline_json
+
+    def test_resume_runs_only_missing_trials(self, baseline_json, tmp_path):
+        ckpt = str(tmp_path / "count.jsonl")
+        interrupt_run(PLAN, ckpt, 4)
+        executed: list[int] = []
+        resumed = run_plan(
+            PLAN, checkpoint=ckpt,
+            progress=lambda done, total, r: executed.append(r.index),
+        )
+        assert resumed.to_json() == baseline_json
+        assert sorted(executed) == list(range(4, len(PLAN)))
+
+    def test_resume_from_without_writer(self, baseline_json, tmp_path):
+        ckpt = str(tmp_path / "ro.jsonl")
+        interrupt_run(PLAN, ckpt, 6)
+        before = os.path.getsize(ckpt)
+        resumed = run_plan(PLAN, resume_from=ckpt)
+        assert resumed.to_json() == baseline_json
+        # resume_from= is read-only: the journal is untouched.
+        assert os.path.getsize(ckpt) == before
+
+    def test_resume_from_accepts_loaded_state(self, baseline_json, tmp_path):
+        ckpt = str(tmp_path / "state.jsonl")
+        interrupt_run(PLAN, ckpt, 3)
+        state = load_checkpoint(ckpt)
+        assert isinstance(state, CheckpointState)
+        assert run_plan(PLAN, resume_from=state).to_json() == baseline_json
+
+    def test_parallel_interrupt_resumes_serially(self, baseline_json, tmp_path):
+        # Cross-backend resume: interrupted under the warm pool, finished
+        # in-process — the journal is backend-agnostic.
+        ckpt = str(tmp_path / "xbackend.jsonl")
+        executor = ParallelExecutor(jobs=2, chunk=1)
+        try:
+            interrupt_run(PLAN, ckpt, 3, executor=executor)
+        finally:
+            executor.close()
+        resumed = run_plan(PLAN, checkpoint=ckpt, executor=SerialExecutor())
+        assert resumed.to_json() == baseline_json
+
+    @pytest.mark.parametrize("chunk", [1, 7, len(PLAN)])
+    def test_serial_interrupt_resumes_in_parallel(
+        self, baseline_json, tmp_path, chunk
+    ):
+        ckpt = str(tmp_path / f"to-par-{chunk}.jsonl")
+        interrupt_run(PLAN, ckpt, 5)
+        executor = ParallelExecutor(jobs=2, chunk=chunk)
+        try:
+            resumed = run_plan(PLAN, checkpoint=ckpt, executor=executor)
+        finally:
+            executor.close()
+        assert resumed.to_json() == baseline_json
+
+    def test_fully_complete_journal_resumes_without_executing(
+        self, baseline_json, tmp_path
+    ):
+        ckpt = str(tmp_path / "done.jsonl")
+        run_plan(PLAN, checkpoint=ckpt)
+        executed: list[int] = []
+        again = run_plan(
+            PLAN, checkpoint=ckpt,
+            progress=lambda done, total, r: executed.append(r.index),
+        )
+        assert again.to_json() == baseline_json
+        assert executed == []
+
+    def test_torn_journal_tail_resumes_cleanly(self, baseline_json, tmp_path):
+        ckpt = str(tmp_path / "torn.jsonl")
+        interrupt_run(PLAN, ckpt, 6)
+        tear_file_tail(ckpt, drop_bytes=9)
+        with pytest.warns(RuntimeWarning, match="torn final checkpoint"):
+            resumed = run_plan(PLAN, checkpoint=ckpt)
+        assert resumed.to_json() == baseline_json
+
+
+class TestStreamResume:
+    def test_stream_resume_is_byte_identical(self, tmp_path):
+        reference = str(tmp_path / "reference.jsonl")
+        stream_plan(PLAN, reference)
+        for after in (1, 4, len(PLAN) - 1):
+            ckpt = str(tmp_path / f"s{after}.ckpt")
+            out = str(tmp_path / f"s{after}.jsonl")
+            with pytest.raises(KeyboardInterrupt):
+                stream_plan(
+                    PLAN, out, checkpoint=ckpt, progress=SigintAfter(after)
+                )
+            ran = stream_plan(PLAN, out, checkpoint=ckpt)
+            assert ran == len(PLAN)
+            with open(out, "rb") as fresh, open(reference, "rb") as ref:
+                assert fresh.read() == ref.read()
+
+    def test_stream_resume_document_matches_canonical(
+        self, baseline, tmp_path
+    ):
+        ckpt = str(tmp_path / "doc.ckpt")
+        out = str(tmp_path / "doc.jsonl")
+        with pytest.raises(KeyboardInterrupt):
+            stream_plan(PLAN, out, checkpoint=ckpt, progress=SigintAfter(2))
+        stream_plan(PLAN, out, checkpoint=ckpt)
+        reassembled = json.dumps(
+            load_document(out), indent=2, sort_keys=True
+        ) + "\n"
+        assert reassembled == baseline.to_json()
+
+
+class TestRunExperimentResume:
+    YAML = """
+name: recovery-exp
+kind: query
+grid:
+  churn_rate: [0.0, 4.0]
+base:
+  n: 8
+  horizon: 60.0
+trials: 2
+root_seed: 2007
+"""
+
+    def test_run_experiment_accepts_checkpoint(self, tmp_path):
+        from repro.experiments import loads_experiment
+
+        reference = run_experiment(loads_experiment(self.YAML))
+        ckpt = str(tmp_path / "exp.ckpt")
+        with pytest.raises(KeyboardInterrupt):
+            run_experiment(
+                loads_experiment(self.YAML), checkpoint=ckpt,
+                progress=SigintAfter(2),
+            )
+        assert load_checkpoint(ckpt).completed == {0, 1}
+        resumed = run_experiment(loads_experiment(self.YAML), checkpoint=ckpt)
+        assert resumed.store.to_json() == reference.store.to_json()
+        assert resumed.passed == reference.passed
+
+
+class TestTelemetryIntegration:
+    def test_interrupted_run_lands_in_ledger_as_interrupted(self, tmp_path):
+        tpath = str(tmp_path / "runs" / "interrupted.jsonl")
+        ckpt = str(tmp_path / "t.ckpt")
+        with pytest.raises(KeyboardInterrupt):
+            run_plan(
+                PLAN, checkpoint=ckpt, telemetry=tpath,
+                progress=SigintAfter(3),
+            )
+        manifest, _, summary = load_telemetry(tpath)
+        assert summary is None
+        assert manifest.checkpoint == ckpt
+        assert run_status(manifest, summary) == "interrupted"
+        ledger = scan_runs(str(tmp_path / "runs"))
+        assert [e["status"] for e in ledger] == ["interrupted"]
+
+    def test_resumed_run_records_provenance(self, baseline_json, tmp_path):
+        ckpt = str(tmp_path / "p.ckpt")
+        interrupt_run(PLAN, ckpt, 4)
+        tpath = str(tmp_path / "runs" / "resumed.jsonl")
+        recorder = TelemetryRecorder(path=tpath, resumed_from="run-000abc")
+        resumed = run_plan(PLAN, checkpoint=ckpt, telemetry=recorder)
+        recorder.close()  # caller-owned recorders close explicitly
+        assert resumed.to_json() == baseline_json
+        manifest, _, summary = load_telemetry(tpath)
+        assert manifest.resumed_from == "run-000abc"
+        assert summary["resumed_trials"] == 4
+        assert run_status(manifest, summary) == "resumed"
+
+    def test_find_run_rejects_ambiguous_prefix(self, tmp_path):
+        directory = str(tmp_path / "runs")
+        for _ in range(2):
+            run_plan(OTHER_PLAN, telemetry=TelemetryRecorder(
+                directory=directory
+            ))
+        ledger = scan_runs(directory)
+        assert len(ledger) == 2
+        ids = [e["manifest"].run_id for e in ledger]
+        prefix = os.path.commonprefix(ids)
+        assert prefix  # run ids share the date prefix by construction
+        with pytest.raises(ConfigurationError, match="ambiguous"):
+            find_run(prefix, directory)
+        with pytest.raises(ConfigurationError, match="no run matching"):
+            find_run("zzz-does-not-exist", directory)
+        assert find_run(ids[0], directory)["manifest"].run_id == ids[0]
+
+
+class TestTornStreamTail:
+    """Satellite regression: a crash mid-append to the streaming JSONL
+    container leaves a torn final line that ``load_document`` tolerates."""
+
+    def test_torn_final_stream_line_is_dropped(self, baseline, tmp_path):
+        out = str(tmp_path / "stream.jsonl")
+        stream_plan(PLAN, out)
+        intact = load_document(out)
+        tear_file_tail(out, drop_bytes=5)
+        with pytest.warns(RuntimeWarning, match="torn final stream line"):
+            torn = load_document(out)
+
+        def trial_count(doc):
+            return sum(len(point["trials"]) for point in doc["points"])
+
+        assert trial_count(intact) == len(PLAN)
+        assert trial_count(torn) == len(PLAN) - 1
+
+    def test_mid_stream_corruption_still_raises(self, tmp_path):
+        out = str(tmp_path / "stream.jsonl")
+        stream_plan(PLAN, out)
+        with open(out, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        lines[2] = "{ garbage"
+        with open(out, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="corrupt"):
+            load_document(out)

@@ -1,0 +1,291 @@
+"""Self-healing warm pool: worker death mid-chunk never perturbs results.
+
+Two layers of coverage.  The pure policy (backoff schedule, respawn
+bounds, quarantine threshold, partition decisions) is unit-tested
+without forking anything; the integration layer SIGKILLs real pool
+workers — an innocent bystander via the chaos injector, then a genuine
+poison trial that kills every worker it touches — and pins the
+byte-identity and telemetry contracts from docs/RECOVERY.md.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import signal
+import time
+
+import pytest
+
+import repro.engine.executor as executor_module
+from repro.engine.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    _ChunkTask,
+    execute_trial,
+    run_plan,
+)
+from repro.engine.plan import build_plan
+from repro.engine.recovery import (
+    MAX_RESPAWN_BACKOFF_S,
+    RESPAWN_BACKOFF_S,
+    SPLIT_AFTER_DEATHS,
+    KillWorkerAtChunk,
+    WorkerPoolError,
+    max_consecutive_respawns,
+    quarantine_threshold,
+    respawn_backoff,
+)
+from repro.engine.telemetry import TelemetryRecorder, load_telemetry
+from repro.sim.errors import ConfigurationError
+
+PLAN = build_plan(
+    "healing-plan", kind="query",
+    grid={"churn_rate": [0.0, 8.0]},
+    base={"n": 8, "topology": "er", "aggregate": "COUNT", "horizon": 150.0},
+    trials=5, root_seed=13,
+)
+
+fork_only = pytest.mark.skipif(
+    multiprocessing.get_start_method() != "fork",
+    reason="pre-fork monkeypatching needs the fork start method",
+)
+
+
+@pytest.fixture(scope="module")
+def baseline_json():
+    return run_plan(PLAN, executor=SerialExecutor()).to_json()
+
+
+@pytest.fixture()
+def no_backoff(monkeypatch):
+    """Zero out the parent-side respawn delay so healing tests run fast;
+    the executor looks the schedule up through its module namespace."""
+    monkeypatch.setattr(executor_module, "respawn_backoff", lambda n: 0.0)
+
+
+class TestPolicy:
+    """The pure policy pieces, no forking involved."""
+
+    def test_backoff_doubles_from_floor_to_ceiling(self):
+        assert respawn_backoff(1) == RESPAWN_BACKOFF_S
+        assert respawn_backoff(2) == 2 * RESPAWN_BACKOFF_S
+        assert respawn_backoff(3) == 4 * RESPAWN_BACKOFF_S
+        assert respawn_backoff(100) == MAX_RESPAWN_BACKOFF_S
+        schedule = [respawn_backoff(n) for n in range(1, 10)]
+        assert schedule == sorted(schedule)
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            respawn_backoff(0)
+
+    def test_respawn_bound_scales_with_retries(self):
+        assert max_consecutive_respawns(0) == 6
+        assert max_consecutive_respawns(2) == 6
+        assert max_consecutive_respawns(5) == 9
+        # Always room for a poison trial to burn its quarantine budget.
+        for retries in range(8):
+            assert max_consecutive_respawns(retries) > quarantine_threshold(
+                retries
+            )
+
+    def test_quarantine_threshold_is_retries_plus_two(self):
+        assert quarantine_threshold(0) == 2
+        assert quarantine_threshold(3) == 5
+        with pytest.raises(ConfigurationError, match=">= 0"):
+            quarantine_threshold(-1)
+
+
+class TestAttribution:
+    """Kill attribution and redispatch partitioning, unit-level: the pool
+    never forks (``_ensure_pool`` is stubbed out)."""
+
+    @pytest.fixture()
+    def executor(self, monkeypatch, no_backoff):
+        ex = ParallelExecutor(jobs=2)
+        monkeypatch.setattr(ex, "_ensure_pool", lambda: None)
+        yield ex
+        ex.close()
+
+    def test_lone_flight_break_counts_a_kill(self, executor):
+        assert executor._respawn_pool([5]) == {5}
+        assert executor._respawn_pool([5]) == {5}
+        assert executor._kills[5] == 2
+        assert executor.respawns == 2
+
+    def test_multi_flight_break_uses_heartbeat_marks(self, executor):
+        hb = executor._ensure_heartbeat_dir()
+        with open(os.path.join(hb, "12345.hb"), "w") as handle:
+            handle.write("7")
+        suspects = executor._respawn_pool([5, 7, 9])
+        # The heartbeat names trial 7; a multi-flight break is never
+        # proof, so no kill is counted yet — 7 just re-runs in isolation.
+        assert suspects == {7}
+        assert executor._kills == {}
+
+    def test_heartbeats_are_consumed_per_break(self, executor):
+        hb = executor._ensure_heartbeat_dir()
+        with open(os.path.join(hb, "1.hb"), "w") as handle:
+            handle.write("3")
+        assert executor._respawn_pool([3, 4]) == {3}
+        # The mark was consumed: the next break sees a clean slate.
+        assert executor._respawn_pool([3, 4]) == set()
+
+    def test_respawn_streak_bound_raises(self, executor):
+        limit = max_consecutive_respawns(executor.retries)
+        for _ in range(limit):
+            executor._respawn_pool([0])
+        with pytest.raises(WorkerPoolError, match="giving up"):
+            executor._respawn_pool([0])
+
+    def test_partition_isolates_suspects_and_groups_the_rest(self, executor):
+        specs = PLAN.specs[2:7]
+        task = _ChunkTask(offsets=tuple(range(5)), batch=tuple(specs))
+        entries = executor._partition(task, suspects={specs[2].index})
+        kinds = [entry[0] for entry in entries]
+        assert kinds == ["run", "run", "run"]
+        first, solo, rest = (entry[1] for entry in entries)
+        assert [s.index for s in first.batch] == [specs[0].index,
+                                                  specs[1].index]
+        assert solo.solo and [s.index for s in solo.batch] == [specs[2].index]
+        assert [s.index for s in rest.batch] == [specs[3].index,
+                                                 specs[4].index]
+        # Offsets survive the split so results land in their slots.
+        assert first.offsets == (0, 1)
+        assert solo.offsets == (2,)
+        assert rest.offsets == (3, 4)
+
+    def test_partition_quarantines_at_threshold(self, executor):
+        spec = PLAN.specs[3]
+        executor._kills[spec.index] = quarantine_threshold(executor.retries)
+        task = _ChunkTask(offsets=(0,), batch=(spec,))
+        entries = executor._partition(task, suspects=set())
+        assert len(entries) == 1
+        kind, offset, done_spec, result = entries[0]
+        assert (kind, offset, done_spec) == ("done", 0, spec)
+        assert result.status == "quarantined"
+        assert result.ok is False and result.wall_time == 0.0
+        assert result.error == float("inf")
+        assert result.point == tuple(spec.point_dict().items())
+
+    def test_heartbeat_less_fallback_splits_after_deaths(self, executor):
+        specs = PLAN.specs[0:3]
+        task = _ChunkTask(offsets=(0, 1, 2), batch=tuple(specs))
+        entries = executor._partition(task, suspects=set())
+        assert [e[0] for e in entries] == ["run"]  # first death: regrouped
+        survivor = entries[0][1]
+        assert survivor.deaths == 1
+        entries = executor._partition(survivor, suspects=set())
+        # Death number SPLIT_AFTER_DEATHS: no heartbeat ever named a
+        # suspect, so the whole chunk splits into isolated singles.
+        assert survivor.deaths == SPLIT_AFTER_DEATHS
+        assert [e[0] for e in entries] == ["run", "run", "run"]
+        assert all(e[1].solo and len(e[1].batch) == 1 for e in entries)
+
+
+@fork_only
+class TestRealWorkerDeath:
+    """Integration: SIGKILL real warm-pool workers."""
+
+    def test_innocent_worker_kill_heals_byte_identically(
+        self, baseline_json, no_backoff, tmp_path
+    ):
+        tpath = str(tmp_path / "telemetry.jsonl")
+        recorder = TelemetryRecorder(path=tpath)
+        executor = ParallelExecutor(jobs=2, chunk=2)
+        chaos = KillWorkerAtChunk(executor, chunk=1)
+        try:
+            store = run_plan(
+                PLAN, executor=executor, progress=chaos, telemetry=recorder,
+            )
+            assert chaos.fired and chaos.victim is not None
+            assert store.to_json() == baseline_json
+            assert executor.respawns >= 1
+        finally:
+            executor.close()
+        recorder.close()
+        manifest, spans, summary = load_telemetry(tpath)
+        kinds = {span.name for span in spans}
+        assert "worker_respawned" in kinds
+        recovery = summary["recovery"]
+        assert recovery["engine.recovery.worker_respawns"] >= 1
+        # An innocent bystander's death must never quarantine anything.
+        assert recovery["engine.recovery.poison_quarantined"] == 0
+        assert summary["counts"]["quarantined"] == 0
+
+    POISON_INDEX = 4
+
+    @pytest.fixture()
+    def poison_one_trial(self, monkeypatch, no_backoff):
+        real = execute_trial
+
+        def selective(spec):
+            if spec.index == self.POISON_INDEX:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return real(spec)
+
+        monkeypatch.setattr(executor_module, "execute_trial", selective)
+
+    def test_poison_trial_is_quarantined_in_place(
+        self, baseline_json, poison_one_trial, tmp_path
+    ):
+        tpath = str(tmp_path / "telemetry.jsonl")
+        recorder = TelemetryRecorder(path=tpath)
+        executor = ParallelExecutor(jobs=2, chunk=2)
+        try:
+            store = run_plan(PLAN, executor=executor, telemetry=recorder)
+            # A poison trial needs one isolated re-run per retry plus the
+            # confirming kill, so at least threshold pool breaks happened.
+            assert executor.respawns >= quarantine_threshold(executor.retries)
+        finally:
+            executor.close()
+        recorder.close()
+        results = {r.index: r for r in store.results}
+        poisoned = results[self.POISON_INDEX]
+        assert poisoned.status == "quarantined"
+        assert poisoned.ok is False and poisoned.wall_time == 0.0
+        clean = [r for r in store.results if r.index != self.POISON_INDEX]
+        assert len(clean) == len(PLAN) - 1
+        assert all(r.status != "quarantined" for r in clean)
+        _, spans, summary = load_telemetry(tpath)
+        kinds = [span.name for span in spans]
+        assert "worker_respawned" in kinds
+        assert "chunk_redispatched" in kinds
+        recovery = summary["recovery"]
+        assert recovery["engine.recovery.poison_quarantined"] == 1
+        assert recovery["engine.recovery.worker_respawns"] == executor.respawns
+        assert recovery["engine.recovery.trials_redispatched"] >= 1
+
+    def test_poison_and_clean_documents_differ_only_at_the_poison_trial(
+        self, baseline_json, poison_one_trial
+    ):
+        executor = ParallelExecutor(jobs=2, chunk=2)
+        try:
+            healed = json.loads(run_plan(PLAN, executor=executor).to_json())
+        finally:
+            executor.close()
+        reference = json.loads(baseline_json)
+        # Same plan block, same point layout; only the poisoned point's
+        # trial record and summary may differ.
+        assert healed["plan"] == reference["plan"]
+        assert [p["point"] for p in healed["points"]] == [
+            p["point"] for p in reference["points"]
+        ]
+        diffs = sum(
+            1 for h, r in zip(healed["points"], reference["points"])
+            if h != r
+        )
+        assert diffs == 1
+
+    def test_everything_poison_aborts_with_worker_pool_error(
+        self, monkeypatch, no_backoff
+    ):
+        def lethal(spec):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+        monkeypatch.setattr(executor_module, "execute_trial", lethal)
+        executor = ParallelExecutor(jobs=2, chunk=2)
+        try:
+            with pytest.raises(WorkerPoolError, match="giving up"):
+                run_plan(PLAN, executor=executor)
+        finally:
+            executor.close()
